@@ -1,0 +1,87 @@
+//! Criterion benches for the MB-AVF analysis engine: group-sweep throughput
+//! as a function of fault-mode size, protection scheme, and windowing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbavf_core::analysis::{mb_avf, windowed_mb_avf, AnalysisConfig};
+use mbavf_core::geometry::FaultMode;
+use mbavf_core::layout::{CacheGeometry, CacheInterleave, CacheLayout};
+use mbavf_core::protection::ProtectionKind;
+use mbavf_core::timeline::{Interval, TimelineStore};
+
+/// A deterministic synthetic store resembling a busy small cache: 4KB, with
+/// a few labelled intervals per byte.
+fn synthetic_store() -> (TimelineStore, CacheGeometry) {
+    let geom = CacheGeometry { sets: 16, ways: 4, line_bytes: 64 };
+    let total = 100_000u64;
+    let mut store = TimelineStore::new(geom.bytes() as usize, total);
+    let mut state = 0x1234_5678u64;
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for b in 0..geom.bytes() as usize {
+        let mut t = rng() % 500;
+        let tl = store.byte_mut(b);
+        while t < total - 600 {
+            let len = 50 + rng() % 400;
+            let mask = (rng() & 0xFF) as u8;
+            let checked = rng() % 4 != 0;
+            tl.push(Interval { start: t, end: t + len, ace_mask: mask, checked })
+                .expect("ordered");
+            t += len + rng() % 300;
+        }
+    }
+    (store, geom)
+}
+
+fn bench_modes(c: &mut Criterion) {
+    let (store, geom) = synthetic_store();
+    let layout = CacheLayout::new(geom, CacheInterleave::WayPhysical(2)).unwrap();
+    let cfg = AnalysisConfig::new(ProtectionKind::Parity);
+    let mut g = c.benchmark_group("mb_avf_mode_size");
+    g.sample_size(10);
+    for m in [1u32, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            let mode = FaultMode::mx1(m);
+            b.iter(|| mb_avf(&store, &layout, &mode, &cfg).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_schemes(c: &mut Criterion) {
+    let (store, geom) = synthetic_store();
+    let layout = CacheLayout::new(geom, CacheInterleave::WayPhysical(4)).unwrap();
+    let mode = FaultMode::mx1(4);
+    let mut g = c.benchmark_group("mb_avf_scheme");
+    g.sample_size(10);
+    for (name, scheme) in [
+        ("parity", ProtectionKind::Parity),
+        ("secded", ProtectionKind::SecDed),
+        ("dected", ProtectionKind::DecTed),
+    ] {
+        let cfg = AnalysisConfig::new(scheme);
+        g.bench_function(name, |b| {
+            b.iter(|| mb_avf(&store, &layout, &mode, &cfg).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_windowed(c: &mut Criterion) {
+    let (store, geom) = synthetic_store();
+    let layout = CacheLayout::new(geom, CacheInterleave::Logical(2)).unwrap();
+    let cfg = AnalysisConfig::new(ProtectionKind::Parity);
+    let mode = FaultMode::mx1(2);
+    let mut g = c.benchmark_group("mb_avf_windowed");
+    g.sample_size(10);
+    g.bench_function("40_windows", |b| {
+        b.iter(|| windowed_mb_avf(&store, &layout, &mode, &cfg, 2500).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_modes, bench_schemes, bench_windowed);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Figure 11: the Section VIII case study — SDC rates of the GPU VGPR under
+//! parity/SEC-DED with intra-thread (rx) and inter-thread (tx) interleaving,
+//! from full MB-AVF analysis vs the SB-AVF approximation.
+
+use mbavf_bench::experiments::fig11;
+use mbavf_bench::report::{pct, Table};
+use mbavf_bench::scale_from_env;
+use mbavf_core::avf::mean;
+use std::collections::BTreeMap;
+
+/// Accumulated per-design series: (sdc_mb, sdc_approx, due_mb, overhead).
+type DesignAcc = (Vec<f64>, Vec<f64>, Vec<f64>, f64);
+
+fn main() {
+    println!("Figure 11: VGPR SDC rates (FIT, total raw rate 100), averaged over workloads\n");
+    let scale = scale_from_env();
+    // label -> (sdc_mb, sdc_approx, due_mb, overhead) accumulated.
+    let mut acc: BTreeMap<String, DesignAcc> = BTreeMap::new();
+    for d in mbavf_bench::run_suite_at(scale) {
+        for row in fig11(&d) {
+            let e = acc.entry(row.label.clone()).or_insert_with(|| {
+                (Vec::new(), Vec::new(), Vec::new(), row.overhead)
+            });
+            e.0.push(row.sdc_mb);
+            e.1.push(row.sdc_approx);
+            e.2.push(row.due_mb);
+        }
+    }
+    let mut t = Table::new(&[
+        "design",
+        "area ovh",
+        "SDC (MB-AVF)",
+        "SDC (SB approx)",
+        "DUE (MB-AVF)",
+    ]);
+    let mut means: BTreeMap<String, f64> = BTreeMap::new();
+    for (label, (sdc, approx, due, ovh)) in &acc {
+        let m = mean(sdc.iter().copied());
+        means.insert(label.clone(), m);
+        t.row(vec![
+            label.clone(),
+            pct(*ovh),
+            format!("{m:.4}"),
+            format!("{:.4}", mean(approx.iter().copied())),
+            format!("{:.4}", mean(due.iter().copied())),
+        ]);
+    }
+    println!("{}", t.render());
+    let get = |l: &str| means.get(l).copied().unwrap_or(f64::NAN);
+    let p_tx4 = get("parity tx4");
+    let e_rx2 = get("SEC-DED rx2");
+    let e_tx2 = get("SEC-DED tx2");
+    if e_rx2 > 0.0 && e_tx2 > 0.0 {
+        println!(
+            "parity tx4 vs SEC-DED rx2: {} lower SDC   (paper: 86%)",
+            pct(1.0 - p_tx4 / e_rx2)
+        );
+        println!(
+            "parity tx4 vs SEC-DED tx2: {} lower SDC   (paper: 71%)",
+            pct(1.0 - p_tx4 / e_tx2)
+        );
+    }
+    println!("\nInter-thread interleaving converts SDCs to DUEs (an adjacent thread's");
+    println!("lock-step read detects first), and parity's odd-weight detection guarantee");
+    println!("beats SEC-DED for large fault modes — so cheap parity with x4 inter-thread");
+    println!("interleaving out-protects SEC-DED at a fraction of the area (Section VIII).");
+}

@@ -1,0 +1,34 @@
+//! Figure 9: SDC MB-AVF for 5x1–8x1 faults with SEC-DED and x2 way-physical
+//! interleaving, normalized to SB-AVF.
+
+use mbavf_bench::experiments::fig9;
+use mbavf_bench::report::{ratio, Table};
+use mbavf_bench::scale_from_env;
+use mbavf_core::avf::mean;
+
+fn main() {
+    println!("Figure 9: SDC MB-AVF / SB-AVF for 5x1-8x1, L1, SEC-DED + x2 way-physical\n");
+    let scale = scale_from_env();
+    let mut t = Table::new(&["workload", "5x1", "6x1", "7x1", "8x1"]);
+    let mut cols = vec![Vec::new(); 4];
+    for d in mbavf_bench::run_suite_at(scale) {
+        let row = fig9(&d);
+        let mut cells = vec![row.workload.to_string()];
+        for (i, v) in row.sdc.iter().enumerate() {
+            cells.push(ratio(*v));
+            cols[i].push(*v);
+        }
+        t.row(cells);
+    }
+    let mut cells = vec!["MEAN".to_string()];
+    for c in &cols {
+        cells.push(ratio(mean(c.iter().copied())));
+    }
+    t.row(cells);
+    println!("{}", t.render());
+    println!("SDC jumps from 5x1 to 6x1 (a 5x1 fault leaves one two-bit region that");
+    println!("SEC-DED still detects; a 6x1 fault is undetected in both lines) and then");
+    println!("plateaus: high ACE locality within a line means 8x1 faults corrupt little");
+    println!("that 6x1 faults did not (Section VII-C). 5x1 bars below 1.0 reflect the");
+    println!("false-DUE component of the SB-AVF baseline.");
+}

@@ -1,0 +1,16 @@
+//! Table III: the per-mode raw fault rates used for the Section VIII case
+//! study (total rate 100, split per the Ibe et al. 22nm measurements).
+
+use mbavf_bench::report::Table;
+use mbavf_core::ser::paper_table3;
+
+fn main() {
+    println!("Table III: fault rates used for the case study (total = 100)\n");
+    let rates = paper_table3();
+    let mut t = Table::new(&["fault mode", "rate"]);
+    for r in &rates {
+        t.row(vec![format!("{}x1", r.mode_bits), format!("{:.2}", r.rate_fit)]);
+    }
+    t.row(vec!["total".into(), format!("{:.2}", rates.iter().map(|r| r.rate_fit).sum::<f64>())]);
+    println!("{}", t.render());
+}

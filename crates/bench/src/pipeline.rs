@@ -1,0 +1,114 @@
+//! The measurement pipeline: timed run → liveness → timelines, cached per
+//! workload so the figure generators share one simulation.
+
+use mbavf_core::layout::{CacheGeometry, VgprGeometry};
+use mbavf_core::timeline::TimelineStore;
+use mbavf_sim::extract::{l1_timelines, l2_timelines, vgpr_timelines};
+use mbavf_sim::liveness::analyze;
+use mbavf_sim::{run_timed, GpuConfig};
+use mbavf_workloads::{suite, Scale, Workload};
+
+/// Everything the experiments need about one workload's run.
+pub struct WorkloadData {
+    /// Workload name.
+    pub name: &'static str,
+    /// Per-byte timelines of CU0's 16KB L1 data array.
+    pub l1: TimelineStore,
+    /// The L1 geometry matching the timeline indexing.
+    pub l1_geom: CacheGeometry,
+    /// Per-byte timelines of the shared 256KB L2.
+    pub l2: TimelineStore,
+    /// The L2 geometry.
+    pub l2_geom: CacheGeometry,
+    /// Per-byte timelines of CU0's vector register file.
+    pub vgpr: TimelineStore,
+    /// The VGPR geometry.
+    pub vgpr_geom: VgprGeometry,
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub retired: u64,
+    /// Fraction of dynamic instructions that were (transitively) live.
+    pub live_fraction: f64,
+}
+
+/// Run one workload through the full pipeline at the given scale on the
+/// paper's GPU configuration (4 CUs, 16KB L1s, 256KB L2).
+pub fn run_workload(w: &Workload, scale: Scale) -> WorkloadData {
+    let mut inst = w.build(scale);
+    let program = inst.program.clone();
+    let wgs = inst.workgroups;
+    let cfg = GpuConfig::default();
+    let res = run_timed(&program, &mut inst.mem, wgs, &cfg);
+    inst.check(&inst.mem)
+        .unwrap_or_else(|e| panic!("{} failed its reference check in the harness: {e}", w.name));
+    let lv = analyze(&res.trace, &inst.mem);
+    let l1 = l1_timelines(&res, &lv, &inst.mem, 0);
+    let l2 = l2_timelines(&res, &lv, &inst.mem);
+    let (vgpr, vgpr_geom) = vgpr_timelines(&res, &lv, 0);
+    WorkloadData {
+        name: w.name,
+        l1,
+        l1_geom: CacheGeometry {
+            sets: cfg.l1.sets,
+            ways: cfg.l1.ways,
+            line_bytes: cfg.l1.line_bytes,
+        },
+        l2,
+        l2_geom: CacheGeometry {
+            sets: cfg.l2.sets,
+            ways: cfg.l2.ways,
+            line_bytes: cfg.l2.line_bytes,
+        },
+        vgpr,
+        vgpr_geom,
+        cycles: res.cycles,
+        retired: res.retired,
+        live_fraction: lv.live_fraction(),
+    }
+}
+
+/// Run the whole suite at the given scale, one worker thread per workload
+/// (runs are independent and deterministic). Results come back in suite
+/// order.
+pub fn run_suite_at(scale: Scale) -> Vec<WorkloadData> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = suite()
+            .into_iter()
+            .map(|w| {
+                scope.spawn(move || {
+                    eprintln!("  simulating {} ...", w.name);
+                    run_workload(&w, scale)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("workload thread panicked")).collect()
+    })
+}
+
+/// Run the whole suite at paper scale.
+pub fn run_suite() -> Vec<WorkloadData> {
+    run_suite_at(Scale::Paper)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbavf_core::avf::raw_avf;
+    use mbavf_workloads::by_name;
+
+    #[test]
+    fn pipeline_produces_consistent_data() {
+        let w = by_name("transpose").expect("registered");
+        let d = run_workload(&w, Scale::Test);
+        d.l1.validate().unwrap();
+        d.l2.validate().unwrap();
+        d.vgpr.validate().unwrap();
+        assert_eq!(d.l1.num_bytes(), 16 * 1024);
+        assert_eq!(d.l2.num_bytes(), 256 * 1024);
+        assert!(d.cycles > 0);
+        assert!(raw_avf(&d.l1) > 0.0);
+        assert!(raw_avf(&d.vgpr) > 0.0);
+        assert!(d.live_fraction > 0.0 && d.live_fraction <= 1.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Single-bit AVF (equation 1) and report helpers.
+//!
+//! The classic single-bit AVF of a structure `H` with `B_H` bits over `N`
+//! cycles is the fraction of bit-cycles that are ACE:
+//!
+//! ```text
+//! AVF(H) = Σ_n |ACE bits at cycle n| / (B_H · N)
+//! ```
+//!
+//! Protection-aware single-bit DUE/SDC AVFs are just the `1x1` fault mode of
+//! [`crate::analysis::mb_avf`]; this module provides the raw (unprotected)
+//! AVF and small utilities for normalizing multi-bit results against it, as
+//! the paper's figures do.
+
+use crate::timeline::TimelineStore;
+
+/// The raw single-bit AVF of the structure: ACE bit-cycles over total
+/// bit-cycles (equation 1), ignoring protection.
+///
+/// ```
+/// use mbavf_core::avf::raw_avf;
+/// use mbavf_core::timeline::{Interval, TimelineStore};
+///
+/// let mut store = TimelineStore::new(1, 100);
+/// store.byte_mut(0).push(Interval { start: 0, end: 25, ace_mask: 0xff, checked: false }).unwrap();
+/// assert_eq!(raw_avf(&store), 0.25);
+/// ```
+pub fn raw_avf(store: &TimelineStore) -> f64 {
+    let num: u128 = store.iter().map(|tl| tl.ace_bit_cycles()).sum();
+    let denom = u128::from(store.num_bits()) * u128::from(store.total_cycles());
+    if denom == 0 {
+        0.0
+    } else {
+        num as f64 / denom as f64
+    }
+}
+
+/// A multi-bit AVF normalized to a single-bit baseline, the presentation used
+/// throughout the paper's evaluation ("MB-AVF is 2.74x SB-AVF").
+///
+/// Returns `f64::NAN` when the baseline is zero and the numerator nonzero;
+/// returns 1.0 when both are zero (no vulnerability either way).
+pub fn normalized(mb_avf: f64, sb_avf: f64) -> f64 {
+    if sb_avf == 0.0 {
+        if mb_avf == 0.0 {
+            1.0
+        } else {
+            f64::NAN
+        }
+    } else {
+        mb_avf / sb_avf
+    }
+}
+
+/// Arithmetic mean of an iterator of values; 0.0 for an empty iterator.
+/// Used when averaging AVFs or normalized ratios across benchmarks.
+pub fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0u32;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / f64::from(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::Interval;
+
+    #[test]
+    fn raw_avf_counts_ace_bits_only() {
+        let mut store = TimelineStore::new(2, 10);
+        // 3 ace bits for 10 cycles out of 16 bits x 10 cycles.
+        store.byte_mut(0).push(Interval { start: 0, end: 10, ace_mask: 0b111, checked: true }).unwrap();
+        // checked-but-unace contributes nothing to raw AVF.
+        store.byte_mut(1).push(Interval::false_detect(0, 10)).unwrap();
+        assert!((raw_avf(&store) - 3.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_handles_zero_baseline() {
+        assert_eq!(normalized(0.0, 0.0), 1.0);
+        assert!(normalized(0.5, 0.0).is_nan());
+        assert_eq!(normalized(0.5, 0.25), 2.0);
+    }
+
+    #[test]
+    fn mean_basics() {
+        assert_eq!(mean([]), 0.0);
+        assert_eq!(mean([2.0, 4.0]), 3.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Error types shared across the crate.
+
+use std::fmt;
+
+/// Errors produced by MB-AVF analysis and its supporting data structures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// An interval was pushed out of order or overlapping a previous interval.
+    IntervalOrder {
+        /// Start cycle of the offending interval.
+        start: u64,
+        /// End of the last interval already in the timeline.
+        prev_end: u64,
+    },
+    /// An interval is empty or inverted (`end <= start`).
+    EmptyInterval {
+        /// Start cycle of the offending interval.
+        start: u64,
+        /// End cycle of the offending interval.
+        end: u64,
+    },
+    /// An interval extends past the timeline store's total cycle count.
+    IntervalPastEnd {
+        /// End cycle of the offending interval.
+        end: u64,
+        /// Total number of cycles in the store.
+        total: u64,
+    },
+    /// A layout mapped a physical bit to a byte index outside the store.
+    ByteOutOfRange {
+        /// Offending byte index.
+        byte: u32,
+        /// Number of bytes in the timeline store.
+        len: u32,
+    },
+    /// A layout mapped a physical bit to a bit index outside `0..8`.
+    BitOutOfRange {
+        /// Offending bit index.
+        bit: u8,
+    },
+    /// A fault mode has no offsets.
+    EmptyFaultMode,
+    /// The fault mode does not fit in the layout even once.
+    ModeLargerThanLayout {
+        /// Mode bounding-box width (columns).
+        mode_cols: u32,
+        /// Layout width (columns).
+        layout_cols: u32,
+        /// Mode bounding-box height (rows).
+        mode_rows: u32,
+        /// Layout height (rows).
+        layout_rows: u32,
+    },
+    /// A windowed analysis was requested with a zero-length window.
+    ZeroWindow,
+    /// A structure was declared with zero bytes or zero cycles.
+    EmptyStructure,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::IntervalOrder { start, prev_end } => write!(
+                f,
+                "interval starting at cycle {start} overlaps or precedes previous interval ending at {prev_end}"
+            ),
+            CoreError::EmptyInterval { start, end } => {
+                write!(f, "interval [{start}, {end}) is empty or inverted")
+            }
+            CoreError::IntervalPastEnd { end, total } => {
+                write!(f, "interval ends at cycle {end} past the structure lifetime of {total} cycles")
+            }
+            CoreError::ByteOutOfRange { byte, len } => {
+                write!(f, "layout references byte {byte} but the timeline store has {len} bytes")
+            }
+            CoreError::BitOutOfRange { bit } => {
+                write!(f, "layout references bit {bit}, outside 0..8")
+            }
+            CoreError::EmptyFaultMode => write!(f, "fault mode contains no bit offsets"),
+            CoreError::ModeLargerThanLayout {
+                mode_cols,
+                layout_cols,
+                mode_rows,
+                layout_rows,
+            } => write!(
+                f,
+                "fault mode bounding box {mode_rows}x{mode_cols} does not fit layout {layout_rows}x{layout_cols}"
+            ),
+            CoreError::ZeroWindow => write!(f, "analysis window length must be nonzero"),
+            CoreError::EmptyStructure => {
+                write!(f, "structure must have at least one byte and one cycle")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_for_all_variants() {
+        let variants = [
+            CoreError::IntervalOrder { start: 5, prev_end: 9 },
+            CoreError::EmptyInterval { start: 3, end: 3 },
+            CoreError::IntervalPastEnd { end: 11, total: 10 },
+            CoreError::ByteOutOfRange { byte: 7, len: 4 },
+            CoreError::BitOutOfRange { bit: 9 },
+            CoreError::EmptyFaultMode,
+            CoreError::ModeLargerThanLayout {
+                mode_cols: 8,
+                layout_cols: 4,
+                mode_rows: 1,
+                layout_rows: 1,
+            },
+            CoreError::ZeroWindow,
+            CoreError::EmptyStructure,
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,298 @@
+//! Fault modes and fault groups (paper Section IV-A, Figure 1).
+//!
+//! A *fault mode* is a specific multi-bit fault geometry: a fixed pattern of
+//! bit positions, all of which flip together when a single particle strike of
+//! that mode occurs. The most common modes in SRAM are contiguous `Mx1`
+//! patterns along a wordline, but the paper's model (and this module) supports
+//! arbitrary shapes.
+//!
+//! A *fault group* is a set of bits in a concrete structure that matches the
+//! mode's pattern — one possible placement of the mode. For example, a `2x1`
+//! mode has three unique fault groups on a `4x1` array (Figure 1).
+
+use crate::error::CoreError;
+use std::fmt;
+
+/// A geometric multi-bit fault pattern: a set of `(row, column)` offsets that
+/// flip together, anchored at the group's top-left placement position.
+///
+/// Offsets are stored sorted and deduplicated, and always contain `(0, 0)`
+/// after normalization (the pattern is translated so its bounding box starts
+/// at the origin).
+///
+/// ```
+/// use mbavf_core::geometry::FaultMode;
+///
+/// let m = FaultMode::mx1(3);
+/// assert_eq!(m.len(), 3);
+/// assert_eq!(m.rows(), 1);
+/// assert_eq!(m.cols(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FaultMode {
+    name: String,
+    offsets: Vec<(u32, u32)>,
+    rows: u32,
+    cols: u32,
+}
+
+impl FaultMode {
+    /// A contiguous `m x 1` fault along a wordline: `m` adjacent bits in one
+    /// physical row. This is the dominant spatial multi-bit fault mode in SRAM
+    /// and the mode used throughout the paper's evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn mx1(m: u32) -> Self {
+        assert!(m > 0, "fault mode must flip at least one bit");
+        Self::from_offsets(format!("{m}x1"), (0..m).map(|c| (0, c))).expect("nonempty")
+    }
+
+    /// A rectangular `rows x cols` fault: every bit in the bounding box flips.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows == 0` or `cols == 0`.
+    pub fn rect(rows: u32, cols: u32) -> Self {
+        assert!(rows > 0 && cols > 0, "fault mode must flip at least one bit");
+        let offsets = (0..rows).flat_map(|r| (0..cols).map(move |c| (r, c)));
+        Self::from_offsets(format!("{cols}x{rows}"), offsets).expect("nonempty")
+    }
+
+    /// A fault mode from arbitrary `(row, col)` offsets.
+    ///
+    /// The offsets are normalized (translated so the minimum row and column
+    /// are zero), deduplicated, and sorted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyFaultMode`] if the iterator is empty.
+    pub fn from_offsets(
+        name: impl Into<String>,
+        offsets: impl IntoIterator<Item = (u32, u32)>,
+    ) -> Result<Self, CoreError> {
+        let mut offsets: Vec<(u32, u32)> = offsets.into_iter().collect();
+        if offsets.is_empty() {
+            return Err(CoreError::EmptyFaultMode);
+        }
+        let min_r = offsets.iter().map(|o| o.0).min().expect("nonempty");
+        let min_c = offsets.iter().map(|o| o.1).min().expect("nonempty");
+        for o in &mut offsets {
+            o.0 -= min_r;
+            o.1 -= min_c;
+        }
+        offsets.sort_unstable();
+        offsets.dedup();
+        let rows = offsets.iter().map(|o| o.0).max().expect("nonempty") + 1;
+        let cols = offsets.iter().map(|o| o.1).max().expect("nonempty") + 1;
+        Ok(Self { name: name.into(), offsets, rows, cols })
+    }
+
+    /// Human-readable mode name, e.g. `"3x1"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of bits flipped by a fault of this mode.
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// `true` if the mode flips no bits. Normalized modes are never empty.
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    /// Bounding-box height in physical rows.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Bounding-box width in physical columns.
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// The normalized `(row, col)` offsets of the pattern.
+    pub fn offsets(&self) -> &[(u32, u32)] {
+        &self.offsets
+    }
+
+    /// Enumerate every fault group of this mode on an array of
+    /// `array_rows x array_cols` physical bits.
+    ///
+    /// Placements do not wrap: a `2x1` mode on a `4x1` array yields exactly
+    /// the three groups of Figure 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ModeLargerThanLayout`] if no placement fits.
+    pub fn groups(&self, array_rows: u32, array_cols: u32) -> Result<GroupIter, CoreError> {
+        if self.rows > array_rows || self.cols > array_cols {
+            return Err(CoreError::ModeLargerThanLayout {
+                mode_cols: self.cols,
+                layout_cols: array_cols,
+                mode_rows: self.rows,
+                layout_rows: array_rows,
+            });
+        }
+        Ok(GroupIter {
+            anchor_rows: array_rows - self.rows + 1,
+            anchor_cols: array_cols - self.cols + 1,
+            next: 0,
+        })
+    }
+
+    /// Number of unique fault groups of this mode on an `array_rows x
+    /// array_cols` array — the `G_{H,M}` denominator of equation (2).
+    ///
+    /// Returns zero if the mode does not fit.
+    pub fn group_count(&self, array_rows: u32, array_cols: u32) -> u64 {
+        if self.rows > array_rows || self.cols > array_cols {
+            return 0;
+        }
+        u64::from(array_rows - self.rows + 1) * u64::from(array_cols - self.cols + 1)
+    }
+}
+
+impl fmt::Display for FaultMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// One placement of a [`FaultMode`] on a physical array: the set of bits
+/// `(anchor_row + dr, anchor_col + dc)` for every mode offset `(dr, dc)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultGroup {
+    /// Row of the pattern's top-left bounding-box corner.
+    pub anchor_row: u32,
+    /// Column of the pattern's top-left bounding-box corner.
+    pub anchor_col: u32,
+}
+
+impl FaultGroup {
+    /// The physical bit coordinates covered by this group for `mode`.
+    pub fn bits<'m>(&self, mode: &'m FaultMode) -> impl Iterator<Item = (u32, u32)> + 'm {
+        let (ar, ac) = (self.anchor_row, self.anchor_col);
+        mode.offsets().iter().map(move |&(dr, dc)| (ar + dr, ac + dc))
+    }
+}
+
+/// Iterator over every fault group of a mode on an array, in row-major order.
+/// Produced by [`FaultMode::groups`].
+#[derive(Debug, Clone)]
+pub struct GroupIter {
+    anchor_rows: u32,
+    anchor_cols: u32,
+    next: u64,
+}
+
+impl Iterator for GroupIter {
+    type Item = FaultGroup;
+
+    fn next(&mut self) -> Option<FaultGroup> {
+        let total = u64::from(self.anchor_rows) * u64::from(self.anchor_cols);
+        if self.next >= total {
+            return None;
+        }
+        let row = (self.next / u64::from(self.anchor_cols)) as u32;
+        let col = (self.next % u64::from(self.anchor_cols)) as u32;
+        self.next += 1;
+        Some(FaultGroup { anchor_row: row, anchor_col: col })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let total = u64::from(self.anchor_rows) * u64::from(self.anchor_cols);
+        let rem = (total - self.next) as usize;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for GroupIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mx1_shape() {
+        let m = FaultMode::mx1(4);
+        assert_eq!(m.name(), "4x1");
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.rows(), 1);
+        assert_eq!(m.cols(), 4);
+        assert_eq!(m.offsets(), &[(0, 0), (0, 1), (0, 2), (0, 3)]);
+    }
+
+    #[test]
+    fn rect_shape() {
+        let m = FaultMode::rect(2, 2);
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+    }
+
+    #[test]
+    fn offsets_normalize_and_dedup() {
+        let m = FaultMode::from_offsets("diag", [(5, 7), (6, 8), (5, 7)]).unwrap();
+        assert_eq!(m.offsets(), &[(0, 0), (1, 1)]);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+    }
+
+    #[test]
+    fn empty_mode_rejected() {
+        assert_eq!(
+            FaultMode::from_offsets("none", std::iter::empty()),
+            Err(CoreError::EmptyFaultMode)
+        );
+    }
+
+    #[test]
+    fn figure1_group_enumeration() {
+        // Figure 1: a 2x1 mode on a 4x1 array has exactly 3 fault groups.
+        let m = FaultMode::mx1(2);
+        let groups: Vec<_> = m.groups(1, 4).unwrap().collect();
+        assert_eq!(groups.len(), 3);
+        assert_eq!(m.group_count(1, 4), 3);
+        let g1 = groups[1];
+        let bits: Vec<_> = g1.bits(&m).collect();
+        assert_eq!(bits, vec![(0, 1), (0, 2)]);
+    }
+
+    #[test]
+    fn group_count_matches_iterator_for_2d_modes() {
+        let m = FaultMode::rect(2, 3);
+        let n = m.groups(5, 7).unwrap().count() as u64;
+        assert_eq!(n, m.group_count(5, 7));
+        assert_eq!(n, 4 * 5);
+    }
+
+    #[test]
+    fn mode_too_large_is_error() {
+        let m = FaultMode::mx1(8);
+        assert!(m.groups(1, 4).is_err());
+        assert_eq!(m.group_count(1, 4), 0);
+    }
+
+    #[test]
+    fn single_bit_mode_covers_every_bit() {
+        let m = FaultMode::mx1(1);
+        assert_eq!(m.group_count(16, 128), 16 * 128);
+    }
+
+    #[test]
+    fn group_iter_is_exact_size() {
+        let m = FaultMode::mx1(3);
+        let it = m.groups(2, 10).unwrap();
+        assert_eq!(it.len(), 16);
+    }
+
+    #[test]
+    fn display_uses_name() {
+        assert_eq!(FaultMode::mx1(5).to_string(), "5x1");
+    }
+}

@@ -1,0 +1,617 @@
+//! Physical bit layouts: how logical bits (cache-line bytes, register bits)
+//! are arranged in the 2-D SRAM array, including bit interleaving.
+//!
+//! A spatial multi-bit fault flips *physically adjacent* bits. Which logical
+//! data — and which protection domains — those bits belong to is determined
+//! by the array's interleaving scheme (paper Sections II-C, VI-B, VIII):
+//!
+//! * **Logical interleaving** splits each data word into `I` interleaved check
+//!   words: adjacent bits belong to the *same* line but *different* ECC words.
+//! * **Way-physical interleaving** interleaves lines from different ways of
+//!   the same set; **index-physical** interleaves lines from adjacent indices.
+//!   Adjacent bits belong to *different* lines, each its own ECC word.
+//! * For the GPU vector register file, **intra-thread** (`rxI`) interleaving
+//!   interleaves consecutive registers of one thread, while **inter-thread**
+//!   (`txI`) interleaves the same register across adjacent threads.
+
+use crate::error::CoreError;
+use crate::timeline::TimelineStore;
+
+/// Where a physical bit lives logically: its protection domain, and the byte
+/// timeline (plus bit within the byte) that records its ACE behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BitRef {
+    /// Protection-domain identifier. All bits with equal `domain` are covered
+    /// by the same parity/ECC word.
+    pub domain: u64,
+    /// Index of the byte timeline in the [`TimelineStore`].
+    pub byte: u32,
+    /// Bit within the byte, `0..8`.
+    pub bit: u8,
+}
+
+/// A physical arrangement of a structure's bits in a `rows x cols` array.
+///
+/// Implementations must be pure: `bit_at` must return the same [`BitRef`] for
+/// the same coordinates every time, and every `(row, col)` inside the
+/// advertised bounds must map to a valid bit.
+pub trait PhysicalLayout {
+    /// Number of physical rows (wordlines).
+    fn rows(&self) -> u32;
+    /// Number of physical columns (bits along a wordline).
+    fn cols(&self) -> u32;
+    /// The logical location of the bit at physical `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `(row, col)` is out of bounds.
+    fn bit_at(&self, row: u32, col: u32) -> BitRef;
+
+    /// Total bits in the array.
+    fn num_bits(&self) -> u64 {
+        u64::from(self.rows()) * u64::from(self.cols())
+    }
+
+    /// Verify that every physical bit maps into `store` with a valid bit
+    /// index.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::ByteOutOfRange`] or [`CoreError::BitOutOfRange`] for the
+    /// first offending coordinate.
+    fn validate(&self, store: &TimelineStore) -> Result<(), CoreError>
+    where
+        Self: Sized,
+    {
+        let len = store.num_bytes() as u32;
+        for row in 0..self.rows() {
+            for col in 0..self.cols() {
+                let b = self.bit_at(row, col);
+                if b.byte >= len {
+                    return Err(CoreError::ByteOutOfRange { byte: b.byte, len });
+                }
+                if b.bit >= 8 {
+                    return Err(CoreError::BitOutOfRange { bit: b.bit });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A flat layout: bit `row * cols + col` of a packed byte array, with
+/// protection domains of `bits_per_domain` consecutive bits.
+///
+/// Useful for tests, small structures, and as the un-interleaved baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinearLayout {
+    rows: u32,
+    cols: u32,
+    bits_per_domain: u32,
+}
+
+impl LinearLayout {
+    /// A `rows x cols` bit array over bytes `0..ceil(rows*cols/8)` with one
+    /// protection domain per `bits_per_domain` consecutive bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero.
+    pub fn new(rows: u32, cols: u32, bits_per_domain: u32) -> Self {
+        assert!(rows > 0 && cols > 0 && bits_per_domain > 0);
+        Self { rows, cols, bits_per_domain }
+    }
+}
+
+impl PhysicalLayout for LinearLayout {
+    fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    fn bit_at(&self, row: u32, col: u32) -> BitRef {
+        assert!(row < self.rows && col < self.cols, "bit ({row},{col}) out of bounds");
+        let idx = u64::from(row) * u64::from(self.cols) + u64::from(col);
+        BitRef {
+            domain: idx / u64::from(self.bits_per_domain),
+            byte: (idx / 8) as u32,
+            bit: (idx % 8) as u8,
+        }
+    }
+}
+
+/// Cache data-array dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// Number of sets.
+    pub sets: u32,
+    /// Associativity.
+    pub ways: u32,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+}
+
+impl CacheGeometry {
+    /// The paper's GPU L1: 16 KB, 64-byte lines, 4-way set-associative.
+    pub fn l1_16k() -> Self {
+        Self { sets: 64, ways: 4, line_bytes: 64 }
+    }
+
+    /// The paper's GPU L2: 256 KB, 64-byte lines, 8-way set-associative.
+    pub fn l2_256k() -> Self {
+        Self { sets: 512, ways: 8, line_bytes: 64 }
+    }
+
+    /// Total lines.
+    pub fn lines(&self) -> u32 {
+        self.sets * self.ways
+    }
+
+    /// Total data bytes.
+    pub fn bytes(&self) -> u32 {
+        self.lines() * self.line_bytes
+    }
+
+    /// Bits per line.
+    pub fn line_bits(&self) -> u32 {
+        self.line_bytes * 8
+    }
+
+    /// Canonical byte-timeline index for `(set, way, offset)`. The simulator
+    /// records events with the same indexing, tying layouts and timelines
+    /// together.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of range.
+    pub fn byte_index(&self, set: u32, way: u32, offset: u32) -> u32 {
+        assert!(set < self.sets && way < self.ways && offset < self.line_bytes);
+        (set * self.ways + way) * self.line_bytes + offset
+    }
+}
+
+/// Cache bit-interleaving styles compared in the paper (Figure 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheInterleave {
+    /// `xI` logical interleaving: each line holds `I` interleaved check
+    /// words; physically adjacent bits are in the same line but different
+    /// protection domains. Costs `I` check words per line.
+    Logical(u32),
+    /// `xI` way-physical interleaving: bits of `I` lines from different ways
+    /// of the same set are interleaved; each line is one protection domain.
+    WayPhysical(u32),
+    /// `xI` index-physical interleaving: bits of `I` lines from adjacent
+    /// indices (sets), same way, are interleaved; each line is one domain.
+    IndexPhysical(u32),
+}
+
+impl CacheInterleave {
+    /// The interleave factor `I`.
+    pub fn factor(&self) -> u32 {
+        match *self {
+            CacheInterleave::Logical(i)
+            | CacheInterleave::WayPhysical(i)
+            | CacheInterleave::IndexPhysical(i) => i,
+        }
+    }
+
+    /// Short label used in reports, e.g. `"logical x2"`.
+    pub fn label(&self) -> String {
+        match *self {
+            CacheInterleave::Logical(i) => format!("logical x{i}"),
+            CacheInterleave::WayPhysical(i) => format!("way-physical x{i}"),
+            CacheInterleave::IndexPhysical(i) => format!("index-physical x{i}"),
+        }
+    }
+}
+
+/// Physical layout of a cache data array under a [`CacheInterleave`] scheme.
+///
+/// ```
+/// use mbavf_core::layout::{CacheGeometry, CacheInterleave, CacheLayout, PhysicalLayout};
+///
+/// let l1 = CacheLayout::new(CacheGeometry::l1_16k(), CacheInterleave::WayPhysical(2)).unwrap();
+/// // 16KB = 131072 bits regardless of arrangement.
+/// assert_eq!(l1.num_bits(), 131072);
+/// // Adjacent columns come from different ways => different domains.
+/// let a = l1.bit_at(0, 0);
+/// let b = l1.bit_at(0, 1);
+/// assert_ne!(a.domain, b.domain);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheLayout {
+    geom: CacheGeometry,
+    interleave: CacheInterleave,
+}
+
+impl CacheLayout {
+    /// Create a layout; the interleave factor must evenly divide the relevant
+    /// dimension (ways for way-physical, sets for index-physical, line bits
+    /// for logical) and be nonzero.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::ModeLargerThanLayout`] is *not* used here; invalid factor
+    /// combinations produce [`CoreError::EmptyStructure`].
+    pub fn new(geom: CacheGeometry, interleave: CacheInterleave) -> Result<Self, CoreError> {
+        let ok = match interleave {
+            CacheInterleave::Logical(i) => i > 0 && geom.line_bits().is_multiple_of(i),
+            CacheInterleave::WayPhysical(i) => i > 0 && geom.ways.is_multiple_of(i),
+            CacheInterleave::IndexPhysical(i) => i > 0 && geom.sets.is_multiple_of(i),
+        };
+        if !ok {
+            return Err(CoreError::EmptyStructure);
+        }
+        Ok(Self { geom, interleave })
+    }
+
+    /// The cache dimensions.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    /// The interleaving scheme.
+    pub fn interleave(&self) -> CacheInterleave {
+        self.interleave
+    }
+
+    fn bitref(&self, set: u32, way: u32, bit_in_line: u32, domain: u64) -> BitRef {
+        let byte = self.geom.byte_index(set, way, bit_in_line / 8);
+        BitRef { domain, byte, bit: (bit_in_line % 8) as u8 }
+    }
+}
+
+impl PhysicalLayout for CacheLayout {
+    fn rows(&self) -> u32 {
+        match self.interleave {
+            CacheInterleave::Logical(_) => self.geom.lines(),
+            CacheInterleave::WayPhysical(i) => self.geom.sets * (self.geom.ways / i),
+            CacheInterleave::IndexPhysical(i) => (self.geom.sets / i) * self.geom.ways,
+        }
+    }
+
+    fn cols(&self) -> u32 {
+        match self.interleave {
+            CacheInterleave::Logical(_) => self.geom.line_bits(),
+            CacheInterleave::WayPhysical(i) | CacheInterleave::IndexPhysical(i) => {
+                self.geom.line_bits() * i
+            }
+        }
+    }
+
+    fn bit_at(&self, row: u32, col: u32) -> BitRef {
+        assert!(row < self.rows() && col < self.cols(), "bit ({row},{col}) out of bounds");
+        match self.interleave {
+            CacheInterleave::Logical(i) => {
+                // Row = one line; adjacent columns rotate among I check words.
+                let set = row / self.geom.ways;
+                let way = row % self.geom.ways;
+                let domain = u64::from(row) * u64::from(i) + u64::from(col % i);
+                self.bitref(set, way, col, domain)
+            }
+            CacheInterleave::WayPhysical(i) => {
+                let groups = self.geom.ways / i;
+                let set = row / groups;
+                let wg = row % groups;
+                let way = wg * i + (col % i);
+                let line = set * self.geom.ways + way;
+                self.bitref(set, way, col / i, u64::from(line))
+            }
+            CacheInterleave::IndexPhysical(i) => {
+                let sg = row / self.geom.ways;
+                let way = row % self.geom.ways;
+                let set = sg * i + (col % i);
+                let line = set * self.geom.ways + way;
+                self.bitref(set, way, col / i, u64::from(line))
+            }
+        }
+    }
+}
+
+/// Vector-register-file dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VgprGeometry {
+    /// Number of threads (lanes) sharing the physical array.
+    pub threads: u32,
+    /// Architectural vector registers per thread.
+    pub regs: u32,
+}
+
+impl VgprGeometry {
+    /// Bits per register (the paper assumes 32-bit registers, each its own
+    /// parity/ECC domain).
+    pub const REG_BITS: u32 = 32;
+
+    /// Total register instances (thread, reg pairs) — one protection domain
+    /// each.
+    pub fn instances(&self) -> u32 {
+        self.threads * self.regs
+    }
+
+    /// Total bytes in the file.
+    pub fn bytes(&self) -> u32 {
+        self.instances() * (Self::REG_BITS / 8)
+    }
+
+    /// Canonical byte-timeline index for byte `byte` of register `reg` of
+    /// thread `thread`. The simulator records VGPR events with the same
+    /// indexing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of range.
+    pub fn byte_index(&self, thread: u32, reg: u32, byte: u32) -> u32 {
+        assert!(thread < self.threads && reg < self.regs && byte < Self::REG_BITS / 8);
+        (reg * self.threads + thread) * (Self::REG_BITS / 8) + byte
+    }
+
+    /// Protection-domain id of register `reg` of thread `thread`.
+    pub fn domain(&self, thread: u32, reg: u32) -> u64 {
+        u64::from(reg * self.threads + thread)
+    }
+}
+
+/// VGPR interleaving styles from the Section VIII case study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VgprInterleave {
+    /// `rxI`: registers `R, R+1, ..., R+I-1` of the *same* thread are bit
+    /// interleaved in one row.
+    IntraThread(u32),
+    /// `txI`: register `R` of threads `t, t+1, ..., t+I-1` are bit
+    /// interleaved in one row. Because a GPU reads registers for 16 threads
+    /// in lock-step, a detected error in one thread's register preempts an
+    /// SDC in an adjacent thread's (see
+    /// [`AnalysisConfig::due_preempts_sdc`](crate::analysis::AnalysisConfig)).
+    InterThread(u32),
+}
+
+impl VgprInterleave {
+    /// The interleave factor `I`.
+    pub fn factor(&self) -> u32 {
+        match *self {
+            VgprInterleave::IntraThread(i) | VgprInterleave::InterThread(i) => i,
+        }
+    }
+
+    /// Short label used in reports, e.g. `"tx4"`.
+    pub fn label(&self) -> String {
+        match *self {
+            VgprInterleave::IntraThread(i) => format!("rx{i}"),
+            VgprInterleave::InterThread(i) => format!("tx{i}"),
+        }
+    }
+}
+
+/// Physical layout of a vector register file under a [`VgprInterleave`]
+/// scheme. Every 32-bit register instance is its own protection domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VgprLayout {
+    geom: VgprGeometry,
+    interleave: VgprInterleave,
+}
+
+impl VgprLayout {
+    /// Create a layout; the factor must divide `regs` (intra-thread) or
+    /// `threads` (inter-thread).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::EmptyStructure`] for invalid factor combinations.
+    pub fn new(geom: VgprGeometry, interleave: VgprInterleave) -> Result<Self, CoreError> {
+        let ok = match interleave {
+            VgprInterleave::IntraThread(i) => i > 0 && geom.regs.is_multiple_of(i),
+            VgprInterleave::InterThread(i) => i > 0 && geom.threads.is_multiple_of(i),
+        };
+        if !ok {
+            return Err(CoreError::EmptyStructure);
+        }
+        Ok(Self { geom, interleave })
+    }
+
+    /// The register-file dimensions.
+    pub fn geometry(&self) -> VgprGeometry {
+        self.geom
+    }
+
+    /// The interleaving scheme.
+    pub fn interleave(&self) -> VgprInterleave {
+        self.interleave
+    }
+}
+
+impl PhysicalLayout for VgprLayout {
+    fn rows(&self) -> u32 {
+        match self.interleave {
+            VgprInterleave::IntraThread(i) => self.geom.threads * (self.geom.regs / i),
+            VgprInterleave::InterThread(i) => (self.geom.threads / i) * self.geom.regs,
+        }
+    }
+
+    fn cols(&self) -> u32 {
+        VgprGeometry::REG_BITS * self.interleave.factor()
+    }
+
+    fn bit_at(&self, row: u32, col: u32) -> BitRef {
+        assert!(row < self.rows() && col < self.cols(), "bit ({row},{col}) out of bounds");
+        let (thread, reg, bit_in_reg) = match self.interleave {
+            VgprInterleave::IntraThread(i) => {
+                let per_thread = self.geom.regs / i;
+                let thread = row / per_thread;
+                let rg = row % per_thread;
+                (thread, rg * i + (col % i), col / i)
+            }
+            VgprInterleave::InterThread(i) => {
+                let tg = row / self.geom.regs;
+                let reg = row % self.geom.regs;
+                (tg * i + (col % i), reg, col / i)
+            }
+        };
+        BitRef {
+            domain: self.geom.domain(thread, reg),
+            byte: self.geom.byte_index(thread, reg, bit_in_reg / 8),
+            bit: (bit_in_reg % 8) as u8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_bits<L: PhysicalLayout>(l: &L) -> Vec<BitRef> {
+        (0..l.rows()).flat_map(|r| (0..l.cols()).map(move |c| (r, c))).map(|(r, c)| l.bit_at(r, c)).collect()
+    }
+
+    /// Every layout must be a bijection onto its (byte, bit) space.
+    fn assert_bijective<L: PhysicalLayout>(l: &L) {
+        let mut seen = std::collections::HashSet::new();
+        for b in all_bits(l) {
+            assert!(b.bit < 8);
+            assert!(seen.insert((b.byte, b.bit)), "duplicate mapping for {b:?}");
+        }
+        assert_eq!(seen.len() as u64, l.num_bits());
+    }
+
+    #[test]
+    fn linear_layout_basics() {
+        let l = LinearLayout::new(2, 16, 8);
+        assert_eq!(l.num_bits(), 32);
+        assert_bijective(&l);
+        let b = l.bit_at(1, 3); // bit 19
+        assert_eq!(b.byte, 2);
+        assert_eq!(b.bit, 3);
+        assert_eq!(b.domain, 2);
+    }
+
+    #[test]
+    fn linear_layout_validate_against_store() {
+        let l = LinearLayout::new(1, 16, 4);
+        let store = TimelineStore::new(2, 10);
+        assert!(l.validate(&store).is_ok());
+        let small = TimelineStore::new(1, 10);
+        assert!(matches!(l.validate(&small), Err(CoreError::ByteOutOfRange { .. })));
+    }
+
+    #[test]
+    fn cache_layouts_are_bijective() {
+        let geom = CacheGeometry { sets: 4, ways: 4, line_bytes: 8 };
+        for il in [
+            CacheInterleave::Logical(1),
+            CacheInterleave::Logical(4),
+            CacheInterleave::WayPhysical(2),
+            CacheInterleave::WayPhysical(4),
+            CacheInterleave::IndexPhysical(2),
+            CacheInterleave::IndexPhysical(4),
+        ] {
+            let l = CacheLayout::new(geom, il).unwrap();
+            assert_eq!(l.num_bits(), u64::from(geom.bytes()) * 8, "{il:?}");
+            assert_bijective(&l);
+        }
+    }
+
+    #[test]
+    fn logical_interleave_domains_rotate_within_line() {
+        let geom = CacheGeometry { sets: 2, ways: 2, line_bytes: 8 };
+        let l = CacheLayout::new(geom, CacheInterleave::Logical(2)).unwrap();
+        let a = l.bit_at(0, 0);
+        let b = l.bit_at(0, 1);
+        let c = l.bit_at(0, 2);
+        // Same line (same byte region), different check words, rotating.
+        assert_ne!(a.domain, b.domain);
+        assert_eq!(a.domain, c.domain);
+        // All in line 0's bytes.
+        assert!(a.byte < 8 && b.byte < 8);
+    }
+
+    #[test]
+    fn way_physical_adjacent_bits_from_different_ways() {
+        let geom = CacheGeometry { sets: 2, ways: 4, line_bytes: 8 };
+        let l = CacheLayout::new(geom, CacheInterleave::WayPhysical(2)).unwrap();
+        let a = l.bit_at(0, 0); // set 0, way 0, bit 0
+        let b = l.bit_at(0, 1); // set 0, way 1, bit 0
+        assert_ne!(a.domain, b.domain);
+        assert_eq!(a.bit, b.bit);
+        // Columns 0 and 2 are the same way, adjacent bits of the line.
+        let c = l.bit_at(0, 2);
+        assert_eq!(a.domain, c.domain);
+    }
+
+    #[test]
+    fn index_physical_adjacent_bits_from_adjacent_sets() {
+        let geom = CacheGeometry { sets: 4, ways: 2, line_bytes: 8 };
+        let l = CacheLayout::new(geom, CacheInterleave::IndexPhysical(2)).unwrap();
+        let a = l.bit_at(0, 0); // set 0, way 0
+        let b = l.bit_at(0, 1); // set 1, way 0
+        assert_ne!(a.domain, b.domain);
+        // Domain ids differ by one set's worth of ways.
+        assert_eq!(b.domain - a.domain, u64::from(geom.ways));
+    }
+
+    #[test]
+    fn invalid_cache_factors_rejected() {
+        let geom = CacheGeometry { sets: 4, ways: 4, line_bytes: 8 };
+        assert!(CacheLayout::new(geom, CacheInterleave::WayPhysical(3)).is_err());
+        assert!(CacheLayout::new(geom, CacheInterleave::IndexPhysical(0)).is_err());
+        assert!(CacheLayout::new(geom, CacheInterleave::Logical(7)).is_err());
+    }
+
+    #[test]
+    fn paper_cache_geometries() {
+        assert_eq!(CacheGeometry::l1_16k().bytes(), 16 * 1024);
+        assert_eq!(CacheGeometry::l2_256k().bytes(), 256 * 1024);
+    }
+
+    #[test]
+    fn vgpr_layouts_are_bijective() {
+        let geom = VgprGeometry { threads: 8, regs: 4 };
+        for il in [
+            VgprInterleave::IntraThread(1),
+            VgprInterleave::IntraThread(2),
+            VgprInterleave::IntraThread(4),
+            VgprInterleave::InterThread(2),
+            VgprInterleave::InterThread(4),
+        ] {
+            let l = VgprLayout::new(geom, il).unwrap();
+            assert_eq!(l.num_bits(), u64::from(geom.bytes()) * 8, "{il:?}");
+            assert_bijective(&l);
+        }
+    }
+
+    #[test]
+    fn intra_thread_adjacent_bits_same_thread_different_reg() {
+        let geom = VgprGeometry { threads: 4, regs: 4 };
+        let l = VgprLayout::new(geom, VgprInterleave::IntraThread(2)).unwrap();
+        let a = l.bit_at(0, 0); // thread 0, reg 0
+        let b = l.bit_at(0, 1); // thread 0, reg 1
+        assert_ne!(a.domain, b.domain);
+        // Registers of the same thread are `threads` domains apart.
+        assert_eq!(b.domain - a.domain, u64::from(geom.threads));
+    }
+
+    #[test]
+    fn inter_thread_adjacent_bits_same_reg_different_thread() {
+        let geom = VgprGeometry { threads: 4, regs: 4 };
+        let l = VgprLayout::new(geom, VgprInterleave::InterThread(2)).unwrap();
+        let a = l.bit_at(0, 0); // thread 0, reg 0
+        let b = l.bit_at(0, 1); // thread 1, reg 0
+        assert_eq!(b.domain - a.domain, 1);
+    }
+
+    #[test]
+    fn invalid_vgpr_factors_rejected() {
+        let geom = VgprGeometry { threads: 4, regs: 4 };
+        assert!(VgprLayout::new(geom, VgprInterleave::IntraThread(3)).is_err());
+        assert!(VgprLayout::new(geom, VgprInterleave::InterThread(8)).is_err());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(CacheInterleave::Logical(2).label(), "logical x2");
+        assert_eq!(CacheInterleave::WayPhysical(4).label(), "way-physical x4");
+        assert_eq!(VgprInterleave::InterThread(4).label(), "tx4");
+        assert_eq!(VgprInterleave::IntraThread(2).label(), "rx2");
+    }
+}

@@ -1,0 +1,258 @@
+//! Protection schemes and the per-region action model (paper Section V-A).
+//!
+//! A *protection domain* is a region of data covered by a single element of a
+//! protection scheme — one parity bit, one SEC-DED code word, one CRC. When a
+//! multi-bit fault group overlaps a domain, the number of flipped bits `k`
+//! falling inside the domain (the *overlapped region*) determines the domain's
+//! reaction when it is next read: the fault is **corrected**, **detected**
+//! (a DUE), or goes **undetected** (a potential SDC).
+//!
+//! The abstract [`ProtectionKind::action`] model used by the analysis is
+//! cross-validated against the real codecs in [`crate::ecc`] by property
+//! tests.
+
+use std::fmt;
+
+/// What a protection domain does upon observing `k` flipped bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// The fault is corrected on read: it can never become an error.
+    Correct,
+    /// The fault is detected but not corrected: a DUE if the domain is read.
+    Detect,
+    /// The fault passes the check silently (or is mis-corrected): a potential
+    /// SDC if the data is architecturally required.
+    NoDetect,
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Action::Correct => "correct",
+            Action::Detect => "detect",
+            Action::NoDetect => "no-detect",
+        })
+    }
+}
+
+/// The protection scheme applied to every domain of a structure.
+///
+/// ```
+/// use mbavf_core::protection::{Action, ProtectionKind};
+///
+/// // SEC-DED corrects single-bit flips, detects doubles, misses triples.
+/// let ecc = ProtectionKind::SecDed;
+/// assert_eq!(ecc.action(1), Action::Correct);
+/// assert_eq!(ecc.action(2), Action::Detect);
+/// assert_eq!(ecc.action(3), Action::NoDetect);
+///
+/// // Parity detects any odd number of flips — the Section VIII observation
+/// // that parity can out-detect ECC for large fault modes.
+/// assert_eq!(ProtectionKind::Parity.action(3), Action::Detect);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ProtectionKind {
+    /// No protection: every fault in required data is a potential SDC.
+    None,
+    /// Single even-parity bit per domain: detects all odd-weight faults,
+    /// misses all even-weight faults. Corrects nothing.
+    Parity,
+    /// Single-error-correct, double-error-detect ECC (e.g. Hsiao (39,32)).
+    /// Faults of 3+ bits may alias to a valid or correctable word: modelled
+    /// as undetected.
+    SecDed,
+    /// Double-error-correct, triple-error-detect ECC. Faults of 4+ bits are
+    /// modelled as undetected.
+    DecTed,
+    /// Cyclic redundancy check: detects every burst of length at most
+    /// `burst_detect` bits (and corrects nothing). Larger faults are modelled
+    /// as undetected.
+    Crc {
+        /// Maximum burst length guaranteed detected (the CRC width).
+        burst_detect: u32,
+    },
+}
+
+impl ProtectionKind {
+    /// The domain's reaction to `flipped` erroneous bits inside it.
+    ///
+    /// `flipped == 0` always yields [`Action::Correct`]: an untouched domain
+    /// cannot produce an error.
+    pub fn action(&self, flipped: u32) -> Action {
+        if flipped == 0 {
+            return Action::Correct;
+        }
+        match *self {
+            ProtectionKind::None => Action::NoDetect,
+            ProtectionKind::Parity => {
+                if flipped % 2 == 1 {
+                    Action::Detect
+                } else {
+                    Action::NoDetect
+                }
+            }
+            ProtectionKind::SecDed => match flipped {
+                1 => Action::Correct,
+                2 => Action::Detect,
+                _ => Action::NoDetect,
+            },
+            ProtectionKind::DecTed => match flipped {
+                1 | 2 => Action::Correct,
+                3 => Action::Detect,
+                _ => Action::NoDetect,
+            },
+            ProtectionKind::Crc { burst_detect } => {
+                if flipped <= burst_detect {
+                    Action::Detect
+                } else {
+                    Action::NoDetect
+                }
+            }
+        }
+    }
+
+    /// The largest number of flipped bits that is always corrected.
+    pub fn correct_capability(&self) -> u32 {
+        match self {
+            ProtectionKind::SecDed => 1,
+            ProtectionKind::DecTed => 2,
+            _ => 0,
+        }
+    }
+
+    /// Check-bit overhead for a `data_bits`-bit domain, as a fraction.
+    ///
+    /// This is the area model used in the paper's Section VIII case study:
+    /// SEC-DED on 32-bit registers costs 7 check bits (21.9%), parity costs
+    /// one bit (3.1%); SEC-DED on 128-bit words costs 9 bits (7%) and DEC-TED
+    /// 17 bits (13%).
+    pub fn overhead(&self, data_bits: u32) -> f64 {
+        f64::from(self.check_bits(data_bits)) / f64::from(data_bits)
+    }
+
+    /// Number of check bits required to protect `data_bits` data bits.
+    pub fn check_bits(&self, data_bits: u32) -> u32 {
+        match *self {
+            ProtectionKind::None => 0,
+            ProtectionKind::Parity => 1,
+            ProtectionKind::SecDed => {
+                // Hamming bound: need r with 2^r >= data + r + 1, plus one
+                // extra parity bit for double-error detection.
+                let mut r = 1u32;
+                while (1u64 << r) < u64::from(data_bits) + u64::from(r) + 1 {
+                    r += 1;
+                }
+                r + 1
+            }
+            ProtectionKind::DecTed => {
+                // BCH-style bound: roughly twice the Hamming redundancy plus
+                // an overall parity bit; matches 17 bits for 128-bit words.
+                let mut r = 1u32;
+                while (1u64 << r) < u64::from(data_bits) + u64::from(r) + 1 {
+                    r += 1;
+                }
+                2 * r + 1
+            }
+            ProtectionKind::Crc { burst_detect } => burst_detect,
+        }
+    }
+}
+
+impl fmt::Display for ProtectionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtectionKind::None => f.write_str("none"),
+            ProtectionKind::Parity => f.write_str("parity"),
+            ProtectionKind::SecDed => f.write_str("SEC-DED"),
+            ProtectionKind::DecTed => f.write_str("DEC-TED"),
+            ProtectionKind::Crc { burst_detect } => write!(f, "CRC-{burst_detect}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_flips_always_benign() {
+        for kind in [
+            ProtectionKind::None,
+            ProtectionKind::Parity,
+            ProtectionKind::SecDed,
+            ProtectionKind::DecTed,
+            ProtectionKind::Crc { burst_detect: 8 },
+        ] {
+            assert_eq!(kind.action(0), Action::Correct, "{kind}");
+        }
+    }
+
+    #[test]
+    fn parity_detects_odd_only() {
+        for k in 1..=16u32 {
+            let expect = if k % 2 == 1 { Action::Detect } else { Action::NoDetect };
+            assert_eq!(ProtectionKind::Parity.action(k), expect, "k={k}");
+        }
+    }
+
+    #[test]
+    fn secded_ladder() {
+        let p = ProtectionKind::SecDed;
+        assert_eq!(p.action(1), Action::Correct);
+        assert_eq!(p.action(2), Action::Detect);
+        for k in 3..=8 {
+            assert_eq!(p.action(k), Action::NoDetect);
+        }
+    }
+
+    #[test]
+    fn dected_ladder() {
+        let p = ProtectionKind::DecTed;
+        assert_eq!(p.action(1), Action::Correct);
+        assert_eq!(p.action(2), Action::Correct);
+        assert_eq!(p.action(3), Action::Detect);
+        assert_eq!(p.action(4), Action::NoDetect);
+    }
+
+    #[test]
+    fn crc_detects_up_to_burst() {
+        let p = ProtectionKind::Crc { burst_detect: 8 };
+        assert_eq!(p.action(8), Action::Detect);
+        assert_eq!(p.action(9), Action::NoDetect);
+    }
+
+    #[test]
+    fn none_never_detects() {
+        for k in 1..=8 {
+            assert_eq!(ProtectionKind::None.action(k), Action::NoDetect);
+        }
+    }
+
+    #[test]
+    fn paper_overhead_numbers() {
+        // Section I: SEC-DED on 128-bit words needs 9 check bits (7%),
+        // DEC-TED needs 17 (13%).
+        assert_eq!(ProtectionKind::SecDed.check_bits(128), 9);
+        assert_eq!(ProtectionKind::DecTed.check_bits(128), 17);
+        // Section VIII: per-32-bit-register SEC-DED is 7 bits (21.9%),
+        // parity is 1 bit (3.1%).
+        assert_eq!(ProtectionKind::SecDed.check_bits(32), 7);
+        assert!((ProtectionKind::SecDed.overhead(32) - 0.219).abs() < 0.002);
+        assert!((ProtectionKind::Parity.overhead(32) - 0.031).abs() < 0.001);
+    }
+
+    #[test]
+    fn correct_capability() {
+        assert_eq!(ProtectionKind::Parity.correct_capability(), 0);
+        assert_eq!(ProtectionKind::SecDed.correct_capability(), 1);
+        assert_eq!(ProtectionKind::DecTed.correct_capability(), 2);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ProtectionKind::SecDed.to_string(), "SEC-DED");
+        assert_eq!(ProtectionKind::Crc { burst_detect: 32 }.to_string(), "CRC-32");
+        assert_eq!(Action::NoDetect.to_string(), "no-detect");
+    }
+}

@@ -1,0 +1,232 @@
+//! Single- and multi-bit fault-injection campaigns over workload instances.
+
+use mbavf_sim::interp::{run_functional, run_golden, Injection, Termination};
+use mbavf_workloads::{Scale, Workload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Where and when a fault strikes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultSite {
+    /// Target wavefront (workgroup).
+    pub wg: u32,
+    /// Dynamic point: inject before the wavefront's `after_retired`-th
+    /// instruction retires.
+    pub after_retired: u64,
+    /// Target vector register.
+    pub reg: u8,
+    /// Target lane.
+    pub lane: u8,
+    /// First flipped bit within the register.
+    pub bit: u8,
+}
+
+impl FaultSite {
+    /// The [`Injection`] flipping `m` contiguous bits starting at `bit`
+    /// (clipped to the 32-bit register).
+    pub fn injection(&self, m: u8) -> Injection {
+        let lo = self.bit.min(32 - m);
+        let mask = if m >= 32 { u32::MAX } else { ((1u32 << m) - 1) << lo };
+        Injection {
+            wg: self.wg,
+            after_retired: self.after_retired,
+            reg: self.reg,
+            lane: self.lane,
+            bits: mask,
+        }
+    }
+}
+
+/// The architectural outcome of an injected fault (no protection assumed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// Program output identical to the golden run.
+    Masked,
+    /// Output differs: silent data corruption.
+    Sdc,
+    /// The run exceeded its step budget (fault-induced hang).
+    Hang,
+}
+
+impl Outcome {
+    /// Whether the fault produced a visible error (SDC or hang).
+    pub fn is_error(&self) -> bool {
+        !matches!(self, Outcome::Masked)
+    }
+}
+
+/// One single-bit injection and its result.
+#[derive(Debug, Clone, Copy)]
+pub struct SingleBitRecord {
+    /// The fault.
+    pub site: FaultSite,
+    /// What happened.
+    pub outcome: Outcome,
+    /// Whether the flipped register was read before being overwritten — the
+    /// detection opportunity a per-register parity/ECC check would use.
+    pub read_before_overwrite: bool,
+}
+
+/// Campaign parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignConfig {
+    /// RNG seed (campaigns are deterministic given the seed).
+    pub seed: u64,
+    /// Number of single-bit injections (the paper uses 5000 per workload).
+    pub injections: usize,
+    /// Problem scale for the workload instances.
+    pub scale: Scale,
+    /// Hang guard: a run is declared hung after
+    /// `hang_factor × golden-instructions` retire in one wavefront.
+    pub hang_factor: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        Self { seed: 0xACE5, injections: 500, scale: Scale::Test, hang_factor: 8 }
+    }
+}
+
+/// Aggregate campaign results.
+#[derive(Debug, Clone)]
+pub struct CampaignSummary {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Every injection performed.
+    pub records: Vec<SingleBitRecord>,
+}
+
+impl CampaignSummary {
+    /// Injections that caused SDC.
+    pub fn sdc_sites(&self) -> Vec<FaultSite> {
+        self.records
+            .iter()
+            .filter(|r| r.outcome == Outcome::Sdc)
+            .map(|r| r.site)
+            .collect()
+    }
+
+    /// Fraction of injections with each outcome: `(masked, sdc, hang)`.
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        let n = self.records.len().max(1) as f64;
+        let count = |o: Outcome| self.records.iter().filter(|r| r.outcome == o).count() as f64 / n;
+        (count(Outcome::Masked), count(Outcome::Sdc), count(Outcome::Hang))
+    }
+
+    /// Fraction of injections whose register was read before overwrite
+    /// (the AVF-model "checked" rate, measured by injection).
+    pub fn read_fraction(&self) -> f64 {
+        let n = self.records.len().max(1) as f64;
+        self.records.iter().filter(|r| r.read_before_overwrite).count() as f64 / n
+    }
+}
+
+/// Run one injection (of `m` contiguous bits at `site`) against a fresh
+/// instance of `workload` and classify the outcome against `golden`.
+pub fn run_one(
+    workload: &Workload,
+    cfg: &CampaignConfig,
+    golden: &[u8],
+    max_steps: u64,
+    site: FaultSite,
+    m: u8,
+) -> (Outcome, bool) {
+    let mut inst = workload.build(cfg.scale);
+    // Corrupted address registers may produce wild accesses: wrap instead of
+    // treating them as kernel bugs.
+    inst.mem.set_wrap_oob(true);
+    let program = inst.program.clone();
+    let wgs = inst.workgroups;
+    let inj = site.injection(m);
+    let run = run_functional(&program, &mut inst.mem, wgs, &[inj], max_steps)
+        .expect("sites are sampled in range");
+    let outcome = if run.termination == Termination::Hang {
+        Outcome::Hang
+    } else if run.output == golden {
+        Outcome::Masked
+    } else {
+        Outcome::Sdc
+    };
+    (outcome, run.injected_value_read)
+}
+
+/// Run a seeded single-bit campaign: `cfg.injections` uniform random faults
+/// over (wavefront, dynamic time, register, lane, bit).
+pub fn single_bit_campaign(workload: &Workload, cfg: &CampaignConfig) -> CampaignSummary {
+    let mut golden_inst = workload.build(cfg.scale);
+    let program = golden_inst.program.clone();
+    let wgs = golden_inst.workgroups;
+    let golden = run_golden(&program, &mut golden_inst.mem, wgs);
+    let max_steps = golden.per_wg_retired.iter().copied().max().unwrap_or(1) * cfg.hang_factor;
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut records = Vec::with_capacity(cfg.injections);
+    for _ in 0..cfg.injections {
+        let wg = rng.gen_range(0..wgs);
+        let site = FaultSite {
+            wg,
+            after_retired: rng.gen_range(0..golden.per_wg_retired[wg as usize]),
+            reg: rng.gen_range(0..program.num_vregs()),
+            lane: rng.gen_range(0..64),
+            bit: rng.gen_range(0..32),
+        };
+        let (outcome, read) = run_one(workload, cfg, &golden.output, max_steps, site, 1);
+        records.push(SingleBitRecord { site, outcome, read_before_overwrite: read });
+    }
+    CampaignSummary { workload: workload.name, records }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbavf_workloads::by_name;
+
+    fn quick_cfg(n: usize) -> CampaignConfig {
+        CampaignConfig { seed: 7, injections: n, scale: Scale::Test, hang_factor: 8 }
+    }
+
+    #[test]
+    fn fault_site_masks() {
+        let s = FaultSite { wg: 0, after_retired: 0, reg: 3, lane: 2, bit: 5 };
+        assert_eq!(s.injection(1).bits, 1 << 5);
+        assert_eq!(s.injection(3).bits, 0b111 << 5);
+        // Clipping near the top of the register.
+        let hi = FaultSite { bit: 31, ..s };
+        assert_eq!(hi.injection(4).bits, 0b1111 << 28);
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let w = by_name("transpose").expect("registered");
+        let a = single_bit_campaign(&w, &quick_cfg(20));
+        let b = single_bit_campaign(&w, &quick_cfg(20));
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(x.site, y.site);
+            assert_eq!(x.outcome, y.outcome);
+        }
+    }
+
+    #[test]
+    fn campaign_finds_both_masked_and_sdc() {
+        let w = by_name("fast_walsh").expect("registered");
+        let summary = single_bit_campaign(&w, &quick_cfg(60));
+        let (masked, sdc, _hang) = summary.fractions();
+        assert!(masked > 0.0, "some faults must be masked");
+        assert!(sdc > 0.0, "some faults must corrupt the output");
+        assert!(!summary.sdc_sites().is_empty());
+    }
+
+    #[test]
+    fn sdc_implies_read_before_overwrite() {
+        // A fault cannot corrupt output through a register that is never
+        // read after the flip (memory corruption goes through stores, which
+        // read the register).
+        let w = by_name("dct").expect("registered");
+        let summary = single_bit_campaign(&w, &quick_cfg(60));
+        for r in &summary.records {
+            if r.outcome == Outcome::Sdc {
+                assert!(r.read_before_overwrite, "{:?}", r.site);
+            }
+        }
+    }
+}

@@ -1,0 +1,602 @@
+//! Set-associative cache timing/event model and the two-level hierarchy.
+//!
+//! Caches here are *tag and event* models: data always lives in the flat
+//! [`Memory`](crate::mem::Memory). Each cache tracks residency (valid, tag,
+//! per-byte dirty masks, LRU) and records the event stream the AVF extraction
+//! consumes: fills, per-byte accesses with dynamic-instruction ids, and
+//! evictions with dirty masks.
+
+/// Cache dimensions and hit latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of sets.
+    pub sets: u32,
+    /// Associativity.
+    pub ways: u32,
+    /// Line size in bytes (at most 64 for the dirty-mask width).
+    pub line_bytes: u32,
+    /// Cycles for a hit in this cache.
+    pub hit_latency: u64,
+}
+
+impl CacheConfig {
+    /// The paper's 16KB 4-way GPU L1 with 64-byte lines.
+    pub fn l1_16k() -> Self {
+        Self { sets: 64, ways: 4, line_bytes: 64, hit_latency: 16 }
+    }
+
+    /// The paper's 256KB 8-way GPU L2 with 64-byte lines.
+    pub fn l2_256k() -> Self {
+        Self { sets: 512, ways: 8, line_bytes: 64, hit_latency: 64 }
+    }
+
+    /// Total data capacity in bytes.
+    pub fn bytes(&self) -> u32 {
+        self.sets * self.ways * self.line_bytes
+    }
+}
+
+/// What happened to a cache line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CacheEventKind {
+    /// The line became resident, holding memory starting at `addr`.
+    Fill {
+        /// Line-aligned memory address now cached.
+        addr: u32,
+    },
+    /// Bytes `offset .. offset + len` were accessed by dynamic instruction
+    /// `dyn_id`.
+    Access {
+        /// First byte offset within the line.
+        offset: u8,
+        /// Number of bytes accessed.
+        len: u8,
+        /// Dynamic id of the accessing instruction (`u32::MAX` for
+        /// write-backs arriving from an upper-level cache).
+        dyn_id: u32,
+        /// `true` for stores/write-backs, `false` for loads.
+        is_store: bool,
+        /// Which byte of the instruction's 32-bit result the first accessed
+        /// byte is; byte `offset + i` maps to result byte
+        /// `(out_byte0 + i) % access_width`.
+        out_byte0: u8,
+        /// The access width (1 or 4) used for the `out_byte` mapping.
+        width: u8,
+    },
+    /// The line was evicted; `dirty_mask` bit `i` set means byte `i` was
+    /// written back.
+    Evict {
+        /// Per-byte dirty mask at eviction.
+        dirty_mask: u64,
+    },
+}
+
+/// A timestamped cache event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheEvent {
+    /// Cycle of the event.
+    pub t: u64,
+    /// Set index.
+    pub set: u32,
+    /// Way index.
+    pub way: u32,
+    /// What happened.
+    pub kind: CacheEventKind,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    valid: bool,
+    tag: u32,
+    dirty: u64,
+    last_use: u64,
+}
+
+/// One cache instance.
+#[derive(Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    lines: Vec<Line>,
+    events: Vec<CacheEvent>,
+    hits: u64,
+    misses: u64,
+}
+
+/// The outcome of a lookup, from the caller's perspective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LookupResult {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// If a dirty victim was evicted, its line-aligned address and dirty
+    /// mask (the write-back the next level must absorb).
+    pub writeback: Option<(u32, u64)>,
+}
+
+impl Cache {
+    /// An empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` exceeds 64 (the dirty-mask width) or any
+    /// dimension is zero.
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.line_bytes > 0 && cfg.line_bytes <= 64, "line size must be 1..=64");
+        assert!(cfg.sets > 0 && cfg.ways > 0);
+        Self {
+            cfg,
+            lines: vec![Line::default(); (cfg.sets * cfg.ways) as usize],
+            events: Vec::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Recorded events, in time order.
+    pub fn events(&self) -> &[CacheEvent] {
+        &self.events
+    }
+
+    /// Hit and miss counts.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    fn set_of(&self, addr: u32) -> u32 {
+        (addr / self.cfg.line_bytes) % self.cfg.sets
+    }
+
+    fn tag_of(&self, addr: u32) -> u32 {
+        addr / self.cfg.line_bytes / self.cfg.sets
+    }
+
+    fn line_addr(&self, set: u32, tag: u32) -> u32 {
+        (tag * self.cfg.sets + set) * self.cfg.line_bytes
+    }
+
+    fn idx(&self, set: u32, way: u32) -> usize {
+        (set * self.cfg.ways + way) as usize
+    }
+
+    /// Access `len` bytes at `addr` (must not cross a line boundary),
+    /// filling on miss (write-allocate) and evicting LRU victims
+    /// (write-back). The per-byte access event is recorded with `dyn_id`,
+    /// `out_byte0`, and `width` for the AVF extraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access crosses a line boundary.
+    #[allow(clippy::too_many_arguments)] // positional event fields, all primitive
+    pub fn access(
+        &mut self,
+        now: u64,
+        addr: u32,
+        len: u32,
+        is_store: bool,
+        dyn_id: u32,
+        out_byte0: u8,
+        width: u8,
+    ) -> LookupResult {
+        let lb = self.cfg.line_bytes;
+        assert!(addr % lb + len <= lb, "access crosses a line boundary");
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let offset = (addr % lb) as u8;
+
+        // Hit?
+        let mut way = None;
+        for w in 0..self.cfg.ways {
+            let l = &self.lines[self.idx(set, w)];
+            if l.valid && l.tag == tag {
+                way = Some(w);
+                break;
+            }
+        }
+        let (hit, way, writeback) = match way {
+            Some(w) => {
+                self.hits += 1;
+                (true, w, None)
+            }
+            None => {
+                self.misses += 1;
+                // Victim: first invalid way, else LRU.
+                let victim = (0..self.cfg.ways)
+                    .find(|&w| !self.lines[self.idx(set, w)].valid)
+                    .unwrap_or_else(|| {
+                        (0..self.cfg.ways)
+                            .min_by_key(|&w| self.lines[self.idx(set, w)].last_use)
+                            .expect("ways > 0")
+                    });
+                let writeback = {
+                    let vi = self.idx(set, victim);
+                    let line = self.lines[vi];
+                    if line.valid {
+                        self.events.push(CacheEvent {
+                            t: now,
+                            set,
+                            way: victim,
+                            kind: CacheEventKind::Evict { dirty_mask: line.dirty },
+                        });
+                    }
+                    if line.valid && line.dirty != 0 {
+                        Some((self.line_addr(set, line.tag), line.dirty))
+                    } else {
+                        None
+                    }
+                };
+                let vi = self.idx(set, victim);
+                self.lines[vi] = Line { valid: true, tag, dirty: 0, last_use: now };
+                self.events.push(CacheEvent {
+                    t: now,
+                    set,
+                    way: victim,
+                    kind: CacheEventKind::Fill { addr: addr - addr % lb },
+                });
+                (false, victim, writeback)
+            }
+        };
+
+        let li = self.idx(set, way);
+        self.lines[li].last_use = now;
+        if is_store {
+            for k in 0..len {
+                self.lines[li].dirty |= 1 << (u32::from(offset) + k);
+            }
+        }
+        self.events.push(CacheEvent {
+            t: now,
+            set,
+            way,
+            kind: CacheEventKind::Access {
+                offset,
+                len: len as u8,
+                dyn_id,
+                is_store,
+                out_byte0,
+                width,
+            },
+        });
+        LookupResult { hit, writeback }
+    }
+
+    /// Evict every resident line (end-of-simulation flush), recording evict
+    /// events and returning the dirty write-backs.
+    pub fn flush(&mut self, now: u64) -> Vec<(u32, u64)> {
+        let mut wbs = Vec::new();
+        for set in 0..self.cfg.sets {
+            for way in 0..self.cfg.ways {
+                let li = self.idx(set, way);
+                let line = self.lines[li];
+                if line.valid {
+                    self.events.push(CacheEvent {
+                        t: now,
+                        set,
+                        way,
+                        kind: CacheEventKind::Evict { dirty_mask: line.dirty },
+                    });
+                    if line.dirty != 0 {
+                        wbs.push((self.line_addr(set, line.tag), line.dirty));
+                    }
+                    self.lines[li] = Line::default();
+                }
+            }
+        }
+        wbs
+    }
+}
+
+/// Memory-system latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Latencies {
+    /// Added cycles for an L1 miss that hits in L2.
+    pub l2: u64,
+    /// Added cycles for an L2 miss (DRAM access).
+    pub dram: u64,
+}
+
+impl Default for Latencies {
+    fn default() -> Self {
+        Self { l2: 64, dram: 240 }
+    }
+}
+
+/// An entry of the global memory-access log (per coalesced range), used by
+/// the AVF extraction to find every consumer of a memory value version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemLogEntry {
+    /// Cycle.
+    pub t: u64,
+    /// First byte address.
+    pub addr: u32,
+    /// Length in bytes.
+    pub len: u32,
+    /// Accessing dynamic instruction.
+    pub dyn_id: u32,
+    /// `true` for stores.
+    pub is_store: bool,
+    /// For loads: whether it hit in its L1.
+    pub l1_hit: bool,
+    /// `out_byte` of the first byte (see [`CacheEventKind::Access`]).
+    pub out_byte0: u8,
+    /// Access width (1 or 4).
+    pub width: u8,
+}
+
+/// Per-CU L1 caches in front of a shared L2, plus the global memory log.
+#[derive(Debug)]
+pub struct Hierarchy {
+    l1s: Vec<Cache>,
+    l2: Cache,
+    lat: Latencies,
+    log: Vec<MemLogEntry>,
+}
+
+impl Hierarchy {
+    /// A hierarchy with `cus` L1 instances.
+    pub fn new(cus: usize, l1: CacheConfig, l2: CacheConfig, lat: Latencies) -> Self {
+        Self {
+            l1s: (0..cus).map(|_| Cache::new(l1)).collect(),
+            l2: Cache::new(l2),
+            lat,
+            log: Vec::new(),
+        }
+    }
+
+    /// The L1 of compute unit `cu`.
+    pub fn l1(&self, cu: usize) -> &Cache {
+        &self.l1s[cu]
+    }
+
+    /// The shared L2.
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+
+    /// The global memory-access log.
+    pub fn log(&self) -> &[MemLogEntry] {
+        &self.log
+    }
+
+    /// One coalesced access from CU `cu`: returns its latency in cycles.
+    #[allow(clippy::too_many_arguments)] // positional event fields, all primitive
+    pub fn access(
+        &mut self,
+        cu: usize,
+        now: u64,
+        addr: u32,
+        len: u32,
+        is_store: bool,
+        dyn_id: u32,
+        out_byte0: u8,
+        width: u8,
+    ) -> u64 {
+        let r1 = self.l1s[cu].access(now, addr, len, is_store, dyn_id, out_byte0, width);
+        let mut cost = self.l1s[cu].config().hit_latency;
+        if let Some((wb_addr, mask)) = r1.writeback {
+            self.writeback_to_l2(now, wb_addr, mask);
+        }
+        if !r1.hit {
+            // Fill from L2 (whole line).
+            let line = self.l1s[cu].config().line_bytes;
+            let laddr = addr - addr % line;
+            let r2 = self.l2.access(now, laddr, line, false, u32::MAX, 0, width);
+            if let Some((wb_addr, mask)) = r2.writeback {
+                let _ = (wb_addr, mask); // write-back to DRAM: no event target below L2
+            }
+            cost += self.lat.l2;
+            if !r2.hit {
+                cost += self.lat.dram;
+            }
+        }
+        self.log.push(MemLogEntry {
+            t: now,
+            addr,
+            len,
+            dyn_id,
+            is_store,
+            l1_hit: r1.hit,
+            out_byte0,
+            width,
+        });
+        cost
+    }
+
+    fn writeback_to_l2(&mut self, now: u64, line_addr: u32, dirty_mask: u64) {
+        // Write the dirty bytes into L2 as contiguous runs.
+        let mut k = 0u32;
+        let line = self.l2.config().line_bytes;
+        while k < line {
+            if dirty_mask >> k & 1 == 1 {
+                let start = k;
+                while k < line && dirty_mask >> k & 1 == 1 {
+                    k += 1;
+                }
+                let r = self.l2.access(
+                    now,
+                    line_addr + start,
+                    k - start,
+                    true,
+                    u32::MAX,
+                    (start % 4) as u8,
+                    4,
+                );
+                if let Some(_wb) = r.writeback {
+                    // Dirty L2 victim goes to DRAM; nothing below to model.
+                }
+            } else {
+                k += 1;
+            }
+        }
+    }
+
+    /// Flush both levels at end of simulation (dirty L1 data propagates to
+    /// L2 so its events see the write-backs, then L2 is flushed).
+    pub fn flush(&mut self, now: u64) {
+        let cus = self.l1s.len();
+        for cu in 0..cus {
+            let wbs = self.l1s[cu].flush(now);
+            for (addr, mask) in wbs {
+                self.writeback_to_l2(now, addr, mask);
+            }
+        }
+        self.l2.flush(now);
+    }
+
+    /// Coalesce the per-lane addresses of a vector access into contiguous
+    /// ranges (sorted by address). Inactive lanes are filtered by the caller.
+    pub fn coalesce(addrs: &[u32], width: u32) -> Vec<(u32, u32)> {
+        let mut sorted = addrs.to_vec();
+        sorted.sort_unstable();
+        let mut ranges: Vec<(u32, u32)> = Vec::new();
+        for &a in &sorted {
+            match ranges.last_mut() {
+                Some((start, len)) if a <= *start + *len => {
+                    let end = (*start + *len).max(a + width);
+                    *len = end - *start;
+                }
+                _ => ranges.push((a, width)),
+            }
+        }
+        ranges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::WAVE_LANES;
+
+    fn tiny() -> Cache {
+        Cache::new(CacheConfig { sets: 2, ways: 2, line_bytes: 16, hit_latency: 1 })
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = tiny();
+        let r = c.access(0, 0x100, 4, false, 1, 0, 4);
+        assert!(!r.hit);
+        let r = c.access(1, 0x104, 4, false, 2, 0, 4);
+        assert!(r.hit);
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_and_writeback() {
+        let mut c = tiny();
+        // Three lines mapping to set 0 (line 16B, 2 sets => stride 32).
+        c.access(0, 0x000, 4, true, 1, 0, 4); // dirty
+        c.access(1, 0x020, 4, false, 2, 0, 4);
+        let r = c.access(2, 0x040, 4, false, 3, 0, 4); // evicts 0x000
+        assert_eq!(r.writeback, Some((0x000, 0b1111)));
+        // 0x000 is gone.
+        let r = c.access(3, 0x000, 4, false, 4, 0, 4);
+        assert!(!r.hit);
+    }
+
+    #[test]
+    fn events_record_fill_access_evict() {
+        let mut c = tiny();
+        c.access(0, 0x10, 2, true, 7, 1, 4);
+        let ev = c.events();
+        assert!(matches!(ev[0].kind, CacheEventKind::Fill { addr: 0x10 }));
+        match ev[1].kind {
+            CacheEventKind::Access { offset, len, dyn_id, is_store, out_byte0, width } => {
+                assert_eq!((offset, len, dyn_id, is_store, out_byte0, width), (0, 2, 7, true, 1, 4));
+            }
+            other => panic!("{other:?}"),
+        }
+        let wbs = c.flush(9);
+        assert_eq!(wbs, vec![(0x10, 0b11)]);
+        assert!(matches!(c.events().last().unwrap().kind, CacheEventKind::Evict { dirty_mask: 0b11 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "crosses a line boundary")]
+    fn cross_line_access_panics() {
+        let mut c = tiny();
+        c.access(0, 0x0E, 4, false, 1, 0, 4);
+    }
+
+    #[test]
+    fn hierarchy_latencies_stack() {
+        let l1 = CacheConfig { sets: 2, ways: 1, line_bytes: 16, hit_latency: 10 };
+        let l2 = CacheConfig { sets: 4, ways: 2, line_bytes: 16, hit_latency: 0 };
+        let mut h = Hierarchy::new(1, l1, l2, Latencies { l2: 100, dram: 1000 });
+        // Cold: L1 miss + L2 miss.
+        assert_eq!(h.access(0, 0, 0x100, 4, false, 1, 0, 4), 10 + 100 + 1000);
+        // L1 hit.
+        assert_eq!(h.access(0, 1, 0x100, 4, false, 2, 0, 4), 10);
+        // Conflict evicts 0x100 in L1 (sets=2, 16B lines => stride 32).
+        h.access(0, 2, 0x120, 4, false, 3, 0, 4);
+        // wait: 0x100 -> set (0x100/16)%2 = 0; 0x120 -> (0x120/16)%2 = 0. Same set.
+        // Reload 0x100: L1 miss, L2 hit.
+        assert_eq!(h.access(0, 3, 0x100, 4, false, 4, 0, 4), 10 + 100);
+    }
+
+    #[test]
+    fn dirty_l1_eviction_reaches_l2() {
+        let l1 = CacheConfig { sets: 1, ways: 1, line_bytes: 16, hit_latency: 1 };
+        let l2 = CacheConfig { sets: 4, ways: 2, line_bytes: 16, hit_latency: 2 };
+        let mut h = Hierarchy::new(1, l1, l2, Latencies::default());
+        h.access(0, 0, 0x100, 4, true, 1, 0, 4);
+        h.access(0, 1, 0x200, 4, false, 2, 0, 4); // evicts dirty 0x100
+        // L2 saw: fill 0x100 (L1 fill), fill 0x200, and a write-back store to 0x100.
+        let stores: Vec<_> = h
+            .l2()
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, CacheEventKind::Access { is_store: true, .. }))
+            .collect();
+        assert_eq!(stores.len(), 1);
+    }
+
+    #[test]
+    fn flush_propagates_dirty_data_to_l2() {
+        let l1 = CacheConfig { sets: 1, ways: 1, line_bytes: 16, hit_latency: 1 };
+        let l2 = CacheConfig { sets: 4, ways: 2, line_bytes: 16, hit_latency: 2 };
+        let mut h = Hierarchy::new(1, l1, l2, Latencies::default());
+        h.access(0, 0, 0x100, 4, true, 1, 0, 4);
+        h.flush(10);
+        let l2_stores = h
+            .l2()
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, CacheEventKind::Access { is_store: true, .. }))
+            .count();
+        assert_eq!(l2_stores, 1);
+        // L2 flush recorded evicts for its resident lines.
+        assert!(h.l2().events().iter().any(|e| matches!(e.kind, CacheEventKind::Evict { .. })));
+    }
+
+    #[test]
+    fn coalesce_contiguous_lanes() {
+        let mut addrs = [0u32; WAVE_LANES];
+        for (l, a) in addrs.iter_mut().enumerate() {
+            *a = 0x1000 + (l as u32) * 4;
+        }
+        let r = Hierarchy::coalesce(&addrs, 4);
+        assert_eq!(r, vec![(0x1000, 256)]);
+    }
+
+    #[test]
+    fn coalesce_strided_lanes() {
+        let mut addrs = [0u32; WAVE_LANES];
+        for (l, a) in addrs.iter_mut().enumerate() {
+            *a = 0x1000 + (l as u32) * 128;
+        }
+        let r = Hierarchy::coalesce(&addrs, 4);
+        assert_eq!(r.len(), WAVE_LANES);
+        assert_eq!(r[1], (0x1080, 4));
+    }
+
+    #[test]
+    fn coalesce_same_address() {
+        let addrs = [0x400u32; WAVE_LANES];
+        let r = Hierarchy::coalesce(&addrs, 4);
+        assert_eq!(r, vec![(0x400, 4)]);
+    }
+}

@@ -1,0 +1,560 @@
+//! Event-to-timeline extraction: the "analysis phase" of the paper's
+//! two-phase AVF measurement (Section VI-A).
+//!
+//! The event-tracking phase (the timing run) records cache events, a global
+//! memory log, and register-file events. This module converts them into
+//! per-byte [`TimelineStore`]s:
+//!
+//! * An interval's `ace_mask` marks bits whose value is architecturally
+//!   required from that point on: it is the *suffix union* of the demand
+//!   masks of all future consumers of the value, before the byte is
+//!   overwritten — loads (weighted by the liveness pass's bit demands) and,
+//!   for dirty data, post-write-back consumers and final program output.
+//! * An interval's `checked` flag marks whether a protection-domain check
+//!   (a load anywhere in the cache line / a register read / a dirty
+//!   write-back) observes a fault arising in the interval before the data is
+//!   overwritten. Checks happen on reads and write-backs; stores overwrite
+//!   without checking.
+//!
+//! Conservative approximations (documented in DESIGN.md): post-eviction
+//! consumers are taken from the global memory log without tracking which
+//! physical copy served each load, and L2 fill demand uses the same
+//! address-level query. Both err toward ACE, consistent with ACE analysis
+//! being an upper bound.
+
+use crate::cache::{Cache, CacheEventKind, MemLogEntry};
+use crate::gpu::{RegEvent, RunResult};
+use crate::liveness::Liveness;
+use crate::mem::Memory;
+use crate::trace::NO_PRODUCER;
+use mbavf_core::layout::{CacheGeometry, VgprGeometry};
+use mbavf_core::timeline::{Interval, TimelineStore};
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// Index over the global memory log for suffix-demand queries.
+pub struct MemIndex<'a> {
+    log: &'a [MemLogEntry],
+    blocks: HashMap<u32, Vec<u32>>,
+    outputs: Vec<Range<u32>>,
+}
+
+impl<'a> MemIndex<'a> {
+    /// Build the per-64-byte-block index.
+    pub fn new(log: &'a [MemLogEntry], mem: &Memory) -> Self {
+        let mut blocks: HashMap<u32, Vec<u32>> = HashMap::new();
+        for (i, e) in log.iter().enumerate() {
+            let b0 = e.addr / 64;
+            let b1 = (e.addr + e.len - 1) / 64;
+            for b in b0..=b1 {
+                blocks.entry(b).or_default().push(i as u32);
+            }
+        }
+        Self { log, blocks, outputs: mem.outputs().to_vec() }
+    }
+
+    fn in_output(&self, addr: u32) -> bool {
+        self.outputs.iter().any(|r| r.contains(&addr))
+    }
+
+    /// The demand mask on memory byte `addr` considering only consumers at
+    /// time `>= t`: loads of the byte before its next overwrite, plus 0xFF
+    /// if the byte survives as program output.
+    pub fn post_demand(&self, lv: &Liveness, addr: u32, t: u64) -> u8 {
+        let mut mask = 0u8;
+        if let Some(entries) = self.blocks.get(&(addr / 64)) {
+            for &i in entries {
+                let e = &self.log[i as usize];
+                if e.t < t {
+                    continue;
+                }
+                if addr < e.addr || addr >= e.addr + e.len {
+                    continue;
+                }
+                if e.is_store {
+                    return mask; // version ends: later consumers see new data
+                }
+                let out_byte = (u32::from(e.out_byte0) + (addr - e.addr)) % u32::from(e.width);
+                mask |= lv.byte_demand(e.dyn_id, out_byte as u8);
+            }
+        }
+        if self.in_output(addr) {
+            mask |= 0xFF;
+        }
+        mask
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct AccessRec {
+    t: u64,
+    offset: u8,
+    len: u8,
+    dyn_id: u32,
+    is_store: bool,
+    out_byte0: u8,
+    width: u8,
+}
+
+struct Residency {
+    addr: u32,
+    fill_t: u64,
+    accesses: Vec<AccessRec>,
+}
+
+/// Which cache level is being extracted (affects how fill-driven loads are
+/// weighted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Level {
+    L1,
+    L2,
+}
+
+/// Build the per-byte timelines of one cache's data array. Byte indexing
+/// follows [`CacheGeometry::byte_index`].
+fn cache_timelines(
+    cache: &Cache,
+    geom: CacheGeometry,
+    level: Level,
+    lv: &Liveness,
+    midx: &MemIndex<'_>,
+    total_cycles: u64,
+) -> TimelineStore {
+    let mut store = TimelineStore::new(geom.bytes() as usize, total_cycles.max(1));
+    let lines = geom.lines() as usize;
+    let mut residencies: Vec<Option<Residency>> = (0..lines).map(|_| None).collect();
+
+    // Per-byte segments are produced backward, then reversed; reuse buffers.
+    let mut segs: Vec<Interval> = Vec::new();
+
+    for ev in cache.events() {
+        let line_idx = (ev.set * geom.ways + ev.way) as usize;
+        match ev.kind {
+            CacheEventKind::Fill { addr } => {
+                debug_assert!(residencies[line_idx].is_none(), "fill over a live residency");
+                residencies[line_idx] =
+                    Some(Residency { addr, fill_t: ev.t, accesses: Vec::new() });
+            }
+            CacheEventKind::Access { offset, len, dyn_id, is_store, out_byte0, width } => {
+                if let Some(r) = residencies[line_idx].as_mut() {
+                    r.accesses.push(AccessRec { t: ev.t, offset, len, dyn_id, is_store, out_byte0, width });
+                }
+            }
+            CacheEventKind::Evict { dirty_mask } => {
+                if let Some(r) = residencies[line_idx].take() {
+                    finalize_residency(
+                        &r, ev.t, dirty_mask, ev.set, ev.way, geom, level, lv, midx, &mut store,
+                        &mut segs,
+                    );
+                }
+            }
+        }
+    }
+    store
+}
+
+/// The demand mask a load access places on byte `offset` of the line.
+fn load_mask(
+    a: &AccessRec,
+    line_addr: u32,
+    offset: u32,
+    level: Level,
+    lv: &Liveness,
+    midx: &MemIndex<'_>,
+) -> u8 {
+    if a.dyn_id != NO_PRODUCER {
+        let out_byte = (u32::from(a.out_byte0) + (offset - u32::from(a.offset)))
+            % u32::from(a.width);
+        lv.byte_demand(a.dyn_id, out_byte as u8)
+    } else {
+        debug_assert_eq!(level, Level::L2, "anonymous loads only occur as L1 fills into L2");
+        // An L1 fill reading this L2 byte: its demand is that of the loads
+        // the fill will serve — approximated by the address-level suffix.
+        midx.post_demand(lv, line_addr + offset, a.t)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finalize_residency(
+    r: &Residency,
+    evict_t: u64,
+    dirty_mask: u64,
+    set: u32,
+    way: u32,
+    geom: CacheGeometry,
+    level: Level,
+    lv: &Liveness,
+    midx: &MemIndex<'_>,
+    store: &mut TimelineStore,
+    segs: &mut Vec<Interval>,
+) {
+    let line_dirty = dirty_mask != 0;
+    for o in 0..geom.line_bytes {
+        let byte_idx = geom.byte_index(set, way, o) as usize;
+        segs.clear();
+
+        // Backward scan over this byte's residency. A whole dirty line is
+        // written back, so faults in *any* byte of a dirty line propagate.
+        let mut cur_mask: u8 =
+            if line_dirty { midx.post_demand(lv, r.addr + o, evict_t) } else { 0 };
+        let mut cur_checked = line_dirty; // the write-back read checks the domain
+        let mut seg_end = evict_t;
+
+        for a in r.accesses.iter().rev() {
+            if a.t < seg_end {
+                if seg_end > a.t {
+                    push_seg(segs, a.t, seg_end, cur_mask, cur_checked);
+                }
+                seg_end = a.t;
+            }
+            let covers = o >= u32::from(a.offset) && o < u32::from(a.offset) + u32::from(a.len);
+            if a.is_store {
+                if covers {
+                    // Overwrite: faults before this die here, unchecked.
+                    cur_mask = 0;
+                    cur_checked = false;
+                }
+                // Stores do not check the domain.
+            } else {
+                if covers {
+                    cur_mask |= load_mask(a, r.addr, o, level, lv, midx);
+                }
+                cur_checked = true; // any load of the line checks the domain
+            }
+        }
+        if seg_end > r.fill_t {
+            push_seg(segs, r.fill_t, seg_end, cur_mask, cur_checked);
+        }
+
+        let tl = store.byte_mut(byte_idx);
+        for iv in segs.iter().rev() {
+            tl.push(*iv).expect("residencies are time-ordered per line");
+        }
+    }
+}
+
+fn push_seg(segs: &mut Vec<Interval>, start: u64, end: u64, ace_mask: u8, checked: bool) {
+    if end > start && (ace_mask != 0 || checked) {
+        segs.push(Interval { start, end, ace_mask, checked });
+    }
+}
+
+/// Build the L1 data-array timelines of compute unit `cu`.
+///
+/// The returned store is indexed by
+/// [`CacheGeometry::byte_index`] for the L1's geometry, matching
+/// [`CacheLayout`](mbavf_core::layout::CacheLayout).
+pub fn l1_timelines(res: &RunResult, lv: &Liveness, mem: &Memory, cu: usize) -> TimelineStore {
+    let cfg = res.hier.l1(cu).config();
+    let geom = CacheGeometry { sets: cfg.sets, ways: cfg.ways, line_bytes: cfg.line_bytes };
+    let midx = MemIndex::new(res.hier.log(), mem);
+    cache_timelines(res.hier.l1(cu), geom, Level::L1, lv, &midx, res.cycles)
+}
+
+/// Build the shared L2 data-array timelines.
+pub fn l2_timelines(res: &RunResult, lv: &Liveness, mem: &Memory) -> TimelineStore {
+    let cfg = res.hier.l2().config();
+    let geom = CacheGeometry { sets: cfg.sets, ways: cfg.ways, line_bytes: cfg.line_bytes };
+    let midx = MemIndex::new(res.hier.log(), mem);
+    cache_timelines(res.hier.l2(), geom, Level::L2, lv, &midx, res.cycles)
+}
+
+/// Backward-scan one register instance's events for one lane (or for the
+/// lock-step whole wavefront when `lane` is `None`), producing labelled
+/// segments. Events whose EXEC mask excludes the lane are invisible to it:
+/// a divergent write does not redefine an inactive lane's value, and a
+/// divergent read neither consumes nor checks it.
+fn scan_reg_events(
+    events: &[&RegEvent],
+    lane: Option<u32>,
+    total_cycles: u64,
+    lv: &Liveness,
+) -> Vec<(u64, u64, u32, bool)> {
+    let mut segs = Vec::new();
+    let mut cur_mask: u32 = 0;
+    let mut cur_checked = false;
+    let mut seg_end = total_cycles;
+    // Backward over events; same-time events are processed in reverse
+    // recording order, so an instruction's write is processed before its
+    // own reads (the reads see the old value).
+    for e in events.iter().rev() {
+        if let Some(l) = lane {
+            if e.exec >> l & 1 == 0 {
+                continue;
+            }
+        }
+        if e.t < seg_end {
+            segs.push((e.t, seg_end, cur_mask, cur_checked));
+            seg_end = e.t;
+        }
+        match e.read_slot {
+            None => {
+                cur_mask = 0;
+                cur_checked = false;
+            }
+            Some(slot) => {
+                cur_mask |= lv.use_mask(e.dyn_id, slot);
+                cur_checked = true;
+            }
+        }
+    }
+    if seg_end > 0 {
+        segs.push((0, seg_end, cur_mask, cur_checked));
+    }
+    segs
+}
+
+/// Build the physical VGPR timelines of compute unit `cu`, plus the matching
+/// geometry (64 threads × `slots_per_cu * num_vregs` registers).
+///
+/// A register read checks its per-register protection domain; the read's
+/// demand mask comes from the liveness pass (zero for reads by dynamically
+/// dead instructions — the false-DUE source). Registers touched only in
+/// lock-step (full EXEC) share one timeline across all 64 lanes; registers
+/// with divergent accesses are scanned per lane, honouring which lanes each
+/// masked write redefined and each masked read consumed.
+pub fn vgpr_timelines(res: &RunResult, lv: &Liveness, cu: usize) -> (TimelineStore, VgprGeometry) {
+    let regs = res.slots_per_cu as u32 * u32::from(res.num_vregs);
+    let geom = VgprGeometry { threads: crate::isa::WAVE_LANES as u32, regs };
+    let mut store = TimelineStore::new(geom.bytes() as usize, res.cycles.max(1));
+
+    // Group events per register instance (already time-ordered).
+    let mut per_reg: Vec<Vec<&RegEvent>> = vec![Vec::new(); regs as usize];
+    for e in &res.reg_events[cu] {
+        let idx = u32::from(e.slot) * u32::from(res.num_vregs) + u32::from(e.reg);
+        per_reg[idx as usize].push(e);
+    }
+
+    let mut push_segs = |store: &mut TimelineStore,
+                         reg_idx: u32,
+                         thread: u32,
+                         segs: &[(u64, u64, u32, bool)]| {
+        for &(start, end, mask, checked) in segs.iter().rev() {
+            if mask == 0 && !checked {
+                continue;
+            }
+            for byte in 0..4u32 {
+                let ace_mask = (mask >> (8 * byte)) as u8;
+                if ace_mask == 0 && !checked {
+                    continue;
+                }
+                let bi = geom.byte_index(thread, reg_idx, byte);
+                store
+                    .byte_mut(bi as usize)
+                    .push(Interval { start, end, ace_mask, checked })
+                    .expect("register events are time-ordered");
+            }
+        }
+    };
+
+    for (reg_idx, events) in per_reg.iter().enumerate() {
+        let uniform = events.iter().all(|e| e.exec == !0);
+        if uniform {
+            let segs = scan_reg_events(events, None, res.cycles, lv);
+            for thread in 0..geom.threads {
+                push_segs(&mut store, reg_idx as u32, thread, &segs);
+            }
+        } else {
+            for thread in 0..geom.threads {
+                let segs = scan_reg_events(events, Some(thread), res.cycles, lv);
+                push_segs(&mut store, reg_idx as u32, thread, &segs);
+            }
+        }
+    }
+    (store, geom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::{run_timed, GpuConfig};
+    use crate::isa::VReg;
+    use crate::liveness::analyze;
+    use crate::program::Assembler;
+    use mbavf_core::avf::raw_avf;
+    use mbavf_core::timeline::BitState;
+
+    /// Kernel: out[i] = in[i] * 3; scratch[i] = in[i] + 1 (never read).
+    fn setup() -> (Memory, crate::program::Program, u32, u32) {
+        let mut mem = Memory::new(1 << 20);
+        let n = 64u32;
+        let input: Vec<u32> = (0..n).map(|i| i * 7 + 1).collect();
+        let a_in = mem.alloc_u32(&input);
+        let a_scratch = mem.alloc_zeroed(n);
+        let a_out = mem.alloc_zeroed(n);
+        mem.mark_output(a_out, n * 4);
+        let mut a = Assembler::new();
+        a.v_mul_u(VReg(2), VReg(1), 4u32);
+        a.v_load(VReg(3), VReg(2), a_in);
+        a.v_mul_u(VReg(4), VReg(3), 3u32);
+        a.v_store(VReg(4), VReg(2), a_out);
+        a.v_add_u(VReg(5), VReg(3), 1u32);
+        a.v_store(VReg(5), VReg(2), a_scratch);
+        a.end();
+        (mem, a.finish().unwrap(), a_out, a_scratch)
+    }
+
+    #[test]
+    fn l1_has_ace_and_non_ace_state() {
+        let (mut mem, p, _, _) = setup();
+        let res = run_timed(&p, &mut mem, 1, &GpuConfig::tiny());
+        let lv = analyze(&res.trace, &mem);
+        let store = l1_timelines(&res, &lv, &mem, 0);
+        let avf = raw_avf(&store);
+        assert!(avf > 0.0, "input data read by live code must be ACE");
+        assert!(avf < 1.0, "a 16KB-class L1 cannot be fully ACE here");
+        store.validate().unwrap();
+    }
+
+    #[test]
+    fn dirty_output_data_is_ace_until_writeback() {
+        let (mut mem, p, _, _) = setup();
+        let res = run_timed(&p, &mut mem, 1, &GpuConfig::tiny());
+        let lv = analyze(&res.trace, &mem);
+        let store = l1_timelines(&res, &lv, &mem, 0);
+        // Find a byte with an ACE interval extending to the flush: output
+        // data written in L1 stays ACE through eviction.
+        let end = store.total_cycles();
+        let found = store.iter().any(|tl| {
+            tl.intervals().iter().any(|iv| iv.ace_mask == 0xFF && iv.end + 1 >= end)
+        });
+        assert!(found, "dirty output bytes must be ACE until the final write-back");
+    }
+
+    #[test]
+    fn dead_scratch_store_is_not_value_ace() {
+        // The scratch buffer is stored but never read and is not output:
+        // its L1 bytes may be checked (write-back) but its value unACE...
+        // actually a dirty write-back of dead data still triggers the check,
+        // so scratch bytes end up FalseDetect, never Ace.
+        let (mut mem, p, a_out, a_scratch) = setup();
+        let res = run_timed(&p, &mut mem, 1, &GpuConfig::tiny());
+        let lv = analyze(&res.trace, &mem);
+        let store = l1_timelines(&res, &lv, &mem, 0);
+        let geom = CacheGeometry {
+            sets: res.hier.l1(0).config().sets,
+            ways: res.hier.l1(0).config().ways,
+            line_bytes: res.hier.l1(0).config().line_bytes,
+        };
+        // Locate the residencies by scanning fills in the event stream.
+        let mut scratch_ace = 0u64;
+        let mut scratch_checked = 0u64;
+        let mut out_ace = 0u64;
+        for ev in res.hier.l1(0).events() {
+            if let CacheEventKind::Fill { addr } = ev.kind {
+                let line = geom.line_bytes;
+                let in_scratch = addr >= a_scratch && addr < a_scratch + 64 * 4;
+                let in_out = addr >= a_out && addr < a_out + 64 * 4;
+                if !(in_scratch || in_out) {
+                    continue;
+                }
+                for o in 0..line {
+                    let tl = store.byte(geom.byte_index(ev.set, ev.way, o) as usize);
+                    for iv in tl.intervals() {
+                        for bit in 0..8 {
+                            let dur = iv.len();
+                            match iv.bit_state(bit) {
+                                BitState::Ace if in_scratch => scratch_ace += dur,
+                                BitState::Ace if in_out => out_ace += dur,
+                                BitState::FalseDetect if in_scratch => scratch_checked += dur,
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(scratch_ace, 0, "dead scratch data must never be value-ACE");
+        assert!(scratch_checked > 0, "dirty dead data is checked at write-back");
+        assert!(out_ace > 0, "output data is ACE");
+    }
+
+    #[test]
+    fn l2_timelines_build_and_validate() {
+        // Streaming workloads pass through L2 instantly; to exercise L2
+        // residency ACEness, read a small buffer, thrash L1 with a sweep
+        // larger than L1 but smaller than L2, then read the buffer again.
+        use crate::isa::{CmpOp, SReg};
+        let mut mem = Memory::new(1 << 20);
+        let a_buf = mem.alloc_u32(&(0..64).collect::<Vec<_>>());
+        let a_big = mem.alloc_zeroed(4 * 64); // 1KB: 16 lines > 8-line L1
+        let a_out = mem.alloc_zeroed(64);
+        mem.mark_output(a_out, 256);
+        let mut a = Assembler::new();
+        a.v_mul_u(VReg(2), VReg(1), 4u32);
+        a.v_load(VReg(3), VReg(2), a_buf); // first read: fills L1 and L2
+        // Sweep 4 iterations of 256B to evict the buffer from L1.
+        a.s_mov(SReg(2), 0u32);
+        a.label("sweep");
+        a.s_mul(SReg(3), SReg(2), 256u32);
+        a.v_add_u(VReg(4), VReg(2), SReg(3));
+        a.v_load(VReg(5), VReg(4), a_big);
+        a.s_add(SReg(2), SReg(2), 1u32);
+        a.s_cmp(CmpOp::LtU, SReg(2), 4u32);
+        a.branch_scc_nz("sweep");
+        // Second read of the buffer: L1 miss, L2 hit mid-residency.
+        a.v_load(VReg(6), VReg(2), a_buf);
+        a.v_add_u(VReg(6), VReg(6), VReg(3));
+        a.v_store(VReg(6), VReg(2), a_out);
+        a.end();
+        let p = a.finish().unwrap();
+        let res = run_timed(&p, &mut mem, 1, &GpuConfig::tiny());
+        let lv = analyze(&res.trace, &mem);
+        let store = l2_timelines(&res, &lv, &mem);
+        store.validate().unwrap();
+        assert!(raw_avf(&store) > 0.0, "re-read data must be ACE while L2-resident");
+    }
+
+    #[test]
+    fn vgpr_registers_have_write_read_ace_intervals() {
+        let (mut mem, p, _, _) = setup();
+        let res = run_timed(&p, &mut mem, 1, &GpuConfig::tiny());
+        let lv = analyze(&res.trace, &mem);
+        let (store, geom) = vgpr_timelines(&res, &lv, 0);
+        store.validate().unwrap();
+        let avf = raw_avf(&store);
+        assert!(avf > 0.0, "live register values must be ACE");
+        assert!(avf < 1.0);
+        // v0 (the lane id) is never read: its bytes must never be ACE.
+        for thread in 0..geom.threads {
+            for byte in 0..4 {
+                let tl = store.byte(geom.byte_index(thread, 0, byte) as usize);
+                assert_eq!(tl.ace_bit_cycles(), 0, "thread {thread} byte {byte}");
+            }
+        }
+    }
+
+    #[test]
+    fn dead_register_reads_are_false_detect() {
+        let (mut mem, p, _, _) = setup();
+        let res = run_timed(&p, &mut mem, 1, &GpuConfig::tiny());
+        let lv = analyze(&res.trace, &mem);
+        let (store, _geom) = vgpr_timelines(&res, &lv, 0);
+        // v5 = v3 + 1 is dead (feeds only the scratch store): the read of v3
+        // by that instruction is a detection without value-ACEness, but v3
+        // is also read by the live multiply, so v3 stays ACE. v5 itself is
+        // read only by the dead store's value operand: mask 0 + checked.
+        let mut any_false_detect = false;
+        for tl in store.iter() {
+            for iv in tl.intervals() {
+                if iv.checked && iv.ace_mask != 0xFF {
+                    any_false_detect = true;
+                }
+            }
+        }
+        assert!(any_false_detect, "dead register consumption must yield FalseDetect state");
+    }
+
+    #[test]
+    fn mem_index_post_demand_respects_overwrites() {
+        let (mut mem, p, a_out, _) = setup();
+        let res = run_timed(&p, &mut mem, 1, &GpuConfig::tiny());
+        let lv = analyze(&res.trace, &mem);
+        let midx = MemIndex::new(res.hier.log(), &mem);
+        // Output bytes at end of time: still demanded (they are the output).
+        assert_eq!(midx.post_demand(&lv, a_out, res.cycles), 0xFF);
+        // Output bytes before the store that produces them: the store ends
+        // the old version, so demand is 0.
+        assert_eq!(midx.post_demand(&lv, a_out, 0), 0);
+    }
+}

@@ -1,0 +1,356 @@
+//! The timing GPU model: compute units, resident wavefront slots, round-robin
+//! issue, and the cache hierarchy — the paper's experimental platform (an APU
+//! with a 4-CU integrated GPU, 16KB L1 per CU, 256KB shared L2).
+
+use crate::cache::{CacheConfig, Hierarchy, Latencies};
+use crate::exec::{step, Lanes, Ports, StepCtx, Wavefront};
+use crate::isa::MemWidth;
+use crate::mem::Memory;
+use crate::program::Program;
+use crate::trace::Trace;
+
+/// GPU dimensions and memory latencies.
+#[derive(Debug, Clone, Copy)]
+pub struct GpuConfig {
+    /// Number of compute units (each with a private L1).
+    pub cus: usize,
+    /// Resident wavefront slots per CU (each slot has its own architectural
+    /// registers in the physical VGPR file).
+    pub slots_per_cu: usize,
+    /// L1 configuration.
+    pub l1: CacheConfig,
+    /// L2 configuration.
+    pub l2: CacheConfig,
+    /// Miss latencies.
+    pub lat: Latencies,
+}
+
+impl Default for GpuConfig {
+    /// The paper's setup: 4 CUs, 16KB L1s, 256KB L2.
+    fn default() -> Self {
+        Self {
+            cus: 4,
+            slots_per_cu: 4,
+            l1: CacheConfig::l1_16k(),
+            l2: CacheConfig::l2_256k(),
+            lat: Latencies::default(),
+        }
+    }
+}
+
+impl GpuConfig {
+    /// A small configuration for unit tests: 1 CU, tiny caches.
+    pub fn tiny() -> Self {
+        Self {
+            cus: 1,
+            slots_per_cu: 2,
+            l1: CacheConfig { sets: 4, ways: 2, line_bytes: 64, hit_latency: 4 },
+            l2: CacheConfig { sets: 16, ways: 2, line_bytes: 64, hit_latency: 8 },
+            lat: Latencies { l2: 16, dram: 64 },
+        }
+    }
+}
+
+/// A vector-register file event, recorded per CU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegEvent {
+    /// Cycle.
+    pub t: u64,
+    /// Wavefront slot within the CU.
+    pub slot: u8,
+    /// Architectural register index.
+    pub reg: u8,
+    /// Dynamic instruction id.
+    pub dyn_id: u32,
+    /// `None` for a write; `Some(src_slot)` for a read as that operand.
+    pub read_slot: Option<u8>,
+    /// EXEC lane mask at the time of the access: only these lanes were
+    /// written (or had their values consumed).
+    pub exec: u64,
+}
+
+/// Everything a timing run produces (besides the memory contents, which stay
+/// in the caller's [`Memory`]).
+#[derive(Debug)]
+pub struct RunResult {
+    /// The provenance trace.
+    pub trace: Trace,
+    /// The cache hierarchy with its recorded events and the memory log.
+    pub hier: Hierarchy,
+    /// Per-CU VGPR events.
+    pub reg_events: Vec<Vec<RegEvent>>,
+    /// Total cycles simulated.
+    pub cycles: u64,
+    /// Wavefront slots per CU (for the physical VGPR geometry).
+    pub slots_per_cu: usize,
+    /// Architectural vector registers per wavefront.
+    pub num_vregs: u8,
+    /// Total instructions retired.
+    pub retired: u64,
+}
+
+struct CuPorts<'a> {
+    hier: &'a mut Hierarchy,
+    reg_events: &'a mut Vec<RegEvent>,
+    cu: usize,
+}
+
+impl Ports for CuPorts<'_> {
+    fn mem_access(
+        &mut self,
+        now: u64,
+        dyn_id: u32,
+        addrs: &Lanes,
+        active: u64,
+        width: MemWidth,
+        is_store: bool,
+    ) -> u64 {
+        let w = width.bytes();
+        let line = self.hier.l1(self.cu).config().line_bytes;
+        let mut cost = 0;
+        let active_addrs: Vec<u32> = addrs
+            .iter()
+            .enumerate()
+            .filter(|(l, _)| active >> l & 1 == 1)
+            .map(|(_, &a)| a)
+            .collect();
+        for (start, len) in Hierarchy::coalesce(&active_addrs, w) {
+            // Split the coalesced range at line boundaries.
+            let mut a = start;
+            let end = start + len;
+            while a < end {
+                let line_end = (a / line + 1) * line;
+                let chunk = end.min(line_end) - a;
+                let out_byte0 = ((a - start) % w) as u8;
+                cost += self.hier.access(
+                    self.cu, now, a, chunk, is_store, dyn_id, out_byte0, w as u8,
+                );
+                a += chunk;
+            }
+        }
+        cost.max(1)
+    }
+
+    fn reg_write(&mut self, now: u64, slot: u8, reg: u8, dyn_id: u32, exec: u64) {
+        self.reg_events.push(RegEvent { t: now, slot, reg, dyn_id, read_slot: None, exec });
+    }
+
+    fn reg_read(&mut self, now: u64, slot: u8, reg: u8, dyn_id: u32, src_slot: u8, exec: u64) {
+        self.reg_events
+            .push(RegEvent { t: now, slot, reg, dyn_id, read_slot: Some(src_slot), exec });
+    }
+}
+
+struct Resident {
+    wf: Wavefront,
+    ready_at: u64,
+}
+
+/// Run `workgroups` workgroups of `program` to completion on the timing
+/// model, recording the provenance trace, cache events, memory log, and VGPR
+/// events used by the AVF extraction.
+///
+/// # Panics
+///
+/// Panics on kernel errors (out-of-bounds access, missing `EndPgm` paths).
+pub fn run_timed(
+    program: &Program,
+    mem: &mut Memory,
+    workgroups: u32,
+    cfg: &GpuConfig,
+) -> RunResult {
+    let mut trace = Trace::new();
+    let mut hier = Hierarchy::new(cfg.cus, cfg.l1, cfg.l2, cfg.lat);
+    let mut reg_events: Vec<Vec<RegEvent>> = (0..cfg.cus).map(|_| Vec::new()).collect();
+
+    let mut next_wg = 0u32;
+    let mut cus: Vec<Vec<Option<Resident>>> =
+        (0..cfg.cus).map(|_| (0..cfg.slots_per_cu).map(|_| None).collect()).collect();
+
+    // Initial dispatch: fill slots round-robin across CUs.
+    'fill: for slot in 0..cfg.slots_per_cu {
+        for cu in cus.iter_mut() {
+            if next_wg >= workgroups {
+                break 'fill;
+            }
+            cu[slot] = Some(Resident {
+                wf: Wavefront::launch(program, next_wg, slot as u8, workgroups),
+                ready_at: 0,
+            });
+            next_wg += 1;
+        }
+    }
+
+    let mut now = 0u64;
+    let mut retired = 0u64;
+    loop {
+        let mut stepped = false;
+        let mut min_ready = u64::MAX;
+        for (cu_idx, slots) in cus.iter_mut().enumerate() {
+            // Issue at most one instruction per CU per cycle, round-robin by
+            // slot (offset by time for fairness).
+            let n = slots.len();
+            for k in 0..n {
+                let s = (now as usize + k) % n;
+                let ready = match &slots[s] {
+                    Some(r) => r.ready_at <= now,
+                    None => false,
+                };
+                if !ready {
+                    if let Some(r) = &slots[s] {
+                        min_ready = min_ready.min(r.ready_at);
+                    }
+                    continue;
+                }
+                let r = slots[s].as_mut().expect("checked above");
+                let mut ports =
+                    CuPorts { hier: &mut hier, reg_events: &mut reg_events[cu_idx], cu: cu_idx };
+                let mut ctx = StepCtx { mem, trace: Some(&mut trace), ports: &mut ports, now };
+                let cost = step(&mut r.wf, program, &mut ctx);
+                retired += 1;
+                r.ready_at = now + cost.max(1);
+                min_ready = min_ready.min(r.ready_at);
+                stepped = true;
+                if r.wf.done {
+                    if next_wg < workgroups {
+                        slots[s] = Some(Resident {
+                            wf: Wavefront::launch(program, next_wg, s as u8, workgroups),
+                            ready_at: now + 1,
+                        });
+                        next_wg += 1;
+                    } else {
+                        slots[s] = None;
+                    }
+                }
+                break; // one issue per CU per cycle
+            }
+        }
+        let all_idle = cus.iter().all(|slots| slots.iter().all(Option::is_none));
+        if all_idle && next_wg >= workgroups {
+            break;
+        }
+        if stepped {
+            now += 1;
+        } else {
+            // Nothing ready: skip ahead to the next wake-up.
+            debug_assert!(min_ready > now && min_ready != u64::MAX);
+            now = min_ready;
+        }
+    }
+    hier.flush(now);
+    now += 1;
+
+    RunResult {
+        trace,
+        hier,
+        reg_events,
+        cycles: now,
+        slots_per_cu: cfg.slots_per_cu,
+        num_vregs: program.num_vregs(),
+        retired,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::VReg;
+    use crate::program::Assembler;
+
+    fn saxpy_program(x: u32, y: u32, out: u32) -> Program {
+        let mut a = Assembler::new();
+        a.v_mul_u(VReg(2), VReg(1), 4u32);
+        a.v_load(VReg(3), VReg(2), x);
+        a.v_load(VReg(4), VReg(2), y);
+        a.v_mul_f(VReg(3), VReg(3), crate::isa::VOp::imm_f32(2.0));
+        a.v_add_f(VReg(5), VReg(3), VReg(4));
+        a.v_store(VReg(5), VReg(2), out);
+        a.end();
+        a.finish().unwrap()
+    }
+
+    #[test]
+    fn timed_run_matches_reference() {
+        let n = 256u32; // 4 workgroups
+        let mut mem = Memory::new(1 << 20);
+        let xs: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let ys: Vec<f32> = (0..n).map(|i| 0.5 * i as f32).collect();
+        let x = mem.alloc_f32(&xs);
+        let y = mem.alloc_f32(&ys);
+        let out = mem.alloc_zeroed(n);
+        mem.mark_output(out, n * 4);
+        let p = saxpy_program(x, y, out);
+        let res = run_timed(&p, &mut mem, n / 64, &GpuConfig::default());
+        for i in 0..n {
+            assert_eq!(mem.read_f32(out + i * 4), 2.0 * i as f32 + 0.5 * i as f32);
+        }
+        assert!(res.cycles > 0);
+        assert_eq!(res.retired as usize, 7 * 4);
+        assert_eq!(res.trace.len() as u64, res.retired);
+    }
+
+    #[test]
+    fn timing_and_functional_agree() {
+        use crate::exec::{NullPorts, StepCtx};
+        let n = 128u32;
+        let mk_mem = || {
+            let mut mem = Memory::new(1 << 20);
+            let xs: Vec<f32> = (0..n).map(|i| (i as f32).sin()).collect();
+            let ys: Vec<f32> = (0..n).map(|i| (i as f32).cos()).collect();
+            let x = mem.alloc_f32(&xs);
+            let y = mem.alloc_f32(&ys);
+            let out = mem.alloc_zeroed(n);
+            mem.mark_output(out, n * 4);
+            (mem, x, y, out)
+        };
+        let (mut m1, x, y, out) = mk_mem();
+        let p = saxpy_program(x, y, out);
+        run_timed(&p, &mut m1, n / 64, &GpuConfig::tiny());
+
+        let (mut m2, _, _, _) = mk_mem();
+        for wg in 0..n / 64 {
+            let mut wf = Wavefront::launch(&p, wg, 0, n / 64);
+            let mut ports = NullPorts;
+            while !wf.done {
+                let mut ctx =
+                    StepCtx { mem: &mut m2, trace: None, ports: &mut ports, now: 0 };
+                step(&mut wf, &p, &mut ctx);
+            }
+        }
+        assert_eq!(m1.output_snapshot(), m2.output_snapshot());
+    }
+
+    #[test]
+    fn cache_events_are_recorded() {
+        let n = 128u32;
+        let mut mem = Memory::new(1 << 20);
+        let x = mem.alloc_f32(&vec![1.0; n as usize]);
+        let y = mem.alloc_f32(&vec![2.0; n as usize]);
+        let out = mem.alloc_zeroed(n);
+        mem.mark_output(out, n * 4);
+        let p = saxpy_program(x, y, out);
+        let res = run_timed(&p, &mut mem, n / 64, &GpuConfig::tiny());
+        assert!(!res.hier.l1(0).events().is_empty());
+        assert!(!res.hier.log().is_empty());
+        assert!(!res.reg_events[0].is_empty());
+        // Streaming accesses touch each line exactly once: all misses.
+        let (_hits, misses) = res.hier.l1(0).stats();
+        assert!(misses > 0);
+    }
+
+    #[test]
+    fn more_workgroups_than_slots_complete() {
+        let n = 64 * 12;
+        let mut mem = Memory::new(1 << 22);
+        let x = mem.alloc_f32(&vec![1.0; n as usize]);
+        let y = mem.alloc_f32(&vec![1.0; n as usize]);
+        let out = mem.alloc_zeroed(n);
+        mem.mark_output(out, n * 4);
+        let p = saxpy_program(x, y, out);
+        let res = run_timed(&p, &mut mem, n / 64, &GpuConfig::tiny());
+        assert_eq!(res.retired, 7 * 12);
+        for i in 0..n {
+            assert_eq!(mem.read_f32(out + i * 4), 3.0);
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Fast functional interpreter with deterministic fault injection — the
+//! substrate for the paper's Section VII-A model-accuracy study (the role
+//! multi2sim plays in the paper).
+//!
+//! Workgroups execute sequentially and bit-identically to the timing model
+//! (both share [`crate::exec::step`]); injections flip vector-register bits
+//! at an exact dynamic point (wavefront, retired-instruction count), and the
+//! run reports whether the flipped register was read before being
+//! overwritten (the detection opportunity a parity/ECC check would use).
+
+use crate::exec::{step, Lanes, Ports, StepCtx, Wavefront};
+use crate::isa::MemWidth;
+use crate::mem::Memory;
+use crate::program::Program;
+use std::fmt;
+
+/// One fault to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Injection {
+    /// Target wavefront (workgroup) id.
+    pub wg: u32,
+    /// Inject just before the wavefront retires its `after_retired`-th
+    /// instruction (0 = before the first instruction).
+    pub after_retired: u64,
+    /// Target vector register.
+    pub reg: u8,
+    /// Target lane.
+    pub lane: u8,
+    /// XOR mask applied to the register value.
+    pub bits: u32,
+}
+
+/// How a functional run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Termination {
+    /// The program ran to completion.
+    Completed,
+    /// The step limit was exceeded (an injected fault caused a hang).
+    Hang,
+}
+
+/// Result of a functional run.
+#[derive(Debug)]
+pub struct FunctionalRun {
+    /// Concatenated bytes of the output ranges at exit.
+    pub output: Vec<u8>,
+    /// Total instructions retired.
+    pub retired: u64,
+    /// Instructions retired by each wavefront (for injection-time sampling).
+    pub per_wg_retired: Vec<u64>,
+    /// How the run ended.
+    pub termination: Termination,
+    /// Whether any injected register was read, with its flipped bits still
+    /// in place, before being overwritten — i.e. whether a per-register
+    /// parity/ECC check would have observed the fault.
+    pub injected_value_read: bool,
+}
+
+/// Interpreter errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum InterpError {
+    /// An injection referenced a register outside the program's register
+    /// file or a lane outside the wavefront.
+    BadInjection(Injection),
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::BadInjection(i) => write!(f, "injection out of range: {i:?}"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// Ports that watch reads/writes of injected registers to model the
+/// detection opportunity.
+struct WatchPorts {
+    /// Lanes of each register currently holding flipped bits.
+    armed: Vec<u64>,
+    /// Set when an armed lane is read.
+    observed: bool,
+}
+
+impl Ports for WatchPorts {
+    fn mem_access(&mut self, _: u64, _: u32, _: &Lanes, _: u64, _: MemWidth, _: bool) -> u64 {
+        0
+    }
+    fn reg_write(&mut self, _: u64, _: u8, reg: u8, _: u32, exec: u64) {
+        // Only the written lanes are scrubbed; divergent writes leave
+        // inactive lanes' faults armed.
+        self.armed[reg as usize] &= !exec;
+    }
+    fn reg_read(&mut self, _: u64, _: u8, reg: u8, _: u32, _: u8, exec: u64) {
+        if self.armed[reg as usize] & exec != 0 {
+            self.observed = true;
+        }
+    }
+    fn valu_cost(&self) -> u64 {
+        0
+    }
+    fn salu_cost(&self) -> u64 {
+        0
+    }
+}
+
+/// Run `workgroups` workgroups functionally, applying `injections`, stopping
+/// any single wavefront after `max_steps_per_wf` instructions (hang guard).
+///
+/// # Errors
+///
+/// [`InterpError::BadInjection`] if an injection targets a register or lane
+/// that does not exist.
+pub fn run_functional(
+    program: &Program,
+    mem: &mut Memory,
+    workgroups: u32,
+    injections: &[Injection],
+    max_steps_per_wf: u64,
+) -> Result<FunctionalRun, InterpError> {
+    for inj in injections {
+        if inj.reg as usize >= program.num_vregs() as usize
+            || inj.lane as usize >= crate::isa::WAVE_LANES
+            || inj.wg >= workgroups
+        {
+            return Err(InterpError::BadInjection(*inj));
+        }
+    }
+    let mut retired = 0u64;
+    let mut per_wg_retired = Vec::with_capacity(workgroups as usize);
+    let mut termination = Termination::Completed;
+    let mut observed = false;
+
+    for wg in 0..workgroups {
+        let mut wf = Wavefront::launch(program, wg, 0, workgroups);
+        let mut pending: Vec<Injection> =
+            injections.iter().copied().filter(|i| i.wg == wg).collect();
+        let mut ports =
+            WatchPorts { armed: vec![0u64; program.num_vregs() as usize], observed: false };
+        while !wf.done {
+            if !pending.is_empty() {
+                let mut k = 0;
+                while k < pending.len() {
+                    if pending[k].after_retired <= wf.retired {
+                        let inj = pending.swap_remove(k);
+                        wf.flip_bits(inj.reg, inj.lane as usize, inj.bits);
+                        ports.armed[inj.reg as usize] |= 1 << inj.lane;
+                    } else {
+                        k += 1;
+                    }
+                }
+            }
+            let mut ctx = StepCtx { mem, trace: None, ports: &mut ports, now: 0 };
+            step(&mut wf, program, &mut ctx);
+            if wf.retired >= max_steps_per_wf {
+                termination = Termination::Hang;
+                break;
+            }
+        }
+        retired += wf.retired;
+        per_wg_retired.push(wf.retired);
+        observed |= ports.observed;
+        if termination == Termination::Hang {
+            break;
+        }
+    }
+    Ok(FunctionalRun {
+        output: mem.output_snapshot(),
+        retired,
+        per_wg_retired,
+        termination,
+        injected_value_read: observed,
+    })
+}
+
+/// Run without injections and return the golden output (convenience).
+pub fn run_golden(
+    program: &Program,
+    mem: &mut Memory,
+    workgroups: u32,
+) -> FunctionalRun {
+    run_functional(program, mem, workgroups, &[], u64::MAX)
+        .expect("no injections, cannot fail validation")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{CmpOp, SReg, VReg};
+    use crate::program::Assembler;
+
+    /// out[i] = i*2, then a value-dependent scalar branch on lane 0.
+    fn test_setup() -> (Program, Memory, u32) {
+        let mut mem = Memory::with_tracking(1 << 16, false);
+        let out = mem.alloc_zeroed(64);
+        mem.mark_output(out, 256);
+        let mut a = Assembler::new();
+        a.v_mul_u(VReg(2), VReg(1), 4u32);
+        a.v_mul_u(VReg(3), VReg(1), 2u32);
+        a.v_store(VReg(3), VReg(2), out);
+        a.end();
+        (a.finish().unwrap(), mem, out)
+    }
+
+    #[test]
+    fn golden_run_completes() {
+        let (p, mut mem, out) = test_setup();
+        let r = run_golden(&p, &mut mem, 1);
+        assert_eq!(r.termination, Termination::Completed);
+        assert!(!r.injected_value_read);
+        assert_eq!(mem.read_u32(out + 4 * 10), 20);
+    }
+
+    #[test]
+    fn injection_into_live_register_corrupts_output() {
+        let (p, mut m1, _) = test_setup();
+        let golden = run_golden(&p, &mut m1, 1).output;
+        let (p2, mut m2, _) = test_setup();
+        // Flip a bit of v1 (the global id) in lane 3 before any instruction:
+        // the stored value 2*id changes.
+        let inj = Injection { wg: 0, after_retired: 0, reg: 1, lane: 3, bits: 1 << 4 };
+        let r = run_functional(&p2, &mut m2, 1, &[inj], 10_000).unwrap();
+        assert_ne!(r.output, golden, "fault must corrupt output");
+        assert!(r.injected_value_read, "v1 is read by the kernel");
+    }
+
+    #[test]
+    fn injection_into_dead_register_is_masked() {
+        let (p, mut m1, _) = test_setup();
+        let golden = run_golden(&p, &mut m1, 1).output;
+        let (p2, mut m2, _) = test_setup();
+        // v0 (lane id) is never read by this kernel after launch.
+        let inj = Injection { wg: 0, after_retired: 0, reg: 0, lane: 5, bits: 1 << 2 };
+        let r = run_functional(&p2, &mut m2, 1, &[inj], 10_000).unwrap();
+        assert_eq!(r.output, golden);
+        assert!(!r.injected_value_read);
+    }
+
+    #[test]
+    fn injection_after_last_read_is_masked() {
+        let (p, mut m1, _) = test_setup();
+        let golden = run_golden(&p, &mut m1, 1).output;
+        let (p2, mut m2, _) = test_setup();
+        // After the store retires (3 instructions), v3 is dead.
+        let inj = Injection { wg: 0, after_retired: 3, reg: 3, lane: 0, bits: 0xFF };
+        let r = run_functional(&p2, &mut m2, 1, &[inj], 10_000).unwrap();
+        assert_eq!(r.output, golden);
+        assert!(!r.injected_value_read);
+    }
+
+    #[test]
+    fn hang_guard_fires() {
+        // A loop whose exit condition depends on v2 lane 0; flipping a high
+        // bit makes it spin long enough to trip the guard.
+        let mut mem = Memory::with_tracking(1 << 16, false);
+        let out = mem.alloc_zeroed(64);
+        mem.mark_output(out, 4);
+        let mut a = Assembler::new();
+        a.v_mov(VReg(2), 0u32);
+        a.label("loop");
+        a.v_add_u(VReg(2), VReg(2), 1u32);
+        a.v_read_lane(SReg(2), VReg(2), 0);
+        a.s_cmp(CmpOp::EqU, SReg(2), 10u32);
+        a.branch_scc_z("loop"); // loop until exactly 10: a flipped high bit spins forever
+        a.v_store(VReg(2), VReg(0), out);
+        a.end();
+        let p = a.finish().unwrap();
+        let inj = Injection { wg: 0, after_retired: 2, reg: 2, lane: 0, bits: 1 << 31 };
+        let r = run_functional(&p, &mut mem, 1, &[inj], 2_000).unwrap();
+        assert_eq!(r.termination, Termination::Hang);
+    }
+
+    #[test]
+    fn bad_injection_rejected() {
+        let (p, mut mem, _) = test_setup();
+        let inj = Injection { wg: 0, after_retired: 0, reg: 200, lane: 0, bits: 1 };
+        assert!(matches!(
+            run_functional(&p, &mut mem, 1, &[inj], 100),
+            Err(InterpError::BadInjection(_))
+        ));
+    }
+}

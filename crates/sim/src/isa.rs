@@ -1,0 +1,369 @@
+//! The SIMT instruction set executed by the simulator.
+//!
+//! The machine is a simplified GCN-style GPU: kernels run as *wavefronts* of
+//! 64 lanes; vector instructions operate on all lanes, scalar instructions on
+//! wavefront-uniform state. Control flow is wavefront-uniform (scalar
+//! branches on the scalar condition code); per-lane data-dependent behaviour
+//! is expressed with vector compares ([`Inst::VCmp`] writing the VCC mask)
+//! and selects ([`Inst::VSel`]), and scalar code can sample a lane with
+//! [`Inst::VReadLane`] to make lane data steer control flow.
+//!
+//! At wavefront launch:
+//! * `v0` holds the lane id (0–63),
+//! * `v1` holds the global work-item id (`workgroup * 64 + lane`),
+//! * `s0` holds the workgroup id and `s1` the workgroup count.
+
+use std::fmt;
+
+/// Number of lanes (work-items) per wavefront.
+pub const WAVE_LANES: usize = 64;
+
+/// A vector register: one 32-bit value per lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VReg(pub u8);
+
+/// A scalar (wavefront-uniform) 32-bit register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SReg(pub u8);
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for SReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A vector-instruction operand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum VOp {
+    /// A vector register (per-lane values).
+    Reg(VReg),
+    /// A scalar register broadcast to every lane.
+    Sreg(SReg),
+    /// An immediate broadcast to every lane.
+    Imm(u32),
+}
+
+impl VOp {
+    /// A float immediate (stored as IEEE-754 bits).
+    pub fn imm_f32(v: f32) -> Self {
+        VOp::Imm(v.to_bits())
+    }
+}
+
+impl From<VReg> for VOp {
+    fn from(r: VReg) -> Self {
+        VOp::Reg(r)
+    }
+}
+
+impl From<SReg> for VOp {
+    fn from(r: SReg) -> Self {
+        VOp::Sreg(r)
+    }
+}
+
+impl From<u32> for VOp {
+    fn from(v: u32) -> Self {
+        VOp::Imm(v)
+    }
+}
+
+/// A scalar-instruction operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SOp {
+    /// A scalar register.
+    Reg(SReg),
+    /// An immediate.
+    Imm(u32),
+}
+
+impl From<SReg> for SOp {
+    fn from(r: SReg) -> Self {
+        SOp::Reg(r)
+    }
+}
+
+impl From<u32> for SOp {
+    fn from(v: u32) -> Self {
+        SOp::Imm(v)
+    }
+}
+
+/// Vector ALU operations. Float operations interpret the 32-bit lanes as
+/// IEEE-754 single precision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VAluOp {
+    /// Wrapping unsigned add.
+    AddU,
+    /// Wrapping unsigned subtract.
+    SubU,
+    /// Wrapping unsigned multiply.
+    MulU,
+    /// Float add.
+    AddF,
+    /// Float subtract.
+    SubF,
+    /// Float multiply.
+    MulF,
+    /// Float divide.
+    DivF,
+    /// Float minimum.
+    MinF,
+    /// Float maximum.
+    MaxF,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left by `b & 31`.
+    Shl,
+    /// Logical shift right by `b & 31`.
+    Shr,
+}
+
+/// Scalar ALU operations (unsigned, wrapping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SAluOp {
+    /// Wrapping add.
+    Add,
+    /// Wrapping subtract.
+    Sub,
+    /// Wrapping multiply.
+    Mul,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Logical shift left by `b & 31`.
+    Shl,
+    /// Logical shift right by `b & 31`.
+    Shr,
+}
+
+/// Comparison operations, for both [`Inst::VCmp`] (per lane, into VCC) and
+/// [`Inst::SCmp`] (into SCC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Unsigned equal.
+    EqU,
+    /// Unsigned not-equal.
+    NeU,
+    /// Unsigned less-than.
+    LtU,
+    /// Unsigned greater-or-equal.
+    GeU,
+    /// Float less-than.
+    LtF,
+    /// Float greater-than.
+    GtF,
+}
+
+/// Memory access width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemWidth {
+    /// A 4-byte access (the common case).
+    Dword,
+    /// A single byte (loads zero-extend).
+    Byte,
+}
+
+impl MemWidth {
+    /// Access size in bytes.
+    pub fn bytes(&self) -> u32 {
+        match self {
+            MemWidth::Dword => 4,
+            MemWidth::Byte => 1,
+        }
+    }
+}
+
+/// Branch conditions (wavefront-uniform).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    /// Unconditional.
+    Always,
+    /// Taken if SCC is zero.
+    SccZ,
+    /// Taken if SCC is nonzero.
+    SccNz,
+    /// Taken if any lane's VCC bit is set.
+    VccAny,
+    /// Taken if no lane's VCC bit is set.
+    VccNone,
+}
+
+/// Sources for the EXEC lane mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecOp {
+    /// All lanes active.
+    All,
+    /// `exec = vcc`.
+    Vcc,
+    /// `exec = !vcc`.
+    NotVcc,
+    /// `exec &= vcc`.
+    AndVcc,
+}
+
+/// One machine instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Inst {
+    /// `dst[l] = op(a[l], b[l])` for every lane `l`.
+    VAlu {
+        /// Operation.
+        op: VAluOp,
+        /// Destination vector register.
+        dst: VReg,
+        /// First source.
+        a: VOp,
+        /// Second source.
+        b: VOp,
+    },
+    /// `dst[l] = src[l]`.
+    VMov {
+        /// Destination vector register.
+        dst: VReg,
+        /// Source operand.
+        src: VOp,
+    },
+    /// `dst[l] = vcc[l] ? a[l] : b[l]`.
+    VSel {
+        /// Destination vector register.
+        dst: VReg,
+        /// Value when the lane's VCC bit is set.
+        a: VOp,
+        /// Value when it is clear.
+        b: VOp,
+    },
+    /// `vcc[l] = op(a[l], b[l])`.
+    VCmp {
+        /// Comparison.
+        op: CmpOp,
+        /// First source.
+        a: VOp,
+        /// Second source.
+        b: VOp,
+    },
+    /// `sdst = vsrc[lane]` — sample one lane into a scalar register.
+    VReadLane {
+        /// Destination scalar register.
+        sdst: SReg,
+        /// Source vector register.
+        vsrc: VReg,
+        /// Lane to read.
+        lane: u8,
+    },
+    /// `dst[l] = mem[a[l] + offset]`, zero-extended for byte loads.
+    VLoad {
+        /// Destination vector register.
+        dst: VReg,
+        /// Per-lane base address.
+        addr: VOp,
+        /// Constant byte offset added to every lane's address.
+        offset: u32,
+        /// Access width.
+        width: MemWidth,
+    },
+    /// `mem[a[l] + offset] = src[l]` (low byte for byte stores).
+    VStore {
+        /// Value to store.
+        src: VOp,
+        /// Per-lane base address.
+        addr: VOp,
+        /// Constant byte offset added to every lane's address.
+        offset: u32,
+        /// Access width.
+        width: MemWidth,
+    },
+    /// `dst = op(a, b)` on scalar state.
+    SAlu {
+        /// Operation.
+        op: SAluOp,
+        /// Destination scalar register.
+        dst: SReg,
+        /// First source.
+        a: SOp,
+        /// Second source.
+        b: SOp,
+    },
+    /// `dst = src`.
+    SMov {
+        /// Destination scalar register.
+        dst: SReg,
+        /// Source operand.
+        src: SOp,
+    },
+    /// `scc = op(a, b)`.
+    SCmp {
+        /// Comparison (unsigned variants only are meaningful on scalars).
+        op: CmpOp,
+        /// First source.
+        a: SOp,
+        /// Second source.
+        b: SOp,
+    },
+    /// Update the EXEC lane mask. Vector instructions only write registers
+    /// and memory in lanes whose EXEC bit is set (GCN-style divergence).
+    SSetExec {
+        /// New mask source.
+        op: ExecOp,
+    },
+    /// Conditional or unconditional jump to an instruction index.
+    Branch {
+        /// Condition.
+        cond: BranchCond,
+        /// Target instruction index (resolved by the assembler).
+        target: u32,
+    },
+    /// Terminate the wavefront.
+    EndPgm,
+}
+
+impl Inst {
+    /// `true` for instructions that access memory.
+    pub fn is_mem(&self) -> bool {
+        matches!(self, Inst::VLoad { .. } | Inst::VStore { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_conversions() {
+        assert_eq!(VOp::from(VReg(3)), VOp::Reg(VReg(3)));
+        assert_eq!(VOp::from(7u32), VOp::Imm(7));
+        assert_eq!(VOp::from(SReg(2)), VOp::Sreg(SReg(2)));
+        assert_eq!(SOp::from(SReg(1)), SOp::Reg(SReg(1)));
+        assert_eq!(SOp::from(9u32), SOp::Imm(9));
+        assert_eq!(VOp::imm_f32(1.0), VOp::Imm(0x3F80_0000));
+    }
+
+    #[test]
+    fn display_registers() {
+        assert_eq!(VReg(5).to_string(), "v5");
+        assert_eq!(SReg(2).to_string(), "s2");
+    }
+
+    #[test]
+    fn widths() {
+        assert_eq!(MemWidth::Dword.bytes(), 4);
+        assert_eq!(MemWidth::Byte.bytes(), 1);
+    }
+
+    #[test]
+    fn mem_classification() {
+        let ld = Inst::VLoad { dst: VReg(0), addr: VOp::Imm(0), offset: 0, width: MemWidth::Dword };
+        assert!(ld.is_mem());
+        assert!(!Inst::EndPgm.is_mem());
+    }
+}

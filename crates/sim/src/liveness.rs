@@ -1,0 +1,271 @@
+//! Backward liveness over the dynamic trace: transitive dynamic-dead
+//! instruction analysis plus bit-level demand (logic-masking) propagation —
+//! the program-level masking effects the paper's AVF infrastructure models
+//! (Section VI-A).
+//!
+//! Demand seeds are the program's architectural outputs (the final bytes of
+//! every output range). Demand flows backward through register provenance
+//! (with per-op [`Transfer`](crate::trace::Transfer) functions) and through
+//! memory (loads demand the stores that produced their bytes). Store
+//! addresses and branch conditions are demanded unconditionally: a corrupted
+//! store address or control-flow decision can corrupt arbitrary live state.
+
+use crate::mem::{Memory, HOST_WRITER};
+use crate::trace::{Trace, MAX_SRCS, NO_PRODUCER};
+
+/// The result of the backward pass.
+#[derive(Debug)]
+pub struct Liveness {
+    /// Final bit-level demand on each dynamic instruction's 32-bit output.
+    /// For stores, this is the demand on the *stored value*.
+    pub demand: Vec<u32>,
+    /// Per-source-operand use masks: `use_masks[i][slot]` is the bit demand
+    /// instruction `i` places on its `slot`-th register source.
+    pub use_masks: Vec<[u32; MAX_SRCS]>,
+}
+
+impl Liveness {
+    /// Whether instruction `i` is (transitively) live: some bit of its output
+    /// can reach program output or control flow.
+    pub fn is_live(&self, i: u32) -> bool {
+        self.demand[i as usize] != 0
+    }
+
+    /// Demand on byte `k` (0–3) of instruction `i`'s output.
+    pub fn byte_demand(&self, i: u32, k: u8) -> u8 {
+        (self.demand[i as usize] >> (8 * k)) as u8
+    }
+
+    /// The use mask of source operand `slot` of instruction `i`, restricted
+    /// to byte `k` of the operand.
+    pub fn use_mask(&self, i: u32, slot: u8) -> u32 {
+        self.use_masks[i as usize][slot as usize]
+    }
+
+    /// Fraction of instructions that are live (for reports).
+    pub fn live_fraction(&self) -> f64 {
+        if self.demand.is_empty() {
+            return 1.0;
+        }
+        self.demand.iter().filter(|&&d| d != 0).count() as f64 / self.demand.len() as f64
+    }
+}
+
+/// Run the backward demand/liveness pass over `trace`, seeding from the
+/// output ranges declared in `mem`.
+///
+/// # Panics
+///
+/// Panics if `mem` was created without provenance tracking.
+pub fn analyze(trace: &Trace, mem: &Memory) -> Liveness {
+    assert!(mem.tracking(), "liveness requires a provenance-tracking memory");
+    let n = trace.len();
+    let mut demand = vec![0u32; n];
+    let mut use_masks = vec![[0u32; MAX_SRCS]; n];
+
+    // Seed: every byte of every output range demands its final writer.
+    for range in mem.outputs().to_vec() {
+        for addr in range {
+            let (writer, wb) = mem.provenance(addr);
+            if writer != HOST_WRITER && writer != NO_PRODUCER {
+                demand[writer as usize] |= 0xFFu32 << (8 * wb);
+            }
+        }
+    }
+
+    // Backward pass: consumers appear after producers, so one reverse sweep
+    // finalizes every demand.
+    for i in (0..n).rev() {
+        let inst = &trace.insts[i];
+        let d = demand[i];
+        for (slot, &(producer, transfer)) in inst.srcs().iter().enumerate() {
+            let m = transfer.apply(d);
+            use_masks[i][slot] = m;
+            if producer != NO_PRODUCER && m != 0 {
+                demand[producer as usize] |= m;
+            }
+        }
+        // Loads pull demand into the stores that produced their bytes.
+        for ms in trace.mem_srcs_of(i as u32) {
+            let m = (u32::from((d >> (8 * ms.out_byte)) as u8)) << (8 * ms.writer_byte);
+            if m != 0 && ms.writer != NO_PRODUCER {
+                demand[ms.writer as usize] |= m;
+            }
+        }
+    }
+
+    Liveness { demand, use_masks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{step, NullPorts, StepCtx, Wavefront};
+    use crate::isa::{CmpOp, SReg, VReg};
+    use crate::program::{Assembler, Program};
+
+    fn run(program: &Program, mem: &mut Memory, wgs: u32) -> Trace {
+        let mut trace = Trace::new();
+        for wg in 0..wgs {
+            let mut wf = Wavefront::launch(program, wg, 0, wgs);
+            let mut ports = NullPorts;
+            while !wf.done {
+                let mut ctx = StepCtx { mem, trace: Some(&mut trace), ports: &mut ports, now: 0 };
+                step(&mut wf, program, &mut ctx);
+            }
+        }
+        trace
+    }
+
+    #[test]
+    fn dead_computation_has_zero_demand() {
+        // v3 is computed but never stored anywhere: dead.
+        let mut mem = Memory::new(1 << 16);
+        let out = mem.alloc_zeroed(64);
+        mem.mark_output(out, 256);
+        let mut a = Assembler::new();
+        a.v_mul_u(VReg(2), VReg(1), 4u32); // 0: address (live: feeds store)
+        a.v_add_u(VReg(3), VReg(1), 7u32); // 1: dead value
+        a.v_mul_u(VReg(3), VReg(3), 3u32); // 2: transitively dead
+        a.v_store(VReg(1), VReg(2), out); // 3: store id itself
+        a.end(); // 4
+        let p = a.finish().unwrap();
+        let trace = run(&p, &mut mem, 1);
+        let lv = analyze(&trace, &mem);
+        assert!(lv.is_live(0), "address feeds a store: always demanded");
+        assert!(!lv.is_live(1), "first-level dead");
+        assert!(!lv.is_live(2), "transitively dead");
+        assert!(lv.is_live(3), "store of output data");
+        assert!(lv.live_fraction() < 1.0);
+    }
+
+    #[test]
+    fn store_to_non_output_scratch_is_dead_but_address_lives() {
+        let mut mem = Memory::new(1 << 16);
+        let scratch = mem.alloc_zeroed(64);
+        let out = mem.alloc_zeroed(64);
+        mem.mark_output(out, 256);
+        let mut a = Assembler::new();
+        a.v_mul_u(VReg(2), VReg(1), 4u32); // 0: address
+        a.v_add_u(VReg(3), VReg(1), 1u32); // 1: scratch value (dead)
+        a.v_store(VReg(3), VReg(2), scratch); // 2: dead store
+        a.v_store(VReg(1), VReg(2), out); // 3: live store
+        a.end();
+        let p = a.finish().unwrap();
+        let trace = run(&p, &mut mem, 1);
+        let lv = analyze(&trace, &mem);
+        assert!(!lv.is_live(1), "value only reaches a never-read scratch buffer");
+        assert_eq!(lv.demand[2], 0, "the dead store's value demand is zero");
+        // But the dead store still fully demands its *address* operand.
+        // Address is source slot 1 (value is slot 0).
+        assert_eq!(lv.use_mask(2, 1), u32::MAX);
+        assert!(lv.is_live(0));
+    }
+
+    #[test]
+    fn demand_flows_through_memory() {
+        // store v1 -> buf; load buf -> v4; store v4 -> out.
+        let mut mem = Memory::new(1 << 16);
+        let buf = mem.alloc_zeroed(64);
+        let out = mem.alloc_zeroed(64);
+        mem.mark_output(out, 256);
+        let mut a = Assembler::new();
+        a.v_mul_u(VReg(2), VReg(1), 4u32); // 0
+        a.v_add_u(VReg(3), VReg(1), 5u32); // 1: value stored to buf
+        a.v_store(VReg(3), VReg(2), buf); // 2
+        a.v_load(VReg(4), VReg(2), buf); // 3
+        a.v_store(VReg(4), VReg(2), out); // 4
+        a.end();
+        let p = a.finish().unwrap();
+        let trace = run(&p, &mut mem, 1);
+        let lv = analyze(&trace, &mem);
+        assert!(lv.is_live(1), "value reaches output through memory");
+        assert_eq!(lv.demand[2], 0xFFFF_FFFF, "store demanded through the load");
+    }
+
+    #[test]
+    fn and_masking_prunes_demand() {
+        // out = (v1 & 0x0F): only the low 4 bits of v1's producer matter.
+        let mut mem = Memory::new(1 << 16);
+        let out = mem.alloc_zeroed(64);
+        mem.mark_output(out, 256);
+        let mut a = Assembler::new();
+        a.v_mul_u(VReg(2), VReg(1), 4u32); // 0: address
+        a.v_add_u(VReg(3), VReg(1), 0u32); // 1: the value
+        a.v_and(VReg(4), VReg(3), 0x0Fu32); // 2
+        a.v_store(VReg(4), VReg(2), out); // 3
+        a.end();
+        let p = a.finish().unwrap();
+        let trace = run(&p, &mut mem, 1);
+        let lv = analyze(&trace, &mem);
+        // The AND's use of v3 is masked to the low nibble.
+        assert_eq!(lv.use_mask(2, 0), 0x0F);
+        assert_eq!(lv.demand[1], 0x0F);
+    }
+
+    #[test]
+    fn shift_masking_moves_demand() {
+        // out = (v3 >> 8) & 0xFF: v3's bits 8..16 matter.
+        let mut mem = Memory::new(1 << 16);
+        let out = mem.alloc_zeroed(64);
+        mem.mark_output(out, 256);
+        let mut a = Assembler::new();
+        a.v_mul_u(VReg(2), VReg(1), 4u32);
+        a.v_add_u(VReg(3), VReg(1), 0u32); // 1: value
+        a.v_shr(VReg(4), VReg(3), 8u32); // 2
+        a.v_and(VReg(5), VReg(4), 0xFFu32); // 3
+        a.v_store(VReg(5), VReg(2), out); // 4
+        a.end();
+        let p = a.finish().unwrap();
+        let trace = run(&p, &mut mem, 1);
+        let lv = analyze(&trace, &mem);
+        assert_eq!(lv.demand[1], 0xFF00);
+    }
+
+    #[test]
+    fn branch_condition_is_always_demanded() {
+        let mut mem = Memory::new(1 << 16);
+        let out = mem.alloc_zeroed(64);
+        mem.mark_output(out, 256);
+        let mut a = Assembler::new();
+        a.s_mov(SReg(2), 1u32); // 0
+        a.s_cmp(CmpOp::EqU, SReg(2), 1u32); // 1: feeds branch
+        a.branch_scc_nz("skip"); // 2
+        a.v_mov(VReg(3), 99u32); // (not executed)
+        a.label("skip");
+        a.v_mul_u(VReg(2), VReg(1), 4u32);
+        a.v_store(VReg(1), VReg(2), out);
+        a.end();
+        let p = a.finish().unwrap();
+        let trace = run(&p, &mut mem, 1);
+        let lv = analyze(&trace, &mem);
+        assert!(lv.is_live(1), "compare feeding a branch is control-flow ACE");
+        assert!(lv.is_live(0), "its scalar input too");
+    }
+
+    #[test]
+    fn byte_load_narrows_demand() {
+        // Byte loads zero-extend: only the addressed byte of the producing
+        // store can matter.
+        let mut mem = Memory::new(1 << 16);
+        let buf = mem.alloc_zeroed(64);
+        let out = mem.alloc_zeroed(64);
+        mem.mark_output(out, 256);
+        let mut a = Assembler::new();
+        a.v_mul_u(VReg(2), VReg(1), 4u32); // 0
+        a.v_add_u(VReg(3), VReg(1), 0x1234_5678u32); // 1: value stored
+        a.v_store(VReg(3), VReg(2), buf); // 2: store dword
+        a.v_load_byte(VReg(4), VReg(2), buf + 1); // 3: load byte 1... per-lane offsets vary
+        a.v_store(VReg(4), VReg(2), out); // 4
+        a.end();
+        let p = a.finish().unwrap();
+        let trace = run(&p, &mut mem, 1);
+        let lv = analyze(&trace, &mem);
+        // Lane 0 loads buf+1 = byte 1 of its own store. Other lanes load
+        // byte (4l+1) mod 4 of a neighbouring lane's store, but it is the
+        // same dynamic store either way: the demand is a union of single
+        // bytes, never the full word.
+        assert_ne!(lv.demand[2], 0);
+        assert_ne!(lv.demand[2], 0xFFFF_FFFF);
+    }
+}

@@ -1,0 +1,283 @@
+//! Flat simulated memory with host-side buffer management, output-range
+//! marking, and per-byte provenance for liveness analysis.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Sentinel "writer" id for bytes initialized by the host (kernel inputs).
+pub const HOST_WRITER: u32 = u32::MAX;
+
+/// Byte-addressed simulated memory.
+///
+/// The host allocates buffers, fills inputs, marks output ranges (the ranges
+/// whose final contents constitute the program's architectural output), and
+/// reads results back after a run.
+pub struct Memory {
+    data: Vec<u8>,
+    /// Per-byte dynamic-instruction id of the last writer (for provenance);
+    /// populated only when tracking is enabled.
+    writer: Vec<u32>,
+    /// Which byte of the writing store produced this byte (0..4).
+    writer_byte: Vec<u8>,
+    next_alloc: u32,
+    outputs: Vec<Range<u32>>,
+    track: bool,
+    wrap_oob: bool,
+}
+
+impl fmt::Debug for Memory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Memory")
+            .field("size", &self.data.len())
+            .field("allocated", &self.next_alloc)
+            .field("outputs", &self.outputs)
+            .field("tracking", &self.track)
+            .finish()
+    }
+}
+
+impl Memory {
+    /// A memory of `size` bytes with provenance tracking enabled.
+    pub fn new(size: u32) -> Self {
+        Self::with_tracking(size, true)
+    }
+
+    /// A memory of `size` bytes; `track = false` skips provenance metadata
+    /// (the fast path for fault-injection runs).
+    pub fn with_tracking(size: u32, track: bool) -> Self {
+        Self {
+            data: vec![0; size as usize],
+            writer: if track { vec![HOST_WRITER; size as usize] } else { Vec::new() },
+            writer_byte: if track { vec![0; size as usize] } else { Vec::new() },
+            next_alloc: 64, // keep address 0 unused to catch null-ish bugs
+            outputs: Vec::new(),
+            track,
+            wrap_oob: false,
+        }
+    }
+
+    /// Out-of-bounds device accesses wrap around instead of panicking.
+    ///
+    /// Fault-injection runs corrupt address registers, so wild accesses are
+    /// expected behaviour there (a real GPU would touch some arbitrary flat
+    /// address); the default panic policy stays on for golden/timing runs to
+    /// catch kernel bugs.
+    pub fn set_wrap_oob(&mut self, wrap: bool) {
+        self.wrap_oob = wrap;
+    }
+
+    fn index(&self, addr: u32, k: usize) -> usize {
+        let i = addr as usize + k;
+        if self.wrap_oob {
+            i % self.data.len()
+        } else {
+            i
+        }
+    }
+
+    /// Whether provenance tracking is on.
+    pub fn tracking(&self) -> bool {
+        self.track
+    }
+
+    /// Total size in bytes.
+    pub fn size(&self) -> u32 {
+        self.data.len() as u32
+    }
+
+    /// Allocate `len` bytes aligned to 64 (a cache line).
+    ///
+    /// # Panics
+    ///
+    /// Panics if memory is exhausted.
+    pub fn alloc(&mut self, len: u32) -> u32 {
+        let addr = self.next_alloc;
+        let end = addr.checked_add(len).expect("allocation overflows address space");
+        assert!(end as usize <= self.data.len(), "simulated memory exhausted");
+        self.next_alloc = (end + 63) & !63;
+        addr
+    }
+
+    /// Allocate and fill a buffer of u32 words; returns its base address.
+    pub fn alloc_u32(&mut self, words: &[u32]) -> u32 {
+        let addr = self.alloc(words.len() as u32 * 4);
+        for (i, w) in words.iter().enumerate() {
+            self.write_u32_host(addr + i as u32 * 4, *w);
+        }
+        addr
+    }
+
+    /// Allocate and fill a buffer of f32 values; returns its base address.
+    pub fn alloc_f32(&mut self, values: &[f32]) -> u32 {
+        let words: Vec<u32> = values.iter().map(|v| v.to_bits()).collect();
+        self.alloc_u32(&words)
+    }
+
+    /// Allocate a zero-filled buffer of `words` u32 entries.
+    pub fn alloc_zeroed(&mut self, words: u32) -> u32 {
+        self.alloc(words * 4)
+    }
+
+    /// Mark `[addr, addr+len)` as architectural output: the final contents of
+    /// output ranges are what the program is "for", so their last writers are
+    /// liveness roots.
+    pub fn mark_output(&mut self, addr: u32, len: u32) {
+        self.outputs.push(addr..addr + len);
+    }
+
+    /// The declared output ranges.
+    pub fn outputs(&self) -> &[Range<u32>] {
+        &self.outputs
+    }
+
+    /// Concatenated bytes of all output ranges, for golden-output comparison
+    /// in fault-injection campaigns.
+    pub fn output_snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for r in &self.outputs {
+            out.extend_from_slice(&self.data[r.start as usize..r.end as usize]);
+        }
+        out
+    }
+
+    // --- host access (no provenance) ---------------------------------------
+
+    /// Host write of a u32 (marks the byte as host-initialized).
+    pub fn write_u32_host(&mut self, addr: u32, value: u32) {
+        let a = addr as usize;
+        self.data[a..a + 4].copy_from_slice(&value.to_le_bytes());
+        if self.track {
+            for k in 0..4 {
+                self.writer[a + k] = HOST_WRITER;
+                self.writer_byte[a + k] = k as u8;
+            }
+        }
+    }
+
+    /// Host read of a u32.
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        let a = addr as usize;
+        u32::from_le_bytes(self.data[a..a + 4].try_into().expect("4 bytes"))
+    }
+
+    /// Host read of an f32.
+    pub fn read_f32(&self, addr: u32) -> f32 {
+        f32::from_bits(self.read_u32(addr))
+    }
+
+    /// Host read of `n` consecutive u32 words.
+    pub fn read_u32_slice(&self, addr: u32, n: u32) -> Vec<u32> {
+        (0..n).map(|i| self.read_u32(addr + i * 4)).collect()
+    }
+
+    /// Host read of `n` consecutive f32 values.
+    pub fn read_f32_slice(&self, addr: u32, n: u32) -> Vec<f32> {
+        (0..n).map(|i| self.read_f32(addr + i * 4)).collect()
+    }
+
+    // --- device access (with provenance) ------------------------------------
+
+    /// Device load of `len` bytes (1 or 4) at `addr`, little-endian
+    /// zero-extended into a u32.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds access (a kernel bug).
+    pub fn load(&self, addr: u32, len: u32) -> u32 {
+        let mut v = 0u32;
+        for k in 0..len as usize {
+            v |= u32::from(self.data[self.index(addr, k)]) << (8 * k);
+        }
+        v
+    }
+
+    /// Device store of the low `len` bytes (1 or 4) of `value` at `addr`,
+    /// recording `dyn_id` as the writer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds access (a kernel bug).
+    pub fn store(&mut self, addr: u32, len: u32, value: u32, dyn_id: u32) {
+        for k in 0..len as usize {
+            let i = self.index(addr, k);
+            self.data[i] = (value >> (8 * k)) as u8;
+            if self.track {
+                self.writer[i] = dyn_id;
+                self.writer_byte[i] = k as u8;
+            }
+        }
+    }
+
+    /// The `(writer dyn-id, byte-within-store)` provenance of byte `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if tracking is disabled.
+    pub fn provenance(&self, addr: u32) -> (u32, u8) {
+        assert!(self.track, "provenance requires tracking");
+        (self.writer[addr as usize], self.writer_byte[addr as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_line_aligned_and_disjoint() {
+        let mut m = Memory::new(4096);
+        let a = m.alloc(10);
+        let b = m.alloc(100);
+        assert_eq!(a % 64, 0);
+        assert_eq!(b % 64, 0);
+        assert!(b >= a + 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn alloc_overflow_panics() {
+        let mut m = Memory::new(128);
+        m.alloc(256);
+    }
+
+    #[test]
+    fn host_roundtrip() {
+        let mut m = Memory::new(1024);
+        let a = m.alloc_f32(&[1.5, -2.0]);
+        assert_eq!(m.read_f32(a), 1.5);
+        assert_eq!(m.read_f32(a + 4), -2.0);
+        assert_eq!(m.read_f32_slice(a, 2), vec![1.5, -2.0]);
+    }
+
+    #[test]
+    fn device_store_records_provenance() {
+        let mut m = Memory::new(1024);
+        let a = m.alloc(64);
+        m.store(a, 4, 0xAABBCCDD, 42);
+        assert_eq!(m.load(a, 4), 0xAABBCCDD);
+        assert_eq!(m.load(a + 1, 1), 0xCC);
+        assert_eq!(m.provenance(a + 2), (42, 2));
+        assert_eq!(m.provenance(a + 63), (HOST_WRITER, 0));
+    }
+
+    #[test]
+    fn untracked_memory_skips_metadata() {
+        let mut m = Memory::with_tracking(1024, false);
+        let a = m.alloc(8);
+        m.store(a, 4, 7, 1);
+        assert_eq!(m.load(a, 4), 7);
+        assert!(!m.tracking());
+    }
+
+    #[test]
+    fn output_snapshot_concatenates_ranges() {
+        let mut m = Memory::new(1024);
+        let a = m.alloc(64);
+        let b = m.alloc(64);
+        m.write_u32_host(a, 0x01020304);
+        m.write_u32_host(b, 0x05060708);
+        m.mark_output(a, 4);
+        m.mark_output(b, 2);
+        assert_eq!(m.output_snapshot(), vec![4, 3, 2, 1, 8, 7]);
+    }
+}

@@ -1,0 +1,484 @@
+//! Programs and the assembler used to build them.
+//!
+//! Workload kernels are constructed with [`Assembler`], a thin builder over
+//! [`Inst`] with named labels:
+//!
+//! ```
+//! use mbavf_sim::isa::{CmpOp, SReg, VOp, VReg};
+//! use mbavf_sim::program::Assembler;
+//!
+//! let mut a = Assembler::new();
+//! // v2 = v1 * 4  (global id scaled to a dword offset)
+//! a.v_mul_u(VReg(2), VReg(1), 4u32);
+//! a.v_load(VReg(3), VReg(2), 0x1000);     // v3 = mem[0x1000 + v2]
+//! a.v_add_u(VReg(3), VReg(3), 1u32);
+//! a.v_store(VReg(3), VReg(2), 0x2000);    // mem[0x2000 + v2] = v3
+//! a.end();
+//! let prog = a.finish().unwrap();
+//! assert_eq!(prog.len(), 5);
+//! # let _ = (CmpOp::EqU, SReg(0), VOp::Imm(0));
+//! ```
+
+use crate::isa::{BranchCond, CmpOp, Inst, MemWidth, SAluOp, SOp, SReg, VAluOp, VOp, VReg};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors from program assembly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AsmError {
+    /// A branch referenced a label that was never defined.
+    UndefinedLabel(String),
+    /// The same label was defined twice.
+    DuplicateLabel(String),
+    /// The program has no [`Inst::EndPgm`] terminator.
+    MissingEnd,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmError::MissingEnd => write!(f, "program does not end with EndPgm"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// An assembled, executable kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    insts: Vec<Inst>,
+    num_vregs: u8,
+    num_sregs: u8,
+}
+
+impl Program {
+    /// The instruction stream.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Instruction at `pc`.
+    pub fn inst(&self, pc: usize) -> Inst {
+        self.insts[pc]
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// `true` if the program is empty (never true for assembled programs).
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Highest vector register index used, plus one.
+    pub fn num_vregs(&self) -> u8 {
+        self.num_vregs
+    }
+
+    /// Highest scalar register index used, plus one.
+    pub fn num_sregs(&self) -> u8 {
+        self.num_sregs
+    }
+}
+
+/// Builder for [`Program`]s: emit instructions, define labels, branch to
+/// them, then [`finish`](Assembler::finish).
+#[derive(Debug, Default)]
+pub struct Assembler {
+    insts: Vec<Inst>,
+    labels: HashMap<String, u32>,
+    fixups: Vec<(usize, String)>,
+}
+
+impl Assembler {
+    /// An empty assembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current instruction index (where the next emitted instruction lands).
+    pub fn here(&self) -> u32 {
+        self.insts.len() as u32
+    }
+
+    /// Define `name` at the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate labels (a programming error in the kernel).
+    pub fn label(&mut self, name: &str) {
+        let prev = self.labels.insert(name.to_owned(), self.here());
+        assert!(prev.is_none(), "duplicate label `{name}`");
+    }
+
+    /// Emit a raw instruction.
+    pub fn emit(&mut self, inst: Inst) -> &mut Self {
+        self.insts.push(inst);
+        self
+    }
+
+    // --- vector ALU conveniences -------------------------------------------
+
+    /// `dst = a + b` (unsigned).
+    pub fn v_add_u(&mut self, dst: VReg, a: impl Into<VOp>, b: impl Into<VOp>) -> &mut Self {
+        self.emit(Inst::VAlu { op: VAluOp::AddU, dst, a: a.into(), b: b.into() })
+    }
+
+    /// `dst = a - b` (unsigned).
+    pub fn v_sub_u(&mut self, dst: VReg, a: impl Into<VOp>, b: impl Into<VOp>) -> &mut Self {
+        self.emit(Inst::VAlu { op: VAluOp::SubU, dst, a: a.into(), b: b.into() })
+    }
+
+    /// `dst = a * b` (unsigned).
+    pub fn v_mul_u(&mut self, dst: VReg, a: impl Into<VOp>, b: impl Into<VOp>) -> &mut Self {
+        self.emit(Inst::VAlu { op: VAluOp::MulU, dst, a: a.into(), b: b.into() })
+    }
+
+    /// `dst = a + b` (f32).
+    pub fn v_add_f(&mut self, dst: VReg, a: impl Into<VOp>, b: impl Into<VOp>) -> &mut Self {
+        self.emit(Inst::VAlu { op: VAluOp::AddF, dst, a: a.into(), b: b.into() })
+    }
+
+    /// `dst = a - b` (f32).
+    pub fn v_sub_f(&mut self, dst: VReg, a: impl Into<VOp>, b: impl Into<VOp>) -> &mut Self {
+        self.emit(Inst::VAlu { op: VAluOp::SubF, dst, a: a.into(), b: b.into() })
+    }
+
+    /// `dst = a * b` (f32).
+    pub fn v_mul_f(&mut self, dst: VReg, a: impl Into<VOp>, b: impl Into<VOp>) -> &mut Self {
+        self.emit(Inst::VAlu { op: VAluOp::MulF, dst, a: a.into(), b: b.into() })
+    }
+
+    /// `dst = a / b` (f32).
+    pub fn v_div_f(&mut self, dst: VReg, a: impl Into<VOp>, b: impl Into<VOp>) -> &mut Self {
+        self.emit(Inst::VAlu { op: VAluOp::DivF, dst, a: a.into(), b: b.into() })
+    }
+
+    /// `dst = min(a, b)` (f32).
+    pub fn v_min_f(&mut self, dst: VReg, a: impl Into<VOp>, b: impl Into<VOp>) -> &mut Self {
+        self.emit(Inst::VAlu { op: VAluOp::MinF, dst, a: a.into(), b: b.into() })
+    }
+
+    /// `dst = max(a, b)` (f32).
+    pub fn v_max_f(&mut self, dst: VReg, a: impl Into<VOp>, b: impl Into<VOp>) -> &mut Self {
+        self.emit(Inst::VAlu { op: VAluOp::MaxF, dst, a: a.into(), b: b.into() })
+    }
+
+    /// `dst = a & b`.
+    pub fn v_and(&mut self, dst: VReg, a: impl Into<VOp>, b: impl Into<VOp>) -> &mut Self {
+        self.emit(Inst::VAlu { op: VAluOp::And, dst, a: a.into(), b: b.into() })
+    }
+
+    /// `dst = a | b`.
+    pub fn v_or(&mut self, dst: VReg, a: impl Into<VOp>, b: impl Into<VOp>) -> &mut Self {
+        self.emit(Inst::VAlu { op: VAluOp::Or, dst, a: a.into(), b: b.into() })
+    }
+
+    /// `dst = a ^ b`.
+    pub fn v_xor(&mut self, dst: VReg, a: impl Into<VOp>, b: impl Into<VOp>) -> &mut Self {
+        self.emit(Inst::VAlu { op: VAluOp::Xor, dst, a: a.into(), b: b.into() })
+    }
+
+    /// `dst = a << b`.
+    pub fn v_shl(&mut self, dst: VReg, a: impl Into<VOp>, b: impl Into<VOp>) -> &mut Self {
+        self.emit(Inst::VAlu { op: VAluOp::Shl, dst, a: a.into(), b: b.into() })
+    }
+
+    /// `dst = a >> b` (logical).
+    pub fn v_shr(&mut self, dst: VReg, a: impl Into<VOp>, b: impl Into<VOp>) -> &mut Self {
+        self.emit(Inst::VAlu { op: VAluOp::Shr, dst, a: a.into(), b: b.into() })
+    }
+
+    /// `dst = src`.
+    pub fn v_mov(&mut self, dst: VReg, src: impl Into<VOp>) -> &mut Self {
+        self.emit(Inst::VMov { dst, src: src.into() })
+    }
+
+    /// `dst = vcc ? a : b` per lane.
+    pub fn v_sel(&mut self, dst: VReg, a: impl Into<VOp>, b: impl Into<VOp>) -> &mut Self {
+        self.emit(Inst::VSel { dst, a: a.into(), b: b.into() })
+    }
+
+    /// `vcc = op(a, b)` per lane.
+    pub fn v_cmp(&mut self, op: CmpOp, a: impl Into<VOp>, b: impl Into<VOp>) -> &mut Self {
+        self.emit(Inst::VCmp { op, a: a.into(), b: b.into() })
+    }
+
+    /// `sdst = vsrc[lane]`.
+    pub fn v_read_lane(&mut self, sdst: SReg, vsrc: VReg, lane: u8) -> &mut Self {
+        self.emit(Inst::VReadLane { sdst, vsrc, lane })
+    }
+
+    // --- memory -------------------------------------------------------------
+
+    /// Dword load: `dst = mem[addr + offset]`.
+    pub fn v_load(&mut self, dst: VReg, addr: impl Into<VOp>, offset: u32) -> &mut Self {
+        self.emit(Inst::VLoad { dst, addr: addr.into(), offset, width: MemWidth::Dword })
+    }
+
+    /// Byte load (zero-extended).
+    pub fn v_load_byte(&mut self, dst: VReg, addr: impl Into<VOp>, offset: u32) -> &mut Self {
+        self.emit(Inst::VLoad { dst, addr: addr.into(), offset, width: MemWidth::Byte })
+    }
+
+    /// Dword store: `mem[addr + offset] = src`.
+    pub fn v_store(&mut self, src: impl Into<VOp>, addr: impl Into<VOp>, offset: u32) -> &mut Self {
+        self.emit(Inst::VStore { src: src.into(), addr: addr.into(), offset, width: MemWidth::Dword })
+    }
+
+    /// Byte store (low byte of `src`).
+    pub fn v_store_byte(
+        &mut self,
+        src: impl Into<VOp>,
+        addr: impl Into<VOp>,
+        offset: u32,
+    ) -> &mut Self {
+        self.emit(Inst::VStore { src: src.into(), addr: addr.into(), offset, width: MemWidth::Byte })
+    }
+
+    // --- scalar --------------------------------------------------------------
+
+    /// `dst = a + b`.
+    pub fn s_add(&mut self, dst: SReg, a: impl Into<SOp>, b: impl Into<SOp>) -> &mut Self {
+        self.emit(Inst::SAlu { op: SAluOp::Add, dst, a: a.into(), b: b.into() })
+    }
+
+    /// `dst = a - b`.
+    pub fn s_sub(&mut self, dst: SReg, a: impl Into<SOp>, b: impl Into<SOp>) -> &mut Self {
+        self.emit(Inst::SAlu { op: SAluOp::Sub, dst, a: a.into(), b: b.into() })
+    }
+
+    /// `dst = a * b`.
+    pub fn s_mul(&mut self, dst: SReg, a: impl Into<SOp>, b: impl Into<SOp>) -> &mut Self {
+        self.emit(Inst::SAlu { op: SAluOp::Mul, dst, a: a.into(), b: b.into() })
+    }
+
+    /// `dst = a << b`.
+    pub fn s_shl(&mut self, dst: SReg, a: impl Into<SOp>, b: impl Into<SOp>) -> &mut Self {
+        self.emit(Inst::SAlu { op: SAluOp::Shl, dst, a: a.into(), b: b.into() })
+    }
+
+    /// `dst = src`.
+    pub fn s_mov(&mut self, dst: SReg, src: impl Into<SOp>) -> &mut Self {
+        self.emit(Inst::SMov { dst, src: src.into() })
+    }
+
+    /// `scc = op(a, b)`.
+    pub fn s_cmp(&mut self, op: CmpOp, a: impl Into<SOp>, b: impl Into<SOp>) -> &mut Self {
+        self.emit(Inst::SCmp { op, a: a.into(), b: b.into() })
+    }
+
+    // --- control flow ---------------------------------------------------------
+
+    fn branch_to(&mut self, cond: BranchCond, label: &str) -> &mut Self {
+        self.fixups.push((self.insts.len(), label.to_owned()));
+        self.emit(Inst::Branch { cond, target: u32::MAX })
+    }
+
+    /// Unconditional jump.
+    pub fn jump(&mut self, label: &str) -> &mut Self {
+        self.branch_to(BranchCond::Always, label)
+    }
+
+    /// Branch if SCC != 0.
+    pub fn branch_scc_nz(&mut self, label: &str) -> &mut Self {
+        self.branch_to(BranchCond::SccNz, label)
+    }
+
+    /// Branch if SCC == 0.
+    pub fn branch_scc_z(&mut self, label: &str) -> &mut Self {
+        self.branch_to(BranchCond::SccZ, label)
+    }
+
+    /// Branch if any lane's VCC bit is set.
+    pub fn branch_vcc_any(&mut self, label: &str) -> &mut Self {
+        self.branch_to(BranchCond::VccAny, label)
+    }
+
+    /// Branch if no lane's VCC bit is set.
+    pub fn branch_vcc_none(&mut self, label: &str) -> &mut Self {
+        self.branch_to(BranchCond::VccNone, label)
+    }
+
+    /// Update the EXEC lane mask.
+    pub fn s_set_exec(&mut self, op: crate::isa::ExecOp) -> &mut Self {
+        self.emit(Inst::SSetExec { op })
+    }
+
+    /// Terminate the wavefront.
+    pub fn end(&mut self) -> &mut Self {
+        self.emit(Inst::EndPgm)
+    }
+
+    /// Resolve labels and produce the program.
+    ///
+    /// # Errors
+    ///
+    /// [`AsmError::UndefinedLabel`] for dangling branches and
+    /// [`AsmError::MissingEnd`] if the program cannot terminate.
+    pub fn finish(mut self) -> Result<Program, AsmError> {
+        for (idx, label) in &self.fixups {
+            let Some(&target) = self.labels.get(label) else {
+                return Err(AsmError::UndefinedLabel(label.clone()));
+            };
+            if let Inst::Branch { target: t, .. } = &mut self.insts[*idx] {
+                *t = target;
+            }
+        }
+        if !self.insts.iter().any(|i| matches!(i, Inst::EndPgm)) {
+            return Err(AsmError::MissingEnd);
+        }
+        let (mut nv, mut ns) = (0u16, 2u16); // s0/s1 and v0/v1 preloaded
+        nv = nv.max(2);
+        for inst in &self.insts {
+            let mut tv = |r: VReg| nv = nv.max(u16::from(r.0) + 1);
+            let mut regs: Vec<VReg> = vec![];
+            let mut sregs: Vec<SReg> = vec![];
+            collect_regs(inst, &mut regs, &mut sregs);
+            for r in regs {
+                tv(r);
+            }
+            for s in sregs {
+                ns = ns.max(u16::from(s.0) + 1);
+            }
+        }
+        Ok(Program { insts: self.insts, num_vregs: nv as u8, num_sregs: ns as u8 })
+    }
+}
+
+fn collect_vop(op: &VOp, regs: &mut Vec<VReg>, sregs: &mut Vec<SReg>) {
+    match op {
+        VOp::Reg(r) => regs.push(*r),
+        VOp::Sreg(s) => sregs.push(*s),
+        VOp::Imm(_) => {}
+    }
+}
+
+fn collect_sop(op: &SOp, sregs: &mut Vec<SReg>) {
+    if let SOp::Reg(s) = op {
+        sregs.push(*s);
+    }
+}
+
+fn collect_regs(inst: &Inst, regs: &mut Vec<VReg>, sregs: &mut Vec<SReg>) {
+    match inst {
+        Inst::VAlu { dst, a, b, .. } | Inst::VSel { dst, a, b } => {
+            regs.push(*dst);
+            collect_vop(a, regs, sregs);
+            collect_vop(b, regs, sregs);
+        }
+        Inst::VMov { dst, src } => {
+            regs.push(*dst);
+            collect_vop(src, regs, sregs);
+        }
+        Inst::VCmp { a, b, .. } => {
+            collect_vop(a, regs, sregs);
+            collect_vop(b, regs, sregs);
+        }
+        Inst::VReadLane { sdst, vsrc, .. } => {
+            sregs.push(*sdst);
+            regs.push(*vsrc);
+        }
+        Inst::VLoad { dst, addr, .. } => {
+            regs.push(*dst);
+            collect_vop(addr, regs, sregs);
+        }
+        Inst::VStore { src, addr, .. } => {
+            collect_vop(src, regs, sregs);
+            collect_vop(addr, regs, sregs);
+        }
+        Inst::SAlu { dst, a, b, .. } => {
+            sregs.push(*dst);
+            collect_sop(a, sregs);
+            collect_sop(b, sregs);
+        }
+        Inst::SMov { dst, src } => {
+            sregs.push(*dst);
+            collect_sop(src, sregs);
+        }
+        Inst::SCmp { a, b, .. } => {
+            collect_sop(a, sregs);
+            collect_sop(b, sregs);
+        }
+        Inst::SSetExec { .. } | Inst::Branch { .. } | Inst::EndPgm => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_resolve() {
+        let mut a = Assembler::new();
+        a.s_mov(SReg(2), 0u32);
+        a.label("loop");
+        a.s_add(SReg(2), SReg(2), 1u32);
+        a.s_cmp(CmpOp::LtU, SReg(2), 10u32);
+        a.branch_scc_nz("loop");
+        a.end();
+        let p = a.finish().unwrap();
+        match p.inst(3) {
+            Inst::Branch { target, cond: BranchCond::SccNz } => assert_eq!(target, 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn undefined_label_is_error() {
+        let mut a = Assembler::new();
+        a.jump("nowhere");
+        a.end();
+        assert_eq!(a.finish(), Err(AsmError::UndefinedLabel("nowhere".into())));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate label")]
+    fn duplicate_label_panics() {
+        let mut a = Assembler::new();
+        a.label("x");
+        a.label("x");
+    }
+
+    #[test]
+    fn missing_end_is_error() {
+        let mut a = Assembler::new();
+        a.v_mov(VReg(2), 0u32);
+        assert_eq!(a.finish(), Err(AsmError::MissingEnd));
+    }
+
+    #[test]
+    fn register_counts_include_preloads() {
+        let mut a = Assembler::new();
+        a.v_add_u(VReg(9), VReg(1), 4u32);
+        a.s_mov(SReg(5), 1u32);
+        a.end();
+        let p = a.finish().unwrap();
+        assert_eq!(p.num_vregs(), 10);
+        assert_eq!(p.num_sregs(), 6);
+        // Minimal program still reserves the preloaded v0/v1, s0/s1.
+        let mut a = Assembler::new();
+        a.end();
+        let p = a.finish().unwrap();
+        assert_eq!(p.num_vregs(), 2);
+        assert_eq!(p.num_sregs(), 2);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let mut a = Assembler::new();
+        a.v_mul_u(VReg(2), VReg(1), 4u32).v_load(VReg(3), VReg(2), 0x100).v_store(
+            VReg(3),
+            VReg(2),
+            0x200,
+        );
+        a.end();
+        assert_eq!(a.finish().unwrap().len(), 4);
+    }
+}

@@ -1,0 +1,273 @@
+//! Dynamic-instruction trace with operand provenance — the raw material for
+//! the liveness (dynamic-dead) and logic-masking analysis of `liveness`.
+//!
+//! Every retired instruction appends a [`DynInst`] carrying, per source
+//! operand, the dynamic id of the producing instruction and a [`Transfer`]
+//! describing how bit-level demand flows backward through the operation.
+//! Loads additionally record which store produced each loaded byte
+//! ([`MemSrc`], pooled in [`Trace::mem_srcs`]).
+
+/// Maximum register/flag sources per instruction.
+pub const MAX_SRCS: usize = 3;
+
+/// Sentinel producer id meaning "no producer" (host-initialized register or
+/// memory, or preloaded launch state).
+pub const NO_PRODUCER: u32 = u32::MAX;
+
+/// How bit-level demand on an instruction's output maps onto one of its
+/// sources (the logic-masking transfer function).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transfer {
+    /// Bit `j` of the output depends only on bit `j` of this source
+    /// (moves, XOR, selects): demand passes through unchanged.
+    Copy,
+    /// Any demanded output bit requires every bit of this source (float
+    /// arithmetic, comparisons, variable shifts).
+    Full,
+    /// This source is bitwise-ANDed with a value whose lane-wise OR is the
+    /// payload: source bits masked to zero in every lane cannot matter.
+    And(u32),
+    /// Source is shifted left by the payload: demand shifts right.
+    Shl(u8),
+    /// Source is shifted right by the payload: demand shifts left.
+    Shr(u8),
+    /// Add/sub/mul: output bit `j` depends only on source bits `0..=j`, so
+    /// the demand extends from bit 0 through the highest demanded bit.
+    Arith,
+    /// Always fully demanded regardless of the consumer's own demand —
+    /// used for store addresses (a corrupted store address can clobber
+    /// arbitrary live state) and branch conditions.
+    Always,
+}
+
+impl Transfer {
+    /// Demand on the source given demand `d` on the instruction's output.
+    pub fn apply(&self, d: u32) -> u32 {
+        match *self {
+            Transfer::Copy => d,
+            Transfer::Full => {
+                if d == 0 {
+                    0
+                } else {
+                    u32::MAX
+                }
+            }
+            Transfer::And(other) => d & other,
+            Transfer::Shl(k) => d >> k,
+            Transfer::Shr(k) => d << k,
+            Transfer::Arith => {
+                if d == 0 {
+                    0
+                } else {
+                    let top = 31 - d.leading_zeros();
+                    if top >= 31 {
+                        u32::MAX
+                    } else {
+                        (1u32 << (top + 1)) - 1
+                    }
+                }
+            }
+            Transfer::Always => u32::MAX,
+        }
+    }
+}
+
+/// Provenance of one loaded byte: which dynamic store produced it and how the
+/// bytes line up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemSrc {
+    /// Dynamic id of the producing store ([`NO_PRODUCER`] for host data).
+    pub writer: u32,
+    /// Which byte of the load's 32-bit result this is (0–3).
+    pub out_byte: u8,
+    /// Which byte of the writer's stored value produced it (0–3).
+    pub writer_byte: u8,
+}
+
+/// One retired dynamic instruction.
+#[derive(Debug, Clone, Copy)]
+pub struct DynInst {
+    /// Static program counter.
+    pub pc: u32,
+    /// Global wavefront (workgroup) id.
+    pub wf: u32,
+    /// Register/flag sources: `(producer dyn id, demand transfer)`.
+    pub srcs: [(u32, Transfer); MAX_SRCS],
+    /// Number of valid entries in `srcs`.
+    pub nsrc: u8,
+    /// Range into [`Trace::mem_srcs`] for loads.
+    pub mem_src_start: u32,
+    /// Length of the `mem_srcs` range.
+    pub mem_src_len: u16,
+    /// `true` if this instruction stores to memory.
+    pub is_store: bool,
+}
+
+impl DynInst {
+    /// A fresh record with no sources.
+    pub fn new(pc: u32, wf: u32) -> Self {
+        Self {
+            pc,
+            wf,
+            srcs: [(NO_PRODUCER, Transfer::Copy); MAX_SRCS],
+            nsrc: 0,
+            mem_src_start: 0,
+            mem_src_len: 0,
+            is_store: false,
+        }
+    }
+
+    /// Append a source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_SRCS`] sources are added.
+    pub fn push_src(&mut self, producer: u32, transfer: Transfer) -> u8 {
+        let slot = self.nsrc;
+        assert!((slot as usize) < MAX_SRCS, "too many sources");
+        self.srcs[slot as usize] = (producer, transfer);
+        self.nsrc += 1;
+        slot
+    }
+
+    /// The valid sources.
+    pub fn srcs(&self) -> &[(u32, Transfer)] {
+        &self.srcs[..self.nsrc as usize]
+    }
+}
+
+/// The full dynamic trace of one simulation.
+#[derive(Debug, Default)]
+pub struct Trace {
+    /// Retired instructions, in retirement order; index = dynamic id.
+    pub insts: Vec<DynInst>,
+    /// Pooled per-byte load provenance.
+    pub mem_srcs: Vec<MemSrc>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of retired instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// `true` before anything retires.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Begin a record; returns its dynamic id.
+    pub fn begin(&mut self, pc: u32, wf: u32) -> u32 {
+        let id = self.insts.len() as u32;
+        self.insts.push(DynInst::new(pc, wf));
+        id
+    }
+
+    /// The record being built (the most recent one).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty trace.
+    pub fn last_mut(&mut self) -> &mut DynInst {
+        self.insts.last_mut().expect("no open record")
+    }
+
+    /// Attach pooled memory sources to the instruction `id`, deduplicating
+    /// `(writer, out_byte, writer_byte)` triples.
+    pub fn attach_mem_srcs(&mut self, id: u32, entries: impl IntoIterator<Item = MemSrc>) {
+        let start = self.mem_srcs.len() as u32;
+        for e in entries {
+            if e.writer == NO_PRODUCER {
+                continue;
+            }
+            let existing = &self.mem_srcs[start as usize..];
+            if !existing.contains(&e) {
+                self.mem_srcs.push(e);
+            }
+        }
+        let inst = &mut self.insts[id as usize];
+        inst.mem_src_start = start;
+        inst.mem_src_len = (self.mem_srcs.len() as u32 - start) as u16;
+    }
+
+    /// The pooled memory sources of instruction `id`.
+    pub fn mem_srcs_of(&self, id: u32) -> &[MemSrc] {
+        let i = &self.insts[id as usize];
+        &self.mem_srcs[i.mem_src_start as usize..i.mem_src_start as usize + i.mem_src_len as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_copy_and_full() {
+        assert_eq!(Transfer::Copy.apply(0b1010), 0b1010);
+        assert_eq!(Transfer::Full.apply(0), 0);
+        assert_eq!(Transfer::Full.apply(1), u32::MAX);
+        assert_eq!(Transfer::Always.apply(0), u32::MAX);
+    }
+
+    #[test]
+    fn transfer_and_masks() {
+        assert_eq!(Transfer::And(0x0F).apply(0xFF), 0x0F);
+        assert_eq!(Transfer::And(0xF0).apply(0x0F), 0);
+    }
+
+    #[test]
+    fn transfer_shifts() {
+        // out = in << 4; demanding out bit 5 demands in bit 1.
+        assert_eq!(Transfer::Shl(4).apply(1 << 5), 1 << 1);
+        // out = in >> 4; demanding out bit 1 demands in bit 5.
+        assert_eq!(Transfer::Shr(4).apply(1 << 1), 1 << 5);
+    }
+
+    #[test]
+    fn transfer_arith_extends_to_msb() {
+        assert_eq!(Transfer::Arith.apply(0), 0);
+        assert_eq!(Transfer::Arith.apply(0b1000), 0b1111);
+        assert_eq!(Transfer::Arith.apply(1), 1);
+        assert_eq!(Transfer::Arith.apply(0x8000_0000), u32::MAX);
+    }
+
+    #[test]
+    fn trace_records_sources() {
+        let mut t = Trace::new();
+        let a = t.begin(0, 0);
+        let b = t.begin(1, 0);
+        t.last_mut().push_src(a, Transfer::Copy);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.insts[b as usize].srcs(), &[(a, Transfer::Copy)]);
+    }
+
+    #[test]
+    fn mem_srcs_dedup_and_skip_host() {
+        let mut t = Trace::new();
+        let id = t.begin(0, 0);
+        t.attach_mem_srcs(
+            id,
+            [
+                MemSrc { writer: 5, out_byte: 0, writer_byte: 0 },
+                MemSrc { writer: 5, out_byte: 0, writer_byte: 0 },
+                MemSrc { writer: NO_PRODUCER, out_byte: 1, writer_byte: 1 },
+                MemSrc { writer: 5, out_byte: 1, writer_byte: 1 },
+            ],
+        );
+        assert_eq!(t.mem_srcs_of(id).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many sources")]
+    fn too_many_sources_panics() {
+        let mut d = DynInst::new(0, 0);
+        for _ in 0..4 {
+            d.push_src(0, Transfer::Copy);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! CoMD-style Lennard-Jones force loop (Mantevo `CoMD`).
+//!
+//! Each atom accumulates pair forces from a fixed neighbour window. The
+//! kernel also accumulates a **potential-energy diagnostic** that loads a
+//! per-atom mass table used nowhere else and is written to a scratch buffer
+//! that is never read — first-level and transitively dead code whose cache
+//! lines are read only by dead instructions. This reproduces CoMD's
+//! standout false-DUE behaviour in the paper's Figure 10 (41% of its
+//! single-bit DUE AVF is false DUE).
+
+use crate::util::{check_f32, gen_f32};
+use crate::{Instance, InstanceMeta, Scale};
+use mbavf_sim::isa::{CmpOp, VOp, VReg};
+use mbavf_sim::program::Assembler;
+use mbavf_sim::Memory;
+
+const NEIGHBOURS: [i32; 8] = [-4, -3, -2, -1, 1, 2, 3, 4];
+
+/// Build the workload.
+pub fn build(scale: Scale) -> Instance {
+    let atoms = match scale {
+        Scale::Test => 64u32,
+        Scale::Paper => 256,
+    };
+    let mut mem = Memory::new(1 << 20);
+    // Positions roughly on a jittered 1-D lattice.
+    let pos: Vec<f32> = gen_f32(0xCC, atoms as usize)
+        .iter()
+        .enumerate()
+        .map(|(i, r)| i as f32 + 0.3 * r)
+        .collect();
+    let mass: Vec<f32> = gen_f32(0xCD, atoms as usize).iter().map(|r| 1.0 + r).collect();
+    let pos_addr = mem.alloc_f32(&pos);
+    let mass_addr = mem.alloc_f32(&mass);
+    let force_addr = mem.alloc_zeroed(atoms);
+    let energy_addr = mem.alloc_zeroed(atoms); // dead diagnostic sink
+    mem.mark_output(force_addr, atoms * 4);
+
+    let mut a = Assembler::new();
+    let (g4, xi, xj, dx, r2, inv2, inv6, t, fterm, facc, eacc, jaddr) = (
+        VReg(2),
+        VReg(3),
+        VReg(4),
+        VReg(5),
+        VReg(6),
+        VReg(7),
+        VReg(8),
+        VReg(9),
+        VReg(10),
+        VReg(11),
+        VReg(12),
+        VReg(13),
+    );
+    let mj = VReg(14);
+    a.v_mul_u(g4, VReg(1), 4u32);
+    a.v_load(xi, g4, pos_addr);
+    a.v_mov(facc, VOp::imm_f32(0.0));
+    a.v_mov(eacc, VOp::imm_f32(0.0));
+    for &o in NEIGHBOURS.iter() {
+        // j = i + o clamped into this wavefront's atom block; out-of-range
+        // lanes contribute zero through the select below.
+        let in_range = |a: &mut Assembler| {
+            if o < 0 {
+                a.v_cmp(CmpOp::GeU, VReg(0), (-o) as u32);
+            } else {
+                a.v_cmp(CmpOp::LtU, VReg(0), 64 - o as u32);
+            }
+        };
+        in_range(&mut a);
+        if o < 0 {
+            a.v_sub_u(jaddr, g4, (4 * -o) as u32);
+        } else {
+            a.v_add_u(jaddr, g4, (4 * o) as u32);
+        }
+        a.v_sel(jaddr, jaddr, g4); // clamp to self when out of range
+        a.v_load(xj, jaddr, pos_addr);
+        a.v_sub_f(dx, xi, xj);
+        a.v_mul_f(r2, dx, dx);
+        a.v_add_f(r2, r2, VOp::imm_f32(0.01)); // softening
+        a.v_div_f(inv2, VOp::imm_f32(1.0), r2);
+        a.v_mul_f(inv6, inv2, inv2);
+        a.v_mul_f(inv6, inv6, inv2);
+        // f = (inv6^2 - 0.5 inv6) * dx
+        a.v_mul_f(t, inv6, inv6);
+        a.v_mul_f(fterm, inv6, VOp::imm_f32(0.5));
+        a.v_sub_f(t, t, fterm);
+        a.v_mul_f(t, t, dx);
+        in_range(&mut a); // re-establish the mask (v_div etc. left VCC alone,
+                          // but the explicit re-compare keeps intent clear)
+        a.v_sel(t, t, VOp::imm_f32(0.0));
+        a.v_add_f(facc, facc, t);
+        // Dead energy diagnostic: loads the mass table (used only here).
+        a.v_load(mj, jaddr, mass_addr);
+        a.v_mul_f(mj, mj, inv6);
+        a.v_add_f(eacc, eacc, mj);
+    }
+    a.v_store(facc, g4, force_addr);
+    a.v_store(eacc, g4, energy_addr); // never read, not an output: dead
+    a.end();
+
+    Instance {
+        name: "comd",
+        program: a.finish().expect("valid kernel"),
+        mem,
+        workgroups: atoms / 64,
+        check,
+        meta: InstanceMeta {
+            addrs: vec![("pos", pos_addr), ("force", force_addr)],
+            n: atoms,
+        },
+    }
+}
+
+fn check(mem: &Memory, meta: &InstanceMeta) -> Result<(), String> {
+    let atoms = meta.n;
+    let pos = mem.read_f32_slice(meta.addr("pos"), atoms);
+    let force = mem.read_f32_slice(meta.addr("force"), atoms);
+    let mut expected = vec![0.0f32; atoms as usize];
+    for i in 0..atoms as usize {
+        let lane = i % 64;
+        let mut facc = 0.0f32;
+        for &o in &NEIGHBOURS {
+            let in_range =
+                if o < 0 { lane as i32 >= -o } else { (lane as i32) < 64 - o };
+            let j = if in_range { (i as i32 + o) as usize } else { i };
+            let dx = pos[i] - pos[j];
+            let r2 = dx * dx + 0.01;
+            let inv2 = 1.0 / r2;
+            let inv6 = inv2 * inv2 * inv2;
+            let t = (inv6 * inv6 - inv6 * 0.5) * dx;
+            facc += if in_range { t } else { 0.0 };
+        }
+        expected[i] = facc;
+    }
+    check_f32(&force, &expected, 1e-4, "comd force")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbavf_sim::interp::run_golden;
+
+    #[test]
+    fn comd_matches_host_reference() {
+        let mut inst = build(Scale::Test);
+        let p = inst.program.clone();
+        let wgs = inst.workgroups;
+        run_golden(&p, &mut inst.mem, wgs);
+        inst.check(&inst.mem).unwrap();
+    }
+
+    #[test]
+    fn comd_has_dead_energy_path() {
+        use mbavf_sim::exec::{step, NullPorts, StepCtx, Wavefront};
+        use mbavf_sim::liveness::analyze;
+        use mbavf_sim::trace::Trace;
+        let mut inst = build(Scale::Test);
+        let program = inst.program.clone();
+        let mut trace = Trace::new();
+        for wg in 0..inst.workgroups {
+            let mut wf = Wavefront::launch(&program, wg, 0, inst.workgroups);
+            let mut ports = NullPorts;
+            while !wf.done {
+                let mut ctx = StepCtx {
+                    mem: &mut inst.mem,
+                    trace: Some(&mut trace),
+                    ports: &mut ports,
+                    now: 0,
+                };
+                step(&mut wf, &program, &mut ctx);
+            }
+        }
+        let lv = analyze(&trace, &inst.mem);
+        let dead = 1.0 - lv.live_fraction();
+        assert!(dead > 0.15, "energy diagnostics must be dead, dead fraction {dead}");
+    }
+}

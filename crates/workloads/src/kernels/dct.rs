@@ -1,0 +1,103 @@
+//! 8-point DCT-II over rows (AMD APP `DCT`).
+//!
+//! Each lane transforms one 8-sample row: the eight inputs are loaded into
+//! registers once, then all eight output coefficients are computed as
+//! register-resident dot products against compile-time cosine constants —
+//! long register lifetimes that light up the VGPR AVF.
+
+use crate::util::{check_f32, gen_f32};
+use crate::{Instance, InstanceMeta, Scale};
+use mbavf_sim::isa::{VOp, VReg};
+use mbavf_sim::program::Assembler;
+use mbavf_sim::Memory;
+
+const ROW: usize = 8;
+
+/// The DCT-II coefficient for output `u`, input `x`.
+fn coef(u: usize, x: usize) -> f32 {
+    let scale = if u == 0 { (1.0f64 / 8.0).sqrt() } else { (2.0f64 / 8.0).sqrt() };
+    (scale * ((2 * x + 1) as f64 * u as f64 * std::f64::consts::PI / 16.0).cos()) as f32
+}
+
+/// Build the workload.
+pub fn build(scale: Scale) -> Instance {
+    let rows = match scale {
+        Scale::Test => 64u32,
+        Scale::Paper => 256,
+    };
+    let n = rows * ROW as u32;
+    let mut mem = Memory::new(1 << 20);
+    let input = gen_f32(0x99, n as usize);
+    let in_addr = mem.alloc_f32(&input);
+    let out_addr = mem.alloc_zeroed(n);
+    mem.mark_output(out_addr, n * 4);
+
+    let mut a = Assembler::new();
+    let base = VReg(2); // row byte base = global id * 32
+    let acc = VReg(3);
+    let tmp = VReg(4);
+    let inr = |x: usize| VReg(8 + x as u8); // v8..v15 hold the row
+    a.v_mul_u(base, VReg(1), (ROW * 4) as u32);
+    for x in 0..ROW {
+        a.v_load(inr(x), base, in_addr + (x * 4) as u32);
+    }
+    for u in 0..ROW {
+        a.v_mov(acc, VOp::imm_f32(0.0));
+        for x in 0..ROW {
+            a.v_mul_f(tmp, inr(x), VOp::imm_f32(coef(u, x)));
+            a.v_add_f(acc, acc, tmp);
+        }
+        a.v_store(acc, base, out_addr + (u * 4) as u32);
+    }
+    a.end();
+
+    Instance {
+        name: "dct",
+        program: a.finish().expect("valid kernel"),
+        mem,
+        workgroups: rows / 64,
+        check,
+        meta: InstanceMeta { addrs: vec![("in", in_addr), ("out", out_addr)], n },
+    }
+}
+
+fn check(mem: &Memory, meta: &InstanceMeta) -> Result<(), String> {
+    let n = meta.n;
+    let input = mem.read_f32_slice(meta.addr("in"), n);
+    let out = mem.read_f32_slice(meta.addr("out"), n);
+    let mut expected = vec![0.0f32; n as usize];
+    for r in 0..n as usize / ROW {
+        for u in 0..ROW {
+            let mut acc = 0.0f32;
+            for x in 0..ROW {
+                acc += input[r * ROW + x] * coef(u, x);
+            }
+            expected[r * ROW + u] = acc;
+        }
+    }
+    check_f32(&out, &expected, 1e-6, "dct")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbavf_sim::interp::run_golden;
+
+    #[test]
+    fn dct_matches_host_reference() {
+        let mut inst = build(Scale::Test);
+        let p = inst.program.clone();
+        let wgs = inst.workgroups;
+        run_golden(&p, &mut inst.mem, wgs);
+        inst.check(&inst.mem).unwrap();
+    }
+
+    #[test]
+    fn dct_of_constant_row_concentrates_in_dc() {
+        // DCT-II of a constant signal has all energy in coefficient 0.
+        let c: f32 = (0..ROW).map(|x| coef(3, x)).sum();
+        assert!(c.abs() < 1e-6, "AC coefficient rows sum to zero, got {c}");
+        let dc: f32 = (0..ROW).map(|x| coef(0, x)).sum();
+        assert!((dc - (8.0f32).sqrt() / 1.0).abs() < 1e-5);
+    }
+}

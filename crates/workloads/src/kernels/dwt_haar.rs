@@ -1,0 +1,119 @@
+//! 1-D Haar wavelet transform (AMD APP `DwtHaar1D`).
+//!
+//! Three decomposition levels over each 64-element block. At level `L` only
+//! the first `32 >> L` lanes produce coefficients; inactive lanes are
+//! steered to a per-lane scratch slot with a selected address (the
+//! predication-by-address idiom; contrast `pathfinder`, which uses EXEC
+//! masking), so their stores are architecturally dead — a natural source of
+//! dynamically dead code.
+
+use crate::util::{check_f32, gen_f32};
+use crate::{Instance, InstanceMeta, Scale};
+use mbavf_sim::isa::{CmpOp, SReg, VOp, VReg};
+use mbavf_sim::program::Assembler;
+use mbavf_sim::Memory;
+
+const C: f32 = std::f32::consts::FRAC_1_SQRT_2;
+
+/// Build the workload.
+pub fn build(scale: Scale) -> Instance {
+    let n = match scale {
+        Scale::Test => 128u32,
+        Scale::Paper => 512,
+    };
+    let mut mem = Memory::new(1 << 20);
+    let input = gen_f32(0x88, n as usize);
+    let work_addr = mem.alloc_f32(&input); // transformed in place per block
+    let out_addr = mem.alloc_zeroed(n);
+    let scratch_addr = mem.alloc_zeroed(n); // dead-store target for idle lanes
+    mem.mark_output(out_addr, n * 4);
+
+    let mut a = Assembler::new();
+    let (va, vb, approx, detail, aaddr, daddr, sc4) =
+        (VReg(2), VReg(3), VReg(4), VReg(5), VReg(6), VReg(7), VReg(8));
+    let (lane4, lane8) = (VReg(9), VReg(10));
+    let s_base = SReg(2);
+    a.s_mul(s_base, SReg(0), 256u32); // this block's byte base
+    a.v_mul_u(lane4, VReg(0), 4u32);
+    a.v_mul_u(lane8, VReg(0), 8u32);
+    a.v_mul_u(sc4, VReg(1), 4u32); // global per-lane scratch slot
+    // Detail regions within out: level 0 -> [32..64), 1 -> [16..32),
+    // 2 -> [8..16); final approx -> [0..8).
+    for (_level, h) in [(0u32, 32u32), (1, 16), (2, 8)] {
+        // a = W[2*lane], b = W[2*lane+1]
+        a.v_add_u(va, lane8, s_base);
+        a.v_load(vb, va, work_addr + 4);
+        a.v_load(va, va, work_addr);
+        a.v_add_f(approx, va, vb);
+        a.v_mul_f(approx, approx, VOp::imm_f32(C));
+        a.v_sub_f(detail, va, vb);
+        a.v_mul_f(detail, detail, VOp::imm_f32(C));
+        // Active lanes: lane < h.
+        a.v_cmp(CmpOp::LtU, VReg(0), h);
+        // approx -> W[lane] (next level input), inactive -> scratch.
+        a.v_add_u(aaddr, lane4, s_base);
+        a.v_add_u(aaddr, aaddr, work_addr);
+        a.v_add_u(va, sc4, scratch_addr);
+        a.v_sel(aaddr, aaddr, va);
+        a.v_store(approx, aaddr, 0);
+        // detail -> out[h + lane], inactive -> scratch.
+        a.v_add_u(daddr, lane4, s_base);
+        a.v_add_u(daddr, daddr, out_addr + h * 4);
+        a.v_sel(daddr, daddr, va);
+        a.v_store(detail, daddr, 0);
+    }
+    // Final approx (8 values) -> out[0..8).
+    a.v_cmp(CmpOp::LtU, VReg(0), 8u32);
+    a.v_add_u(va, lane4, s_base);
+    a.v_load(vb, va, work_addr);
+    a.v_add_u(aaddr, va, out_addr);
+    a.v_add_u(daddr, sc4, scratch_addr);
+    a.v_sel(aaddr, aaddr, daddr);
+    a.v_store(vb, aaddr, 0);
+    a.end();
+
+    Instance {
+        name: "dwt_haar",
+        program: a.finish().expect("valid kernel"),
+        mem,
+        workgroups: n / 64,
+        check,
+        meta: InstanceMeta { addrs: vec![("out", out_addr)], n },
+    }
+}
+
+fn check(mem: &Memory, meta: &InstanceMeta) -> Result<(), String> {
+    let n = meta.n;
+    let out = mem.read_f32_slice(meta.addr("out"), n);
+    let input = gen_f32(0x88, n as usize);
+    let mut expected = vec![0.0f32; n as usize];
+    for (bi, block) in input.chunks(64).enumerate() {
+        let mut w = block.to_vec();
+        let o = &mut expected[bi * 64..(bi + 1) * 64];
+        for h in [32usize, 16, 8] {
+            for i in 0..h {
+                let (x, y) = (w[2 * i], w[2 * i + 1]);
+                let approx = (x + y) * C;
+                o[h + i] = (x - y) * C;
+                w[i] = approx;
+            }
+        }
+        o[..8].copy_from_slice(&w[..8]);
+    }
+    check_f32(&out, &expected, 1e-6, "dwt_haar")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbavf_sim::interp::run_golden;
+
+    #[test]
+    fn dwt_haar_matches_host_reference() {
+        let mut inst = build(Scale::Test);
+        let p = inst.program.clone();
+        let wgs = inst.workgroups;
+        run_golden(&p, &mut inst.mem, wgs);
+        inst.check(&inst.mem).unwrap();
+    }
+}

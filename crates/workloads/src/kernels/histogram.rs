@@ -1,0 +1,95 @@
+//! Byte histogram (AMD APP `Histogram`).
+//!
+//! Bin-per-lane formulation: lane `l` of workgroup `w` owns bin `w*64 + l`
+//! and scans the whole input counting matches. Exercises byte-granularity
+//! loads (the cache allows byte reads, Section VI-A) with extreme L1 reuse.
+
+use crate::util::{check_u32, gen_bytes};
+use crate::{Instance, InstanceMeta, Scale};
+use mbavf_sim::isa::{CmpOp, SReg, VOp, VReg};
+use mbavf_sim::program::Assembler;
+use mbavf_sim::Memory;
+
+/// Build the workload.
+pub fn build(scale: Scale) -> Instance {
+    let (n, bins) = match scale {
+        Scale::Test => (512u32, 64u32),
+        Scale::Paper => (2048, 256),
+    };
+    let mut mem = Memory::new(1 << 20);
+    // Bias values into the bin range so most bins are nonzero.
+    let data: Vec<u8> =
+        gen_bytes(0x44, n as usize).into_iter().map(|b| b % (bins as u8).max(64)).collect();
+    let in_addr = mem.alloc(n);
+    for (i, &b) in data.iter().enumerate() {
+        mem.store(in_addr + i as u32, 1, u32::from(b), u32::MAX);
+    }
+    let hist_addr = mem.alloc_zeroed(bins);
+    mem.mark_output(hist_addr, bins * 4);
+
+    let mut a = Assembler::new();
+    let (bin, count, val, inc, haddr) = (VReg(2), VReg(3), VReg(4), VReg(5), VReg(6));
+    let s_i = SReg(2);
+    a.v_mov(bin, VReg(1)); // bin id = global id
+    a.v_mov(count, 0u32);
+    a.s_mov(s_i, 0u32);
+    a.label("scan");
+    a.v_load_byte(val, VOp::Sreg(s_i), in_addr); // broadcast byte
+    a.v_cmp(CmpOp::EqU, val, bin);
+    a.v_sel(inc, 1u32, 0u32);
+    a.v_add_u(count, count, inc);
+    a.s_add(s_i, s_i, 1u32);
+    a.s_cmp(CmpOp::LtU, s_i, n);
+    a.branch_scc_nz("scan");
+    a.v_mul_u(haddr, VReg(1), 4u32);
+    a.v_store(count, haddr, hist_addr);
+    a.end();
+
+    Instance {
+        name: "histogram",
+        program: a.finish().expect("valid kernel"),
+        mem,
+        workgroups: bins / 64,
+        check,
+        meta: InstanceMeta {
+            addrs: vec![("in", in_addr), ("hist", hist_addr)],
+            n,
+        },
+    }
+}
+
+fn check(mem: &Memory, meta: &InstanceMeta) -> Result<(), String> {
+    let n = meta.n;
+    let hist_addr = meta.addr("hist");
+    let in_addr = meta.addr("in");
+    let bins = mem.outputs()[0].len() as u32 / 4;
+    let mut expected = vec![0u32; bins as usize];
+    for i in 0..n {
+        let b = mem.load(in_addr + i, 1);
+        if b < bins {
+            expected[b as usize] += 1;
+        }
+    }
+    let actual = mem.read_u32_slice(hist_addr, bins);
+    // All input values land inside the bin range by construction.
+    let total: u32 = expected.iter().sum();
+    if total != n {
+        return Err(format!("input values escaped the bin range: {total} != {n}"));
+    }
+    check_u32(&actual, &expected, "histogram")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbavf_sim::interp::run_golden;
+
+    #[test]
+    fn histogram_matches_host_reference() {
+        let mut inst = build(Scale::Test);
+        let p = inst.program.clone();
+        let wgs = inst.workgroups;
+        run_golden(&p, &mut inst.mem, wgs);
+        inst.check(&inst.mem).unwrap();
+    }
+}

@@ -1,0 +1,240 @@
+//! MiniFE-style conjugate-gradient solve (Mantevo `MiniFE`).
+//!
+//! A finite-element mini-app skeleton with the paper's Figure 5 phase
+//! structure: a matrix/RHS **assembly** phase (streaming writes over an
+//! element buffer) followed by a **CG solve** phase (neighbour stencils,
+//! dot-product reductions, vector updates), whose cache behaviour differs
+//! sharply — the source of MiniFE's time-varying SB/MB-AVF ratio.
+//!
+//! Each workgroup independently solves a 64-unknown tridiagonal system
+//! `A x = b` with `A = tridiag(-1, 2.5, -1)` by CG, with a data-dependent
+//! convergence exit (`v_read_lane` + scalar float compare).
+
+use crate::util::{check_f32, emit_wg_sum_f32, gen_f32};
+use crate::{Instance, InstanceMeta, Scale};
+use mbavf_sim::isa::{CmpOp, SReg, VOp, VReg};
+use mbavf_sim::program::Assembler;
+use mbavf_sim::Memory;
+
+const N: u32 = 64; // unknowns per workgroup/system
+const DIAG: f32 = 2.5;
+const MAX_ITERS: u32 = 8;
+const EPS: f32 = 1e-10;
+
+/// Build the workload.
+pub fn build(scale: Scale) -> Instance {
+    let systems = match scale {
+        Scale::Test => 1u32,
+        Scale::Paper => 4,
+    };
+    let n = systems * N;
+    let mut mem = Memory::new(1 << 20);
+    let elem_src = gen_f32(0xBB, (n * 4) as usize);
+    let elem_in = mem.alloc_f32(&elem_src); // raw element data
+    let mesh_addr = mem.alloc_zeroed(n * 4); // assembled element buffer
+    let b_addr = mem.alloc_zeroed(n); // RHS
+    let p_addr = mem.alloc_zeroed(n); // search direction (in memory: stencil)
+    let red_addr = mem.alloc_zeroed(n); // reduction scratch
+    let x_addr = mem.alloc_zeroed(n); // solution
+    mem.mark_output(x_addr, n * 4);
+
+    let mut a = Assembler::new();
+    let g4 = VReg(2); // global id * 4
+    let (rhs, xv, rv, pv, ap) = (VReg(3), VReg(4), VReg(5), VReg(6), VReg(7));
+    let (t0, t1, t2) = (VReg(8), VReg(9), VReg(10));
+    let (rs, pap, alpha, rsnew, beta) = (VReg(11), VReg(12), VReg(13), VReg(14), VReg(15));
+    let (red_tmp, red_addr_v) = (VReg(16), VReg(17));
+    let (s_it, s_red_i, s_red_a, s_conv) = (SReg(2), SReg(3), SReg(4), SReg(5));
+
+    a.v_mul_u(g4, VReg(1), 4u32);
+
+    // --- Assembly phase: scale 4 element contributions per row into the
+    // mesh buffer (streaming writes), then gather them back to form the RHS
+    // (streaming reads) — the write-then-read traffic pattern of FE
+    // assembly, and a cache phase distinct from the solve.
+    let e4 = t0;
+    a.v_mul_u(e4, VReg(1), 16u32); // 4 entries per row
+    for k in 0..4u32 {
+        a.v_load(t1, e4, elem_in + k * 4);
+        a.v_mul_f(t2, t1, VOp::imm_f32(0.5));
+        a.v_store(t2, e4, mesh_addr + k * 4); // assembled element values
+    }
+    a.v_mov(rhs, VOp::imm_f32(0.0));
+    a.v_mul_u(e4, VReg(1), 16u32);
+    for k in 0..4u32 {
+        a.v_load(t2, e4, mesh_addr + k * 4);
+        a.v_add_f(rhs, rhs, t2);
+    }
+    a.v_store(rhs, g4, b_addr);
+
+    // --- CG setup: x = 0, r = b, p = b.
+    a.v_mov(xv, VOp::imm_f32(0.0));
+    a.v_mov(rv, rhs);
+    a.v_store(rhs, g4, p_addr);
+    // rs = r . r
+    a.v_mov(rs, VOp::imm_f32(0.0));
+    a.v_mul_f(t0, rv, rv);
+    emit_wg_sum_f32(&mut a, "rs0", red_addr, t0, rs, red_tmp, red_addr_v, s_red_i, s_red_a);
+
+    a.s_mov(s_it, 0u32);
+    a.label("cg");
+    // Ap = DIAG*p - p[i-1] - p[i+1] (zero at the system boundary).
+    a.v_load(pv, g4, p_addr);
+    // left neighbour: lanes with lane==0 use 0.
+    a.v_cmp(CmpOp::GeU, VReg(0), 1u32);
+    a.v_sub_u(t0, g4, 4u32);
+    a.v_sel(t0, t0, g4);
+    a.v_load(t1, t0, p_addr);
+    a.v_sel(t1, t1, VOp::imm_f32(0.0));
+    // right neighbour: lanes with lane==63 use 0.
+    a.v_cmp(CmpOp::LtU, VReg(0), N - 1);
+    a.v_add_u(t0, g4, 4u32);
+    a.v_sel(t0, t0, g4);
+    a.v_load(t2, t0, p_addr);
+    a.v_sel(t2, t2, VOp::imm_f32(0.0));
+    a.v_mul_f(ap, pv, VOp::imm_f32(DIAG));
+    a.v_sub_f(ap, ap, t1);
+    a.v_sub_f(ap, ap, t2);
+    // pAp = p . Ap
+    a.v_mov(pap, VOp::imm_f32(0.0));
+    a.v_mul_f(t0, pv, ap);
+    emit_wg_sum_f32(&mut a, "pap", red_addr, t0, pap, red_tmp, red_addr_v, s_red_i, s_red_a);
+    // alpha = rs / pAp; x += alpha p; r -= alpha Ap.
+    a.v_div_f(alpha, rs, pap);
+    a.v_mul_f(t0, alpha, pv);
+    a.v_add_f(xv, xv, t0);
+    a.v_mul_f(t0, alpha, ap);
+    a.v_sub_f(rv, rv, t0);
+    // rsnew = r . r
+    a.v_mov(rsnew, VOp::imm_f32(0.0));
+    a.v_mul_f(t0, rv, rv);
+    emit_wg_sum_f32(&mut a, "rsn", red_addr, t0, rsnew, red_tmp, red_addr_v, s_red_i, s_red_a);
+    // beta = rsnew / rs; p = r + beta p; rs = rsnew.
+    a.v_div_f(beta, rsnew, rs);
+    a.v_mul_f(t0, beta, pv);
+    a.v_add_f(t0, rv, t0);
+    a.v_store(t0, g4, p_addr);
+    a.v_mov(rs, rsnew);
+    // Convergence: sample rsnew on lane 0 and exit early when tiny.
+    a.v_read_lane(s_conv, rsnew, 0);
+    a.s_cmp(CmpOp::LtF, s_conv, EPS.to_bits());
+    a.branch_scc_nz("done");
+    a.s_add(s_it, s_it, 1u32);
+    a.s_cmp(CmpOp::LtU, s_it, MAX_ITERS);
+    a.branch_scc_nz("cg");
+    a.label("done");
+    a.v_store(xv, g4, x_addr);
+    a.end();
+
+    Instance {
+        name: "minife",
+        program: a.finish().expect("valid kernel"),
+        mem,
+        workgroups: systems,
+        check,
+        meta: InstanceMeta {
+            addrs: vec![("elem", elem_in), ("x", x_addr), ("b", b_addr)],
+            n,
+        },
+    }
+}
+
+/// Host CG replicating the kernel's operation order exactly.
+fn reference(elem: &[f32], systems: usize) -> Vec<f32> {
+    let n = N as usize;
+    let mut xs = vec![0.0f32; systems * n];
+    for s in 0..systems {
+        // Assembly.
+        let mut b = vec![0.0f32; n];
+        for (i, bi) in b.iter_mut().enumerate() {
+            let g = s * n + i;
+            let mut acc = 0.0f32;
+            for k in 0..4 {
+                acc += elem[g * 4 + k] * 0.5;
+            }
+            *bi = acc;
+        }
+        // CG.
+        let spmv = |p: &[f32]| -> Vec<f32> {
+            (0..n)
+                .map(|i| {
+                    let l = if i >= 1 { p[i - 1] } else { 0.0 };
+                    let r = if i < n - 1 { p[i + 1] } else { 0.0 };
+                    p[i] * DIAG - l - r
+                })
+                .collect()
+        };
+        let dot = |a: &[f32], b: &[f32]| -> f32 {
+            let mut acc = 0.0f32;
+            for i in 0..n {
+                acc += a[i] * b[i];
+            }
+            acc
+        };
+        let mut x = vec![0.0f32; n];
+        let mut r = b.clone();
+        let mut p = b.clone();
+        let mut rs = dot(&r, &r);
+        for _ in 0..MAX_ITERS {
+            let ap = spmv(&p);
+            let pap = dot(&p, &ap);
+            let alpha = rs / pap;
+            for i in 0..n {
+                x[i] += alpha * p[i];
+            }
+            for i in 0..n {
+                r[i] -= alpha * ap[i];
+            }
+            let rsnew = dot(&r, &r);
+            let beta = rsnew / rs;
+            for i in 0..n {
+                p[i] = r[i] + beta * p[i];
+            }
+            rs = rsnew;
+            if rsnew < EPS {
+                break;
+            }
+        }
+        xs[s * n..(s + 1) * n].copy_from_slice(&x);
+    }
+    xs
+}
+
+fn check(mem: &Memory, meta: &InstanceMeta) -> Result<(), String> {
+    let n = meta.n;
+    let elem = mem.read_f32_slice(meta.addr("elem"), n * 4);
+    let x = mem.read_f32_slice(meta.addr("x"), n);
+    let expected = reference(&elem, (n / N) as usize);
+    // CG on a well-conditioned tridiagonal system: modest tolerance covers
+    // any reduction-order rounding drift.
+    check_f32(&x, &expected, 1e-4, "minife x")?;
+    // And the solve must actually solve: residual check against A x = b.
+    let b = mem.read_f32_slice(meta.addr("b"), n);
+    for s in 0..(n / N) as usize {
+        for i in 0..N as usize {
+            let g = s * N as usize + i;
+            let l = if i >= 1 { x[g - 1] } else { 0.0 };
+            let r = if i < N as usize - 1 { x[g + 1] } else { 0.0 };
+            let ax = x[g] * DIAG - l - r;
+            if (ax - b[g]).abs() > 2e-2 * (1.0 + b[g].abs()) {
+                return Err(format!("residual too large at {g}: Ax={ax} b={}", b[g]));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbavf_sim::interp::run_golden;
+
+    #[test]
+    fn minife_matches_host_reference() {
+        let mut inst = build(Scale::Test);
+        let p = inst.program.clone();
+        let wgs = inst.workgroups;
+        run_golden(&p, &mut inst.mem, wgs);
+        inst.check(&inst.mem).unwrap();
+    }
+}

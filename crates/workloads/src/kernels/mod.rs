@@ -1,0 +1,15 @@
+//! The kernel implementations, one module per workload.
+
+pub mod comd;
+pub mod dct;
+pub mod dwt_haar;
+pub mod fast_walsh;
+pub mod histogram;
+pub mod matmul;
+pub mod minife;
+pub mod pathfinder;
+pub mod prefix_sum;
+pub mod recursive_gaussian;
+pub mod scan_large;
+pub mod srad;
+pub mod transpose;

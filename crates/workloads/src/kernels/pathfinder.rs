@@ -1,0 +1,156 @@
+//! Pathfinder-style dynamic programming (Rodinia `pathfinder`) with
+//! data-dependent EXEC-mask divergence.
+//!
+//! Row by row, each lane extends the cheapest path through a cost grid:
+//! `dp[c] = wall[r][c] + min(dp[c-1], dp[c], dp[c+1])`. Cells whose wall
+//! cost exceeds a threshold are *blocked*: those lanes take the else-branch
+//! (keep the old path cost plus a penalty) under an inverted EXEC mask —
+//! real GCN-style divergence, so different lanes' registers carry live
+//! values through different code paths.
+
+use crate::util::{check_f32, gen_f32};
+use crate::{Instance, InstanceMeta, Scale};
+use mbavf_sim::isa::{CmpOp, ExecOp, SReg, VOp, VReg};
+use mbavf_sim::program::Assembler;
+use mbavf_sim::Memory;
+
+const COLS: u32 = 64;
+const THRESH: f32 = 0.75;
+const PENALTY: f32 = 4.0;
+
+/// Build the workload.
+pub fn build(scale: Scale) -> Instance {
+    let (rows, grids) = match scale {
+        Scale::Test => (16u32, 1u32),
+        Scale::Paper => (48, 2),
+    };
+    let n = rows * COLS * grids;
+    let mut mem = Memory::new(1 << 20);
+    let wall = gen_f32(0xEE, n as usize);
+    let wall_addr = mem.alloc_f32(&wall);
+    let dp_addr = mem.alloc_zeroed(COLS * grids); // per-grid dp row
+    let out_addr = mem.alloc_zeroed(COLS * grids);
+    mem.mark_output(out_addr, COLS * grids * 4);
+
+    let mut a = Assembler::new();
+    let (g4, lane4, dp, wl, dl, dr, m, addr, cand) = (
+        VReg(2),
+        VReg(3),
+        VReg(4),
+        VReg(5),
+        VReg(6),
+        VReg(7),
+        VReg(8),
+        VReg(9),
+        VReg(10),
+    );
+    let (s_r, s_off) = (SReg(2), SReg(3));
+    a.v_mul_u(g4, VReg(1), 4u32); // global dp slot
+    a.v_mul_u(lane4, VReg(0), 4u32);
+    // dp = wall[row 0]: this grid's block starts at wg * rows * 256.
+    a.s_mul(s_off, SReg(0), rows * COLS * 4);
+    a.v_add_u(addr, lane4, VOp::Sreg(s_off));
+    a.v_load(dp, addr, wall_addr);
+    a.v_store(dp, g4, dp_addr);
+    a.s_mov(s_r, 1u32);
+    a.label("row");
+    // wall[r][c]
+    a.s_mul(s_off, s_r, COLS * 4);
+    a.v_add_u(addr, lane4, VOp::Sreg(s_off));
+    a.s_mul(s_off, SReg(0), rows * COLS * 4);
+    a.v_add_u(addr, addr, VOp::Sreg(s_off));
+    a.v_load(wl, addr, wall_addr);
+    // Neighbours of the previous dp row (clamped at the grid edge).
+    a.v_cmp(CmpOp::GeU, VReg(0), 1u32);
+    a.v_sub_u(addr, g4, 4u32);
+    a.v_sel(addr, addr, g4);
+    a.v_load(dl, addr, dp_addr);
+    a.v_cmp(CmpOp::LtU, VReg(0), COLS - 1);
+    a.v_add_u(addr, g4, 4u32);
+    a.v_sel(addr, addr, g4);
+    a.v_load(dr, addr, dp_addr);
+    a.v_min_f(m, dl, dr);
+    a.v_min_f(m, m, dp);
+    a.v_add_f(cand, wl, m);
+    // Divergence: open cells extend the path, blocked cells pay a penalty.
+    a.v_cmp(CmpOp::LtF, wl, VOp::imm_f32(THRESH));
+    a.s_set_exec(ExecOp::Vcc);
+    a.v_mov(dp, cand);
+    a.s_set_exec(ExecOp::NotVcc);
+    a.v_add_f(dp, dp, VOp::imm_f32(PENALTY));
+    a.s_set_exec(ExecOp::All);
+    a.v_store(dp, g4, dp_addr);
+    a.s_add(s_r, s_r, 1u32);
+    a.s_cmp(CmpOp::LtU, s_r, rows);
+    a.branch_scc_nz("row");
+    a.v_store(dp, g4, out_addr);
+    a.end();
+
+    Instance {
+        name: "pathfinder",
+        program: a.finish().expect("valid kernel"),
+        mem,
+        workgroups: grids,
+        check,
+        meta: InstanceMeta {
+            addrs: vec![("wall", wall_addr), ("out", out_addr)],
+            n: rows * grids,
+        },
+    }
+}
+
+fn check(mem: &Memory, meta: &InstanceMeta) -> Result<(), String> {
+    // meta.n = rows * grids; out has COLS entries per grid.
+    let rows_total = meta.n;
+    let out_len = mem.outputs()[0].len() as u32 / 4;
+    let grids = out_len / COLS;
+    let rows = rows_total / grids;
+    let wall = mem.read_f32_slice(meta.addr("wall"), rows * COLS * grids);
+    let out = mem.read_f32_slice(meta.addr("out"), COLS * grids);
+    let mut expected = vec![0.0f32; (COLS * grids) as usize];
+    for g in 0..grids as usize {
+        let base = g * (rows * COLS) as usize;
+        let mut dp: Vec<f32> = wall[base..base + COLS as usize].to_vec();
+        for r in 1..rows as usize {
+            let prev = dp.clone();
+            for c in 0..COLS as usize {
+                let wl = wall[base + r * COLS as usize + c];
+                let dl = prev[c.saturating_sub(1)];
+                let dr = prev[(c + 1).min(COLS as usize - 1)];
+                let m = dl.min(dr).min(prev[c]);
+                if wl < THRESH {
+                    dp[c] = wl + m;
+                } else {
+                    dp[c] = prev[c] + PENALTY;
+                }
+            }
+        }
+        expected[g * COLS as usize..(g + 1) * COLS as usize].copy_from_slice(&dp);
+    }
+    check_f32(&out, &expected, 1e-4, "pathfinder out")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbavf_sim::interp::run_golden;
+
+    #[test]
+    fn pathfinder_matches_host_reference() {
+        let mut inst = build(Scale::Test);
+        let p = inst.program.clone();
+        let wgs = inst.workgroups;
+        run_golden(&p, &mut inst.mem, wgs);
+        inst.check(&inst.mem).unwrap();
+    }
+
+    #[test]
+    fn both_branches_are_exercised() {
+        // With uniform [0,1) wall costs and THRESH = 0.75, both the open and
+        // the blocked path must occur.
+        let inst = build(Scale::Test);
+        let wall = inst.mem.read_f32_slice(inst.meta.addr("wall"), 16 * COLS);
+        assert!(wall.iter().any(|&w| w < THRESH));
+        assert!(wall.iter().any(|&w| w >= THRESH));
+    }
+}

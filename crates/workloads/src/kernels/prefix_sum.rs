@@ -1,0 +1,85 @@
+//! Inclusive prefix sum (AMD APP `PrefixSum`).
+//!
+//! Hillis-Steele scan within each 64-element block, ping-ponging between two
+//! buffers through memory (the ISA has no cross-lane shuffles, matching how
+//! early OpenCL scans staged partial results in local memory). Six unrolled
+//! doubling steps.
+
+use crate::util::{check_u32, gen_u32};
+use crate::{Instance, InstanceMeta, Scale};
+use mbavf_sim::isa::{CmpOp, VReg};
+use mbavf_sim::program::Assembler;
+use mbavf_sim::Memory;
+
+/// Build the workload.
+pub fn build(scale: Scale) -> Instance {
+    let n = match scale {
+        Scale::Test => 128u32,
+        Scale::Paper => 1024,
+    };
+    let mut mem = Memory::new(1 << 20);
+    let input: Vec<u32> = gen_u32(0x55, n as usize).into_iter().map(|v| v % 1000).collect();
+    let a_addr = mem.alloc_u32(&input);
+    let b_addr = mem.alloc_zeroed(n);
+    mem.mark_output(a_addr, n * 4);
+
+    let mut asm = Assembler::new();
+    let (self4, x, y, paddr) = (VReg(2), VReg(3), VReg(4), VReg(5));
+    asm.v_mul_u(self4, VReg(1), 4u32);
+    for (step, d) in [1u32, 2, 4, 8, 16, 32].into_iter().enumerate() {
+        let (src, dst) = if step % 2 == 0 { (a_addr, b_addr) } else { (b_addr, a_addr) };
+        asm.v_load(x, self4, src);
+        // Partner: lanes with lane >= d read element i-d, others re-read
+        // themselves (and then select 0).
+        asm.v_cmp(CmpOp::GeU, VReg(0), d);
+        asm.v_sub_u(paddr, self4, 4 * d);
+        asm.v_sel(paddr, paddr, self4);
+        asm.v_load(y, paddr, src);
+        asm.v_sel(y, y, 0u32);
+        asm.v_add_u(x, x, y);
+        asm.v_store(x, self4, dst);
+    }
+    asm.end();
+
+    Instance {
+        name: "prefix_sum",
+        program: asm.finish().expect("valid kernel"),
+        mem,
+        workgroups: n / 64,
+        check,
+        meta: InstanceMeta { addrs: vec![("a", a_addr), ("b", b_addr)], n },
+    }
+}
+
+fn check(mem: &Memory, meta: &InstanceMeta) -> Result<(), String> {
+    // Six steps: final result lands back in buffer A.
+    let n = meta.n;
+    let a = mem.read_u32_slice(meta.addr("a"), n);
+    // Reconstruct the original input deterministically.
+    let input: Vec<u32> =
+        crate::util::gen_u32(0x55, n as usize).into_iter().map(|v| v % 1000).collect();
+    let mut expected = vec![0u32; n as usize];
+    for block in 0..(n / 64) as usize {
+        let mut acc = 0u32;
+        for i in 0..64 {
+            acc = acc.wrapping_add(input[block * 64 + i]);
+            expected[block * 64 + i] = acc;
+        }
+    }
+    check_u32(&a, &expected, "prefix_sum")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbavf_sim::interp::run_golden;
+
+    #[test]
+    fn prefix_sum_matches_host_reference() {
+        let mut inst = build(Scale::Test);
+        let p = inst.program.clone();
+        let wgs = inst.workgroups;
+        run_golden(&p, &mut inst.mem, wgs);
+        inst.check(&inst.mem).unwrap();
+    }
+}

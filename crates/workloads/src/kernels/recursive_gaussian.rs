@@ -1,0 +1,89 @@
+//! Recursive (IIR) Gaussian approximation (AMD APP `RecursiveGaussian`).
+//!
+//! First-order causal IIR along each image row: `y[c] = a·x[c] + b·y[c-1]`.
+//! One lane per row, a sequential column loop — the running state lives in a
+//! register for the entire kernel (the longest register lifetimes in the
+//! suite), and per-column loads stride by a full row (256 bytes), scattering
+//! across cache indices.
+
+use crate::util::{check_f32, gen_f32};
+use crate::{Instance, InstanceMeta, Scale};
+use mbavf_sim::isa::{CmpOp, SReg, VOp, VReg};
+use mbavf_sim::program::Assembler;
+use mbavf_sim::Memory;
+
+const W: u32 = 64;
+const A: f32 = 0.25;
+const B: f32 = 0.75;
+
+/// Build the workload.
+pub fn build(scale: Scale) -> Instance {
+    let rows = match scale {
+        Scale::Test => 64u32,
+        Scale::Paper => 128,
+    };
+    let n = rows * W;
+    let mut mem = Memory::new(1 << 20);
+    let input = gen_f32(0xAA, n as usize);
+    let in_addr = mem.alloc_f32(&input);
+    let out_addr = mem.alloc_zeroed(n);
+    mem.mark_output(out_addr, n * 4);
+
+    let mut a = Assembler::new();
+    let (rowbase, y, x, addr, tmp) = (VReg(2), VReg(3), VReg(4), VReg(5), VReg(6));
+    let (s_c, s_c4) = (SReg(2), SReg(3));
+    a.v_mul_u(rowbase, VReg(1), W * 4); // row byte base
+    a.v_mov(y, VOp::imm_f32(0.0));
+    a.s_mov(s_c, 0u32);
+    a.label("col");
+    a.s_mul(s_c4, s_c, 4u32);
+    a.v_add_u(addr, rowbase, VOp::Sreg(s_c4));
+    a.v_load(x, addr, in_addr);
+    a.v_mul_f(x, x, VOp::imm_f32(A));
+    a.v_mul_f(tmp, y, VOp::imm_f32(B));
+    a.v_add_f(y, x, tmp);
+    a.v_store(y, addr, out_addr);
+    a.s_add(s_c, s_c, 1u32);
+    a.s_cmp(CmpOp::LtU, s_c, W);
+    a.branch_scc_nz("col");
+    a.end();
+
+    Instance {
+        name: "recursive_gaussian",
+        program: a.finish().expect("valid kernel"),
+        mem,
+        workgroups: rows / 64,
+        check,
+        meta: InstanceMeta { addrs: vec![("in", in_addr), ("out", out_addr)], n },
+    }
+}
+
+fn check(mem: &Memory, meta: &InstanceMeta) -> Result<(), String> {
+    let n = meta.n;
+    let input = mem.read_f32_slice(meta.addr("in"), n);
+    let out = mem.read_f32_slice(meta.addr("out"), n);
+    let mut expected = vec![0.0f32; n as usize];
+    for r in 0..(n / W) as usize {
+        let mut y = 0.0f32;
+        for c in 0..W as usize {
+            y = input[r * W as usize + c] * A + y * B;
+            expected[r * W as usize + c] = y;
+        }
+    }
+    check_f32(&out, &expected, 1e-6, "recursive_gaussian")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbavf_sim::interp::run_golden;
+
+    #[test]
+    fn recursive_gaussian_matches_host_reference() {
+        let mut inst = build(Scale::Test);
+        let p = inst.program.clone();
+        let wgs = inst.workgroups;
+        run_golden(&p, &mut inst.mem, wgs);
+        inst.check(&inst.mem).unwrap();
+    }
+}

@@ -1,0 +1,108 @@
+//! Blocked two-phase scan (AMD APP `ScanLargeArrays`).
+//!
+//! Each workgroup scans a 512-element block: every lane sequentially scans
+//! its 8-element sub-block (phase 1), then accumulates the sums of all
+//! preceding lanes' sub-blocks with a masked broadcast loop (phase 2), and
+//! finally rewrites its sub-block with the offset applied (phase 3).
+
+use crate::util::{check_u32, gen_u32};
+use crate::{Instance, InstanceMeta, Scale};
+use mbavf_sim::isa::{CmpOp, SReg, VOp, VReg};
+use mbavf_sim::program::Assembler;
+use mbavf_sim::Memory;
+
+const SUB: u32 = 8;
+
+/// Build the workload.
+pub fn build(scale: Scale) -> Instance {
+    let n = match scale {
+        Scale::Test => 512u32,
+        Scale::Paper => 2048,
+    };
+    let mut mem = Memory::new(1 << 20);
+    let input: Vec<u32> = gen_u32(0x66, n as usize).into_iter().map(|v| v % 100).collect();
+    let in_addr = mem.alloc_u32(&input);
+    let tmp_addr = mem.alloc_zeroed(n);
+    let sums_addr = mem.alloc_zeroed(n / SUB);
+    let out_addr = mem.alloc_zeroed(n);
+    mem.mark_output(out_addr, n * 4);
+
+    let mut a = Assembler::new();
+    let (base4, run, val, saddr, offs, s_bcast, mask_val) =
+        (VReg(2), VReg(3), VReg(4), VReg(5), VReg(6), VReg(7), VReg(8));
+    // Phase 1: sequential inclusive scan of the 8-element sub-block.
+    a.v_mul_u(base4, VReg(1), SUB * 4); // lane's sub-block byte base
+    a.v_mov(run, 0u32);
+    for j in 0..SUB {
+        a.v_load(val, base4, in_addr + j * 4);
+        a.v_add_u(run, run, val);
+        a.v_store(run, base4, tmp_addr + j * 4);
+    }
+    a.v_mul_u(saddr, VReg(1), 4u32);
+    a.v_store(run, saddr, sums_addr); // lane sum
+    // Phase 2: offset = sum of sums of preceding lanes in this wavefront.
+    let (s_l, s_a) = (SReg(2), SReg(3));
+    a.v_mov(offs, 0u32);
+    a.s_mul(s_a, SReg(0), 256u32); // this wavefront's sums base
+    a.s_mov(s_l, 0u32);
+    a.label("acc");
+    a.v_load(s_bcast, VOp::Sreg(s_a), sums_addr);
+    // mask: l' < lane  (the scalar loop index vs v0)
+    a.v_cmp(CmpOp::LtU, VOp::Sreg(s_l), VReg(0));
+    a.v_sel(mask_val, s_bcast, 0u32);
+    a.v_add_u(offs, offs, mask_val);
+    a.s_add(s_a, s_a, 4u32);
+    a.s_add(s_l, s_l, 1u32);
+    a.s_cmp(CmpOp::LtU, s_l, 64u32);
+    a.branch_scc_nz("acc");
+    // Phase 3: out = tmp + offset.
+    for j in 0..SUB {
+        a.v_load(val, base4, tmp_addr + j * 4);
+        a.v_add_u(val, val, offs);
+        a.v_store(val, base4, out_addr + j * 4);
+    }
+    a.end();
+
+    Instance {
+        name: "scan_large",
+        program: a.finish().expect("valid kernel"),
+        mem,
+        workgroups: n / (64 * SUB),
+        check,
+        meta: InstanceMeta {
+            addrs: vec![("in", in_addr), ("out", out_addr)],
+            n,
+        },
+    }
+}
+
+fn check(mem: &Memory, meta: &InstanceMeta) -> Result<(), String> {
+    let n = meta.n;
+    let input = mem.read_u32_slice(meta.addr("in"), n);
+    let out = mem.read_u32_slice(meta.addr("out"), n);
+    let block = 64 * SUB as usize;
+    let mut expected = vec![0u32; n as usize];
+    for b in 0..n as usize / block {
+        let mut acc = 0u32;
+        for i in 0..block {
+            acc = acc.wrapping_add(input[b * block + i]);
+            expected[b * block + i] = acc;
+        }
+    }
+    check_u32(&out, &expected, "scan_large")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbavf_sim::interp::run_golden;
+
+    #[test]
+    fn scan_large_matches_host_reference() {
+        let mut inst = build(Scale::Test);
+        let p = inst.program.clone();
+        let wgs = inst.workgroups;
+        run_golden(&p, &mut inst.mem, wgs);
+        inst.check(&inst.mem).unwrap();
+    }
+}

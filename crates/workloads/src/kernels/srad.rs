@@ -1,0 +1,160 @@
+//! SRAD-style anisotropic diffusion stencil (Rodinia `srad`).
+//!
+//! One lane per image row, sequential column loop; each update reads the
+//! 4-neighbourhood, derives a diffusion coefficient, and writes the updated
+//! pixel. A statistics side-channel (mean/variance accumulation weighted by
+//! a table used only there) is stored to a never-read scratch buffer: dead
+//! code whose share *grows* with fault-mode size in the paper's Figure 10
+//! (srad: 29% false DUE single-bit, 50% at 4x1).
+
+use crate::util::{check_f32, gen_f32};
+use crate::{Instance, InstanceMeta, Scale};
+use mbavf_sim::isa::{CmpOp, SReg, VOp, VReg};
+use mbavf_sim::program::Assembler;
+use mbavf_sim::Memory;
+
+const W: u32 = 64;
+const LAMBDA: f32 = 0.25;
+
+/// Build the workload.
+pub fn build(scale: Scale) -> Instance {
+    let rows = match scale {
+        Scale::Test => 64u32,
+        Scale::Paper => 128,
+    };
+    let n = rows * W;
+    let mut mem = Memory::new(1 << 20);
+    let img: Vec<f32> = gen_f32(0xDD, n as usize).iter().map(|v| v * 255.0).collect();
+    let weights = gen_f32(0xDE, W as usize);
+    let in_addr = mem.alloc_f32(&img);
+    let w_addr = mem.alloc_f32(&weights);
+    let out_addr = mem.alloc_zeroed(n);
+    let stats_addr = mem.alloc_zeroed(2 * rows); // dead sink
+    mem.mark_output(out_addr, n * 4);
+
+    let mut a = Assembler::new();
+    let (rb, c4, center, nv, sv, ev, wv, lap, g2, cf, t, addr) = (
+        VReg(2),
+        VReg(3),
+        VReg(4),
+        VReg(5),
+        VReg(6),
+        VReg(7),
+        VReg(8),
+        VReg(9),
+        VReg(10),
+        VReg(11),
+        VReg(12),
+        VReg(13),
+    );
+    let (mean, var, wgt) = (VReg(14), VReg(15), VReg(16));
+    let (s_c, s_c4) = (SReg(2), SReg(3));
+    a.v_mul_u(rb, VReg(1), W * 4); // row base
+    a.v_mov(mean, VOp::imm_f32(0.0));
+    a.v_mov(var, VOp::imm_f32(0.0));
+    a.s_mov(s_c, 0u32);
+    a.label("col");
+    a.s_mul(s_c4, s_c, 4u32);
+    a.v_add_u(c4, rb, VOp::Sreg(s_c4));
+    a.v_load(center, c4, in_addr);
+    // North/South: rows clamp at the wavefront's edge lanes.
+    a.v_cmp(CmpOp::GeU, VReg(0), 1u32);
+    a.v_sub_u(addr, c4, W * 4);
+    a.v_sel(addr, addr, c4);
+    a.v_load(nv, addr, in_addr);
+    a.v_cmp(CmpOp::LtU, VReg(0), 63u32);
+    a.v_add_u(addr, c4, W * 4);
+    a.v_sel(addr, addr, c4);
+    a.v_load(sv, addr, in_addr);
+    // East/West: the column clamp is a broadcast compare on the scalar
+    // counter (scc is not readable by vector selects).
+    a.v_cmp(CmpOp::GeU, VOp::Sreg(s_c), 1u32);
+    a.v_sub_u(addr, c4, 4u32);
+    a.v_sel(addr, addr, c4);
+    a.v_load(wv, addr, in_addr);
+    a.v_cmp(CmpOp::LtU, VOp::Sreg(s_c), W - 1);
+    a.v_add_u(addr, c4, 4u32);
+    a.v_sel(addr, addr, c4);
+    a.v_load(ev, addr, in_addr);
+    // Laplacian and gradient magnitude.
+    a.v_add_f(lap, nv, sv);
+    a.v_add_f(lap, lap, ev);
+    a.v_add_f(lap, lap, wv);
+    a.v_mul_f(t, center, VOp::imm_f32(4.0));
+    a.v_sub_f(lap, lap, t);
+    a.v_mul_f(g2, lap, lap);
+    // cf = 1 / (1 + g2/4096), clamped to [0,1].
+    a.v_mul_f(t, g2, VOp::imm_f32(1.0 / 4096.0));
+    a.v_add_f(t, t, VOp::imm_f32(1.0));
+    a.v_div_f(cf, VOp::imm_f32(1.0), t);
+    a.v_min_f(cf, cf, VOp::imm_f32(1.0));
+    a.v_max_f(cf, cf, VOp::imm_f32(0.0));
+    // out = center + lambda * cf * lap
+    a.v_mul_f(t, cf, lap);
+    a.v_mul_f(t, t, VOp::imm_f32(LAMBDA));
+    a.v_add_f(t, t, center);
+    a.v_store(t, c4, out_addr);
+    // Dead statistics: weight table read feeds only the dead sink.
+    a.v_load(wgt, VOp::Sreg(s_c4), w_addr);
+    a.v_mul_f(wgt, wgt, center);
+    a.v_add_f(mean, mean, wgt);
+    a.v_mul_f(t, center, center);
+    a.v_add_f(var, var, t);
+    a.s_add(s_c, s_c, 1u32);
+    a.s_cmp(CmpOp::LtU, s_c, W);
+    a.branch_scc_nz("col");
+    // Store dead statistics (never read, not output).
+    a.v_mul_u(addr, VReg(1), 8u32);
+    a.v_store(mean, addr, stats_addr);
+    a.v_store(var, addr, stats_addr + 4);
+    a.end();
+
+    Instance {
+        name: "srad",
+        program: a.finish().expect("valid kernel"),
+        mem,
+        workgroups: rows / 64,
+        check,
+        meta: InstanceMeta { addrs: vec![("in", in_addr), ("out", out_addr)], n },
+    }
+}
+
+fn check(mem: &Memory, meta: &InstanceMeta) -> Result<(), String> {
+    let n = meta.n;
+    let img = mem.read_f32_slice(meta.addr("in"), n);
+    let out = mem.read_f32_slice(meta.addr("out"), n);
+    let w = W as usize;
+    let rows = n as usize / w;
+    let mut expected = vec![0.0f32; n as usize];
+    for r in 0..rows {
+        let lane = r % 64;
+        for c in 0..w {
+            let at = |rr: usize, cc: usize| img[rr * w + cc];
+            let nv = if lane >= 1 { at(r - 1, c) } else { at(r, c) };
+            let sv = if lane < 63 { at(r + 1, c) } else { at(r, c) };
+            let wv = if c >= 1 { at(r, c - 1) } else { at(r, c) };
+            let ev = if c < w - 1 { at(r, c + 1) } else { at(r, c) };
+            let center = at(r, c);
+            let lap = ((nv + sv) + ev) + wv - center * 4.0;
+            let g2 = lap * lap;
+            let cf = (1.0 / (g2 * (1.0 / 4096.0) + 1.0)).clamp(0.0, 1.0);
+            expected[r * w + c] = cf * lap * LAMBDA + center;
+        }
+    }
+    check_f32(&out, &expected, 1e-4, "srad out")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbavf_sim::interp::run_golden;
+
+    #[test]
+    fn srad_matches_host_reference() {
+        let mut inst = build(Scale::Test);
+        let p = inst.program.clone();
+        let wgs = inst.workgroups;
+        run_golden(&p, &mut inst.mem, wgs);
+        inst.check(&inst.mem).unwrap();
+    }
+}

@@ -1,0 +1,83 @@
+//! Matrix transpose (AMD APP `MatrixTranspose`).
+//!
+//! `out[c][r] = in[r][c]` for a 64×64 u32 matrix: one workgroup per row.
+//! Loads are coalesced; stores stride by a full row, scattering across cache
+//! indices — the strided pattern that makes index-physical interleaving
+//! behave differently from way-physical (Section VI-B).
+
+use crate::util::{check_u32, gen_u32};
+use crate::{Instance, InstanceMeta, Scale};
+use mbavf_sim::isa::{SReg, VReg};
+use mbavf_sim::program::Assembler;
+use mbavf_sim::Memory;
+
+const N: u32 = 64;
+
+/// Build the workload.
+pub fn build(scale: Scale) -> Instance {
+    let rows = match scale {
+        Scale::Test => 16,
+        Scale::Paper => N,
+    };
+    let mut mem = Memory::new(1 << 20);
+    let input = gen_u32(0x33, (N * N) as usize);
+    let in_addr = mem.alloc_u32(&input);
+    let out_addr = mem.alloc_zeroed(N * N);
+    mem.mark_output(out_addr, N * N * 4);
+    // Transposing only `rows` rows leaves other output columns zero; the
+    // checker accounts for that.
+
+    let mut a = Assembler::new();
+    let (col4, val, oaddr) = (VReg(2), VReg(3), VReg(4));
+    let s_row = SReg(2);
+    a.v_mul_u(col4, VReg(0), 4u32);
+    a.s_mul(s_row, SReg(0), N * 4);
+    a.v_add_u(val, col4, s_row);
+    a.v_load(val, val, in_addr); // in[r*N + c]
+    // out[c*N + r]
+    a.v_mul_u(oaddr, VReg(0), N * 4);
+    a.s_mul(SReg(3), SReg(0), 4u32);
+    a.v_add_u(oaddr, oaddr, SReg(3));
+    a.v_store(val, oaddr, out_addr);
+    a.end();
+
+    Instance {
+        name: "transpose",
+        program: a.finish().expect("valid kernel"),
+        mem,
+        workgroups: rows,
+        check,
+        meta: InstanceMeta {
+            addrs: vec![("in", in_addr), ("out", out_addr)],
+            n: rows,
+        },
+    }
+}
+
+fn check(mem: &Memory, meta: &InstanceMeta) -> Result<(), String> {
+    let rows = meta.n as usize;
+    let input = mem.read_u32_slice(meta.addr("in"), N * N);
+    let out = mem.read_u32_slice(meta.addr("out"), N * N);
+    let mut expected = vec![0u32; (N * N) as usize];
+    for r in 0..rows {
+        for c in 0..N as usize {
+            expected[c * N as usize + r] = input[r * N as usize + c];
+        }
+    }
+    check_u32(&out, &expected, "transpose out")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbavf_sim::interp::run_golden;
+
+    #[test]
+    fn transpose_matches_host_reference() {
+        let mut inst = build(Scale::Test);
+        let p = inst.program.clone();
+        let wgs = inst.workgroups;
+        run_golden(&p, &mut inst.mem, wgs);
+        inst.check(&inst.mem).unwrap();
+    }
+}

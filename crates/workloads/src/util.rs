@@ -1,0 +1,147 @@
+//! Shared helpers for kernel construction and deterministic input data.
+
+use mbavf_sim::isa::{CmpOp, SReg, VOp, VReg};
+use mbavf_sim::program::Assembler;
+
+/// Deterministic pseudo-random f32 values in `[0, 1)` (xorshift32).
+pub fn gen_f32(seed: u32, count: usize) -> Vec<f32> {
+    let mut state = seed.max(1);
+    (0..count)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 17;
+            state ^= state << 5;
+            (state >> 8) as f32 / (1u32 << 24) as f32
+        })
+        .collect()
+}
+
+/// Deterministic pseudo-random u32 values.
+pub fn gen_u32(seed: u32, count: usize) -> Vec<u32> {
+    let mut state = seed.max(1);
+    (0..count)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 17;
+            state ^= state << 5;
+            state
+        })
+        .collect()
+}
+
+/// Deterministic pseudo-random bytes.
+pub fn gen_bytes(seed: u32, count: usize) -> Vec<u8> {
+    gen_u32(seed, count).into_iter().map(|v| (v >> 13) as u8).collect()
+}
+
+/// Emit an all-lanes f32 sum reduction through memory.
+///
+/// Stores `val` to `scratch[wg*64 + lane]`, then loops over the 64 slots so
+/// every lane accumulates the full wavefront sum into `acc` (which must be
+/// initialized by the caller; the sum is *added* to it).
+///
+/// Clobbers `tmp`, `addr_v`, and scalar registers `s_i`, `s_addr`. The
+/// `label` must be unique within the program.
+#[allow(clippy::too_many_arguments)]
+pub fn emit_wg_sum_f32(
+    a: &mut Assembler,
+    label: &str,
+    scratch: u32,
+    val: VReg,
+    acc: VReg,
+    tmp: VReg,
+    addr_v: VReg,
+    s_i: SReg,
+    s_addr: SReg,
+) {
+    // Per-lane slot: (wg*64 + lane) * 4 = v1 * 4.
+    a.v_mul_u(addr_v, VReg(1), 4u32);
+    a.v_store(val, addr_v, scratch);
+    // s_addr walks this wavefront's 64 slots: base = wg * 256.
+    a.s_mul(s_addr, SReg(0), 256u32);
+    a.s_mov(s_i, 0u32);
+    a.label(label);
+    a.v_load(tmp, VOp::Sreg(s_addr), scratch);
+    a.v_add_f(acc, acc, tmp);
+    a.s_add(s_addr, s_addr, 4u32);
+    a.s_add(s_i, s_i, 1u32);
+    a.s_cmp(CmpOp::LtU, s_i, 64u32);
+    a.branch_scc_nz(label);
+}
+
+/// Compare two f32 buffers with a relative/absolute tolerance, returning the
+/// first mismatch.
+pub fn check_f32(actual: &[f32], expected: &[f32], tol: f32, what: &str) -> Result<(), String> {
+    if actual.len() != expected.len() {
+        return Err(format!("{what}: length {} != {}", actual.len(), expected.len()));
+    }
+    for (i, (&a, &e)) in actual.iter().zip(expected).enumerate() {
+        let err = (a - e).abs();
+        let bound = tol * (1.0 + e.abs());
+        if err.is_nan() || err > bound {
+            return Err(format!("{what}[{i}]: got {a}, expected {e} (err {err})"));
+        }
+    }
+    Ok(())
+}
+
+/// Compare two u32 buffers exactly.
+pub fn check_u32(actual: &[u32], expected: &[u32], what: &str) -> Result<(), String> {
+    if actual.len() != expected.len() {
+        return Err(format!("{what}: length {} != {}", actual.len(), expected.len()));
+    }
+    for (i, (&a, &e)) in actual.iter().zip(expected).enumerate() {
+        if a != e {
+            return Err(format!("{what}[{i}]: got {a}, expected {e}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(gen_f32(7, 4), gen_f32(7, 4));
+        assert_ne!(gen_u32(7, 4), gen_u32(8, 4));
+        assert!(gen_f32(3, 100).iter().all(|v| (0.0..1.0).contains(v)));
+    }
+
+    #[test]
+    fn checkers_catch_mismatches() {
+        assert!(check_u32(&[1, 2], &[1, 2], "x").is_ok());
+        assert!(check_u32(&[1, 3], &[1, 2], "x").is_err());
+        assert!(check_f32(&[1.0], &[1.0 + 1e-7], 1e-5, "y").is_ok());
+        assert!(check_f32(&[1.0], &[2.0], 1e-5, "y").is_err());
+        assert!(check_f32(&[f32::NAN], &[1.0], 1e-5, "y").is_err());
+    }
+
+    #[test]
+    fn reduction_sums_all_lanes() {
+        use mbavf_sim::interp::run_golden;
+        use mbavf_sim::Memory;
+        let mut mem = Memory::with_tracking(1 << 16, false);
+        let scratch = mem.alloc_zeroed(64);
+        let out = mem.alloc_zeroed(64);
+        mem.mark_output(out, 256);
+        let mut a = Assembler::new();
+        // val = lane id as float approximation: use small ints exactly
+        // representable; val = f32(lane) via integer-to-float is not in the
+        // ISA, so build from a table-free trick: lane * 1.0 won't work on
+        // int bits. Instead store lane as f32 from host? Use constant 1.0:
+        // the sum must be 64.
+        a.v_mov(VReg(2), VOp::imm_f32(1.0));
+        a.v_mov(VReg(3), VOp::imm_f32(0.0));
+        emit_wg_sum_f32(&mut a, "red", scratch, VReg(2), VReg(3), VReg(4), VReg(5), SReg(2), SReg(3));
+        a.v_mul_u(VReg(6), VReg(1), 4u32);
+        a.v_store(VReg(3), VReg(6), out);
+        a.end();
+        let p = a.finish().unwrap();
+        run_golden(&p, &mut mem, 1);
+        for l in 0..64 {
+            assert_eq!(mem.read_f32(out + l * 4), 64.0, "lane {l}");
+        }
+    }
+}

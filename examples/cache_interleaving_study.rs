@@ -1,0 +1,63 @@
+//! A design study on a real workload: how interleaving style and protection
+//! scheme change the L1 cache's soft-error rate for every fault mode.
+//!
+//! ```sh
+//! cargo run --release --example cache_interleaving_study
+//! ```
+
+use mbavf::core::analysis::{mb_avf, AnalysisConfig};
+use mbavf::core::geometry::FaultMode;
+use mbavf::core::layout::{CacheInterleave, CacheLayout};
+use mbavf::core::protection::ProtectionKind;
+use mbavf::core::ser::{paper_table3, SerBreakdown};
+use mbavf::sim::extract::l1_timelines;
+use mbavf::sim::liveness::analyze;
+use mbavf::sim::{run_timed, GpuConfig};
+use mbavf::workloads::{by_name, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Simulate the transpose workload (strided stores: interesting
+    // interleaving behaviour).
+    let w = by_name("transpose").expect("in the suite");
+    let mut inst = w.build(Scale::Paper);
+    let program = inst.program.clone();
+    let res = run_timed(&program, &mut inst.mem, inst.workgroups, &GpuConfig::default());
+    let lv = analyze(&res.trace, &inst.mem);
+    let l1 = l1_timelines(&res, &lv, &inst.mem, 0);
+    let geom = mbavf::core::layout::CacheGeometry::l1_16k();
+
+    println!("L1 SER for `transpose` (raw rates from Table III, total = 100)\n");
+    println!("{:<28} {:>12} {:>12} {:>12}", "design", "SDC FIT", "DUE FIT", "total FIT");
+    let rates = paper_table3();
+    for scheme in [ProtectionKind::Parity, ProtectionKind::SecDed, ProtectionKind::DecTed] {
+        for il in [
+            CacheInterleave::Logical(2),
+            CacheInterleave::WayPhysical(2),
+            CacheInterleave::IndexPhysical(2),
+            CacheInterleave::WayPhysical(4),
+        ] {
+            let layout = CacheLayout::new(geom, il)?;
+            let cfg = AnalysisConfig::new(scheme);
+            let mut sdc = Vec::new();
+            let mut due = Vec::new();
+            for r in &rates {
+                let res = mb_avf(&l1, &layout, &FaultMode::mx1(r.mode_bits), &cfg)?;
+                sdc.push((r.clone(), res.sdc_avf()));
+                due.push((r.clone(), res.due_avf()));
+            }
+            let sdc_fit = SerBreakdown::new(sdc).total_fit();
+            let due_fit = SerBreakdown::new(due).total_fit();
+            println!(
+                "{:<28} {:>12.4} {:>12.4} {:>12.4}",
+                format!("{scheme} + {}", il.label()),
+                sdc_fit,
+                due_fit,
+                sdc_fit + due_fit
+            );
+        }
+    }
+    println!("\nStronger codes trade SDC for DUE; interleaving width decides which fault");
+    println!("modes stay within the code's reach. Pick the cheapest design meeting your");
+    println!("SDC target (Section VIII's methodology, applied to a cache).");
+    Ok(())
+}

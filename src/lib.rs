@@ -1,0 +1,40 @@
+//! # mbavf — facade over the MB-AVF workspace
+//!
+//! One `use mbavf::...` away from the whole reproduction of *"Calculating
+//! Architectural Vulnerability Factors for Spatial Multi-Bit Transient
+//! Faults"* (MICRO 2014):
+//!
+//! * [`core`] — the paper's contribution: fault modes, protection domains,
+//!   interleaved layouts, the MB-AVF analysis engine, SER/MTTF models, and
+//!   real ECC codecs;
+//! * [`sim`] — the GPU/APU simulator substrate with provenance tracing,
+//!   liveness, and timeline extraction;
+//! * [`workloads`] — the 13-kernel benchmark suite;
+//! * [`inject`] — deterministic fault-injection campaigns.
+//!
+//! ```
+//! use mbavf::core::analysis::{mb_avf, AnalysisConfig};
+//! use mbavf::core::geometry::FaultMode;
+//! use mbavf::core::layout::LinearLayout;
+//! use mbavf::core::protection::ProtectionKind;
+//! use mbavf::core::timeline::{Interval, TimelineStore};
+//!
+//! // A byte that is architecturally required for half its lifetime...
+//! let mut store = TimelineStore::new(1, 100);
+//! store.byte_mut(0).push(Interval { start: 0, end: 50, ace_mask: 0xFF, checked: true })?;
+//! let layout = LinearLayout::new(1, 8, 8);
+//!
+//! // ...under parity, a 2x1 fault inside one domain evades detection: SDC.
+//! let r = mb_avf(&store, &layout, &FaultMode::mx1(2),
+//!                &AnalysisConfig::new(ProtectionKind::Parity))?;
+//! assert_eq!(r.sdc_avf(), 0.5);
+//! assert_eq!(r.due_avf(), 0.0);
+//! # Ok::<(), mbavf::core::CoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use mbavf_core as core;
+pub use mbavf_inject as inject;
+pub use mbavf_sim as sim;
+pub use mbavf_workloads as workloads;

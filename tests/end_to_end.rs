@@ -1,0 +1,198 @@
+//! End-to-end integration: the full pipeline (workload → timing simulation →
+//! liveness → timelines → MB-AVF) holds its cross-crate invariants.
+
+use mbavf::core::analysis::{mb_avf, windowed_mb_avf, AnalysisConfig};
+use mbavf::core::avf::raw_avf;
+use mbavf::core::geometry::FaultMode;
+use mbavf::core::layout::{CacheGeometry, CacheInterleave, CacheLayout, PhysicalLayout};
+use mbavf::core::protection::ProtectionKind;
+use mbavf::core::timeline::TimelineStore;
+use mbavf::sim::extract::{l1_timelines, vgpr_timelines};
+use mbavf::sim::liveness::analyze;
+use mbavf::sim::{run_timed, GpuConfig};
+use mbavf::workloads::{by_name, Scale};
+
+struct Pipeline {
+    l1: TimelineStore,
+    vgpr: TimelineStore,
+    vgpr_geom: mbavf::core::layout::VgprGeometry,
+}
+
+fn pipeline(name: &str) -> Pipeline {
+    let w = by_name(name).expect("workload registered");
+    let mut inst = w.build(Scale::Test);
+    let program = inst.program.clone();
+    let wgs = inst.workgroups;
+    let res = run_timed(&program, &mut inst.mem, wgs, &GpuConfig::default());
+    inst.check(&inst.mem).expect("kernel must stay correct under the timing model");
+    let lv = analyze(&res.trace, &inst.mem);
+    let l1 = l1_timelines(&res, &lv, &inst.mem, 0);
+    let (vgpr, vgpr_geom) = vgpr_timelines(&res, &lv, 0);
+    Pipeline { l1, vgpr, vgpr_geom }
+}
+
+fn l1_layout(il: CacheInterleave) -> CacheLayout {
+    CacheLayout::new(CacheGeometry::l1_16k(), il).expect("valid")
+}
+
+#[test]
+fn unprotected_sdc_equals_raw_ace_for_single_bit() {
+    // With no protection, a single-bit fault causes SDC exactly when the bit
+    // is (value-)ACE: the 1x1 SDC AVF must equal the raw ACE AVF.
+    let p = pipeline("matmul");
+    let layout = l1_layout(CacheInterleave::Logical(1));
+    let cfg = AnalysisConfig::new(ProtectionKind::None);
+    let r = mb_avf(&p.l1, &layout, &FaultMode::mx1(1), &cfg).unwrap();
+    let raw = raw_avf(&p.l1);
+    assert!((r.sdc_avf() - raw).abs() < 1e-12, "sdc {} vs raw {}", r.sdc_avf(), raw);
+    assert_eq!(r.due_avf(), 0.0);
+}
+
+#[test]
+fn parity_converts_unprotected_sdc_to_due_for_single_bit() {
+    // A 1x1 fault under parity is always detected: its SDC AVF is zero and
+    // its *true* DUE AVF equals the unprotected SDC AVF.
+    let p = pipeline("dct");
+    let layout = l1_layout(CacheInterleave::Logical(1));
+    let none = mb_avf(&p.l1, &layout, &FaultMode::mx1(1), &AnalysisConfig::new(ProtectionKind::None))
+        .unwrap();
+    let parity =
+        mb_avf(&p.l1, &layout, &FaultMode::mx1(1), &AnalysisConfig::new(ProtectionKind::Parity))
+            .unwrap();
+    assert_eq!(parity.sdc_avf(), 0.0);
+    assert!((parity.true_due_avf() - none.sdc_avf()).abs() < 1e-12);
+    // ...and SEC-DED corrects it entirely.
+    let secded =
+        mb_avf(&p.l1, &layout, &FaultMode::mx1(1), &AnalysisConfig::new(ProtectionKind::SecDed))
+            .unwrap();
+    assert_eq!(secded.total_avf(), 0.0);
+}
+
+#[test]
+fn mb_avf_within_section4d_bounds() {
+    // Section IV-D: SB-AVF <= MB-AVF <= M x SB-AVF (modulo the slightly
+    // smaller group denominator at array edges).
+    let p = pipeline("fast_walsh");
+    let layout = l1_layout(CacheInterleave::Logical(1));
+    let cfg = AnalysisConfig::new(ProtectionKind::None);
+    let sb = mb_avf(&p.l1, &layout, &FaultMode::mx1(1), &cfg).unwrap().sdc_avf();
+    assert!(sb > 0.0);
+    for m in [2u32, 3, 4, 8] {
+        let mb = mb_avf(&p.l1, &layout, &FaultMode::mx1(m), &cfg).unwrap().sdc_avf();
+        let cols = f64::from(layout.cols());
+        let slack = cols / (cols - f64::from(m) + 1.0);
+        assert!(mb >= sb * 0.999, "m={m}: mb {mb} < sb {sb}");
+        assert!(mb <= sb * f64::from(m) * slack + 1e-12, "m={m}: mb {mb} vs sb {sb}");
+    }
+}
+
+#[test]
+fn windowed_analysis_sums_to_total() {
+    let p = pipeline("histogram");
+    let layout = l1_layout(CacheInterleave::WayPhysical(2));
+    let cfg = AnalysisConfig::new(ProtectionKind::Parity);
+    let mode = FaultMode::mx1(3);
+    let total = mb_avf(&p.l1, &layout, &mode, &cfg).unwrap();
+    let windows =
+        windowed_mb_avf(&p.l1, &layout, &mode, &cfg, p.l1.total_cycles() / 7 + 1).unwrap();
+    let sdc: u128 = windows.iter().map(|w| w.sdc_group_cycles()).sum();
+    let tdue: u128 = windows.iter().map(|w| w.true_due_group_cycles()).sum();
+    let fdue: u128 = windows.iter().map(|w| w.false_due_group_cycles()).sum();
+    assert_eq!(sdc, total.sdc_group_cycles());
+    assert_eq!(tdue, total.true_due_group_cycles());
+    assert_eq!(fdue, total.false_due_group_cycles());
+}
+
+#[test]
+fn stronger_codes_never_increase_sdc_for_odd_modes() {
+    // For any mode, no protection is the SDC worst case; adding parity can
+    // only remove SDC for modes whose overlapped regions are odd.
+    let p = pipeline("scan_large");
+    for il in [CacheInterleave::Logical(2), CacheInterleave::WayPhysical(2)] {
+        let layout = l1_layout(il);
+        for m in [1u32, 2, 3, 4, 5] {
+            let mode = FaultMode::mx1(m);
+            let none =
+                mb_avf(&p.l1, &layout, &mode, &AnalysisConfig::new(ProtectionKind::None)).unwrap();
+            let parity =
+                mb_avf(&p.l1, &layout, &mode, &AnalysisConfig::new(ProtectionKind::Parity))
+                    .unwrap();
+            assert!(
+                parity.sdc_avf() <= none.sdc_avf() + 1e-12,
+                "m={m} il={il:?}: parity sdc {} > none sdc {}",
+                parity.sdc_avf(),
+                none.sdc_avf()
+            );
+        }
+    }
+}
+
+#[test]
+fn vgpr_lockstep_rule_trades_sdc_for_due() {
+    // Enabling the Section VIII lock-step rule must not increase SDC, and
+    // whatever SDC it removes must reappear as DUE.
+    let p = pipeline("dct");
+    let layout = mbavf::core::layout::VgprLayout::new(
+        p.vgpr_geom,
+        mbavf::core::layout::VgprInterleave::InterThread(2),
+    )
+    .unwrap();
+    let mode = FaultMode::mx1(5);
+    let base = AnalysisConfig::new(ProtectionKind::Parity);
+    let locked = base.with_due_preempts_sdc(true);
+    let r0 = mb_avf(&p.vgpr, &layout, &mode, &base).unwrap();
+    let r1 = mb_avf(&p.vgpr, &layout, &mode, &locked).unwrap();
+    assert!(r1.sdc_avf() <= r0.sdc_avf() + 1e-12);
+    assert!(
+        (r1.total_avf() - r0.total_avf()).abs() < 1e-12,
+        "lock-step must only reclassify, not change totals"
+    );
+}
+
+#[test]
+fn all_workloads_survive_the_full_pipeline() {
+    for name in ["minife", "comd", "srad", "prefix_sum", "dwt_haar", "recursive_gaussian"] {
+        let p = pipeline(name);
+        p.l1.validate().unwrap();
+        p.vgpr.validate().unwrap();
+        let layout = l1_layout(CacheInterleave::Logical(1));
+        let cfg = AnalysisConfig::new(ProtectionKind::Parity);
+        let r = mb_avf(&p.l1, &layout, &FaultMode::mx1(2), &cfg).unwrap();
+        assert!(r.total_avf() <= 1.0, "{name}");
+    }
+}
+
+#[test]
+fn divergent_workload_has_per_lane_register_timelines() {
+    // pathfinder's dp register is written under EXEC masks that differ per
+    // lane and per row (wall costs are random): the extraction must produce
+    // lane-dependent VGPR timelines for it, while lock-step workloads keep
+    // all 64 lanes identical.
+    let p = pipeline("pathfinder");
+    let geom = p.vgpr_geom;
+    let mut any_divergent = false;
+    for reg in 0..geom.regs {
+        let first = p.vgpr.byte(geom.byte_index(0, reg, 0) as usize);
+        for thread in 1..geom.threads {
+            let other = p.vgpr.byte(geom.byte_index(thread, reg, 0) as usize);
+            if other != first {
+                any_divergent = true;
+            }
+        }
+    }
+    assert!(any_divergent, "pathfinder must show lane-divergent register lifetimes");
+
+    // Lock-step control: dct's registers stay identical across lanes.
+    let d = pipeline("dct");
+    let geom = d.vgpr_geom;
+    for reg in 0..geom.regs {
+        let first = d.vgpr.byte(geom.byte_index(0, reg, 0) as usize);
+        for thread in 1..geom.threads {
+            assert_eq!(
+                d.vgpr.byte(geom.byte_index(thread, reg, 0) as usize),
+                first,
+                "lock-step kernels must keep lanes identical (reg {reg} thread {thread})"
+            );
+        }
+    }
+}

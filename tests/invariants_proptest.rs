@@ -1,0 +1,176 @@
+//! Property-based invariants of the MB-AVF analysis over randomized
+//! timelines, layouts, fault modes, and protection schemes.
+
+use mbavf::core::analysis::{mb_avf, windowed_mb_avf, AnalysisConfig};
+use mbavf::core::geometry::FaultMode;
+use mbavf::core::layout::LinearLayout;
+use mbavf::core::protection::ProtectionKind;
+use mbavf::core::timeline::{Interval, TimelineStore};
+use proptest::prelude::*;
+
+const TOTAL: u64 = 400;
+
+/// A random, valid timeline store over `bytes` bytes.
+fn arb_store(bytes: usize) -> impl Strategy<Value = TimelineStore> {
+    // Per byte: a list of (gap, len, mask, checked) interval specs.
+    let iv = (1u64..40, 1u64..60, any::<u8>(), any::<bool>());
+    proptest::collection::vec(proptest::collection::vec(iv, 0..8), bytes).prop_map(
+        move |per_byte| {
+            let mut store = TimelineStore::new(per_byte.len(), TOTAL);
+            for (b, specs) in per_byte.iter().enumerate() {
+                let mut t = 0u64;
+                for &(gap, len, mask, checked) in specs {
+                    let start = t + gap;
+                    let end = (start + len).min(TOTAL);
+                    if start >= end {
+                        break;
+                    }
+                    store
+                        .byte_mut(b)
+                        .push(Interval { start, end, ace_mask: mask, checked })
+                        .expect("ordered by construction");
+                    t = end;
+                }
+            }
+            store
+        },
+    )
+}
+
+fn arb_scheme() -> impl Strategy<Value = ProtectionKind> {
+    prop_oneof![
+        Just(ProtectionKind::None),
+        Just(ProtectionKind::Parity),
+        Just(ProtectionKind::SecDed),
+        Just(ProtectionKind::DecTed),
+        Just(ProtectionKind::Crc { burst_detect: 4 }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// AVF components are probabilities and partition at most the whole.
+    #[test]
+    fn avf_components_are_well_formed(
+        store in arb_store(8),
+        scheme in arb_scheme(),
+        m in 1u32..6,
+        dpd in any::<bool>(),
+        domain_bits in 1u32..16,
+    ) {
+        let layout = LinearLayout::new(1, 64, domain_bits);
+        let cfg = AnalysisConfig::new(scheme).with_due_preempts_sdc(dpd);
+        let r = mb_avf(&store, &layout, &FaultMode::mx1(m), &cfg).unwrap();
+        prop_assert!(r.sdc_avf() >= 0.0 && r.sdc_avf() <= 1.0);
+        prop_assert!(r.due_avf() >= 0.0 && r.due_avf() <= 1.0);
+        prop_assert!(r.total_avf() <= 1.0 + 1e-12);
+        prop_assert!((r.total_avf() - (r.sdc_avf() + r.due_avf())).abs() < 1e-12);
+    }
+
+    /// No protection is the SDC worst case for every mode and layout.
+    #[test]
+    fn unprotected_is_sdc_worst_case(
+        store in arb_store(8),
+        scheme in arb_scheme(),
+        m in 1u32..6,
+        domain_bits in 1u32..16,
+    ) {
+        let layout = LinearLayout::new(1, 64, domain_bits);
+        let mode = FaultMode::mx1(m);
+        let none = mb_avf(&store, &layout, &mode,
+            &AnalysisConfig::new(ProtectionKind::None)).unwrap();
+        let prot = mb_avf(&store, &layout, &mode, &AnalysisConfig::new(scheme)).unwrap();
+        prop_assert!(prot.sdc_avf() <= none.sdc_avf() + 1e-12,
+            "{scheme:?} m={m}: {} > {}", prot.sdc_avf(), none.sdc_avf());
+    }
+
+    /// The lock-step rule only reclassifies SDC as DUE: totals invariant.
+    #[test]
+    fn lockstep_preserves_total(
+        store in arb_store(8),
+        scheme in arb_scheme(),
+        m in 1u32..6,
+        domain_bits in 1u32..16,
+    ) {
+        let layout = LinearLayout::new(1, 64, domain_bits);
+        let mode = FaultMode::mx1(m);
+        let base = mb_avf(&store, &layout, &mode, &AnalysisConfig::new(scheme)).unwrap();
+        let locked = mb_avf(&store, &layout, &mode,
+            &AnalysisConfig::new(scheme).with_due_preempts_sdc(true)).unwrap();
+        prop_assert!((base.total_avf() - locked.total_avf()).abs() < 1e-12);
+        prop_assert!(locked.sdc_avf() <= base.sdc_avf() + 1e-12);
+    }
+
+    /// Windowed results partition the whole-run result exactly.
+    #[test]
+    fn windows_partition_the_total(
+        store in arb_store(6),
+        scheme in arb_scheme(),
+        m in 1u32..5,
+        window in 1u64..500,
+    ) {
+        let layout = LinearLayout::new(1, 48, 8);
+        let mode = FaultMode::mx1(m);
+        let cfg = AnalysisConfig::new(scheme);
+        let total = mb_avf(&store, &layout, &mode, &cfg).unwrap();
+        let parts = windowed_mb_avf(&store, &layout, &mode, &cfg, window).unwrap();
+        let sdc: u128 = parts.iter().map(|p| p.sdc_group_cycles()).sum();
+        let t: u128 = parts.iter().map(|p| p.true_due_group_cycles()).sum();
+        let f: u128 = parts.iter().map(|p| p.false_due_group_cycles()).sum();
+        prop_assert_eq!(sdc, total.sdc_group_cycles());
+        prop_assert_eq!(t, total.true_due_group_cycles());
+        prop_assert_eq!(f, total.false_due_group_cycles());
+        let cycles: u64 = parts.iter().map(|p| p.cycles()).sum();
+        prop_assert_eq!(cycles, TOTAL);
+    }
+
+    /// Growing the fault mode never shrinks the unprotected SDC AVF
+    /// (a bigger fault can only cover more ACE state per group).
+    #[test]
+    fn unprotected_sdc_monotone_in_mode_size(
+        store in arb_store(8),
+        m in 1u32..5,
+    ) {
+        let layout = LinearLayout::new(1, 64, 64);
+        let cfg = AnalysisConfig::new(ProtectionKind::None);
+        let small = mb_avf(&store, &layout, &FaultMode::mx1(m), &cfg).unwrap();
+        let big = mb_avf(&store, &layout, &FaultMode::mx1(m + 1), &cfg).unwrap();
+        // Compare group-cycle *fractions*; group counts differ by one.
+        prop_assert!(big.sdc_avf() >= small.sdc_avf() * 0.98 - 1e-12,
+            "m={} small {} big {}", m, small.sdc_avf(), big.sdc_avf());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The real SEC-DED codec honours the abstract ladder for 1 and 2 flips
+    /// on arbitrary data words.
+    #[test]
+    fn secded_codec_matches_model(data in any::<u32>(), i in 0u32..39, j in 0u32..39) {
+        use mbavf::core::ecc::{Decoded, SecDed};
+        let code = SecDed::new(32);
+        let cw = code.encode(u64::from(data));
+        prop_assert_eq!(code.decode(cw), Decoded::Ok(u64::from(data)));
+        let one = code.decode(cw ^ (1u128 << i));
+        prop_assert_eq!(one, Decoded::Corrected { data: u64::from(data), bits: 1 });
+        if i != j {
+            prop_assert_eq!(code.decode(cw ^ (1u128 << i) ^ (1u128 << j)), Decoded::Detected);
+        }
+    }
+
+    /// The real DEC-TED codec corrects any double and never mis-decodes it.
+    #[test]
+    fn dected_codec_matches_model(data in any::<u32>(), i in 0u32..45, j in 0u32..45) {
+        use mbavf::core::ecc::{Decoded, DecTed};
+        let code = DecTed::new();
+        let cw = code.encode(data);
+        if i != j {
+            match code.decode(cw ^ (1u64 << i) ^ (1u64 << j)) {
+                Decoded::Corrected { data: d, bits: 2 } => prop_assert_eq!(d, data),
+                other => prop_assert!(false, "bits {},{}: {:?}", i, j, other),
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Cross-validation of the ACE-analysis model against fault injection —
+//! the spirit of the paper's Section VII-A accuracy study, applied to the
+//! whole stack: the VGPR SDC AVF estimated from timelines should agree with
+//! the SDC rate measured by random single-bit injection.
+//!
+//! The two measures weight time differently (the model integrates over
+//! *cycles* of the timed run; injection samples *dynamic instructions* of
+//! the functional run), so agreement is expected within a small factor, not
+//! exactly.
+
+use mbavf::core::analysis::{mb_avf, AnalysisConfig};
+use mbavf::core::geometry::FaultMode;
+use mbavf::core::layout::{VgprInterleave, VgprLayout};
+use mbavf::core::protection::ProtectionKind;
+use mbavf::inject::{single_bit_campaign, CampaignConfig};
+use mbavf::sim::extract::vgpr_timelines;
+use mbavf::sim::liveness::analyze;
+use mbavf::sim::{run_timed, GpuConfig};
+use mbavf::workloads::{by_name, Scale};
+
+fn model_sdc_avf(name: &str) -> f64 {
+    let w = by_name(name).expect("registered");
+    let mut inst = w.build(Scale::Test);
+    let program = inst.program.clone();
+    let res = run_timed(&program, &mut inst.mem, inst.workgroups, &GpuConfig::default());
+    let lv = analyze(&res.trace, &inst.mem);
+    let (vgpr, geom) = vgpr_timelines(&res, &lv, 0);
+    // Sanity: the full-file 1x1 unprotected SDC AVF is computable.
+    let layout = VgprLayout::new(geom, VgprInterleave::IntraThread(1)).unwrap();
+    let cfg = AnalysisConfig::new(ProtectionKind::None);
+    let _full = mb_avf(&vgpr, &layout, &FaultMode::mx1(1), &cfg).unwrap().sdc_avf();
+    // For the injection comparison, restrict to the registers injection can
+    // target: wavefront slot 0's architectural registers (injection never
+    // hits the unused slots of the physical file).
+    let nv = u32::from(program.num_vregs());
+    let mut ace: u128 = 0;
+    let mut bits: u64 = 0;
+    for reg in 0..nv {
+        for thread in 0..geom.threads {
+            for byte in 0..4 {
+                let tl = vgpr.byte(geom.byte_index(thread, reg, byte) as usize);
+                ace += tl.ace_bit_cycles();
+                bits += 8;
+            }
+        }
+    }
+    ace as f64 / (bits as f64 * vgpr.total_cycles() as f64)
+}
+
+fn injected_sdc_rate(name: &str, n: usize) -> f64 {
+    let w = by_name(name).expect("registered");
+    let cfg = CampaignConfig { seed: 99, injections: n, scale: Scale::Test, hang_factor: 8 };
+    let summary = single_bit_campaign(&w, &cfg);
+    let (_, sdc, hang) = summary.fractions();
+    sdc + hang
+}
+
+#[test]
+fn model_and_injection_agree_on_vgpr_sdc() {
+    for name in ["dct", "fast_walsh"] {
+        let model = model_sdc_avf(name);
+        let measured = injected_sdc_rate(name, 250);
+        assert!(model > 0.0, "{name}: model found no vulnerable register state");
+        assert!(measured > 0.0, "{name}: injection found no SDC");
+        let ratio = model / measured;
+        assert!(
+            (0.2..=5.0).contains(&ratio),
+            "{name}: model SDC AVF {model:.4} vs injected rate {measured:.4} (ratio {ratio:.2})"
+        );
+    }
+}
+
+#[test]
+fn model_is_an_upper_bound_in_expectation() {
+    // ACE analysis is conservative: averaged across several workloads, the
+    // model should not *under*estimate the injected SDC rate by a wide
+    // margin. (It may overestimate freely.)
+    let names = ["dct", "transpose", "prefix_sum"];
+    let mut model_sum = 0.0;
+    let mut measured_sum = 0.0;
+    for name in names {
+        model_sum += model_sdc_avf(name);
+        measured_sum += injected_sdc_rate(name, 150);
+    }
+    assert!(
+        model_sum >= measured_sum * 0.5,
+        "aggregate model {model_sum:.4} far below injection {measured_sum:.4}"
+    );
+}
