@@ -1,7 +1,7 @@
-//! Criterion benches for the MB-AVF analysis engine: group-sweep throughput
+//! Micro-benchmarks for the MB-AVF analysis engine: group-sweep throughput
 //! as a function of fault-mode size, protection scheme, and windowing.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbavf_bench::microbench::{group, run};
 use mbavf_core::analysis::{mb_avf, windowed_mb_avf, AnalysisConfig};
 use mbavf_core::geometry::FaultMode;
 use mbavf_core::layout::{CacheGeometry, CacheInterleave, CacheLayout};
@@ -28,60 +28,39 @@ fn synthetic_store() -> (TimelineStore, CacheGeometry) {
             let len = 50 + rng() % 400;
             let mask = (rng() & 0xFF) as u8;
             let checked = rng() % 4 != 0;
-            tl.push(Interval { start: t, end: t + len, ace_mask: mask, checked })
-                .expect("ordered");
+            tl.push(Interval { start: t, end: t + len, ace_mask: mask, checked }).expect("ordered");
             t += len + rng() % 300;
         }
     }
     (store, geom)
 }
 
-fn bench_modes(c: &mut Criterion) {
+fn main() {
     let (store, geom) = synthetic_store();
+
+    group("mb_avf by fault-mode size (parity, x2 way-physical)");
     let layout = CacheLayout::new(geom, CacheInterleave::WayPhysical(2)).unwrap();
     let cfg = AnalysisConfig::new(ProtectionKind::Parity);
-    let mut g = c.benchmark_group("mb_avf_mode_size");
-    g.sample_size(10);
     for m in [1u32, 2, 4, 8] {
-        g.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
-            let mode = FaultMode::mx1(m);
-            b.iter(|| mb_avf(&store, &layout, &mode, &cfg).unwrap());
-        });
+        let mode = FaultMode::mx1(m);
+        run(&format!("mb_avf_{m}x1"), || mb_avf(&store, &layout, &mode, &cfg).unwrap());
     }
-    g.finish();
-}
 
-fn bench_schemes(c: &mut Criterion) {
-    let (store, geom) = synthetic_store();
+    group("mb_avf by protection scheme (4x1, x4 way-physical)");
     let layout = CacheLayout::new(geom, CacheInterleave::WayPhysical(4)).unwrap();
     let mode = FaultMode::mx1(4);
-    let mut g = c.benchmark_group("mb_avf_scheme");
-    g.sample_size(10);
     for (name, scheme) in [
         ("parity", ProtectionKind::Parity),
         ("secded", ProtectionKind::SecDed),
         ("dected", ProtectionKind::DecTed),
     ] {
         let cfg = AnalysisConfig::new(scheme);
-        g.bench_function(name, |b| {
-            b.iter(|| mb_avf(&store, &layout, &mode, &cfg).unwrap());
-        });
+        run(&format!("mb_avf_{name}"), || mb_avf(&store, &layout, &mode, &cfg).unwrap());
     }
-    g.finish();
-}
 
-fn bench_windowed(c: &mut Criterion) {
-    let (store, geom) = synthetic_store();
+    group("windowed mb_avf (2x1 logical, parity)");
     let layout = CacheLayout::new(geom, CacheInterleave::Logical(2)).unwrap();
     let cfg = AnalysisConfig::new(ProtectionKind::Parity);
     let mode = FaultMode::mx1(2);
-    let mut g = c.benchmark_group("mb_avf_windowed");
-    g.sample_size(10);
-    g.bench_function("40_windows", |b| {
-        b.iter(|| windowed_mb_avf(&store, &layout, &mode, &cfg, 2500).unwrap());
-    });
-    g.finish();
+    run("windowed_40", || windowed_mb_avf(&store, &layout, &mode, &cfg, 2500).unwrap());
 }
-
-criterion_group!(benches, bench_modes, bench_schemes, bench_windowed);
-criterion_main!(benches);

@@ -1,41 +1,32 @@
-//! Criterion benches for the real ECC codecs: encode/decode latency of
+//! Micro-benchmarks for the real ECC codecs: encode/decode latency of
 //! parity, SEC-DED, DEC-TED, and CRC32 — the hardware-cost side of the
 //! protection tradeoffs the paper's case study weighs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mbavf_bench::microbench::{group, run};
 use mbavf_core::ecc::{Crc32, DecTed, Parity, SecDed};
 use std::hint::black_box;
 
-fn bench_parity(c: &mut Criterion) {
+fn main() {
+    group("parity");
     let p = Parity;
-    c.bench_function("parity_encode", |b| b.iter(|| p.encode(black_box(0xDEAD_BEEF_u64))));
-}
+    run("parity_encode", || p.encode(black_box(0xDEAD_BEEF_u64)));
 
-fn bench_secded(c: &mut Criterion) {
+    group("SEC-DED (32-bit word)");
     let code = SecDed::new(32);
     let cw = code.encode(0xDEAD_BEEF);
-    c.bench_function("secded32_encode", |b| b.iter(|| code.encode(black_box(0xDEAD_BEEF))));
-    c.bench_function("secded32_decode_clean", |b| b.iter(|| code.decode(black_box(cw))));
-    c.bench_function("secded32_decode_correct", |b| {
-        b.iter(|| code.decode(black_box(cw ^ (1 << 13))))
-    });
-}
+    run("secded32_encode", || code.encode(black_box(0xDEAD_BEEF)));
+    run("secded32_decode_clean", || code.decode(black_box(cw)));
+    run("secded32_decode_correct", || code.decode(black_box(cw ^ (1 << 13))));
 
-fn bench_dected(c: &mut Criterion) {
+    group("DEC-TED (32-bit word)");
     let code = DecTed::new();
     let cw = code.encode(0xCAFE_F00D);
-    c.bench_function("dected32_encode", |b| b.iter(|| code.encode(black_box(0xCAFE_F00D))));
-    c.bench_function("dected32_decode_clean", |b| b.iter(|| code.decode(black_box(cw))));
-    c.bench_function("dected32_decode_double", |b| {
-        b.iter(|| code.decode(black_box(cw ^ (1 << 3) ^ (1 << 40))))
-    });
-}
+    run("dected32_encode", || code.encode(black_box(0xCAFE_F00D)));
+    run("dected32_decode_clean", || code.decode(black_box(cw)));
+    run("dected32_decode_double", || code.decode(black_box(cw ^ (1 << 3) ^ (1 << 40))));
 
-fn bench_crc(c: &mut Criterion) {
+    group("CRC32");
     let crc = Crc32::new();
     let data: Vec<u8> = (0..4096).map(|i| (i * 31) as u8).collect();
-    c.bench_function("crc32_4k", |b| b.iter(|| crc.checksum(black_box(&data))));
+    run("crc32_4k", || crc.checksum(black_box(&data)));
 }
-
-criterion_group!(benches, bench_parity, bench_secded, bench_dected, bench_crc);
-criterion_main!(benches);

@@ -1,30 +1,30 @@
-//! Criterion benches for the fault-injection path: cost of one injected
-//! functional run (the unit of a Table II campaign).
+//! Micro-benchmarks for the fault-injection path: cost of one injected
+//! functional run (the unit of a Table II campaign) and of a small parallel
+//! campaign through the resilient runner.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mbavf_bench::microbench::{group, run};
 use mbavf_inject::campaign::{run_one, CampaignConfig, FaultSite};
+use mbavf_inject::runner::{run_campaign, RunnerConfig};
 use mbavf_sim::interp::run_golden;
 use mbavf_workloads::{by_name, Scale};
 
-fn bench_injected_run(c: &mut Criterion) {
+fn main() {
     let w = by_name("dct").expect("registered");
-    let cfg = CampaignConfig { seed: 1, injections: 0, scale: Scale::Test, hang_factor: 8 };
+    let cfg =
+        CampaignConfig { seed: 1, injections: 0, scale: Scale::Test, ..CampaignConfig::default() };
     let mut inst = w.build(Scale::Test);
     let p = inst.program.clone();
     let wgs = inst.workgroups;
     let golden = run_golden(&p, &mut inst.mem, wgs);
     let max_steps = golden.per_wg_retired.iter().copied().max().unwrap() * 8;
     let site = FaultSite { wg: 0, after_retired: 3, reg: 8, lane: 7, bit: 12 };
-    let mut g = c.benchmark_group("injection");
-    g.sample_size(20);
-    g.bench_function("single_injected_run_dct", |b| {
-        b.iter(|| run_one(&w, &cfg, &golden.output, max_steps, site, 1));
-    });
-    g.bench_function("multi3_injected_run_dct", |b| {
-        b.iter(|| run_one(&w, &cfg, &golden.output, max_steps, site, 3));
-    });
-    g.finish();
-}
 
-criterion_group!(benches, bench_injected_run);
-criterion_main!(benches);
+    group("single injected runs (dct, test scale)");
+    run("single_injected_run_dct", || run_one(&w, &cfg, &golden.output, max_steps, site, 1));
+    run("multi3_injected_run_dct", || run_one(&w, &cfg, &golden.output, max_steps, site, 3));
+
+    group("campaign engine (dct, 32 trials)");
+    let campaign = CampaignConfig { injections: 32, ..cfg };
+    run("campaign32_serial", || run_campaign(&w, &campaign, &RunnerConfig::serial()).unwrap());
+    run("campaign32_parallel", || run_campaign(&w, &campaign, &RunnerConfig::default()).unwrap());
+}

@@ -1,50 +1,37 @@
-//! Criterion benches for the simulator substrate: timed runs (with event
+//! Micro-benchmarks for the simulator substrate: timed runs (with event
 //! capture), functional runs, and the liveness + extraction pipeline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mbavf_bench::microbench::{group, run};
 use mbavf_sim::extract::{l1_timelines, vgpr_timelines};
 use mbavf_sim::interp::run_golden;
 use mbavf_sim::liveness::analyze;
 use mbavf_sim::{run_timed, GpuConfig};
 use mbavf_workloads::{by_name, Scale};
 
-fn bench_timed_run(c: &mut Criterion) {
+fn main() {
+    group("simulation (transpose, test scale)");
     let w = by_name("transpose").expect("registered");
-    let mut g = c.benchmark_group("sim");
-    g.sample_size(10);
-    g.bench_function("timed_transpose", |b| {
-        b.iter(|| {
-            let mut inst = w.build(Scale::Test);
-            let p = inst.program.clone();
-            let wgs = inst.workgroups;
-            run_timed(&p, &mut inst.mem, wgs, &GpuConfig::default())
-        });
+    run("timed_transpose", || {
+        let mut inst = w.build(Scale::Test);
+        let p = inst.program.clone();
+        let wgs = inst.workgroups;
+        run_timed(&p, &mut inst.mem, wgs, &GpuConfig::default())
     });
-    g.bench_function("functional_transpose", |b| {
-        b.iter(|| {
-            let mut inst = w.build(Scale::Test);
-            let p = inst.program.clone();
-            let wgs = inst.workgroups;
-            run_golden(&p, &mut inst.mem, wgs)
-        });
+    run("functional_transpose", || {
+        let mut inst = w.build(Scale::Test);
+        let p = inst.program.clone();
+        let wgs = inst.workgroups;
+        run_golden(&p, &mut inst.mem, wgs)
     });
-    g.finish();
-}
 
-fn bench_extraction(c: &mut Criterion) {
+    group("liveness + extraction (dct, test scale)");
     let w = by_name("dct").expect("registered");
     let mut inst = w.build(Scale::Test);
     let p = inst.program.clone();
     let wgs = inst.workgroups;
     let res = run_timed(&p, &mut inst.mem, wgs, &GpuConfig::default());
-    let mut g = c.benchmark_group("extract");
-    g.sample_size(10);
-    g.bench_function("liveness_dct", |b| b.iter(|| analyze(&res.trace, &inst.mem)));
+    run("liveness_dct", || analyze(&res.trace, &inst.mem));
     let lv = analyze(&res.trace, &inst.mem);
-    g.bench_function("l1_timelines_dct", |b| b.iter(|| l1_timelines(&res, &lv, &inst.mem, 0)));
-    g.bench_function("vgpr_timelines_dct", |b| b.iter(|| vgpr_timelines(&res, &lv, 0)));
-    g.finish();
+    run("l1_timelines_dct", || l1_timelines(&res, &lv, &inst.mem, 0));
+    run("vgpr_timelines_dct", || vgpr_timelines(&res, &lv, 0));
 }
-
-criterion_group!(benches, bench_timed_run, bench_extraction);
-criterion_main!(benches);

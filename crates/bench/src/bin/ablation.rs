@@ -43,8 +43,8 @@ fn main() {
             let mut sdc = Vec::new();
             let mut due = Vec::new();
             for r in &rates {
-                let res = mb_avf(&d.l1, &layout, &FaultMode::mx1(r.mode_bits), &cfg)
-                    .expect("mode fits");
+                let res =
+                    mb_avf(&d.l1, &layout, &FaultMode::mx1(r.mode_bits), &cfg).expect("mode fits");
                 sdc.push((r.clone(), res.sdc_avf()));
                 due.push((r.clone(), res.due_avf()));
             }
@@ -86,17 +86,21 @@ fn main() {
     let layout = VgprLayout::new(d.vgpr_geom, VgprInterleave::InterThread(2)).expect("valid");
     let mut t = Table::new(&["mode", "SDC (rule off)", "SDC (rule on)", "DUE (rule on)"]);
     for m in [3u32, 4, 5, 7] {
-        let off = mb_avf(&d.vgpr, &layout, &FaultMode::mx1(m),
-            &AnalysisConfig::new(ProtectionKind::Parity)).expect("fits");
-        let on = mb_avf(&d.vgpr, &layout, &FaultMode::mx1(m),
-            &AnalysisConfig::new(ProtectionKind::Parity).with_due_preempts_sdc(true))
-            .expect("fits");
-        t.row(vec![
-            format!("{m}x1"),
-            pct(off.sdc_avf()),
-            pct(on.sdc_avf()),
-            pct(on.due_avf()),
-        ]);
+        let off = mb_avf(
+            &d.vgpr,
+            &layout,
+            &FaultMode::mx1(m),
+            &AnalysisConfig::new(ProtectionKind::Parity),
+        )
+        .expect("fits");
+        let on = mb_avf(
+            &d.vgpr,
+            &layout,
+            &FaultMode::mx1(m),
+            &AnalysisConfig::new(ProtectionKind::Parity).with_due_preempts_sdc(true),
+        )
+        .expect("fits");
+        t.row(vec![format!("{m}x1"), pct(off.sdc_avf()), pct(on.sdc_avf()), pct(on.due_avf())]);
     }
     println!("{}", t.render());
     println!("Odd modes split unevenly across the two interleaved registers, leaving one");
@@ -105,10 +109,15 @@ fn main() {
 
     // ---------------------------------------------------------------- (D)
     println!("(D) closed-form MTTFs vs the MACAU-style Markov baseline (64-bit SEC-DED words)\n");
-    let mut t = Table::new(&["FIT/bit", "closed-form tMBF (no scrub)", "Markov (no scrub)", "Markov (24h scrub)"]);
+    let mut t = Table::new(&[
+        "FIT/bit",
+        "closed-form tMBF (no scrub)",
+        "Markov (no scrub)",
+        "Markov (24h scrub)",
+    ]);
     for rate in [1e-2, 1.0, 1e2] {
-        let closed = MemoryModel { bits: 64, word_bits: 64, fit_per_bit: rate }
-            .temporal_mttf_hours(None);
+        let closed =
+            MemoryModel { bits: 64, word_bits: 64, fit_per_bit: rate }.temporal_mttf_hours(None);
         let markov = MarkovModel::secded64(rate, None).mttf_hours();
         let scrubbed = MarkovModel::secded64(rate, Some(24.0)).mttf_hours();
         t.row(vec![

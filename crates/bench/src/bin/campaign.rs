@@ -1,0 +1,141 @@
+//! Standalone fault-injection campaign driver over the resilient runner:
+//! crash-isolated trials, deterministic multi-threading, and
+//! checkpoint/resume.
+//!
+//! ```text
+//! campaign --workload dct [--injections 5000] [--seed 0xACE5]
+//!          [--threads 8] [--checkpoint dct.ckpt.json]
+//!          [--checkpoint-every 64] [--stop-after N]
+//!          [--scale test|paper] [--no-wrap-oob]
+//! ```
+//!
+//! Summaries are bit-identical for any `--threads` value, and a killed run
+//! restarted with the same `--checkpoint` file picks up where it left off.
+//! `--no-wrap-oob` makes wild memory accesses fault instead of wrapping, so
+//! corrupted address registers surface as `crash` outcomes.
+
+use mbavf_inject::{run_campaign, CampaignConfig, OutcomeKind, RunnerConfig};
+use mbavf_workloads::{by_name, suite, Scale};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    workload: String,
+    cfg: CampaignConfig,
+    runner: RunnerConfig,
+}
+
+fn usage() -> String {
+    let names: Vec<&str> = suite().iter().map(|w| w.name).collect();
+    format!(
+        "usage: campaign --workload NAME [--injections N] [--seed S] [--threads N]\n\
+         \u{20}                [--checkpoint FILE] [--checkpoint-every N] [--stop-after N]\n\
+         \u{20}                [--scale test|paper] [--no-wrap-oob]\n\
+         workloads: {}",
+        names.join(", ")
+    )
+}
+
+fn parse_u64(v: &str) -> Result<u64, String> {
+    let parsed = match v.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => v.parse(),
+    };
+    parsed.map_err(|_| format!("not an unsigned integer: {v}"))
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        workload: String::new(),
+        cfg: CampaignConfig { injections: 5000, scale: Scale::Paper, ..CampaignConfig::default() },
+        runner: RunnerConfig::default(),
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--workload" => args.workload = value()?.clone(),
+            "--injections" => args.cfg.injections = parse_u64(value()?)? as usize,
+            "--seed" => args.cfg.seed = parse_u64(value()?)?,
+            "--hang-factor" => args.cfg.hang_factor = parse_u64(value()?)?,
+            "--threads" => args.runner.threads = parse_u64(value()?)? as usize,
+            "--checkpoint" => args.runner.checkpoint = Some(PathBuf::from(value()?)),
+            "--checkpoint-every" => args.runner.checkpoint_every = parse_u64(value()?)? as usize,
+            "--stop-after" => args.runner.stop_after = Some(parse_u64(value()?)? as usize),
+            "--scale" => {
+                args.cfg.scale = match value()?.as_str() {
+                    "test" => Scale::Test,
+                    "paper" => Scale::Paper,
+                    other => return Err(format!("unknown scale {other} (test|paper)")),
+                }
+            }
+            "--no-wrap-oob" => args.cfg.wrap_oob = false,
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    if args.workload.is_empty() {
+        return Err(format!("--workload is required\n{}", usage()));
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(w) = by_name(&args.workload) else {
+        eprintln!("unknown workload {}\n{}", args.workload, usage());
+        return ExitCode::FAILURE;
+    };
+
+    let report = match run_campaign(&w, &args.cfg, &args.runner) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("campaign failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let s = &report.summary;
+    let f = s.fractions();
+    println!(
+        "{}: {} trials ({} resumed from checkpoint, {} run now){}",
+        s.workload,
+        s.records.len(),
+        report.resumed,
+        report.newly_run,
+        if report.complete { "" } else { "  [INCOMPLETE: stopped early]" }
+    );
+    println!(
+        "  masked {:>6.2}%   sdc {:>6.2}%   hang {:>6.2}%   crash {:>6.2}%",
+        100.0 * f.masked,
+        100.0 * f.sdc,
+        100.0 * f.hang,
+        100.0 * f.crash
+    );
+    println!("  read-before-overwrite {:.2}%", 100.0 * s.read_fraction());
+    let crashes = s.count(OutcomeKind::Crash);
+    if crashes > 0 {
+        println!("  first crash reasons:");
+        for r in s
+            .records
+            .iter()
+            .filter_map(|r| match &r.outcome {
+                mbavf_inject::Outcome::Crash { reason } => Some((r.trial, reason)),
+                _ => None,
+            })
+            .take(5)
+        {
+            println!("    trial {:>6}: {}", r.0, r.1);
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -24,11 +24,7 @@ struct StructureSer {
     due_fit: f64,
 }
 
-fn compose(
-    name: &str,
-    bits: u64,
-    per_mode: impl Fn(u32) -> MbAvfResult,
-) -> StructureSer {
+fn compose(name: &str, bits: u64, per_mode: impl Fn(u32) -> MbAvfResult) -> StructureSer {
     // Table III rates are per a notional 100-FIT array; scale by bit count
     // so structures of different sizes weigh correctly.
     let scale = bits as f64 / (16.0 * 1024.0 * 8.0); // normalize to one L1
@@ -65,14 +61,11 @@ fn main() {
         mb_avf(&d.l2, &l2_layout, &FaultMode::mx1(m), &cfg).expect("fits")
     }));
 
-    let vgpr_layout =
-        VgprLayout::new(d.vgpr_geom, VgprInterleave::InterThread(4)).expect("valid");
+    let vgpr_layout = VgprLayout::new(d.vgpr_geom, VgprInterleave::InterThread(4)).expect("valid");
     let vgpr_cfg = AnalysisConfig::new(ProtectionKind::Parity).with_due_preempts_sdc(true);
-    structures.push(compose(
-        "4 x VGPR",
-        4 * u64::from(d.vgpr_geom.bytes()) * 8,
-        |m| mb_avf(&d.vgpr, &vgpr_layout, &FaultMode::mx1(m), &vgpr_cfg).expect("fits"),
-    ));
+    structures.push(compose("4 x VGPR", 4 * u64::from(d.vgpr_geom.bytes()) * 8, |m| {
+        mb_avf(&d.vgpr, &vgpr_layout, &FaultMode::mx1(m), &vgpr_cfg).expect("fits")
+    }));
 
     let mut t = Table::new(&["structure", "bits", "SDC FIT", "DUE FIT", "SDC share"]);
     let total_sdc: f64 = structures.iter().map(|s| s.sdc_fit).sum();

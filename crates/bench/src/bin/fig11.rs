@@ -18,21 +18,16 @@ fn main() {
     let mut acc: BTreeMap<String, DesignAcc> = BTreeMap::new();
     for d in mbavf_bench::run_suite_at(scale) {
         for row in fig11(&d) {
-            let e = acc.entry(row.label.clone()).or_insert_with(|| {
-                (Vec::new(), Vec::new(), Vec::new(), row.overhead)
-            });
+            let e = acc
+                .entry(row.label.clone())
+                .or_insert_with(|| (Vec::new(), Vec::new(), Vec::new(), row.overhead));
             e.0.push(row.sdc_mb);
             e.1.push(row.sdc_approx);
             e.2.push(row.due_mb);
         }
     }
-    let mut t = Table::new(&[
-        "design",
-        "area ovh",
-        "SDC (MB-AVF)",
-        "SDC (SB approx)",
-        "DUE (MB-AVF)",
-    ]);
+    let mut t =
+        Table::new(&["design", "area ovh", "SDC (MB-AVF)", "SDC (SB approx)", "DUE (MB-AVF)"]);
     let mut means: BTreeMap<String, f64> = BTreeMap::new();
     for (label, (sdc, approx, due, ovh)) in &acc {
         let m = mean(sdc.iter().copied());

@@ -17,13 +17,8 @@ fn main() {
     println!("(a) SB vs 2x1 MB (x2 index-physical):");
     println!("  SB      {}", sparkline(&s.sb));
     println!("  MB 2x1  {}", sparkline(&s.mb[2]));
-    let ratios: Vec<f64> = s
-        .sb
-        .iter()
-        .zip(&s.mb[2])
-        .filter(|(sb, _)| **sb > 1e-6)
-        .map(|(sb, mb)| mb / sb)
-        .collect();
+    let ratios: Vec<f64> =
+        s.sb.iter().zip(&s.mb[2]).filter(|(sb, _)| **sb > 1e-6).map(|(sb, mb)| mb / sb).collect();
     println!(
         "  MB/SB ratio: min {} max {} mean {}",
         pct(ratios.iter().cloned().fold(f64::INFINITY, f64::min)),
@@ -31,8 +26,7 @@ fn main() {
         pct(mean(ratios.iter().copied()))
     );
     println!("\n(b) 2x1 MB-AVF by interleaving:");
-    for (name, series) in [("logical", &s.mb[0]), ("way-phys", &s.mb[1]), ("idx-phys", &s.mb[2])]
-    {
+    for (name, series) in [("logical", &s.mb[0]), ("way-phys", &s.mb[1]), ("idx-phys", &s.mb[2])] {
         println!("  {:8} {}  mean {}", name, sparkline(series), pct(mean(series.iter().copied())));
     }
     println!("\nThe MB/SB ratio changes across application phases (assembly vs. CG solve),");

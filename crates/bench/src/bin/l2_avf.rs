@@ -13,8 +13,7 @@ use mbavf_core::protection::ProtectionKind;
 fn main() {
     println!("L2 (256KB shared) AVFs, parity, x2 way-physical interleaving\n");
     let scale = scale_from_env();
-    let mut t =
-        Table::new(&["workload", "raw ACE AVF", "1x1 DUE", "2x1 / SB", "4x1 / SB"]);
+    let mut t = Table::new(&["workload", "raw ACE AVF", "1x1 DUE", "2x1 / SB", "4x1 / SB"]);
     for d in mbavf_bench::run_suite_at(scale) {
         let layout = CacheLayout::new(d.l2_geom, CacheInterleave::WayPhysical(2))
             .expect("8-way L2 accepts x2");

@@ -8,7 +8,7 @@
 
 use mbavf_bench::injections_from_env;
 use mbavf_bench::report::{pct, Table};
-use mbavf_inject::{interference_study, CampaignConfig};
+use mbavf_inject::{try_interference_study, CampaignConfig};
 use mbavf_workloads::{injection_suite, Scale};
 
 fn main() {
@@ -22,7 +22,7 @@ fn main() {
         seed: 0xACE5,
         injections,
         scale: Scale::Paper,
-        hang_factor: 8,
+        ..CampaignConfig::default()
     };
     let mut t = Table::new(&[
         "benchmark",
@@ -39,7 +39,13 @@ fn main() {
     let mut total_bits = 0usize;
     for w in injection_suite() {
         eprintln!("  injecting {} ...", w.name);
-        let row = interference_study(&w, &cfg, groups);
+        let row = match try_interference_study(&w, &cfg, groups) {
+            Ok(row) => row,
+            Err(e) => {
+                eprintln!("  skipping {}: {e}", w.name);
+                continue;
+            }
+        };
         t.row(vec![
             row.workload.into(),
             row.sdc_ace_bits.to_string(),

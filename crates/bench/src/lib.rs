@@ -24,10 +24,15 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod microbench;
 pub mod pipeline;
 pub mod report;
 
-pub use pipeline::{run_suite, run_suite_at, run_workload, WorkloadData};
+pub use mbavf_core::error::PipelineError;
+pub use pipeline::{
+    run_suite, run_suite_at, run_workload, try_run_suite_at, try_run_suite_with, try_run_workload,
+    SuiteOutcome, WorkloadData,
+};
 
 use mbavf_workloads::Scale;
 
@@ -57,8 +62,12 @@ where
 {
     std::thread::scope(|scope| {
         let f = &f;
-        let handles: Vec<_> =
-            items.into_iter().map(|item| scope.spawn(move || f(item))).collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        let handles: Vec<_> = items.into_iter().map(|item| scope.spawn(move || f(item))).collect();
+        handles
+            .into_iter()
+            // Re-raise a worker panic as itself rather than masking it
+            // behind a generic expect message.
+            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+            .collect()
     })
 }

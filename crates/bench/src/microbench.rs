@@ -1,0 +1,73 @@
+//! A tiny self-calibrating timing harness for the `benches/` targets.
+//!
+//! The workspace is dependency-free, so the `harness = false` bench binaries
+//! use this instead of criterion: each measurement warms up, calibrates an
+//! iteration count targeting ~20ms per sample, takes a fixed number of
+//! samples, and reports min / median / mean nanoseconds per call. Run with
+//! `cargo bench -p mbavf-bench`.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Samples per measurement.
+const SAMPLES: usize = 10;
+/// Wall-clock target per sample.
+const TARGET: Duration = Duration::from_millis(20);
+
+/// Measure `f` and print one result line.
+pub fn run<R>(name: &str, mut f: impl FnMut() -> R) {
+    // Warm up and calibrate how many calls fill one sample.
+    let t0 = Instant::now();
+    black_box(f());
+    let once = t0.elapsed().as_nanos().max(1);
+    let iters = (TARGET.as_nanos() / once).clamp(1, 1_000_000) as u64;
+
+    let mut per_call = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        per_call.push(t.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    per_call.sort_by(|a, b| a.total_cmp(b));
+    let min = per_call[0];
+    let median = per_call[SAMPLES / 2];
+    let mean = per_call.iter().sum::<f64>() / per_call.len() as f64;
+    println!(
+        "{name:<40} {iters:>8} iters/sample   min {:>10}  median {:>10}  mean {:>10}",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean)
+    );
+}
+
+/// Print a section header.
+pub fn group(title: &str) {
+    println!("\n== {title} ==");
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fmt_ns;
+
+    #[test]
+    fn formats_across_magnitudes() {
+        assert_eq!(fmt_ns(12.3), "12.3 ns");
+        assert_eq!(fmt_ns(4_500.0), "4.50 us");
+        assert_eq!(fmt_ns(7_250_000.0), "7.25 ms");
+        assert_eq!(fmt_ns(1_500_000_000.0), "1.500 s");
+    }
+}

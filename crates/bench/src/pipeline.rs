@@ -1,11 +1,19 @@
 //! The measurement pipeline: timed run → liveness → timelines, cached per
 //! workload so the figure generators share one simulation.
+//!
+//! The suite runners degrade gracefully: a workload that crashes the
+//! simulator or fails its reference check is reported as a
+//! [`PipelineError`] and *skipped*, so the remaining workloads still
+//! produce their tables and figures. Setting the `MBAVF_FAIL_WORKLOAD`
+//! environment variable to a workload name forces that workload to fail —
+//! a resilience drill for exercising the degraded path end-to-end.
 
+use mbavf_core::error::PipelineError;
 use mbavf_core::layout::{CacheGeometry, VgprGeometry};
 use mbavf_core::timeline::TimelineStore;
 use mbavf_sim::extract::{l1_timelines, l2_timelines, vgpr_timelines};
 use mbavf_sim::liveness::analyze;
-use mbavf_sim::{run_timed, GpuConfig};
+use mbavf_sim::{catch_crash, run_timed, GpuConfig};
 use mbavf_workloads::{suite, Scale, Workload};
 
 /// Everything the experiments need about one workload's run.
@@ -32,58 +40,143 @@ pub struct WorkloadData {
     pub live_fraction: f64,
 }
 
-/// Run one workload through the full pipeline at the given scale on the
-/// paper's GPU configuration (4 CUs, 16KB L1s, 256KB L2).
-pub fn run_workload(w: &Workload, scale: Scale) -> WorkloadData {
-    let mut inst = w.build(scale);
-    let program = inst.program.clone();
-    let wgs = inst.workgroups;
-    let cfg = GpuConfig::default();
-    let res = run_timed(&program, &mut inst.mem, wgs, &cfg);
-    inst.check(&inst.mem)
-        .unwrap_or_else(|e| panic!("{} failed its reference check in the harness: {e}", w.name));
-    let lv = analyze(&res.trace, &inst.mem);
-    let l1 = l1_timelines(&res, &lv, &inst.mem, 0);
-    let l2 = l2_timelines(&res, &lv, &inst.mem);
-    let (vgpr, vgpr_geom) = vgpr_timelines(&res, &lv, 0);
-    WorkloadData {
-        name: w.name,
-        l1,
-        l1_geom: CacheGeometry {
-            sets: cfg.l1.sets,
-            ways: cfg.l1.ways,
-            line_bytes: cfg.l1.line_bytes,
-        },
-        l2,
-        l2_geom: CacheGeometry {
-            sets: cfg.l2.sets,
-            ways: cfg.l2.ways,
-            line_bytes: cfg.l2.line_bytes,
-        },
-        vgpr,
-        vgpr_geom,
-        cycles: res.cycles,
-        retired: res.retired,
-        live_fraction: lv.live_fraction(),
+/// What a degradable suite run produced: the workloads that made it through
+/// and the per-workload reasons for the ones that did not.
+pub struct SuiteOutcome {
+    /// Successful workloads, in suite order.
+    pub data: Vec<WorkloadData>,
+    /// One entry per skipped workload.
+    pub failures: Vec<PipelineError>,
+}
+
+impl SuiteOutcome {
+    /// Look up a surviving workload by name.
+    pub fn get(&self, name: &str) -> Option<&WorkloadData> {
+        self.data.iter().find(|d| d.name == name)
     }
 }
 
-/// Run the whole suite at the given scale, one worker thread per workload
-/// (runs are independent and deterministic). Results come back in suite
-/// order.
-pub fn run_suite_at(scale: Scale) -> Vec<WorkloadData> {
-    std::thread::scope(|scope| {
+/// Run one workload through the full pipeline at the given scale on the
+/// paper's GPU configuration (4 CUs, 16KB L1s, 256KB L2).
+///
+/// # Errors
+///
+/// [`PipelineError::Crash`] if the simulation panics,
+/// [`PipelineError::CheckFailed`] if the run completes but the output fails
+/// the workload's host-side reference check.
+pub fn try_run_workload(w: &Workload, scale: Scale) -> Result<WorkloadData, PipelineError> {
+    let name = w.name;
+    catch_crash(|| {
+        let mut inst = w.build(scale);
+        let program = inst.program.clone();
+        let wgs = inst.workgroups;
+        let cfg = GpuConfig::default();
+        let res = run_timed(&program, &mut inst.mem, wgs, &cfg);
+        inst.check(&inst.mem)
+            .map_err(|detail| PipelineError::CheckFailed { workload: name.to_string(), detail })?;
+        let lv = analyze(&res.trace, &inst.mem);
+        let l1 = l1_timelines(&res, &lv, &inst.mem, 0);
+        let l2 = l2_timelines(&res, &lv, &inst.mem);
+        let (vgpr, vgpr_geom) = vgpr_timelines(&res, &lv, 0);
+        Ok(WorkloadData {
+            name,
+            l1,
+            l1_geom: CacheGeometry {
+                sets: cfg.l1.sets,
+                ways: cfg.l1.ways,
+                line_bytes: cfg.l1.line_bytes,
+            },
+            l2,
+            l2_geom: CacheGeometry {
+                sets: cfg.l2.sets,
+                ways: cfg.l2.ways,
+                line_bytes: cfg.l2.line_bytes,
+            },
+            vgpr,
+            vgpr_geom,
+            cycles: res.cycles,
+            retired: res.retired,
+            live_fraction: lv.live_fraction(),
+        })
+    })
+    .unwrap_or_else(|reason| Err(PipelineError::Crash { workload: name.to_string(), reason }))
+}
+
+/// Run one workload, panicking on failure.
+///
+/// # Panics
+///
+/// Panics if the simulation crashes or the reference check fails. Use
+/// [`try_run_workload`] for a typed error instead.
+pub fn run_workload(w: &Workload, scale: Scale) -> WorkloadData {
+    try_run_workload(w, scale).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Run the whole suite at the given scale with one worker thread per
+/// workload (runs are independent and deterministic), keeping the survivors
+/// and reporting failures instead of aborting. `should_fail` forces named
+/// workloads to fail — the seam resilience tests and the
+/// `MBAVF_FAIL_WORKLOAD` drill use.
+pub fn try_run_suite_with(
+    scale: Scale,
+    should_fail: &(dyn Fn(&str) -> bool + Sync),
+) -> SuiteOutcome {
+    let results: Vec<Result<WorkloadData, PipelineError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = suite()
             .into_iter()
             .map(|w| {
                 scope.spawn(move || {
+                    if should_fail(w.name) {
+                        return Err(PipelineError::CheckFailed {
+                            workload: w.name.to_string(),
+                            detail: "forced failure (resilience drill)".to_string(),
+                        });
+                    }
                     eprintln!("  simulating {} ...", w.name);
-                    run_workload(&w, scale)
+                    try_run_workload(&w, scale)
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("workload thread panicked")).collect()
-    })
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|_| {
+                    // try_run_workload already isolates simulation panics, so
+                    // this only fires if the harness around it panics.
+                    Err(PipelineError::Crash {
+                        workload: "<unknown>".to_string(),
+                        reason: "workload worker thread panicked".to_string(),
+                    })
+                })
+            })
+            .collect()
+    });
+    let mut out = SuiteOutcome { data: Vec::new(), failures: Vec::new() };
+    for r in results {
+        match r {
+            Ok(d) => out.data.push(d),
+            Err(e) => out.failures.push(e),
+        }
+    }
+    out
+}
+
+/// Run the whole suite at the given scale, degrading gracefully. Workloads
+/// named by the `MBAVF_FAIL_WORKLOAD` environment variable (comma-separated)
+/// are forced to fail.
+pub fn try_run_suite_at(scale: Scale) -> SuiteOutcome {
+    let forced = std::env::var("MBAVF_FAIL_WORKLOAD").unwrap_or_default();
+    try_run_suite_with(scale, &move |name| forced.split(',').any(|f| f == name))
+}
+
+/// Run the whole suite at the given scale, printing a warning for each
+/// failed workload and returning the survivors in suite order.
+pub fn run_suite_at(scale: Scale) -> Vec<WorkloadData> {
+    let outcome = try_run_suite_at(scale);
+    for e in &outcome.failures {
+        eprintln!("warning: skipping workload: {e}");
+    }
+    outcome.data
 }
 
 /// Run the whole suite at paper scale.
@@ -110,5 +203,16 @@ mod tests {
         assert!(raw_avf(&d.l1) > 0.0);
         assert!(raw_avf(&d.vgpr) > 0.0);
         assert!(d.live_fraction > 0.0 && d.live_fraction <= 1.0);
+    }
+
+    #[test]
+    fn one_failing_workload_does_not_sink_the_suite() {
+        let outcome = try_run_suite_with(Scale::Test, &|name| name == "dct");
+        assert_eq!(outcome.failures.len(), 1);
+        assert_eq!(outcome.failures[0].workload(), "dct");
+        let expected = suite().len() - 1;
+        assert_eq!(outcome.data.len(), expected);
+        assert!(outcome.get("dct").is_none());
+        assert!(outcome.get("transpose").is_some());
     }
 }

@@ -500,12 +500,8 @@ fn sweep_one_group(
         let (t0, t1) = (w[0], w[1]);
         s.region_state.fill(BitState::UnAce);
         for (i, b) in s.bits.iter().enumerate() {
-            let st = bit_state_at(
-                store.byte(b.byte as usize).intervals(),
-                &mut s.cursors[i],
-                b.bit,
-                t0,
-            );
+            let st =
+                bit_state_at(store.byte(b.byte as usize).intervals(), &mut s.cursors[i], b.bit, t0);
             let r = s.region_of[i] as usize;
             if st > s.region_state[r] {
                 s.region_state[r] = st;
@@ -561,7 +557,10 @@ mod tests {
         // Section IV-D: if all bits of a group are ACE in the same cycles,
         // MB-AVF == SB-AVF.
         let mut store = store_1byte(100);
-        store.byte_mut(0).push(Interval { start: 0, end: 50, ace_mask: 0xff, checked: false }).unwrap();
+        store
+            .byte_mut(0)
+            .push(Interval { start: 0, end: 50, ace_mask: 0xff, checked: false })
+            .unwrap();
         let layout = LinearLayout::new(1, 8, 8);
         let cfg = AnalysisConfig::new(ProtectionKind::None);
         let sb = mb_avf(&store, &layout, &FaultMode::mx1(1), &cfg).unwrap();
@@ -578,7 +577,12 @@ mod tests {
         for i in 0u64..8 {
             store
                 .byte_mut(0)
-                .push(Interval { start: i * 10, end: (i + 1) * 10, ace_mask: 1 << i, checked: false })
+                .push(Interval {
+                    start: i * 10,
+                    end: (i + 1) * 10,
+                    ace_mask: 1 << i,
+                    checked: false,
+                })
                 .unwrap();
         }
         let layout = LinearLayout::new(1, 8, 8);
@@ -598,8 +602,14 @@ mod tests {
         let mut store = store_1byte(30);
         // Bits 0..2 used; PD boundaries: bits 0-1 in domain 0, bits 2-3 in
         // domain 1 (bits_per_domain = 2).
-        store.byte_mut(0).push(Interval { start: 0, end: 10, ace_mask: 0b011, checked: true }).unwrap();
-        store.byte_mut(0).push(Interval { start: 20, end: 30, ace_mask: 0b100, checked: true }).unwrap();
+        store
+            .byte_mut(0)
+            .push(Interval { start: 0, end: 10, ace_mask: 0b011, checked: true })
+            .unwrap();
+        store
+            .byte_mut(0)
+            .push(Interval { start: 20, end: 30, ace_mask: 0b100, checked: true })
+            .unwrap();
         let layout = LinearLayout::new(1, 8, 2);
         let cfg = AnalysisConfig::new(ProtectionKind::SecDed);
         let mode = FaultMode::mx1(3);
@@ -623,7 +633,10 @@ mod tests {
         // SDC takes precedence over DUE in the same cycle.
         let mut store = store_1byte(30);
         // Bits 0,1 in domain 0; bit 2 in domain 1. All ACE during [0,10).
-        store.byte_mut(0).push(Interval { start: 0, end: 10, ace_mask: 0b111, checked: false }).unwrap();
+        store
+            .byte_mut(0)
+            .push(Interval { start: 0, end: 10, ace_mask: 0b111, checked: false })
+            .unwrap();
         let layout = LinearLayout::new(1, 8, 2);
         let cfg = AnalysisConfig::new(ProtectionKind::Parity);
         let mode = FaultMode::mx1(3);
@@ -643,7 +656,10 @@ mod tests {
         // Same shape as figure7 test, but with the Section VIII lock-step
         // rule: the group with both SDC and DUE regions becomes DUE.
         let mut store = store_1byte(30);
-        store.byte_mut(0).push(Interval { start: 0, end: 10, ace_mask: 0b111, checked: false }).unwrap();
+        store
+            .byte_mut(0)
+            .push(Interval { start: 0, end: 10, ace_mask: 0b111, checked: false })
+            .unwrap();
         let layout = LinearLayout::new(1, 8, 2);
         let cfg = AnalysisConfig::new(ProtectionKind::Parity).with_due_preempts_sdc(true);
         let res = mb_avf(&store, &layout, &FaultMode::mx1(3), &cfg).unwrap();
@@ -656,7 +672,10 @@ mod tests {
     #[test]
     fn corrected_regions_contribute_nothing() {
         let mut store = store_1byte(10);
-        store.byte_mut(0).push(Interval { start: 0, end: 10, ace_mask: 0xff, checked: true }).unwrap();
+        store
+            .byte_mut(0)
+            .push(Interval { start: 0, end: 10, ace_mask: 0xff, checked: true })
+            .unwrap();
         // 1 bit per domain: SEC-DED corrects every single-bit region.
         let layout = LinearLayout::new(1, 8, 1);
         let cfg = AnalysisConfig::new(ProtectionKind::SecDed);
@@ -667,7 +686,10 @@ mod tests {
     #[test]
     fn parity_due_for_single_bit_mode() {
         let mut store = store_1byte(10);
-        store.byte_mut(0).push(Interval { start: 0, end: 5, ace_mask: 0x0f, checked: true }).unwrap();
+        store
+            .byte_mut(0)
+            .push(Interval { start: 0, end: 5, ace_mask: 0x0f, checked: true })
+            .unwrap();
         let layout = LinearLayout::new(1, 8, 8);
         let cfg = AnalysisConfig::new(ProtectionKind::Parity);
         let res = mb_avf(&store, &layout, &FaultMode::mx1(1), &cfg).unwrap();
@@ -680,8 +702,14 @@ mod tests {
     #[test]
     fn windowed_matches_total() {
         let mut store = store_1byte(100);
-        store.byte_mut(0).push(Interval { start: 5, end: 42, ace_mask: 0b1, checked: false }).unwrap();
-        store.byte_mut(0).push(Interval { start: 60, end: 77, ace_mask: 0b10, checked: false }).unwrap();
+        store
+            .byte_mut(0)
+            .push(Interval { start: 5, end: 42, ace_mask: 0b1, checked: false })
+            .unwrap();
+        store
+            .byte_mut(0)
+            .push(Interval { start: 60, end: 77, ace_mask: 0b10, checked: false })
+            .unwrap();
         let layout = LinearLayout::new(1, 8, 8);
         let cfg = AnalysisConfig::new(ProtectionKind::None);
         let mode = FaultMode::mx1(2);
@@ -734,14 +762,23 @@ mod tests {
     fn ace_locality_extremes() {
         // Perfect locality: whole byte ACE together.
         let mut store = store_1byte(100);
-        store.byte_mut(0).push(Interval { start: 0, end: 60, ace_mask: 0xff, checked: false }).unwrap();
+        store
+            .byte_mut(0)
+            .push(Interval { start: 0, end: 60, ace_mask: 0xff, checked: false })
+            .unwrap();
         let layout = LinearLayout::new(1, 8, 8);
         assert!((ace_locality(&store, &layout).unwrap() - 1.0).abs() < 1e-9);
 
         // Zero locality: alternating bits ACE in disjoint windows.
         let mut store = store_1byte(100);
-        store.byte_mut(0).push(Interval { start: 0, end: 50, ace_mask: 0b0101_0101, checked: false }).unwrap();
-        store.byte_mut(0).push(Interval { start: 50, end: 100, ace_mask: 0b1010_1010, checked: false }).unwrap();
+        store
+            .byte_mut(0)
+            .push(Interval { start: 0, end: 50, ace_mask: 0b0101_0101, checked: false })
+            .unwrap();
+        store
+            .byte_mut(0)
+            .push(Interval { start: 50, end: 100, ace_mask: 0b1010_1010, checked: false })
+            .unwrap();
         let loc = ace_locality(&store, &layout).unwrap();
         assert!(loc < 0.01, "disjoint neighbours must have ~0 locality, got {loc}");
 
@@ -754,19 +791,19 @@ mod tests {
     fn mb_avf_bounded_by_m_times_sb() {
         // Randomized check of the Section IV-D bound: SB <= MB <= M * SB for
         // total error AVF without protection.
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        use crate::rng::SplitMix64;
+        let mut rng = SplitMix64::new(7);
         for _ in 0..10 {
             let mut store = TimelineStore::new(4, 200);
             for b in 0..4 {
                 let mut t = 0u64;
                 let tl = store.byte_mut(b);
                 while t < 190 {
-                    let len = rng.gen_range(1..20);
-                    let mask: u8 = rng.gen();
+                    let len = rng.range_u64(1, 20);
+                    let mask = rng.next_u32() as u8;
                     let end = (t + len).min(200);
                     tl.push(Interval { start: t, end, ace_mask: mask, checked: false }).unwrap();
-                    t = end + rng.gen_range(0..10);
+                    t = end + rng.below(10);
                 }
             }
             let layout = LinearLayout::new(1, 32, 32);

@@ -77,7 +77,10 @@ mod tests {
     fn raw_avf_counts_ace_bits_only() {
         let mut store = TimelineStore::new(2, 10);
         // 3 ace bits for 10 cycles out of 16 bits x 10 cycles.
-        store.byte_mut(0).push(Interval { start: 0, end: 10, ace_mask: 0b111, checked: true }).unwrap();
+        store
+            .byte_mut(0)
+            .push(Interval { start: 0, end: 10, ace_mask: 0b111, checked: true })
+            .unwrap();
         // checked-but-unace contributes nothing to raw AVF.
         store.byte_mut(1).push(Interval::false_detect(0, 10)).unwrap();
         assert!((raw_avf(&store) - 3.0 / 16.0).abs() < 1e-12);

@@ -596,7 +596,7 @@ impl Crc8 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng, SeedableRng};
+    use crate::rng::SplitMix64;
 
     #[test]
     fn parity_detects_odd_misses_even() {
@@ -658,7 +658,7 @@ mod tests {
         let code = SecDed::new(32);
         let data = 0x1234_5678u64;
         let cw = code.encode(data);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut rng = SplitMix64::new(11);
         let n = code.codeword_bits();
         let mut aliased = 0;
         let trials = 500;
@@ -666,7 +666,7 @@ mod tests {
             let mut bad = cw;
             let mut picked = std::collections::HashSet::new();
             while picked.len() < 3 {
-                picked.insert(rng.gen_range(0..n));
+                picked.insert(rng.below_u32(n));
             }
             for p in &picked {
                 bad ^= 1u128 << p;
@@ -677,7 +677,9 @@ mod tests {
                     aliased += 1;
                 }
                 Decoded::Detected => {}
-                Decoded::Ok(_) => panic!("triple error cannot yield a zero syndrome with bad parity"),
+                Decoded::Ok(_) => {
+                    panic!("triple error cannot yield a zero syndrome with bad parity")
+                }
             }
         }
         assert!(aliased > trials / 2, "only {aliased}/{trials} triples aliased");
@@ -702,9 +704,9 @@ mod tests {
     #[test]
     fn gf64_mul_is_commutative_and_associative() {
         let gf = Gf64::new();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = SplitMix64::new(3);
         for _ in 0..200 {
-            let (a, b, c) = (rng.gen_range(0..64), rng.gen_range(0..64), rng.gen_range(0..64));
+            let (a, b, c) = (rng.below(64) as u8, rng.below(64) as u8, rng.below(64) as u8);
             assert_eq!(gf.mul(a, b), gf.mul(b, a));
             assert_eq!(gf.mul(gf.mul(a, b), c), gf.mul(a, gf.mul(b, c)));
         }
@@ -760,14 +762,14 @@ mod tests {
         let code = DecTed::new();
         let data = 0x5555_AAAAu32;
         let cw = code.encode(data);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let mut rng = SplitMix64::new(17);
         let mut detected = 0;
         let trials = 300;
         for _ in 0..trials {
             let mut bad = cw;
             let mut picked = std::collections::HashSet::new();
             while picked.len() < 3 {
-                picked.insert(rng.gen_range(0..45u32));
+                picked.insert(rng.below_u32(45));
             }
             for p in &picked {
                 bad ^= 1u64 << p;
@@ -794,15 +796,15 @@ mod tests {
     #[test]
     fn crc32_detects_any_short_burst() {
         let crc = Crc32::new();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(29);
-        let data: Vec<u8> = (0..64).map(|_| rng.gen()).collect();
+        let mut rng = SplitMix64::new(29);
+        let data: Vec<u8> = (0..64).map(|_| rng.next_u32() as u8).collect();
         let sum = crc.checksum(&data);
         for _ in 0..200 {
             let mut bad = data.clone();
-            let start = rng.gen_range(0..64 * 8 - 32);
-            let len = rng.gen_range(1..=32);
+            let start = rng.below(64 * 8 - 32) as usize;
+            let len = rng.range_u64(1, 33) as usize;
             for b in start..start + len {
-                if rng.gen_bool(0.5) || b == start || b == start + len - 1 {
+                if rng.bool() || b == start || b == start + len - 1 {
                     bad[b / 8] ^= 1 << (b % 8);
                 }
             }
@@ -829,7 +831,7 @@ mod tests {
         let secded = SecDed::new(32);
         let dected = DecTed::new();
         let data = 0x0F1E_2D3Cu32;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        let mut rng = SplitMix64::new(41);
         for k in 1..=3u32 {
             for _ in 0..50 {
                 // SEC-DED
@@ -837,7 +839,7 @@ mod tests {
                 let mut bad = cw;
                 let mut picked = std::collections::HashSet::new();
                 while picked.len() < k as usize {
-                    picked.insert(rng.gen_range(0..secded.codeword_bits()));
+                    picked.insert(rng.below_u32(secded.codeword_bits()));
                 }
                 for p in &picked {
                     bad ^= 1u128 << p;
@@ -859,7 +861,7 @@ mod tests {
                 let mut bad = cw;
                 let mut picked = std::collections::HashSet::new();
                 while picked.len() < k as usize {
-                    picked.insert(rng.gen_range(0..dected.codeword_bits()));
+                    picked.insert(rng.below_u32(dected.codeword_bits()));
                 }
                 for p in &picked {
                     bad ^= 1u64 << p;

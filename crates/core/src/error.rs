@@ -97,6 +97,194 @@ impl fmt::Display for CoreError {
 
 impl std::error::Error for CoreError {}
 
+/// Why a campaign checkpoint could not be used.
+///
+/// Checkpoints are only valid against the exact campaign that wrote them:
+/// the runner fingerprints its configuration (workload, seed, budget, scale,
+/// fault width) and refuses to resume across a mismatch, because per-trial
+/// seeds — and therefore the meaning of each recorded trial index — depend
+/// on all of it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CheckpointError {
+    /// The file is not valid checkpoint JSON.
+    Malformed {
+        /// What the parser objected to.
+        detail: String,
+    },
+    /// The checkpoint was written by an incompatible format version.
+    VersionMismatch {
+        /// Version found in the file.
+        found: u64,
+        /// Version this build writes.
+        expected: u64,
+    },
+    /// The checkpoint belongs to a different campaign configuration.
+    ConfigMismatch {
+        /// Fingerprint of the campaign being resumed.
+        expected: u64,
+        /// Fingerprint recorded in the file.
+        found: u64,
+    },
+    /// A recorded trial index is outside the campaign's injection budget.
+    TrialOutOfRange {
+        /// The offending trial index.
+        trial: u64,
+        /// The campaign's injection count.
+        budget: u64,
+    },
+    /// The file could not be read or written.
+    Io {
+        /// Path involved.
+        path: String,
+        /// OS error text.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Malformed { detail } => {
+                write!(f, "malformed checkpoint: {detail}")
+            }
+            CheckpointError::VersionMismatch { found, expected } => {
+                write!(f, "checkpoint format version {found}, this build expects {expected}")
+            }
+            CheckpointError::ConfigMismatch { expected, found } => write!(
+                f,
+                "checkpoint belongs to a different campaign (config hash {found:#018x}, expected {expected:#018x})"
+            ),
+            CheckpointError::TrialOutOfRange { trial, budget } => {
+                write!(f, "checkpoint records trial {trial} outside the campaign budget of {budget}")
+            }
+            CheckpointError::Io { path, detail } => {
+                write!(f, "checkpoint I/O on {path}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Errors from fault-injection campaigns (the `mbavf-inject` runner).
+///
+/// A *trial* panicking is deliberately **not** an error: fault-induced
+/// interpreter crashes are campaign data (`Outcome::Crash`). These variants
+/// cover failures of the campaign itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum InjectError {
+    /// The golden (fault-free) run failed, so no trial can be classified.
+    GoldenRunFailed {
+        /// Workload name.
+        workload: String,
+        /// What went wrong.
+        detail: String,
+    },
+    /// A checkpoint could not be loaded or saved.
+    Checkpoint(CheckpointError),
+    /// The runner was configured inconsistently.
+    BadConfig {
+        /// Human-readable explanation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for InjectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InjectError::GoldenRunFailed { workload, detail } => {
+                write!(f, "golden run of {workload} failed: {detail}")
+            }
+            InjectError::Checkpoint(e) => write!(f, "{e}"),
+            InjectError::BadConfig { detail } => write!(f, "bad campaign config: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for InjectError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            InjectError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for InjectError {
+    fn from(e: CheckpointError) -> Self {
+        InjectError::Checkpoint(e)
+    }
+}
+
+/// One workload's failure inside the measurement pipeline.
+///
+/// The experiment harness treats these as *skips*, not aborts: one workload
+/// failing its reference check (or crashing the simulator) must not cost the
+/// other twelve their tables and figures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PipelineError {
+    /// The workload's post-run reference check rejected the output.
+    CheckFailed {
+        /// Workload name.
+        workload: String,
+        /// The checker's description of the first mismatch.
+        detail: String,
+    },
+    /// The simulation itself panicked.
+    Crash {
+        /// Workload name.
+        workload: String,
+        /// Captured panic message.
+        reason: String,
+    },
+    /// An injection campaign attached to this workload failed.
+    Inject {
+        /// Workload name.
+        workload: String,
+        /// The underlying campaign error.
+        source: InjectError,
+    },
+}
+
+impl PipelineError {
+    /// The workload this failure belongs to.
+    pub fn workload(&self) -> &str {
+        match self {
+            PipelineError::CheckFailed { workload, .. }
+            | PipelineError::Crash { workload, .. }
+            | PipelineError::Inject { workload, .. } => workload,
+        }
+    }
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::CheckFailed { workload, detail } => {
+                write!(f, "{workload}: reference check failed: {detail}")
+            }
+            PipelineError::Crash { workload, reason } => {
+                write!(f, "{workload}: simulation crashed: {reason}")
+            }
+            PipelineError::Inject { workload, source } => {
+                write!(f, "{workload}: injection campaign failed: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Inject { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,5 +316,32 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<CoreError>();
+        assert_send_sync::<CheckpointError>();
+        assert_send_sync::<InjectError>();
+        assert_send_sync::<PipelineError>();
+    }
+
+    #[test]
+    fn campaign_errors_display_and_chain() {
+        let ck = CheckpointError::ConfigMismatch { expected: 1, found: 2 };
+        let inj: InjectError = ck.clone().into();
+        assert!(inj.to_string().contains("different campaign"));
+        let pipe = PipelineError::Inject { workload: "dct".into(), source: inj };
+        assert_eq!(pipe.workload(), "dct");
+        assert!(std::error::Error::source(&pipe).is_some());
+        for e in [
+            PipelineError::CheckFailed { workload: "a".into(), detail: "x".into() },
+            PipelineError::Crash { workload: "b".into(), reason: "y".into() },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+        for e in [
+            CheckpointError::Malformed { detail: "d".into() },
+            CheckpointError::VersionMismatch { found: 9, expected: 1 },
+            CheckpointError::TrialOutOfRange { trial: 10, budget: 5 },
+            CheckpointError::Io { path: "/p".into(), detail: "gone".into() },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
     }
 }

@@ -462,7 +462,10 @@ mod tests {
     use super::*;
 
     fn all_bits<L: PhysicalLayout>(l: &L) -> Vec<BitRef> {
-        (0..l.rows()).flat_map(|r| (0..l.cols()).map(move |c| (r, c))).map(|(r, c)| l.bit_at(r, c)).collect()
+        (0..l.rows())
+            .flat_map(|r| (0..l.cols()).map(move |c| (r, c)))
+            .map(|(r, c)| l.bit_at(r, c))
+            .collect()
     }
 
     /// Every layout must be a bijection onto its (byte, bit) space.

@@ -67,12 +67,16 @@ pub mod layout;
 pub mod markov;
 pub mod mttf;
 pub mod protection;
+pub mod rng;
 pub mod ser;
 pub mod timeline;
 
-pub use analysis::{ace_locality, mb_avf, mb_avf_modes, windowed_mb_avf, AnalysisConfig, MbAvfResult};
-pub use error::CoreError;
+pub use analysis::{
+    ace_locality, mb_avf, mb_avf_modes, windowed_mb_avf, AnalysisConfig, MbAvfResult,
+};
+pub use error::{CheckpointError, CoreError, InjectError, PipelineError};
 pub use geometry::{FaultGroup, FaultMode};
 pub use layout::{BitRef, PhysicalLayout};
 pub use protection::{Action, ProtectionKind};
+pub use rng::SplitMix64;
 pub use timeline::{ByteTimeline, Cycle, Interval, TimelineStore};

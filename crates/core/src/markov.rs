@@ -187,25 +187,18 @@ mod tests {
         let lambda = 64.0 * 1e-4 / 1e9;
         let expect = 2.0 / lambda;
         let got = m.mttf_hours();
-        assert!(
-            (got / expect - 1.0).abs() < 0.05,
-            "markov {got:.3e} vs closed form {expect:.3e}"
-        );
+        assert!((got / expect - 1.0).abs() < 0.05, "markov {got:.3e} vs closed form {expect:.3e}");
     }
 
     #[test]
     fn stronger_code_survives_longer() {
         let secded = MarkovModel::secded64(1e-4, None).mttf_hours();
-        let dected = MarkovModel {
-            scheme: ProtectionKind::DecTed,
-            ..MarkovModel::secded64(1e-4, None)
-        }
-        .mttf_hours();
-        let parity = MarkovModel {
-            scheme: ProtectionKind::Parity,
-            ..MarkovModel::secded64(1e-4, None)
-        }
-        .mttf_hours();
+        let dected =
+            MarkovModel { scheme: ProtectionKind::DecTed, ..MarkovModel::secded64(1e-4, None) }
+                .mttf_hours();
+        let parity =
+            MarkovModel { scheme: ProtectionKind::Parity, ..MarkovModel::secded64(1e-4, None) }
+                .mttf_hours();
         assert!(dected > secded * 1.3);
         assert!(parity < secded, "parity corrects nothing: first strike kills");
     }
@@ -214,14 +207,9 @@ mod tests {
     fn multibit_strikes_shorten_mttf() {
         // With DEC-TED (corrects 2), adding double-bit strikes makes each
         // strike deadlier.
-        let single_only = MarkovModel {
-            scheme: ProtectionKind::DecTed,
-            ..MarkovModel::secded64(1e-4, None)
-        };
-        let with_doubles = MarkovModel {
-            width_fractions: vec![0.9, 0.1],
-            ..single_only.clone()
-        };
+        let single_only =
+            MarkovModel { scheme: ProtectionKind::DecTed, ..MarkovModel::secded64(1e-4, None) };
+        let with_doubles = MarkovModel { width_fractions: vec![0.9, 0.1], ..single_only.clone() };
         assert!(with_doubles.mttf_hours() < single_only.mttf_hours());
     }
 

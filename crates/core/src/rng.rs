@@ -1,0 +1,192 @@
+//! Small deterministic PRNG — SplitMix64 — used for campaign sampling and
+//! randomized property tests.
+//!
+//! The workspace deliberately carries no external dependencies, so this
+//! module stands in for `rand`. SplitMix64 (Steele, Lea & Flood,
+//! "Fast splittable pseudorandom number generators", OOPSLA 2014) is the
+//! right shape for fault-injection campaigns: every `(seed, stream)` pair
+//! yields an independent, statistically solid sequence, so trial *i* of a
+//! campaign can draw from `SplitMix64::stream(campaign_seed, i)` and get
+//! the same fault site no matter which worker thread runs it or in what
+//! order — the property the parallel campaign runner's determinism rests
+//! on.
+
+/// A SplitMix64 generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+/// The golden-ratio increment of SplitMix64.
+const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl SplitMix64 {
+    /// A generator seeded directly with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// The independent stream for `(seed, index)` — e.g. one fault-injection
+    /// trial of a campaign. Mixing the index through one SplitMix64 round
+    /// before combining decorrelates neighbouring indices.
+    pub fn stream(seed: u64, index: u64) -> Self {
+        let mut s = Self::new(seed ^ mix(index.wrapping_add(GAMMA)));
+        s.next_u64(); // discard one output to separate from the raw seed
+        s
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GAMMA);
+        mix(self.state)
+    }
+
+    /// Next 32-bit output (high half, the better-mixed bits).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform draw from `[0, bound)` via Lemire's multiply-shift rejection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) is an empty range");
+        // Rejection sampling on the low product keeps the draw exactly
+        // uniform (the simple modulo would bias campaigns toward low sites).
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            if (m as u64) >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform draw from `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform `u32` draw from `[0, bound)`.
+    pub fn below_u32(&mut self, bound: u32) -> u32 {
+        self.below(u64::from(bound)) as u32
+    }
+
+    /// A uniformly random `bool`.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// The SplitMix64 finalizer (also a strong standalone 64-bit hash).
+pub fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a byte string — the stable config fingerprint used by
+/// campaign checkpoints (a content hash, not a security boundary).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_sequence() {
+        // SplitMix64 reference outputs for seed 0 (Vigna's test vector).
+        let mut r = SplitMix64::new(0);
+        assert_eq!(r.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(r.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(r.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_distinct() {
+        let a1: Vec<u64> = {
+            let mut r = SplitMix64::stream(42, 7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let a2: Vec<u64> = {
+            let mut r = SplitMix64::stream(42, 7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SplitMix64::stream(42, 8);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut r = SplitMix64::new(123);
+        let mut seen = [false; 7];
+        for _ in 0..500 {
+            let v = r.below(7);
+            assert!(v < 7);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable");
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut r = SplitMix64::new(9);
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            counts[r.below(4) as usize] += 1;
+        }
+        for c in counts {
+            assert!((9_000..11_000).contains(&c), "skewed counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut r = SplitMix64::new(5);
+        for _ in 0..1000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn fnv_distinguishes_inputs() {
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+        assert_ne!(fnv1a(b""), fnv1a(b"\0"));
+        assert_eq!(fnv1a(b"campaign"), fnv1a(b"campaign"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        SplitMix64::new(0).range_u64(3, 3);
+    }
+}

@@ -33,19 +33,10 @@ pub struct FaultRate {
 /// at 22nm, 3.6% are multi-bit along a wordline, 0.1% of strikes affect more
 /// than 8 bits, and per-width rates decrease with width.
 pub fn paper_table3() -> Vec<FaultRate> {
-    [
-        (1, 96.1),
-        (2, 2.40),
-        (3, 0.55),
-        (4, 0.40),
-        (5, 0.20),
-        (6, 0.15),
-        (7, 0.10),
-        (8, 0.10),
-    ]
-    .into_iter()
-    .map(|(mode_bits, rate_fit)| FaultRate { mode_bits, rate_fit })
-    .collect()
+    [(1, 96.1), (2, 2.40), (3, 0.55), (4, 0.40), (5, 0.20), (6, 0.15), (7, 0.10), (8, 0.10)]
+        .into_iter()
+        .map(|(mode_bits, rate_fit)| FaultRate { mode_bits, rate_fit })
+        .collect()
 }
 
 /// One row of Ibe et al.'s technology-scaling study (Table I): the percentage

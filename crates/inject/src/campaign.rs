@@ -1,9 +1,15 @@
 //! Single- and multi-bit fault-injection campaigns over workload instances.
+//!
+//! The outcome taxonomy follows what real injectors (and the related
+//! undervolted-SRAM injection literature) observe: a fault is **masked**,
+//! causes **SDC**, **hangs** the program, or **crashes** it. Crash here
+//! means the fault drove the interpreter itself into a panic — a corrupted
+//! address or allocation size tripping an assert or out-of-bounds access —
+//! and the harness records it as data rather than dying with it.
 
-use mbavf_sim::interp::{run_functional, run_golden, Injection, Termination};
+use mbavf_core::rng::SplitMix64;
+use mbavf_sim::interp::{run_functional_isolated, run_golden, InterpError, Termination};
 use mbavf_workloads::{Scale, Workload};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Where and when a fault strikes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -22,12 +28,15 @@ pub struct FaultSite {
 }
 
 impl FaultSite {
-    /// The [`Injection`] flipping `m` contiguous bits starting at `bit`
-    /// (clipped to the 32-bit register).
-    pub fn injection(&self, m: u8) -> Injection {
+    /// The [`Injection`](mbavf_sim::interp::Injection) flipping `m`
+    /// contiguous bits starting at `bit` (clipped to the 32-bit register;
+    /// `m >= 32` flips the whole register).
+    pub fn injection(&self, m: u8) -> mbavf_sim::interp::Injection {
+        // Clamp before subtracting: `32 - m` underflows u8 for m > 32.
+        let m = m.min(32);
         let lo = self.bit.min(32 - m);
-        let mask = if m >= 32 { u32::MAX } else { ((1u32 << m) - 1) << lo };
-        Injection {
+        let mask = if m == 32 { u32::MAX } else { ((1u32 << m) - 1) << lo };
+        mbavf_sim::interp::Injection {
             wg: self.wg,
             after_retired: self.after_retired,
             reg: self.reg,
@@ -35,10 +44,27 @@ impl FaultSite {
             bits: mask,
         }
     }
+
+    /// Sample a uniform site for `trial` of a campaign, from the trial's own
+    /// SplitMix stream. The draw depends only on `(seed, trial)` and the
+    /// golden run's shape — never on which thread executes the trial or in
+    /// what order — which is what makes parallel campaigns bit-identical to
+    /// serial ones.
+    pub fn sample(seed: u64, trial: u64, per_wg_retired: &[u64], num_vregs: u8) -> FaultSite {
+        let mut rng = SplitMix64::stream(seed, trial);
+        let wg = rng.below(per_wg_retired.len() as u64) as u32;
+        FaultSite {
+            wg,
+            after_retired: rng.below(per_wg_retired[wg as usize].max(1)),
+            reg: rng.below(u64::from(num_vregs.max(1))) as u8,
+            lane: rng.below(64) as u8,
+            bit: rng.below(32) as u8,
+        }
+    }
 }
 
 /// The architectural outcome of an injected fault (no protection assumed).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Outcome {
     /// Program output identical to the golden run.
     Masked,
@@ -46,18 +72,74 @@ pub enum Outcome {
     Sdc,
     /// The run exceeded its step budget (fault-induced hang).
     Hang,
+    /// The fault crashed the simulated program (interpreter panic caught
+    /// and recorded by the trial-isolation layer).
+    Crash {
+        /// Captured panic message and location.
+        reason: String,
+    },
 }
 
 impl Outcome {
-    /// Whether the fault produced a visible error (SDC or hang).
+    /// Whether the fault produced a visible error (SDC, hang, or crash).
     pub fn is_error(&self) -> bool {
         !matches!(self, Outcome::Masked)
+    }
+
+    /// The outcome class without crash details (for counting and
+    /// serialization).
+    pub fn kind(&self) -> OutcomeKind {
+        match self {
+            Outcome::Masked => OutcomeKind::Masked,
+            Outcome::Sdc => OutcomeKind::Sdc,
+            Outcome::Hang => OutcomeKind::Hang,
+            Outcome::Crash { .. } => OutcomeKind::Crash,
+        }
+    }
+}
+
+/// The four outcome classes, detail-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OutcomeKind {
+    /// No visible effect.
+    Masked,
+    /// Silent data corruption.
+    Sdc,
+    /// Step budget exceeded.
+    Hang,
+    /// Program crash.
+    Crash,
+}
+
+impl OutcomeKind {
+    /// Stable lowercase name (the checkpoint wire format).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            OutcomeKind::Masked => "masked",
+            OutcomeKind::Sdc => "sdc",
+            OutcomeKind::Hang => "hang",
+            OutcomeKind::Crash => "crash",
+        }
+    }
+
+    /// Parse [`Self::as_str`] output.
+    pub fn parse(s: &str) -> Option<OutcomeKind> {
+        match s {
+            "masked" => Some(OutcomeKind::Masked),
+            "sdc" => Some(OutcomeKind::Sdc),
+            "hang" => Some(OutcomeKind::Hang),
+            "crash" => Some(OutcomeKind::Crash),
+            _ => None,
+        }
     }
 }
 
 /// One single-bit injection and its result.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SingleBitRecord {
+    /// Campaign trial index (position in the seed's trial sequence; also
+    /// the checkpoint resume key).
+    pub trial: u64,
     /// The fault.
     pub site: FaultSite,
     /// What happened.
@@ -68,7 +150,7 @@ pub struct SingleBitRecord {
 }
 
 /// Campaign parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CampaignConfig {
     /// RNG seed (campaigns are deterministic given the seed).
     pub seed: u64,
@@ -79,38 +161,62 @@ pub struct CampaignConfig {
     /// Hang guard: a run is declared hung after
     /// `hang_factor × golden-instructions` retire in one wavefront.
     pub hang_factor: u64,
+    /// Whether out-of-bounds device accesses wrap around (the paper's
+    /// model: a wild access on a real GPU touches *some* flat address)
+    /// instead of crashing the simulated program. Set `false` to model a
+    /// strict memory system where wild accesses fault — corrupted address
+    /// registers then surface as [`Outcome::Crash`].
+    pub wrap_oob: bool,
 }
 
 impl Default for CampaignConfig {
     fn default() -> Self {
-        Self { seed: 0xACE5, injections: 500, scale: Scale::Test, hang_factor: 8 }
+        Self { seed: 0xACE5, injections: 500, scale: Scale::Test, hang_factor: 8, wrap_oob: true }
     }
 }
 
+/// Outcome shares of a campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fractions {
+    /// Share of masked outcomes.
+    pub masked: f64,
+    /// Share of SDC outcomes.
+    pub sdc: f64,
+    /// Share of hangs.
+    pub hang: f64,
+    /// Share of crashes.
+    pub crash: f64,
+}
+
 /// Aggregate campaign results.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignSummary {
     /// Workload name.
     pub workload: &'static str,
-    /// Every injection performed.
+    /// Every injection performed, in trial order.
     pub records: Vec<SingleBitRecord>,
 }
 
 impl CampaignSummary {
     /// Injections that caused SDC.
     pub fn sdc_sites(&self) -> Vec<FaultSite> {
-        self.records
-            .iter()
-            .filter(|r| r.outcome == Outcome::Sdc)
-            .map(|r| r.site)
-            .collect()
+        self.records.iter().filter(|r| r.outcome == Outcome::Sdc).map(|r| r.site).collect()
     }
 
-    /// Fraction of injections with each outcome: `(masked, sdc, hang)`.
-    pub fn fractions(&self) -> (f64, f64, f64) {
+    /// Number of records with the given outcome class.
+    pub fn count(&self, kind: OutcomeKind) -> usize {
+        self.records.iter().filter(|r| r.outcome.kind() == kind).count()
+    }
+
+    /// Fraction of injections with each outcome.
+    pub fn fractions(&self) -> Fractions {
         let n = self.records.len().max(1) as f64;
-        let count = |o: Outcome| self.records.iter().filter(|r| r.outcome == o).count() as f64 / n;
-        (count(Outcome::Masked), count(Outcome::Sdc), count(Outcome::Hang))
+        Fractions {
+            masked: self.count(OutcomeKind::Masked) as f64 / n,
+            sdc: self.count(OutcomeKind::Sdc) as f64 / n,
+            hang: self.count(OutcomeKind::Hang) as f64 / n,
+            crash: self.count(OutcomeKind::Crash) as f64 / n,
+        }
     }
 
     /// Fraction of injections whose register was read before overwrite
@@ -123,6 +229,16 @@ impl CampaignSummary {
 
 /// Run one injection (of `m` contiguous bits at `site`) against a fresh
 /// instance of `workload` and classify the outcome against `golden`.
+///
+/// A trial that panics the interpreter is returned as
+/// [`Outcome::Crash`] — the run is isolated, so the caller's campaign
+/// survives the faults it injects.
+///
+/// # Panics
+///
+/// Panics if `site` targets a register, lane, or workgroup that does not
+/// exist in the workload (campaign samplers draw sites in range; passing an
+/// out-of-range site is a caller bug, not a fault outcome).
 pub fn run_one(
     workload: &Workload,
     cfg: &CampaignConfig,
@@ -132,48 +248,80 @@ pub fn run_one(
     m: u8,
 ) -> (Outcome, bool) {
     let mut inst = workload.build(cfg.scale);
-    // Corrupted address registers may produce wild accesses: wrap instead of
-    // treating them as kernel bugs.
-    inst.mem.set_wrap_oob(true);
+    // Under the paper's model, corrupted address registers produce wild
+    // accesses that wrap instead of faulting; with wrap_oob off they crash.
+    inst.mem.set_wrap_oob(cfg.wrap_oob);
     let program = inst.program.clone();
     let wgs = inst.workgroups;
     let inj = site.injection(m);
-    let run = run_functional(&program, &mut inst.mem, wgs, &[inj], max_steps)
-        .expect("sites are sampled in range");
-    let outcome = if run.termination == Termination::Hang {
-        Outcome::Hang
-    } else if run.output == golden {
-        Outcome::Masked
-    } else {
-        Outcome::Sdc
-    };
-    (outcome, run.injected_value_read)
+    match run_functional_isolated(&program, &mut inst.mem, wgs, &[inj], max_steps) {
+        Ok(run) => {
+            let outcome = if run.termination == Termination::Hang {
+                Outcome::Hang
+            } else if run.output == golden {
+                Outcome::Masked
+            } else {
+                Outcome::Sdc
+            };
+            (outcome, run.injected_value_read)
+        }
+        Err(InterpError::Crash { reason }) => (Outcome::Crash { reason }, false),
+        Err(e @ InterpError::BadInjection(_)) => {
+            panic!("campaign sampled an out-of-range site: {e}")
+        }
+        Err(e) => panic!("unexpected interpreter error: {e}"),
+    }
 }
 
-/// Run a seeded single-bit campaign: `cfg.injections` uniform random faults
-/// over (wavefront, dynamic time, register, lane, bit).
+/// Run a seeded single-bit campaign serially: `cfg.injections` uniform
+/// random faults over (wavefront, dynamic time, register, lane, bit).
+///
+/// This is the one-thread, no-checkpoint convenience wrapper around
+/// [`run_campaign`](crate::runner::run_campaign); both produce bit-identical
+/// summaries for the same config.
+///
+/// # Panics
+///
+/// Panics if the fault-free golden run of the workload fails — without a
+/// golden output no trial can be classified. Use
+/// [`run_campaign`](crate::runner::run_campaign) for a typed error instead.
 pub fn single_bit_campaign(workload: &Workload, cfg: &CampaignConfig) -> CampaignSummary {
-    let mut golden_inst = workload.build(cfg.scale);
-    let program = golden_inst.program.clone();
-    let wgs = golden_inst.workgroups;
-    let golden = run_golden(&program, &mut golden_inst.mem, wgs);
-    let max_steps = golden.per_wg_retired.iter().copied().max().unwrap_or(1) * cfg.hang_factor;
+    crate::runner::run_campaign(workload, cfg, &crate::runner::RunnerConfig::serial())
+        .unwrap_or_else(|e| panic!("campaign over {} failed: {e}", workload.name))
+        .summary
+}
 
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut records = Vec::with_capacity(cfg.injections);
-    for _ in 0..cfg.injections {
-        let wg = rng.gen_range(0..wgs);
-        let site = FaultSite {
-            wg,
-            after_retired: rng.gen_range(0..golden.per_wg_retired[wg as usize]),
-            reg: rng.gen_range(0..program.num_vregs()),
-            lane: rng.gen_range(0..64),
-            bit: rng.gen_range(0..32),
-        };
-        let (outcome, read) = run_one(workload, cfg, &golden.output, max_steps, site, 1);
-        records.push(SingleBitRecord { site, outcome, read_before_overwrite: read });
-    }
-    CampaignSummary { workload: workload.name, records }
+/// The golden-run shape a campaign samples against.
+pub(crate) struct GoldenShape {
+    /// Golden output bytes.
+    pub output: Vec<u8>,
+    /// Instructions retired per wavefront.
+    pub per_wg_retired: Vec<u64>,
+    /// Step budget for injected runs.
+    pub max_steps: u64,
+    /// Register-file size.
+    pub num_vregs: u8,
+}
+
+/// Run the fault-free golden pass and capture everything trial sampling
+/// needs. Crash-isolated: a panicking golden run becomes an `Err`.
+pub(crate) fn golden_shape(
+    workload: &Workload,
+    cfg: &CampaignConfig,
+) -> Result<GoldenShape, String> {
+    mbavf_sim::isolate::catch_crash(|| {
+        let mut inst = workload.build(cfg.scale);
+        let program = inst.program.clone();
+        let wgs = inst.workgroups;
+        let golden = run_golden(&program, &mut inst.mem, wgs);
+        let max_steps = golden.per_wg_retired.iter().copied().max().unwrap_or(1) * cfg.hang_factor;
+        GoldenShape {
+            output: golden.output,
+            per_wg_retired: golden.per_wg_retired,
+            max_steps,
+            num_vregs: program.num_vregs(),
+        }
+    })
 }
 
 #[cfg(test)]
@@ -182,7 +330,7 @@ mod tests {
     use mbavf_workloads::by_name;
 
     fn quick_cfg(n: usize) -> CampaignConfig {
-        CampaignConfig { seed: 7, injections: n, scale: Scale::Test, hang_factor: 8 }
+        CampaignConfig { seed: 7, injections: n, ..CampaignConfig::default() }
     }
 
     #[test]
@@ -196,23 +344,58 @@ mod tests {
     }
 
     #[test]
+    fn oversized_mode_flips_whole_register() {
+        // Regression: `32 - m` underflowed u8 for m > 32 and panicked in
+        // debug builds; the width must clamp to the register instead.
+        let s = FaultSite { wg: 0, after_retired: 0, reg: 1, lane: 0, bit: 9 };
+        assert_eq!(s.injection(32).bits, u32::MAX);
+        assert_eq!(s.injection(33).bits, u32::MAX);
+        assert_eq!(s.injection(u8::MAX).bits, u32::MAX);
+    }
+
+    #[test]
+    fn sampled_sites_are_in_range() {
+        let per_wg = [5u64, 9, 1, 40];
+        for trial in 0..200 {
+            let s = FaultSite::sample(0xBEEF, trial, &per_wg, 17);
+            assert!((s.wg as usize) < per_wg.len());
+            assert!(s.after_retired < per_wg[s.wg as usize].max(1));
+            assert!(s.reg < 17);
+            assert!(s.lane < 64);
+            assert!(s.bit < 32);
+        }
+    }
+
+    #[test]
+    fn outcome_kind_roundtrip() {
+        for (o, name) in [
+            (Outcome::Masked, "masked"),
+            (Outcome::Sdc, "sdc"),
+            (Outcome::Hang, "hang"),
+            (Outcome::Crash { reason: "r".into() }, "crash"),
+        ] {
+            assert_eq!(o.kind().as_str(), name);
+            assert_eq!(OutcomeKind::parse(name), Some(o.kind()));
+        }
+        assert_eq!(OutcomeKind::parse("nope"), None);
+        assert!(Outcome::Crash { reason: "x".into() }.is_error());
+    }
+
+    #[test]
     fn campaign_is_deterministic() {
         let w = by_name("transpose").expect("registered");
         let a = single_bit_campaign(&w, &quick_cfg(20));
         let b = single_bit_campaign(&w, &quick_cfg(20));
-        for (x, y) in a.records.iter().zip(&b.records) {
-            assert_eq!(x.site, y.site);
-            assert_eq!(x.outcome, y.outcome);
-        }
+        assert_eq!(a.records, b.records);
     }
 
     #[test]
     fn campaign_finds_both_masked_and_sdc() {
         let w = by_name("fast_walsh").expect("registered");
         let summary = single_bit_campaign(&w, &quick_cfg(60));
-        let (masked, sdc, _hang) = summary.fractions();
-        assert!(masked > 0.0, "some faults must be masked");
-        assert!(sdc > 0.0, "some faults must corrupt the output");
+        let f = summary.fractions();
+        assert!(f.masked > 0.0, "some faults must be masked");
+        assert!(f.sdc > 0.0, "some faults must corrupt the output");
         assert!(!summary.sdc_sites().is_empty());
     }
 

@@ -1,0 +1,307 @@
+//! Campaign checkpoint files: periodic JSON snapshots of completed trials,
+//! validated and replayed on resume.
+//!
+//! ## File format (version 1)
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "workload": "dct",
+//!   "config_hash": 1234567890123456789,
+//!   "records": [
+//!     {"trial": 0, "wg": 1, "after": 17, "reg": 3, "lane": 9, "bit": 30,
+//!      "outcome": "sdc", "read": true},
+//!     {"trial": 2, "wg": 0, "after": 5, "reg": 8, "lane": 1, "bit": 2,
+//!      "outcome": "crash", "reason": "index out of bounds ...", "read": false}
+//!   ]
+//! }
+//! ```
+//!
+//! `config_hash` fingerprints the campaign (workload name, seed, injection
+//! budget, scale, hang factor, OOB policy): per-trial seeds depend on all of
+//! it, so a checkpoint is only meaningful against the identical campaign and
+//! resume refuses anything else. Records may be sparse in `trial` — under a
+//! parallel runner trials complete out of order — and the resume path simply
+//! runs whichever indices are missing.
+//!
+//! Writes are atomic (temp file + rename), so a campaign killed mid-write
+//! leaves the previous checkpoint intact.
+
+use crate::campaign::{CampaignConfig, FaultSite, Outcome, OutcomeKind, SingleBitRecord};
+use crate::json::{self, Value};
+use mbavf_core::error::CheckpointError;
+use mbavf_core::rng::fnv1a;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// The checkpoint format version this build reads and writes.
+pub const VERSION: u64 = 1;
+
+/// A loaded checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Workload the campaign ran over.
+    pub workload: String,
+    /// Fingerprint of the writing campaign's configuration.
+    pub config_hash: u64,
+    /// Completed trials, sorted by trial index.
+    pub records: Vec<SingleBitRecord>,
+}
+
+/// Stable fingerprint of a campaign configuration.
+///
+/// Everything that changes the meaning of a trial index goes in: the
+/// workload, the seed (trial streams), the budget (the trial set), the
+/// scale (the program being injected), the hang factor (outcome
+/// classification), and the OOB policy (crash vs. wrap semantics).
+pub fn config_fingerprint(workload: &str, cfg: &CampaignConfig) -> u64 {
+    let canon = format!(
+        "v{VERSION};workload={workload};seed={};injections={};scale={:?};hang={};wrap_oob={}",
+        cfg.seed, cfg.injections, cfg.scale, cfg.hang_factor, cfg.wrap_oob
+    );
+    fnv1a(canon.as_bytes())
+}
+
+/// Serialize a checkpoint document.
+pub fn render(workload: &str, config_hash: u64, records: &[SingleBitRecord]) -> String {
+    let mut out = String::with_capacity(64 + records.len() * 96);
+    let _ = write!(out, "{{\n  \"version\": {VERSION},\n  \"workload\": ");
+    json::write_str(&mut out, workload);
+    let _ = write!(out, ",\n  \"config_hash\": {config_hash},\n  \"records\": [");
+    for (i, r) in records.iter().enumerate() {
+        let sep = if i == 0 { "\n" } else { ",\n" };
+        let _ = write!(
+            out,
+            "{sep}    {{\"trial\": {}, \"wg\": {}, \"after\": {}, \"reg\": {}, \"lane\": {}, \"bit\": {}, \"outcome\": \"{}\", ",
+            r.trial,
+            r.site.wg,
+            r.site.after_retired,
+            r.site.reg,
+            r.site.lane,
+            r.site.bit,
+            r.outcome.kind().as_str(),
+        );
+        if let Outcome::Crash { reason } = &r.outcome {
+            out.push_str("\"reason\": ");
+            json::write_str(&mut out, reason);
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"read\": {}}}", r.read_before_overwrite);
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Atomically write `records` as the checkpoint at `path`.
+///
+/// # Errors
+///
+/// [`CheckpointError::Io`] if the temp file cannot be written or renamed.
+pub fn save(
+    path: &Path,
+    workload: &str,
+    config_hash: u64,
+    records: &[SingleBitRecord],
+) -> Result<(), CheckpointError> {
+    let io = |e: std::io::Error| CheckpointError::Io {
+        path: path.display().to_string(),
+        detail: e.to_string(),
+    };
+    let doc = render(workload, config_hash, records);
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, doc).map_err(io)?;
+    std::fs::rename(&tmp, path).map_err(io)
+}
+
+fn field_u64(rec: &Value, key: &str, i: usize) -> Result<u64, CheckpointError> {
+    rec.get(key).and_then(Value::as_u64).ok_or_else(|| CheckpointError::Malformed {
+        detail: format!("record {i}: missing or non-integer \"{key}\""),
+    })
+}
+
+/// Load and validate the checkpoint at `path`.
+///
+/// # Errors
+///
+/// [`CheckpointError::Io`] if the file cannot be read,
+/// [`CheckpointError::Malformed`] for parse or schema violations, and
+/// [`CheckpointError::VersionMismatch`] for a foreign format version.
+/// Config-hash validation is the caller's job (it knows the campaign).
+pub fn load(path: &Path) -> Result<Checkpoint, CheckpointError> {
+    let text = std::fs::read_to_string(path).map_err(|e| CheckpointError::Io {
+        path: path.display().to_string(),
+        detail: e.to_string(),
+    })?;
+    let doc = json::parse(&text).map_err(|detail| CheckpointError::Malformed { detail })?;
+
+    let version = doc
+        .get("version")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| CheckpointError::Malformed { detail: "missing \"version\"".into() })?;
+    if version != VERSION {
+        return Err(CheckpointError::VersionMismatch { found: version, expected: VERSION });
+    }
+    let workload = doc
+        .get("workload")
+        .and_then(Value::as_str)
+        .ok_or_else(|| CheckpointError::Malformed { detail: "missing \"workload\"".into() })?
+        .to_string();
+    let config_hash = doc
+        .get("config_hash")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| CheckpointError::Malformed { detail: "missing \"config_hash\"".into() })?;
+    let raw_records = doc
+        .get("records")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| CheckpointError::Malformed { detail: "missing \"records\"".into() })?;
+
+    let mut records = Vec::with_capacity(raw_records.len());
+    for (i, rec) in raw_records.iter().enumerate() {
+        let kind =
+            rec.get("outcome").and_then(Value::as_str).and_then(OutcomeKind::parse).ok_or_else(
+                || CheckpointError::Malformed {
+                    detail: format!("record {i}: missing or unknown \"outcome\""),
+                },
+            )?;
+        let outcome = match kind {
+            OutcomeKind::Masked => Outcome::Masked,
+            OutcomeKind::Sdc => Outcome::Sdc,
+            OutcomeKind::Hang => Outcome::Hang,
+            OutcomeKind::Crash => Outcome::Crash {
+                reason: rec
+                    .get("reason")
+                    .and_then(Value::as_str)
+                    .unwrap_or("unrecorded crash reason")
+                    .to_string(),
+            },
+        };
+        let read = rec.get("read").and_then(Value::as_bool).ok_or_else(|| {
+            CheckpointError::Malformed { detail: format!("record {i}: missing \"read\"") }
+        })?;
+        let narrow = |v: u64, key: &str, max: u64| -> Result<u64, CheckpointError> {
+            if v > max {
+                Err(CheckpointError::Malformed {
+                    detail: format!("record {i}: \"{key}\" = {v} out of range"),
+                })
+            } else {
+                Ok(v)
+            }
+        };
+        records.push(SingleBitRecord {
+            trial: field_u64(rec, "trial", i)?,
+            site: FaultSite {
+                wg: narrow(field_u64(rec, "wg", i)?, "wg", u64::from(u32::MAX))? as u32,
+                after_retired: field_u64(rec, "after", i)?,
+                reg: narrow(field_u64(rec, "reg", i)?, "reg", 255)? as u8,
+                lane: narrow(field_u64(rec, "lane", i)?, "lane", 63)? as u8,
+                bit: narrow(field_u64(rec, "bit", i)?, "bit", 31)? as u8,
+            },
+            outcome,
+            read_before_overwrite: read,
+        });
+    }
+    records.sort_by_key(|r| r.trial);
+    records.dedup_by_key(|r| r.trial);
+    Ok(Checkpoint { workload, config_hash, records })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<SingleBitRecord> {
+        vec![
+            SingleBitRecord {
+                trial: 0,
+                site: FaultSite { wg: 1, after_retired: 17, reg: 3, lane: 9, bit: 30 },
+                outcome: Outcome::Sdc,
+                read_before_overwrite: true,
+            },
+            SingleBitRecord {
+                trial: 5,
+                site: FaultSite { wg: 0, after_retired: 2, reg: 8, lane: 1, bit: 2 },
+                outcome: Outcome::Crash { reason: "index 70000 out of bounds: len 65536".into() },
+                read_before_overwrite: false,
+            },
+            SingleBitRecord {
+                trial: 2,
+                site: FaultSite { wg: 2, after_retired: 0, reg: 0, lane: 63, bit: 0 },
+                outcome: Outcome::Hang,
+                read_before_overwrite: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn save_load_roundtrip_sorts_by_trial() {
+        let dir = std::env::temp_dir().join("mbavf-ckpt-roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("c.json");
+        let records = sample_records();
+        save(&path, "dct", 0xFEED, &records).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.workload, "dct");
+        assert_eq!(loaded.config_hash, 0xFEED);
+        let mut expect = records;
+        expect.sort_by_key(|r| r.trial);
+        assert_eq!(loaded.records, expect);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_configs() {
+        let base = CampaignConfig::default();
+        let h = config_fingerprint("dct", &base);
+        assert_eq!(h, config_fingerprint("dct", &base));
+        assert_ne!(h, config_fingerprint("matmul", &base));
+        assert_ne!(h, config_fingerprint("dct", &CampaignConfig { seed: 1, ..base }));
+        assert_ne!(h, config_fingerprint("dct", &CampaignConfig { injections: 9, ..base }));
+        assert_ne!(h, config_fingerprint("dct", &CampaignConfig { wrap_oob: false, ..base }));
+    }
+
+    #[test]
+    fn version_and_schema_are_enforced() {
+        let dir = std::env::temp_dir().join("mbavf-ckpt-schema");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("c.json");
+
+        std::fs::write(
+            &path,
+            "{\"version\": 99, \"workload\": \"x\", \"config_hash\": 1, \"records\": []}",
+        )
+        .unwrap();
+        assert!(matches!(
+            load(&path),
+            Err(CheckpointError::VersionMismatch { found: 99, expected: VERSION })
+        ));
+
+        std::fs::write(&path, "not json at all").unwrap();
+        assert!(matches!(load(&path), Err(CheckpointError::Malformed { .. })));
+
+        std::fs::write(
+            &path,
+            format!("{{\"version\": {VERSION}, \"workload\": \"x\", \"config_hash\": 1, \"records\": [{{\"trial\": 0}}]}}"),
+        )
+        .unwrap();
+        assert!(matches!(load(&path), Err(CheckpointError::Malformed { .. })));
+
+        assert!(matches!(load(&dir.join("absent.json")), Err(CheckpointError::Io { .. })));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_reasons_with_hostile_characters_roundtrip() {
+        let dir = std::env::temp_dir().join("mbavf-ckpt-escape");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("c.json");
+        let records = vec![SingleBitRecord {
+            trial: 1,
+            site: FaultSite { wg: 0, after_retired: 0, reg: 0, lane: 0, bit: 0 },
+            outcome: Outcome::Crash { reason: "assert \"a < b\"\n\tat mem.rs:96 \\ λ".into() },
+            read_before_overwrite: false,
+        }];
+        save(&path, "w", 7, &records).unwrap();
+        assert_eq!(load(&path).unwrap().records, records);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -9,8 +9,9 @@
 //! each constituent bit alone and all together, and count groups where the
 //! multi-bit outcome contradicts the union of the single-bit outcomes.
 
-use crate::campaign::{run_one, single_bit_campaign, CampaignConfig, FaultSite};
-use mbavf_sim::interp::run_golden;
+use crate::campaign::{golden_shape, run_one, CampaignConfig, FaultSite};
+use crate::runner::{run_campaign, RunnerConfig};
+use mbavf_core::error::InjectError;
 use mbavf_workloads::Workload;
 
 /// The fault modes of Table II.
@@ -45,19 +46,39 @@ impl InterferenceRow {
 ///
 /// `max_groups_per_mode` bounds the number of multi-bit groups tested per
 /// mode (each group costs `M + 1` full program runs).
+///
+/// # Panics
+///
+/// Panics if the workload's golden run fails; use
+/// [`try_interference_study`] for a typed error instead.
 pub fn interference_study(
     workload: &Workload,
     cfg: &CampaignConfig,
     max_groups_per_mode: usize,
 ) -> InterferenceRow {
-    let summary = single_bit_campaign(workload, cfg);
-    let sdc_sites = summary.sdc_sites();
+    try_interference_study(workload, cfg, max_groups_per_mode)
+        .unwrap_or_else(|e| panic!("interference study over {} failed: {e}", workload.name))
+}
 
-    let mut golden_inst = workload.build(cfg.scale);
-    let program = golden_inst.program.clone();
-    let wgs = golden_inst.workgroups;
-    let golden = run_golden(&program, &mut golden_inst.mem, wgs);
-    let max_steps = golden.per_wg_retired.iter().copied().max().unwrap_or(1) * cfg.hang_factor;
+/// [`interference_study`], reporting campaign failures as typed errors
+/// instead of panicking (so the experiment harness can skip the workload).
+///
+/// # Errors
+///
+/// [`InjectError::GoldenRunFailed`] if the fault-free reference run fails.
+pub fn try_interference_study(
+    workload: &Workload,
+    cfg: &CampaignConfig,
+    max_groups_per_mode: usize,
+) -> Result<InterferenceRow, InjectError> {
+    let report = run_campaign(workload, cfg, &RunnerConfig::serial())?;
+    let sdc_sites = report.summary.sdc_sites();
+
+    let golden = golden_shape(workload, cfg).map_err(|detail| InjectError::GoldenRunFailed {
+        workload: workload.name.to_string(),
+        detail,
+    })?;
+    let max_steps = golden.max_steps;
 
     let mut groups_tested = [0usize; 3];
     let mut interference = [0usize; 3];
@@ -80,12 +101,12 @@ pub fn interference_study(
             }
         }
     }
-    InterferenceRow {
+    Ok(InterferenceRow {
         workload: workload.name,
         sdc_ace_bits: sdc_sites.len(),
         groups_tested,
         interference,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -98,7 +119,12 @@ mod tests {
         // The paper's central claim for the SDC model: interference occurs
         // in ~0.1% of groups. With a small budget we check it stays rare.
         let w = by_name("transpose").expect("registered");
-        let cfg = CampaignConfig { seed: 3, injections: 40, scale: Scale::Test, hang_factor: 8 };
+        let cfg = CampaignConfig {
+            seed: 3,
+            injections: 40,
+            scale: Scale::Test,
+            ..CampaignConfig::default()
+        };
         let row = interference_study(&w, &cfg, 6);
         assert!(row.sdc_ace_bits > 0, "transpose must have SDC ACE bits");
         assert!(
@@ -111,7 +137,12 @@ mod tests {
     #[test]
     fn groups_are_bounded_by_budget() {
         let w = by_name("dct").expect("registered");
-        let cfg = CampaignConfig { seed: 5, injections: 30, scale: Scale::Test, hang_factor: 8 };
+        let cfg = CampaignConfig {
+            seed: 5,
+            injections: 30,
+            scale: Scale::Test,
+            ..CampaignConfig::default()
+        };
         let row = interference_study(&w, &cfg, 3);
         for &g in &row.groups_tested {
             assert!(g <= 3);

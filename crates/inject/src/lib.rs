@@ -17,9 +17,15 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod checkpoint;
 pub mod interference;
+pub mod json;
+pub mod runner;
 
 pub use campaign::{
-    single_bit_campaign, CampaignConfig, CampaignSummary, FaultSite, Outcome, SingleBitRecord,
+    single_bit_campaign, CampaignConfig, CampaignSummary, FaultSite, Fractions, Outcome,
+    OutcomeKind, SingleBitRecord,
 };
-pub use interference::{interference_study, InterferenceRow};
+pub use interference::{interference_study, try_interference_study, InterferenceRow};
+pub use mbavf_core::error::{CheckpointError, InjectError};
+pub use runner::{run_campaign, CampaignReport, RunnerConfig};

@@ -1,0 +1,403 @@
+//! The resilient campaign engine: crash-isolated trials, deterministic
+//! parallelism, and checkpoint/resume.
+//!
+//! ## Determinism contract
+//!
+//! Every trial's fault site comes from its own SplitMix64 stream keyed by
+//! `(campaign seed, trial index)`, and trials never share mutable state — so
+//! the record produced for trial *i* is a pure function of the campaign
+//! config. Workers claim trial indices from an atomic counter and write each
+//! record into its trial's slot; after the scope joins, slots are read out in
+//! index order. Summaries are therefore **bit-identical** across any thread
+//! count, and across interrupted-then-resumed executions.
+//!
+//! ## Checkpointing
+//!
+//! With [`RunnerConfig::checkpoint`] set, the runner loads any existing
+//! checkpoint (validating its config fingerprint), runs only the missing
+//! trials, snapshots atomically every [`RunnerConfig::checkpoint_every`]
+//! completions, and writes a final checkpoint when done. A campaign killed at
+//! any point loses at most one snapshot interval of work.
+
+use crate::campaign::{golden_shape, CampaignConfig, CampaignSummary, FaultSite, SingleBitRecord};
+use crate::checkpoint;
+use mbavf_core::error::{CheckpointError, InjectError};
+use mbavf_workloads::Workload;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How to execute a campaign (as opposed to *what* to run, which is
+/// [`CampaignConfig`]). Execution knobs never affect the records produced —
+/// only how fast they appear and how interruption-proof the run is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunnerConfig {
+    /// Worker threads; `0` means one per available CPU.
+    pub threads: usize,
+    /// Checkpoint file to resume from and snapshot into.
+    pub checkpoint: Option<PathBuf>,
+    /// Snapshot after this many newly completed trials (when checkpointing).
+    pub checkpoint_every: usize,
+    /// Stop (gracefully, with a final checkpoint) after completing at most
+    /// this many *new* trials. `None` runs to completion. This is how tests
+    /// and long campaigns simulate/schedule interruption without `kill -9`.
+    pub stop_after: Option<usize>,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        Self { threads: 0, checkpoint: None, checkpoint_every: 64, stop_after: None }
+    }
+}
+
+impl RunnerConfig {
+    /// Single-threaded, no checkpointing — the simplest execution mode.
+    pub fn serial() -> Self {
+        Self { threads: 1, ..Self::default() }
+    }
+
+    fn resolved_threads(&self, pending: usize) -> usize {
+        let n = if self.threads == 0 {
+            std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+        } else {
+            self.threads
+        };
+        n.clamp(1, pending.max(1))
+    }
+}
+
+/// What a [`run_campaign`] call accomplished.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// All completed trials, in trial order (the union of resumed and newly
+    /// run records).
+    pub summary: CampaignSummary,
+    /// Trials restored from the checkpoint instead of re-run.
+    pub resumed: usize,
+    /// Trials executed by this call.
+    pub newly_run: usize,
+    /// Whether every trial in the budget is now complete. `false` only when
+    /// [`RunnerConfig::stop_after`] cut the run short.
+    pub complete: bool,
+}
+
+/// Shared worker state for one campaign execution.
+struct Shared {
+    /// One slot per trial in the budget; `Some` once completed.
+    slots: Mutex<Vec<Option<SingleBitRecord>>>,
+    /// Next index into the pending-trials list.
+    next: AtomicUsize,
+    /// Completions since the run started (drives checkpoint cadence).
+    completed: AtomicUsize,
+    /// Set when a checkpoint write fails; workers drain and stop.
+    failed: AtomicBool,
+    /// First checkpoint error, if any.
+    error: Mutex<Option<CheckpointError>>,
+}
+
+impl Shared {
+    fn snapshot(&self, workload: &str, fingerprint: u64, path: &std::path::Path) {
+        let records: Vec<SingleBitRecord> = {
+            let slots = self.slots.lock().expect("slots lock");
+            slots.iter().flatten().cloned().collect()
+        };
+        if let Err(e) = checkpoint::save(path, workload, fingerprint, &records) {
+            let mut err = self.error.lock().expect("error lock");
+            err.get_or_insert(e);
+            self.failed.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Run (or resume) a single-bit campaign under the given execution config.
+///
+/// Trials are crash-isolated: a fault that panics the interpreter is
+/// recorded as [`Outcome::Crash`](crate::campaign::Outcome::Crash) and the
+/// campaign continues. The summary is bit-identical for any `threads`
+/// setting and for any interrupt/resume schedule of the same campaign.
+///
+/// # Errors
+///
+/// [`InjectError::GoldenRunFailed`] if the fault-free reference run fails;
+/// [`InjectError::Checkpoint`] if a configured checkpoint cannot be loaded,
+/// does not match this campaign, or cannot be written;
+/// [`InjectError::BadConfig`] for inconsistent runner settings.
+pub fn run_campaign(
+    workload: &Workload,
+    cfg: &CampaignConfig,
+    runner: &RunnerConfig,
+) -> Result<CampaignReport, InjectError> {
+    if runner.checkpoint.is_some() && runner.checkpoint_every == 0 {
+        return Err(InjectError::BadConfig {
+            detail: "checkpoint_every must be at least 1 when checkpointing".into(),
+        });
+    }
+
+    let golden = golden_shape(workload, cfg).map_err(|detail| InjectError::GoldenRunFailed {
+        workload: workload.name.to_string(),
+        detail,
+    })?;
+    let fingerprint = checkpoint::config_fingerprint(workload.name, cfg);
+
+    // Restore completed trials from the checkpoint, if one exists.
+    let mut slots: Vec<Option<SingleBitRecord>> = vec![None; cfg.injections];
+    let mut resumed = 0usize;
+    if let Some(path) = &runner.checkpoint {
+        if path.exists() {
+            let ck = checkpoint::load(path)?;
+            if ck.config_hash != fingerprint {
+                return Err(CheckpointError::ConfigMismatch {
+                    expected: fingerprint,
+                    found: ck.config_hash,
+                }
+                .into());
+            }
+            for rec in ck.records {
+                let trial = rec.trial;
+                let slot =
+                    slots.get_mut(trial as usize).ok_or(CheckpointError::TrialOutOfRange {
+                        trial,
+                        budget: cfg.injections as u64,
+                    })?;
+                if slot.is_none() {
+                    resumed += 1;
+                }
+                *slot = Some(rec);
+            }
+        }
+    }
+
+    // The work list: every trial not already restored, oldest first, cut to
+    // the graceful-stop budget.
+    let mut pending: Vec<u64> =
+        (0..cfg.injections as u64).filter(|&t| slots[t as usize].is_none()).collect();
+    let total_missing = pending.len();
+    if let Some(cap) = runner.stop_after {
+        pending.truncate(cap);
+    }
+
+    let threads = runner.resolved_threads(pending.len());
+    let shared = Shared {
+        slots: Mutex::new(slots),
+        next: AtomicUsize::new(0),
+        completed: AtomicUsize::new(0),
+        failed: AtomicBool::new(false),
+        error: Mutex::new(None),
+    };
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                if shared.failed.load(Ordering::SeqCst) {
+                    return;
+                }
+                let i = shared.next.fetch_add(1, Ordering::SeqCst);
+                let Some(&trial) = pending.get(i) else { return };
+                let site =
+                    FaultSite::sample(cfg.seed, trial, &golden.per_wg_retired, golden.num_vregs);
+                let (outcome, read) = crate::campaign::run_one(
+                    workload,
+                    cfg,
+                    &golden.output,
+                    golden.max_steps,
+                    site,
+                    1,
+                );
+                {
+                    let mut slots = shared.slots.lock().expect("slots lock");
+                    slots[trial as usize] =
+                        Some(SingleBitRecord { trial, site, outcome, read_before_overwrite: read });
+                }
+                let done = shared.completed.fetch_add(1, Ordering::SeqCst) + 1;
+                if let Some(path) = &runner.checkpoint {
+                    if done.is_multiple_of(runner.checkpoint_every) {
+                        shared.snapshot(workload.name, fingerprint, path);
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(e) = shared.error.into_inner().expect("error lock") {
+        return Err(e.into());
+    }
+
+    let slots = shared.slots.into_inner().expect("slots lock");
+    let records: Vec<SingleBitRecord> = slots.into_iter().flatten().collect();
+    if let Some(path) = &runner.checkpoint {
+        checkpoint::save(path, workload.name, fingerprint, &records)?;
+    }
+
+    let newly_run = shared.completed.into_inner();
+    Ok(CampaignReport {
+        summary: CampaignSummary { workload: workload.name, records },
+        resumed,
+        newly_run,
+        complete: newly_run == total_missing,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::OutcomeKind;
+    use mbavf_workloads::by_name;
+
+    fn cfg(n: usize) -> CampaignConfig {
+        CampaignConfig { seed: 0xD15EA5E, injections: n, ..CampaignConfig::default() }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("mbavf-runner-{tag}"));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn serial_and_parallel_summaries_are_bit_identical() {
+        let w = by_name("prefix_sum").expect("registered");
+        let cfg = cfg(24);
+        let serial = run_campaign(&w, &cfg, &RunnerConfig::serial()).unwrap();
+        for threads in [2, 8] {
+            let par = run_campaign(&w, &cfg, &RunnerConfig { threads, ..RunnerConfig::default() })
+                .unwrap();
+            assert_eq!(par.summary, serial.summary, "threads={threads}");
+        }
+        assert!(serial.complete);
+        assert_eq!(serial.newly_run, 24);
+        assert_eq!(serial.resumed, 0);
+    }
+
+    #[test]
+    fn interrupted_then_resumed_matches_uninterrupted() {
+        let w = by_name("scan_large").expect("registered");
+        let cfg = cfg(18);
+        let dir = tmpdir("resume");
+        let path = dir.join("scan.ckpt.json");
+        std::fs::remove_file(&path).ok();
+
+        let uninterrupted = run_campaign(&w, &cfg, &RunnerConfig::serial()).unwrap();
+
+        // "Kill" the campaign after 7 trials, then resume twice.
+        let stop = RunnerConfig {
+            threads: 2,
+            checkpoint: Some(path.clone()),
+            checkpoint_every: 3,
+            stop_after: Some(7),
+        };
+        let first = run_campaign(&w, &cfg, &stop).unwrap();
+        assert!(!first.complete);
+        assert_eq!(first.newly_run, 7);
+
+        let second = run_campaign(&w, &cfg, &stop).unwrap();
+        assert!(!second.complete);
+        assert_eq!(second.resumed, 7);
+        assert_eq!(second.newly_run, 7);
+
+        let finish = run_campaign(
+            &w,
+            &cfg,
+            &RunnerConfig { checkpoint: Some(path.clone()), ..RunnerConfig::default() },
+        )
+        .unwrap();
+        assert!(finish.complete);
+        assert_eq!(finish.resumed, 14);
+        assert_eq!(finish.newly_run, 4);
+        assert_eq!(finish.summary, uninterrupted.summary);
+
+        // Running again is a no-op resume: everything restored, nothing run.
+        let again = run_campaign(
+            &w,
+            &cfg,
+            &RunnerConfig { checkpoint: Some(path.clone()), ..RunnerConfig::default() },
+        )
+        .unwrap();
+        assert!(again.complete);
+        assert_eq!(again.newly_run, 0);
+        assert_eq!(again.summary, uninterrupted.summary);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_refuses_a_different_campaign() {
+        let w = by_name("transpose").expect("registered");
+        let dir = tmpdir("mismatch");
+        let path = dir.join("ck.json");
+        std::fs::remove_file(&path).ok();
+        let a = cfg(6);
+        run_campaign(
+            &w,
+            &a,
+            &RunnerConfig { checkpoint: Some(path.clone()), ..RunnerConfig::serial() },
+        )
+        .unwrap();
+
+        let b = CampaignConfig { seed: a.seed + 1, ..a };
+        let err = run_campaign(
+            &w,
+            &b,
+            &RunnerConfig { checkpoint: Some(path.clone()), ..RunnerConfig::serial() },
+        )
+        .unwrap_err();
+        assert!(matches!(err, InjectError::Checkpoint(CheckpointError::ConfigMismatch { .. })));
+
+        // A shrunken budget makes recorded trials out of range.
+        let small = CampaignConfig { injections: 3, ..a };
+        std::fs::write(
+            &path,
+            checkpoint::render(
+                w.name,
+                checkpoint::config_fingerprint(w.name, &small),
+                &run_campaign(&w, &a, &RunnerConfig::serial()).unwrap().summary.records,
+            ),
+        )
+        .unwrap();
+        let err = run_campaign(
+            &w,
+            &small,
+            &RunnerConfig { checkpoint: Some(path.clone()), ..RunnerConfig::serial() },
+        )
+        .unwrap_err();
+        assert!(matches!(err, InjectError::Checkpoint(CheckpointError::TrialOutOfRange { .. })));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_outcomes_are_recorded_not_fatal() {
+        // With OOB wrapping off, corrupted address registers fault the
+        // interpreter; the runner must record those panics as Crash data
+        // while the campaign (and the test harness) survives.
+        let w = by_name("histogram").expect("registered");
+        let cfg = CampaignConfig {
+            seed: 0xC0FFEE,
+            injections: 120,
+            wrap_oob: false,
+            ..CampaignConfig::default()
+        };
+        let report =
+            run_campaign(&w, &cfg, &RunnerConfig { threads: 4, ..RunnerConfig::default() })
+                .unwrap();
+        assert!(report.complete);
+        let crashes = report.summary.count(OutcomeKind::Crash);
+        assert!(crashes > 0, "expected some wild accesses to crash");
+        for r in &report.summary.records {
+            if let crate::campaign::Outcome::Crash { reason } = &r.outcome {
+                assert!(!reason.is_empty());
+            }
+        }
+        // Crash fraction participates in the taxonomy.
+        let f = report.summary.fractions();
+        assert!((f.masked + f.sdc + f.hang + f.crash - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_checkpoint_every_is_rejected() {
+        let w = by_name("transpose").expect("registered");
+        let bad = RunnerConfig {
+            checkpoint: Some(std::env::temp_dir().join("unused.json")),
+            checkpoint_every: 0,
+            ..RunnerConfig::default()
+        };
+        assert!(matches!(run_campaign(&w, &cfg(2), &bad), Err(InjectError::BadConfig { .. })));
+    }
+}

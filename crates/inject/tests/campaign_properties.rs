@@ -1,0 +1,157 @@
+//! Property-style coverage of the campaign engine's headline guarantees:
+//! thread-count invariance, interrupt/resume equivalence, checkpoint
+//! round-tripping, and crash isolation as recorded data.
+//!
+//! Cases are generated from vendored SplitMix64 streams so every failure
+//! reproduces from the case index in the assertion message.
+
+use mbavf_core::rng::SplitMix64;
+use mbavf_inject::campaign::{CampaignConfig, FaultSite, Outcome, SingleBitRecord};
+use mbavf_inject::checkpoint;
+use mbavf_inject::{run_campaign, RunnerConfig};
+use mbavf_workloads::by_name;
+use std::path::PathBuf;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("mbavf-campaign-props-{tag}"));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// For random campaign seeds, the summary is a pure function of the config:
+/// any thread count produces bit-identical records.
+#[test]
+fn summaries_are_thread_count_invariant_across_seeds() {
+    let w = by_name("dct").expect("registered");
+    let mut seeds = SplitMix64::new(0x7112EAD5);
+    for case in 0..3 {
+        let cfg =
+            CampaignConfig { seed: seeds.next_u64(), injections: 16, ..CampaignConfig::default() };
+        let serial = run_campaign(&w, &cfg, &RunnerConfig::serial()).unwrap();
+        for threads in [3, 8] {
+            let par = run_campaign(&w, &cfg, &RunnerConfig { threads, ..RunnerConfig::default() })
+                .unwrap();
+            assert_eq!(par.summary, serial.summary, "case {case}, threads {threads}");
+        }
+    }
+}
+
+/// Interrupting a campaign at *any* point and resuming from its checkpoint
+/// reproduces the uninterrupted summary exactly.
+#[test]
+fn resume_matches_uninterrupted_at_every_stop_point() {
+    let w = by_name("fast_walsh").expect("registered");
+    let cfg = CampaignConfig { seed: 0x5709, injections: 8, ..CampaignConfig::default() };
+    let uninterrupted = run_campaign(&w, &cfg, &RunnerConfig::serial()).unwrap();
+    let dir = tmpdir("every-stop");
+
+    for stop in 0..cfg.injections {
+        let path = dir.join(format!("stop{stop}.json"));
+        std::fs::remove_file(&path).ok();
+        let interrupted = run_campaign(
+            &w,
+            &cfg,
+            &RunnerConfig {
+                threads: 1,
+                checkpoint: Some(path.clone()),
+                checkpoint_every: 2,
+                stop_after: Some(stop),
+            },
+        )
+        .unwrap();
+        assert_eq!(interrupted.newly_run, stop, "stop {stop}");
+        assert_eq!(interrupted.complete, stop == cfg.injections, "stop {stop}");
+
+        let resumed = run_campaign(
+            &w,
+            &cfg,
+            &RunnerConfig { checkpoint: Some(path), ..RunnerConfig::default() },
+        )
+        .unwrap();
+        assert!(resumed.complete, "stop {stop}");
+        assert_eq!(resumed.resumed, stop, "stop {stop}");
+        assert_eq!(resumed.summary, uninterrupted.summary, "stop {stop}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Random record sets survive a render/load round trip bit-for-bit.
+#[test]
+fn checkpoints_roundtrip_random_records() {
+    let dir = tmpdir("roundtrip");
+    for case in 0u64..20 {
+        let mut rng = SplitMix64::stream(0x0BE1, case);
+        let n = rng.range_u64(0, 12);
+        let mut records: Vec<SingleBitRecord> = (0..n)
+            .map(|trial| SingleBitRecord {
+                trial: trial * rng.range_u64(1, 9),
+                site: FaultSite {
+                    wg: rng.below(8) as u32,
+                    after_retired: rng.next_u64() >> 20,
+                    reg: rng.below(32) as u8,
+                    lane: rng.below(64) as u8,
+                    bit: rng.below(32) as u8,
+                },
+                outcome: match rng.below(4) {
+                    0 => Outcome::Masked,
+                    1 => Outcome::Sdc,
+                    2 => Outcome::Hang,
+                    _ => Outcome::Crash {
+                        reason: format!("panic \"{}\" at line {}\n\ttrace", case, rng.below(999)),
+                    },
+                },
+                read_before_overwrite: rng.bool(),
+            })
+            .collect();
+        records.sort_by_key(|r| r.trial);
+        records.dedup_by_key(|r| r.trial);
+
+        let path = dir.join(format!("c{case}.json"));
+        let hash = rng.next_u64();
+        checkpoint::save(&path, "prop", hash, &records).unwrap();
+        let loaded = checkpoint::load(&path).unwrap();
+        assert_eq!(loaded.config_hash, hash, "case {case}");
+        assert_eq!(loaded.records, records, "case {case}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The crash positive control: with OOB wrapping disabled, fault-induced
+/// interpreter panics are recorded as Crash outcomes — and even those
+/// records (including their captured panic text) are identical across
+/// thread counts.
+#[test]
+fn crash_records_are_data_and_deterministic() {
+    let w = by_name("histogram").expect("registered");
+    let cfg = CampaignConfig {
+        seed: 0xBAD_ACCE55,
+        injections: 80,
+        wrap_oob: false,
+        ..CampaignConfig::default()
+    };
+    let serial = run_campaign(&w, &cfg, &RunnerConfig::serial()).unwrap();
+    let crashes: Vec<&SingleBitRecord> = serial
+        .summary
+        .records
+        .iter()
+        .filter(|r| matches!(r.outcome, Outcome::Crash { .. }))
+        .collect();
+    assert!(!crashes.is_empty(), "expected wild accesses to crash with wrap_oob off");
+    for r in &crashes {
+        let Outcome::Crash { reason } = &r.outcome else { unreachable!() };
+        assert!(!reason.is_empty());
+    }
+
+    let par =
+        run_campaign(&w, &cfg, &RunnerConfig { threads: 4, ..RunnerConfig::default() }).unwrap();
+    assert_eq!(par.summary, serial.summary);
+
+    // The same seed with paper semantics (wrapping) records no crashes.
+    let wrapped =
+        run_campaign(&w, &CampaignConfig { wrap_oob: true, ..cfg }, &RunnerConfig::serial())
+            .unwrap();
+    assert!(
+        wrapped.summary.records.iter().all(|r| !matches!(r.outcome, Outcome::Crash { .. })),
+        "wrapping memory must not crash"
+    );
+}

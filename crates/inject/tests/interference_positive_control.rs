@@ -48,10 +48,7 @@ fn xor_cancellation_is_real_ace_interference() {
     assert!(outcome(0b01), "bit 0 alone must cause SDC");
     assert!(outcome(0b10), "bit 1 alone must cause SDC");
     // ...but the 2x1 fault covering both cancels inside the XOR.
-    assert!(
-        !outcome(0b11),
-        "flipping both bits must be masked: the XOR of the two flips cancels"
-    );
+    assert!(!outcome(0b11), "flipping both bits must be masked: the XOR of the two flips cancels");
     // This is exactly the condition interference_study counts: the union of
     // single-bit outcomes (SDC) contradicts the multi-bit outcome (masked).
 }

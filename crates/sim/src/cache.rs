@@ -505,13 +505,19 @@ mod tests {
         assert!(matches!(ev[0].kind, CacheEventKind::Fill { addr: 0x10 }));
         match ev[1].kind {
             CacheEventKind::Access { offset, len, dyn_id, is_store, out_byte0, width } => {
-                assert_eq!((offset, len, dyn_id, is_store, out_byte0, width), (0, 2, 7, true, 1, 4));
+                assert_eq!(
+                    (offset, len, dyn_id, is_store, out_byte0, width),
+                    (0, 2, 7, true, 1, 4)
+                );
             }
             other => panic!("{other:?}"),
         }
         let wbs = c.flush(9);
         assert_eq!(wbs, vec![(0x10, 0b11)]);
-        assert!(matches!(c.events().last().unwrap().kind, CacheEventKind::Evict { dirty_mask: 0b11 }));
+        assert!(matches!(
+            c.events().last().unwrap().kind,
+            CacheEventKind::Evict { dirty_mask: 0b11 }
+        ));
     }
 
     #[test]
@@ -544,7 +550,7 @@ mod tests {
         let mut h = Hierarchy::new(1, l1, l2, Latencies::default());
         h.access(0, 0, 0x100, 4, true, 1, 0, 4);
         h.access(0, 1, 0x200, 4, false, 2, 0, 4); // evicts dirty 0x100
-        // L2 saw: fill 0x100 (L1 fill), fill 0x200, and a write-back store to 0x100.
+                                                  // L2 saw: fill 0x100 (L1 fill), fill 0x200, and a write-back store to 0x100.
         let stores: Vec<_> = h
             .l2()
             .events()

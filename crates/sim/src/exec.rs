@@ -7,9 +7,7 @@
 //! models only (a standard trace-driven simplification), so both execution
 //! modes are bit-identical by construction.
 
-use crate::isa::{
-    BranchCond, CmpOp, ExecOp, Inst, MemWidth, SAluOp, SOp, VAluOp, VOp, WAVE_LANES,
-};
+use crate::isa::{BranchCond, CmpOp, ExecOp, Inst, MemWidth, SAluOp, SOp, VAluOp, VOp, WAVE_LANES};
 use crate::mem::Memory;
 use crate::program::Program;
 use crate::trace::{MemSrc, Trace, Transfer, NO_PRODUCER};
@@ -198,8 +196,9 @@ pub fn eval_salu(op: SAluOp, a: u32, b: u32) -> u32 {
 fn valu_transfers(op: VAluOp, or_a: u32, or_b: u32, b_imm: Option<u32>) -> (Transfer, Transfer) {
     match op {
         VAluOp::AddU | VAluOp::SubU | VAluOp::MulU => (Transfer::Arith, Transfer::Arith),
-        VAluOp::AddF | VAluOp::SubF | VAluOp::MulF | VAluOp::DivF | VAluOp::MinF
-        | VAluOp::MaxF => (Transfer::Full, Transfer::Full),
+        VAluOp::AddF | VAluOp::SubF | VAluOp::MulF | VAluOp::DivF | VAluOp::MinF | VAluOp::MaxF => {
+            (Transfer::Full, Transfer::Full)
+        }
         VAluOp::And => (Transfer::And(or_b), Transfer::And(or_a)),
         VAluOp::Or | VAluOp::Xor => (Transfer::Copy, Transfer::Copy),
         VAluOp::Shl => match b_imm {
@@ -262,7 +261,13 @@ impl OperandEnv {
         }
     }
 
-    fn read_sop<P: Ports>(&mut self, wf: &Wavefront, op: SOp, transfer: Transfer, ctx: &mut StepCtx<'_, P>) -> u32 {
+    fn read_sop<P: Ports>(
+        &mut self,
+        wf: &Wavefront,
+        op: SOp,
+        transfer: Transfer,
+        ctx: &mut StepCtx<'_, P>,
+    ) -> u32 {
         match op {
             SOp::Reg(s) => {
                 if let Some(trace) = ctx.trace.as_deref_mut() {
@@ -364,9 +369,11 @@ pub fn step<P: Ports>(wf: &mut Wavefront, program: &Program, ctx: &mut StepCtx<'
                 if let Some(trace) = ctx.trace.as_deref_mut() {
                     let nbytes = width.bytes();
                     let exec = wf.exec;
-                    let srcs = addrs.iter().enumerate().filter(move |(l, _)| exec >> l & 1 == 1).flat_map(move |(_, &a)| {
-                        (0..nbytes).map(move |k| (a + k, k as u8))
-                    });
+                    let srcs = addrs
+                        .iter()
+                        .enumerate()
+                        .filter(move |(l, _)| exec >> l & 1 == 1)
+                        .flat_map(move |(_, &a)| (0..nbytes).map(move |k| (a + k, k as u8)));
                     let mem = &*ctx.mem;
                     let entries: Vec<MemSrc> = srcs
                         .map(|(a, k)| {

@@ -137,7 +137,15 @@ fn cache_timelines(
             }
             CacheEventKind::Access { offset, len, dyn_id, is_store, out_byte0, width } => {
                 if let Some(r) = residencies[line_idx].as_mut() {
-                    r.accesses.push(AccessRec { t: ev.t, offset, len, dyn_id, is_store, out_byte0, width });
+                    r.accesses.push(AccessRec {
+                        t: ev.t,
+                        offset,
+                        len,
+                        dyn_id,
+                        is_store,
+                        out_byte0,
+                        width,
+                    });
                 }
             }
             CacheEventKind::Evict { dirty_mask } => {
@@ -163,8 +171,8 @@ fn load_mask(
     midx: &MemIndex<'_>,
 ) -> u8 {
     if a.dyn_id != NO_PRODUCER {
-        let out_byte = (u32::from(a.out_byte0) + (offset - u32::from(a.offset)))
-            % u32::from(a.width);
+        let out_byte =
+            (u32::from(a.out_byte0) + (offset - u32::from(a.offset))) % u32::from(a.width);
         lv.byte_demand(a.dyn_id, out_byte as u8)
     } else {
         debug_assert_eq!(level, Level::L2, "anonymous loads only occur as L1 fills into L2");
@@ -325,27 +333,25 @@ pub fn vgpr_timelines(res: &RunResult, lv: &Liveness, cu: usize) -> (TimelineSto
         per_reg[idx as usize].push(e);
     }
 
-    let mut push_segs = |store: &mut TimelineStore,
-                         reg_idx: u32,
-                         thread: u32,
-                         segs: &[(u64, u64, u32, bool)]| {
-        for &(start, end, mask, checked) in segs.iter().rev() {
-            if mask == 0 && !checked {
-                continue;
-            }
-            for byte in 0..4u32 {
-                let ace_mask = (mask >> (8 * byte)) as u8;
-                if ace_mask == 0 && !checked {
+    let push_segs =
+        |store: &mut TimelineStore, reg_idx: u32, thread: u32, segs: &[(u64, u64, u32, bool)]| {
+            for &(start, end, mask, checked) in segs.iter().rev() {
+                if mask == 0 && !checked {
                     continue;
                 }
-                let bi = geom.byte_index(thread, reg_idx, byte);
-                store
-                    .byte_mut(bi as usize)
-                    .push(Interval { start, end, ace_mask, checked })
-                    .expect("register events are time-ordered");
+                for byte in 0..4u32 {
+                    let ace_mask = (mask >> (8 * byte)) as u8;
+                    if ace_mask == 0 && !checked {
+                        continue;
+                    }
+                    let bi = geom.byte_index(thread, reg_idx, byte);
+                    store
+                        .byte_mut(bi as usize)
+                        .push(Interval { start, end, ace_mask, checked })
+                        .expect("register events are time-ordered");
+                }
             }
-        }
-    };
+        };
 
     for (reg_idx, events) in per_reg.iter().enumerate() {
         let uniform = events.iter().all(|e| e.exec == !0);
@@ -415,9 +421,9 @@ mod tests {
         // Find a byte with an ACE interval extending to the flush: output
         // data written in L1 stays ACE through eviction.
         let end = store.total_cycles();
-        let found = store.iter().any(|tl| {
-            tl.intervals().iter().any(|iv| iv.ace_mask == 0xFF && iv.end + 1 >= end)
-        });
+        let found = store
+            .iter()
+            .any(|tl| tl.intervals().iter().any(|iv| iv.ace_mask == 0xFF && iv.end + 1 >= end));
         assert!(found, "dirty output bytes must be ACE until the final write-back");
     }
 
@@ -483,7 +489,7 @@ mod tests {
         let mut a = Assembler::new();
         a.v_mul_u(VReg(2), VReg(1), 4u32);
         a.v_load(VReg(3), VReg(2), a_buf); // first read: fills L1 and L2
-        // Sweep 4 iterations of 256B to evict the buffer from L1.
+                                           // Sweep 4 iterations of 256B to evict the buffer from L1.
         a.s_mov(SReg(2), 0u32);
         a.label("sweep");
         a.s_mul(SReg(3), SReg(2), 256u32);

@@ -122,9 +122,8 @@ impl Ports for CuPorts<'_> {
                 let line_end = (a / line + 1) * line;
                 let chunk = end.min(line_end) - a;
                 let out_byte0 = ((a - start) % w) as u8;
-                cost += self.hier.access(
-                    self.cu, now, a, chunk, is_store, dyn_id, out_byte0, w as u8,
-                );
+                cost +=
+                    self.hier.access(self.cu, now, a, chunk, is_store, dyn_id, out_byte0, w as u8);
                 a += chunk;
             }
         }
@@ -136,8 +135,14 @@ impl Ports for CuPorts<'_> {
     }
 
     fn reg_read(&mut self, now: u64, slot: u8, reg: u8, dyn_id: u32, src_slot: u8, exec: u64) {
-        self.reg_events
-            .push(RegEvent { t: now, slot, reg, dyn_id, read_slot: Some(src_slot), exec });
+        self.reg_events.push(RegEvent {
+            t: now,
+            slot,
+            reg,
+            dyn_id,
+            read_slot: Some(src_slot),
+            exec,
+        });
     }
 }
 
@@ -312,8 +317,7 @@ mod tests {
             let mut wf = Wavefront::launch(&p, wg, 0, n / 64);
             let mut ports = NullPorts;
             while !wf.done {
-                let mut ctx =
-                    StepCtx { mem: &mut m2, trace: None, ports: &mut ports, now: 0 };
+                let mut ctx = StepCtx { mem: &mut m2, trace: None, ports: &mut ports, now: 0 };
                 step(&mut wf, &p, &mut ctx);
             }
         }

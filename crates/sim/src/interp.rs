@@ -63,12 +63,21 @@ pub enum InterpError {
     /// An injection referenced a register outside the program's register
     /// file or a lane outside the wavefront.
     BadInjection(Injection),
+    /// The run panicked — an injected fault drove the interpreter into an
+    /// assert, out-of-bounds access, or arithmetic overflow. Only returned
+    /// by [`run_functional_isolated`]; campaign runners classify it as a
+    /// crash outcome.
+    Crash {
+        /// Captured panic message and source location.
+        reason: String,
+    },
 }
 
 impl fmt::Display for InterpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             InterpError::BadInjection(i) => write!(f, "injection out of range: {i:?}"),
+            InterpError::Crash { reason } => write!(f, "run crashed: {reason}"),
         }
     }
 }
@@ -175,12 +184,36 @@ pub fn run_functional(
     })
 }
 
-/// Run without injections and return the golden output (convenience).
-pub fn run_golden(
+/// Crash-safe [`run_functional`]: a panic anywhere in the interpreter (an
+/// injected fault corrupting an address or loop bound can trip asserts,
+/// out-of-bounds indexing, or arithmetic overflow) is caught and returned
+/// as [`InterpError::Crash`] instead of unwinding into the caller.
+///
+/// On `Err(Crash { .. })` the contents of `mem` are unspecified — the trial
+/// died mid-run — so callers must discard the instance, which is what
+/// injection campaigns do anyway (each trial builds a fresh one).
+///
+/// # Errors
+///
+/// [`InterpError::BadInjection`] for out-of-range injections,
+/// [`InterpError::Crash`] when the run panics.
+pub fn run_functional_isolated(
     program: &Program,
     mem: &mut Memory,
     workgroups: u32,
-) -> FunctionalRun {
+    injections: &[Injection],
+    max_steps_per_wf: u64,
+) -> Result<FunctionalRun, InterpError> {
+    match crate::isolate::catch_crash(|| {
+        run_functional(program, mem, workgroups, injections, max_steps_per_wf)
+    }) {
+        Ok(result) => result,
+        Err(reason) => Err(InterpError::Crash { reason }),
+    }
+}
+
+/// Run without injections and return the golden output (convenience).
+pub fn run_golden(program: &Program, mem: &mut Memory, workgroups: u32) -> FunctionalRun {
     run_functional(program, mem, workgroups, &[], u64::MAX)
         .expect("no injections, cannot fail validation")
 }
@@ -270,6 +303,32 @@ mod tests {
         let inj = Injection { wg: 0, after_retired: 2, reg: 2, lane: 0, bits: 1 << 31 };
         let r = run_functional(&p, &mut mem, 1, &[inj], 2_000).unwrap();
         assert_eq!(r.termination, Termination::Hang);
+    }
+
+    #[test]
+    fn wild_address_crash_is_isolated() {
+        // Flip a high bit of v2 (the store address offset) with OOB
+        // wrapping off: the store panics, and the isolated entry point
+        // reports it as a Crash instead of unwinding.
+        let (p, mut mem, _) = test_setup();
+        let inj = Injection { wg: 0, after_retired: 1, reg: 2, lane: 0, bits: 1 << 30 };
+        match run_functional_isolated(&p, &mut mem, 1, &[inj], 10_000) {
+            Err(InterpError::Crash { reason }) => {
+                assert!(reason.contains("out of bounds"), "unexpected reason: {reason}")
+            }
+            other => panic!("expected Crash, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn isolated_run_matches_plain_run_when_healthy() {
+        let (p, mut m1, _) = test_setup();
+        let plain = run_golden(&p, &mut m1, 1);
+        let (p2, mut m2, _) = test_setup();
+        let isolated = run_functional_isolated(&p2, &mut m2, 1, &[], u64::MAX).unwrap();
+        assert_eq!(isolated.output, plain.output);
+        assert_eq!(isolated.retired, plain.retired);
+        assert_eq!(isolated.termination, Termination::Completed);
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! Panic isolation for crash-tolerant simulation.
+//!
+//! A fault-injection campaign must survive the faults it injects: a flipped
+//! address or loop bound can drive the interpreter into an `assert!`
+//! (`simulated memory exhausted`), an out-of-bounds slice index, or an
+//! arithmetic overflow — all of which panic. [`catch_crash`] turns such a
+//! panic into an `Err(reason)` carrying the panic message and location, so a
+//! campaign runner can record the trial as a *crash outcome* instead of
+//! dying with it.
+//!
+//! The mechanism is a process-global panic hook installed once and armed
+//! per-thread: while a thread is inside [`catch_crash`], its panics are
+//! captured silently into a thread-local (no stderr spam from thousands of
+//! crashing trials); panics on un-armed threads flow to the previously
+//! installed hook unchanged. This makes the capture safe to use from many
+//! worker threads at once.
+
+use std::cell::RefCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+static HOOK: Once = Once::new();
+
+thread_local! {
+    /// `Some(slot)` while the current thread is inside `catch_crash`.
+    static CAPTURED: RefCell<Option<String>> = const { RefCell::new(None) };
+    static ARMED: RefCell<bool> = const { RefCell::new(false) };
+}
+
+fn install_hook() {
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let armed = ARMED.with(|a| *a.borrow());
+            if !armed {
+                prev(info);
+                return;
+            }
+            let msg = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            let reason = match info.location() {
+                Some(loc) => format!("{msg} (at {}:{})", loc.file(), loc.line()),
+                None => msg,
+            };
+            CAPTURED.with(|c| *c.borrow_mut() = Some(reason));
+        }));
+    });
+}
+
+/// Run `f`, converting a panic into `Err(reason)`.
+///
+/// `reason` is the panic message plus source location. Nested use on the
+/// same thread is supported (the innermost capture wins its own panics).
+///
+/// The closure is wrapped in [`AssertUnwindSafe`]: callers must treat any
+/// state the closure mutated as poisoned after an `Err` — campaign runners
+/// discard the whole trial instance, which is why this is sound.
+pub fn catch_crash<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    install_hook();
+    let outer_armed = ARMED.with(|a| std::mem::replace(&mut *a.borrow_mut(), true));
+    let outer_msg = CAPTURED.with(|c| c.borrow_mut().take());
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    let captured = CAPTURED.with(|c| c.borrow_mut().take());
+    ARMED.with(|a| *a.borrow_mut() = outer_armed);
+    CAPTURED.with(|c| *c.borrow_mut() = outer_msg);
+    match result {
+        Ok(v) => Ok(v),
+        Err(payload) => Err(captured.unwrap_or_else(|| {
+            // The hook missed (e.g. a panic while panicking): fall back to
+            // the unwind payload.
+            payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".to_string())
+        })),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_result_passes_through() {
+        assert_eq!(catch_crash(|| 41 + 1), Ok(42));
+    }
+
+    #[test]
+    fn panic_message_and_location_are_captured() {
+        let err = catch_crash(|| -> u32 { panic!("simulated memory exhausted") }).unwrap_err();
+        assert!(err.contains("simulated memory exhausted"), "{err}");
+        assert!(err.contains("isolate.rs"), "location missing: {err}");
+    }
+
+    #[test]
+    fn slice_oob_is_captured() {
+        let v = [1u8, 2, 3];
+        let idx = 10usize;
+        let err = catch_crash(|| v[idx]).unwrap_err();
+        assert!(err.contains("out of bounds"), "{err}");
+    }
+
+    #[test]
+    fn capture_does_not_leak_across_calls() {
+        let _ = catch_crash(|| panic!("first"));
+        assert_eq!(catch_crash(|| 7), Ok(7));
+        let err = catch_crash(|| -> () { panic!("second") }).unwrap_err();
+        assert!(err.contains("second") && !err.contains("first"), "{err}");
+    }
+
+    #[test]
+    fn nested_capture_inner_wins() {
+        let outer = catch_crash(|| {
+            let inner = catch_crash(|| -> () { panic!("inner boom") });
+            assert!(inner.unwrap_err().contains("inner boom"));
+            "outer ok"
+        });
+        assert_eq!(outer, Ok("outer ok"));
+    }
+
+    #[test]
+    fn parallel_captures_stay_thread_local() {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|i| {
+                    s.spawn(move || {
+                        let err = catch_crash(|| -> () { panic!("worker {i} fault") }).unwrap_err();
+                        assert!(err.contains(&format!("worker {i} fault")), "{err}");
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+    }
+}

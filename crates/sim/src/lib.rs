@@ -27,6 +27,7 @@ pub mod extract;
 pub mod gpu;
 pub mod interp;
 pub mod isa;
+pub mod isolate;
 pub mod liveness;
 pub mod mem;
 pub mod program;
@@ -34,6 +35,7 @@ pub mod trace;
 
 pub use exec::Wavefront;
 pub use gpu::{run_timed, GpuConfig, RunResult};
-pub use interp::{run_functional, run_golden, Injection};
+pub use interp::{run_functional, run_functional_isolated, run_golden, Injection};
+pub use isolate::catch_crash;
 pub use mem::Memory;
 pub use program::{Assembler, Program};

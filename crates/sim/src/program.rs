@@ -229,7 +229,12 @@ impl Assembler {
 
     /// Dword store: `mem[addr + offset] = src`.
     pub fn v_store(&mut self, src: impl Into<VOp>, addr: impl Into<VOp>, offset: u32) -> &mut Self {
-        self.emit(Inst::VStore { src: src.into(), addr: addr.into(), offset, width: MemWidth::Dword })
+        self.emit(Inst::VStore {
+            src: src.into(),
+            addr: addr.into(),
+            offset,
+            width: MemWidth::Dword,
+        })
     }
 
     /// Byte store (low byte of `src`).
@@ -239,7 +244,12 @@ impl Assembler {
         addr: impl Into<VOp>,
         offset: u32,
     ) -> &mut Self {
-        self.emit(Inst::VStore { src: src.into(), addr: addr.into(), offset, width: MemWidth::Byte })
+        self.emit(Inst::VStore {
+            src: src.into(),
+            addr: addr.into(),
+            offset,
+            width: MemWidth::Byte,
+        })
     }
 
     // --- scalar --------------------------------------------------------------

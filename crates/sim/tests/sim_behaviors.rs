@@ -310,7 +310,7 @@ fn exec_masked_loads_skip_inactive_addresses() {
     mem.mark_output(out, 256);
     let mut a = Assembler::new();
     a.v_mov(VReg(4), 5u32); // prior dst contents
-    // addr = lane 0 -> x, everyone else -> absurd address
+                            // addr = lane 0 -> x, everyone else -> absurd address
     a.v_cmp(CmpOp::EqU, VReg(0), 0u32);
     a.v_sel(VReg(3), 0u32, 0xFFFF_0000u32);
     a.s_set_exec(ExecOp::Vcc); // only lane 0 active

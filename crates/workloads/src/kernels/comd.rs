@@ -24,11 +24,8 @@ pub fn build(scale: Scale) -> Instance {
     };
     let mut mem = Memory::new(1 << 20);
     // Positions roughly on a jittered 1-D lattice.
-    let pos: Vec<f32> = gen_f32(0xCC, atoms as usize)
-        .iter()
-        .enumerate()
-        .map(|(i, r)| i as f32 + 0.3 * r)
-        .collect();
+    let pos: Vec<f32> =
+        gen_f32(0xCC, atoms as usize).iter().enumerate().map(|(i, r)| i as f32 + 0.3 * r).collect();
     let mass: Vec<f32> = gen_f32(0xCD, atoms as usize).iter().map(|r| 1.0 + r).collect();
     let pos_addr = mem.alloc_f32(&pos);
     let mass_addr = mem.alloc_f32(&mass);
@@ -104,10 +101,7 @@ pub fn build(scale: Scale) -> Instance {
         mem,
         workgroups: atoms / 64,
         check,
-        meta: InstanceMeta {
-            addrs: vec![("pos", pos_addr), ("force", force_addr)],
-            n: atoms,
-        },
+        meta: InstanceMeta { addrs: vec![("pos", pos_addr), ("force", force_addr)], n: atoms },
     }
 }
 
@@ -120,8 +114,7 @@ fn check(mem: &Memory, meta: &InstanceMeta) -> Result<(), String> {
         let lane = i % 64;
         let mut facc = 0.0f32;
         for &o in &NEIGHBOURS {
-            let in_range =
-                if o < 0 { lane as i32 >= -o } else { (lane as i32) < 64 - o };
+            let in_range = if o < 0 { lane as i32 >= -o } else { (lane as i32) < 64 - o };
             let j = if in_range { (i as i32 + o) as usize } else { i };
             let dx = pos[i] - pos[j];
             let r2 = dx * dx + 0.01;

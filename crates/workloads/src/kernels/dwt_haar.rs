@@ -37,8 +37,8 @@ pub fn build(scale: Scale) -> Instance {
     a.v_mul_u(lane4, VReg(0), 4u32);
     a.v_mul_u(lane8, VReg(0), 8u32);
     a.v_mul_u(sc4, VReg(1), 4u32); // global per-lane scratch slot
-    // Detail regions within out: level 0 -> [32..64), 1 -> [16..32),
-    // 2 -> [8..16); final approx -> [0..8).
+                                   // Detail regions within out: level 0 -> [32..64), 1 -> [16..32),
+                                   // 2 -> [8..16); final approx -> [0..8).
     for (_level, h) in [(0u32, 32u32), (1, 16), (2, 8)] {
         // a = W[2*lane], b = W[2*lane+1]
         a.v_add_u(va, lane8, s_base);

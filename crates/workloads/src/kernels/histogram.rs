@@ -51,10 +51,7 @@ pub fn build(scale: Scale) -> Instance {
         mem,
         workgroups: bins / 64,
         check,
-        meta: InstanceMeta {
-            addrs: vec![("in", in_addr), ("hist", hist_addr)],
-            n,
-        },
+        meta: InstanceMeta { addrs: vec![("in", in_addr), ("hist", hist_addr)], n },
     }
 }
 

@@ -60,10 +60,7 @@ pub fn build(scale: Scale) -> Instance {
         mem,
         workgroups: rows,
         check,
-        meta: InstanceMeta {
-            addrs: vec![("a", a_addr), ("b", b_addr), ("c", c_addr)],
-            n: rows,
-        },
+        meta: InstanceMeta { addrs: vec![("a", a_addr), ("b", b_addr), ("c", c_addr)], n: rows },
     }
 }
 

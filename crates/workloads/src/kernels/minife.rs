@@ -132,10 +132,7 @@ pub fn build(scale: Scale) -> Instance {
         mem,
         workgroups: systems,
         check,
-        meta: InstanceMeta {
-            addrs: vec![("elem", elem_in), ("x", x_addr), ("b", b_addr)],
-            n,
-        },
+        meta: InstanceMeta { addrs: vec![("elem", elem_in), ("x", x_addr), ("b", b_addr)], n },
     }
 }
 

@@ -33,17 +33,8 @@ pub fn build(scale: Scale) -> Instance {
     mem.mark_output(out_addr, COLS * grids * 4);
 
     let mut a = Assembler::new();
-    let (g4, lane4, dp, wl, dl, dr, m, addr, cand) = (
-        VReg(2),
-        VReg(3),
-        VReg(4),
-        VReg(5),
-        VReg(6),
-        VReg(7),
-        VReg(8),
-        VReg(9),
-        VReg(10),
-    );
+    let (g4, lane4, dp, wl, dl, dr, m, addr, cand) =
+        (VReg(2), VReg(3), VReg(4), VReg(5), VReg(6), VReg(7), VReg(8), VReg(9), VReg(10));
     let (s_r, s_off) = (SReg(2), SReg(3));
     a.v_mul_u(g4, VReg(1), 4u32); // global dp slot
     a.v_mul_u(lane4, VReg(0), 4u32);
@@ -92,10 +83,7 @@ pub fn build(scale: Scale) -> Instance {
         mem,
         workgroups: grids,
         check,
-        meta: InstanceMeta {
-            addrs: vec![("wall", wall_addr), ("out", out_addr)],
-            n: rows * grids,
-        },
+        meta: InstanceMeta { addrs: vec![("wall", wall_addr), ("out", out_addr)], n: rows * grids },
     }
 }
 

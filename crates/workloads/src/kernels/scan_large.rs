@@ -40,7 +40,7 @@ pub fn build(scale: Scale) -> Instance {
     }
     a.v_mul_u(saddr, VReg(1), 4u32);
     a.v_store(run, saddr, sums_addr); // lane sum
-    // Phase 2: offset = sum of sums of preceding lanes in this wavefront.
+                                      // Phase 2: offset = sum of sums of preceding lanes in this wavefront.
     let (s_l, s_a) = (SReg(2), SReg(3));
     a.v_mov(offs, 0u32);
     a.s_mul(s_a, SReg(0), 256u32); // this wavefront's sums base
@@ -69,10 +69,7 @@ pub fn build(scale: Scale) -> Instance {
         mem,
         workgroups: n / (64 * SUB),
         check,
-        meta: InstanceMeta {
-            addrs: vec![("in", in_addr), ("out", out_addr)],
-            n,
-        },
+        meta: InstanceMeta { addrs: vec![("in", in_addr), ("out", out_addr)], n },
     }
 }
 

@@ -34,7 +34,7 @@ pub fn build(scale: Scale) -> Instance {
     a.s_mul(s_row, SReg(0), N * 4);
     a.v_add_u(val, col4, s_row);
     a.v_load(val, val, in_addr); // in[r*N + c]
-    // out[c*N + r]
+                                 // out[c*N + r]
     a.v_mul_u(oaddr, VReg(0), N * 4);
     a.s_mul(SReg(3), SReg(0), 4u32);
     a.v_add_u(oaddr, oaddr, SReg(3));
@@ -47,10 +47,7 @@ pub fn build(scale: Scale) -> Instance {
         mem,
         workgroups: rows,
         check,
-        meta: InstanceMeta {
-            addrs: vec![("in", in_addr), ("out", out_addr)],
-            n: rows,
-        },
+        meta: InstanceMeta { addrs: vec![("in", in_addr), ("out", out_addr)], n: rows },
     }
 }
 

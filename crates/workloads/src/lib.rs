@@ -128,19 +128,71 @@ impl Workload {
 /// The full workload suite, in a stable order.
 pub fn suite() -> Vec<Workload> {
     vec![
-        Workload { name: "minife", desc: "Mantevo: CG solve with assembly phase", builder: kernels::minife::build },
-        Workload { name: "comd", desc: "Mantevo: LJ force loop with dead energy diagnostics", builder: kernels::comd::build },
-        Workload { name: "srad", desc: "Rodinia: diffusion stencil with dead statistics", builder: kernels::srad::build },
-        Workload { name: "matmul", desc: "AMD APP: dense matrix multiply", builder: kernels::matmul::build },
-        Workload { name: "transpose", desc: "AMD APP: matrix transpose (strided stores)", builder: kernels::transpose::build },
-        Workload { name: "dct", desc: "AMD APP: 8-point DCT over rows", builder: kernels::dct::build },
-        Workload { name: "histogram", desc: "AMD APP: byte histogram by bin counting", builder: kernels::histogram::build },
-        Workload { name: "prefix_sum", desc: "AMD APP: Hillis-Steele prefix sum", builder: kernels::prefix_sum::build },
-        Workload { name: "scan_large", desc: "AMD APP: blocked two-phase scan", builder: kernels::scan_large::build },
-        Workload { name: "fast_walsh", desc: "AMD APP: fast Walsh-Hadamard transform", builder: kernels::fast_walsh::build },
-        Workload { name: "dwt_haar", desc: "AMD APP: 1D Haar wavelet", builder: kernels::dwt_haar::build },
-        Workload { name: "recursive_gaussian", desc: "AMD APP: recursive (IIR) Gaussian", builder: kernels::recursive_gaussian::build },
-        Workload { name: "pathfinder", desc: "Rodinia: DP grid walk with EXEC-mask divergence", builder: kernels::pathfinder::build },
+        Workload {
+            name: "minife",
+            desc: "Mantevo: CG solve with assembly phase",
+            builder: kernels::minife::build,
+        },
+        Workload {
+            name: "comd",
+            desc: "Mantevo: LJ force loop with dead energy diagnostics",
+            builder: kernels::comd::build,
+        },
+        Workload {
+            name: "srad",
+            desc: "Rodinia: diffusion stencil with dead statistics",
+            builder: kernels::srad::build,
+        },
+        Workload {
+            name: "matmul",
+            desc: "AMD APP: dense matrix multiply",
+            builder: kernels::matmul::build,
+        },
+        Workload {
+            name: "transpose",
+            desc: "AMD APP: matrix transpose (strided stores)",
+            builder: kernels::transpose::build,
+        },
+        Workload {
+            name: "dct",
+            desc: "AMD APP: 8-point DCT over rows",
+            builder: kernels::dct::build,
+        },
+        Workload {
+            name: "histogram",
+            desc: "AMD APP: byte histogram by bin counting",
+            builder: kernels::histogram::build,
+        },
+        Workload {
+            name: "prefix_sum",
+            desc: "AMD APP: Hillis-Steele prefix sum",
+            builder: kernels::prefix_sum::build,
+        },
+        Workload {
+            name: "scan_large",
+            desc: "AMD APP: blocked two-phase scan",
+            builder: kernels::scan_large::build,
+        },
+        Workload {
+            name: "fast_walsh",
+            desc: "AMD APP: fast Walsh-Hadamard transform",
+            builder: kernels::fast_walsh::build,
+        },
+        Workload {
+            name: "dwt_haar",
+            desc: "AMD APP: 1D Haar wavelet",
+            builder: kernels::dwt_haar::build,
+        },
+        Workload {
+            name: "recursive_gaussian",
+            desc: "AMD APP: recursive (IIR) Gaussian",
+            builder: kernels::recursive_gaussian::build,
+        },
+        Workload {
+            name: "pathfinder",
+            desc: "Rodinia: DP grid walk with EXEC-mask divergence",
+            builder: kernels::pathfinder::build,
+        },
     ]
 }
 

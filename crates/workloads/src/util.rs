@@ -134,7 +134,17 @@ mod tests {
         // the sum must be 64.
         a.v_mov(VReg(2), VOp::imm_f32(1.0));
         a.v_mov(VReg(3), VOp::imm_f32(0.0));
-        emit_wg_sum_f32(&mut a, "red", scratch, VReg(2), VReg(3), VReg(4), VReg(5), SReg(2), SReg(3));
+        emit_wg_sum_f32(
+            &mut a,
+            "red",
+            scratch,
+            VReg(2),
+            VReg(3),
+            VReg(4),
+            VReg(5),
+            SReg(2),
+            SReg(3),
+        );
         a.v_mul_u(VReg(6), VReg(1), 4u32);
         a.v_store(VReg(3), VReg(6), out);
         a.end();

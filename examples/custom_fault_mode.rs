@@ -30,8 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ell = FaultMode::from_offsets("L4", [(0, 0), (1, 0), (2, 0), (2, 1)])?;
     let row4 = FaultMode::mx1(4);
 
-    let layout =
-        CacheLayout::new(CacheGeometry::l1_16k(), CacheInterleave::WayPhysical(2))?;
+    let layout = CacheLayout::new(CacheGeometry::l1_16k(), CacheInterleave::WayPhysical(2))?;
     let cfg = AnalysisConfig::new(ProtectionKind::SecDed);
 
     println!("MB-AVFs of 4-bit-class fault modes, L1 of `matmul`, SEC-DED + x2 way:\n");

@@ -15,15 +15,16 @@ fn main() {
         seed: 42,
         injections: 400,
         scale: Scale::Paper,
-        hang_factor: 8,
+        ..CampaignConfig::default()
     };
     println!("injecting {} single-bit VGPR faults into `{}` ...", cfg.injections, w.name);
     let summary = single_bit_campaign(&w, &cfg);
-    let (masked, sdc, hang) = summary.fractions();
+    let f = summary.fractions();
     println!("\noutcomes:");
-    println!("  masked (no visible effect): {:>6.1}%", masked * 100.0);
-    println!("  silent data corruption:     {:>6.1}%", sdc * 100.0);
-    println!("  hang (step budget blown):   {:>6.1}%", hang * 100.0);
+    println!("  masked (no visible effect): {:>6.1}%", f.masked * 100.0);
+    println!("  silent data corruption:     {:>6.1}%", f.sdc * 100.0);
+    println!("  hang (step budget blown):   {:>6.1}%", f.hang * 100.0);
+    println!("  crash (isolated panic):     {:>6.1}%", f.crash * 100.0);
     println!(
         "  read before overwrite:      {:>6.1}%  (what a per-register parity check would catch)",
         summary.read_fraction() * 100.0

@@ -25,10 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let sdc_budget = 0.10; // FIT, against Table III's total raw rate of 100
     println!("VGPR protection design for `dct`, SDC budget {sdc_budget} FIT\n");
-    println!(
-        "{:<16} {:>10} {:>10} {:>10}  verdict",
-        "design", "SDC FIT", "DUE FIT", "area ovh"
-    );
+    println!("{:<16} {:>10} {:>10} {:>10}  verdict", "design", "SDC FIT", "DUE FIT", "area ovh");
 
     let mut best: Option<(String, f64)> = None;
     for scheme in [ProtectionKind::Parity, ProtectionKind::SecDed] {
@@ -71,10 +68,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     match best {
-        Some((label, ovh)) => println!(
-            "\n=> cheapest design meeting the budget: {label} ({:.1}% area)",
-            ovh * 100.0
-        ),
+        Some((label, ovh)) => {
+            println!("\n=> cheapest design meeting the budget: {label} ({:.1}% area)", ovh * 100.0)
+        }
         None => println!("\n=> no evaluated design meets the budget; consider DEC-TED"),
     }
     Ok(())

@@ -54,8 +54,9 @@ fn parity_converts_unprotected_sdc_to_due_for_single_bit() {
     // its *true* DUE AVF equals the unprotected SDC AVF.
     let p = pipeline("dct");
     let layout = l1_layout(CacheInterleave::Logical(1));
-    let none = mb_avf(&p.l1, &layout, &FaultMode::mx1(1), &AnalysisConfig::new(ProtectionKind::None))
-        .unwrap();
+    let none =
+        mb_avf(&p.l1, &layout, &FaultMode::mx1(1), &AnalysisConfig::new(ProtectionKind::None))
+            .unwrap();
     let parity =
         mb_avf(&p.l1, &layout, &FaultMode::mx1(1), &AnalysisConfig::new(ProtectionKind::Parity))
             .unwrap();

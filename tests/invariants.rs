@@ -1,0 +1,212 @@
+//! Property-based invariants of the MB-AVF analysis over randomized
+//! timelines, layouts, fault modes, and protection schemes.
+//!
+//! Cases are generated with the workspace's vendored SplitMix64 (one
+//! independent stream per case index), so failures reproduce exactly from
+//! the case number in the assertion message.
+
+use mbavf::core::analysis::{mb_avf, windowed_mb_avf, AnalysisConfig};
+use mbavf::core::geometry::FaultMode;
+use mbavf::core::layout::LinearLayout;
+use mbavf::core::protection::ProtectionKind;
+use mbavf::core::rng::SplitMix64;
+use mbavf::core::timeline::{Interval, TimelineStore};
+
+const TOTAL: u64 = 400;
+
+/// Run `prop` against `cases` independent RNG streams.
+fn for_cases(cases: u64, mut prop: impl FnMut(u64, &mut SplitMix64)) {
+    const SEED: u64 = 0x5EED_1517;
+    for case in 0..cases {
+        let mut rng = SplitMix64::stream(SEED, case);
+        prop(case, &mut rng);
+    }
+}
+
+/// A random, valid timeline store over `bytes` bytes.
+fn arb_store(rng: &mut SplitMix64, bytes: usize) -> TimelineStore {
+    let mut store = TimelineStore::new(bytes, TOTAL);
+    for b in 0..bytes {
+        let mut t = 0u64;
+        for _ in 0..rng.below(8) {
+            let gap = rng.range_u64(1, 40);
+            let len = rng.range_u64(1, 60);
+            let start = t + gap;
+            let end = (start + len).min(TOTAL);
+            if start >= end {
+                break;
+            }
+            let mask = rng.next_u32() as u8;
+            let checked = rng.bool();
+            store
+                .byte_mut(b)
+                .push(Interval { start, end, ace_mask: mask, checked })
+                .expect("ordered by construction");
+            t = end;
+        }
+    }
+    store
+}
+
+fn arb_scheme(rng: &mut SplitMix64) -> ProtectionKind {
+    match rng.below(5) {
+        0 => ProtectionKind::None,
+        1 => ProtectionKind::Parity,
+        2 => ProtectionKind::SecDed,
+        3 => ProtectionKind::DecTed,
+        _ => ProtectionKind::Crc { burst_detect: 4 },
+    }
+}
+
+/// AVF components are probabilities and partition at most the whole.
+#[test]
+fn avf_components_are_well_formed() {
+    for_cases(64, |case, rng| {
+        let store = arb_store(rng, 8);
+        let scheme = arb_scheme(rng);
+        let m = rng.range_u64(1, 6) as u32;
+        let dpd = rng.bool();
+        let domain_bits = rng.range_u64(1, 16) as u32;
+        let layout = LinearLayout::new(1, 64, domain_bits);
+        let cfg = AnalysisConfig::new(scheme).with_due_preempts_sdc(dpd);
+        let r = mb_avf(&store, &layout, &FaultMode::mx1(m), &cfg).unwrap();
+        assert!(r.sdc_avf() >= 0.0 && r.sdc_avf() <= 1.0, "case {case}");
+        assert!(r.due_avf() >= 0.0 && r.due_avf() <= 1.0, "case {case}");
+        assert!(r.total_avf() <= 1.0 + 1e-12, "case {case}");
+        assert!((r.total_avf() - (r.sdc_avf() + r.due_avf())).abs() < 1e-12, "case {case}");
+    });
+}
+
+/// No protection is the SDC worst case for every mode and layout.
+#[test]
+fn unprotected_is_sdc_worst_case() {
+    for_cases(64, |case, rng| {
+        let store = arb_store(rng, 8);
+        let scheme = arb_scheme(rng);
+        let m = rng.range_u64(1, 6) as u32;
+        let domain_bits = rng.range_u64(1, 16) as u32;
+        let layout = LinearLayout::new(1, 64, domain_bits);
+        let mode = FaultMode::mx1(m);
+        let none =
+            mb_avf(&store, &layout, &mode, &AnalysisConfig::new(ProtectionKind::None)).unwrap();
+        let prot = mb_avf(&store, &layout, &mode, &AnalysisConfig::new(scheme)).unwrap();
+        assert!(
+            prot.sdc_avf() <= none.sdc_avf() + 1e-12,
+            "case {case}: {scheme:?} m={m}: {} > {}",
+            prot.sdc_avf(),
+            none.sdc_avf()
+        );
+    });
+}
+
+/// The lock-step rule only reclassifies SDC as DUE: totals invariant.
+#[test]
+fn lockstep_preserves_total() {
+    for_cases(64, |case, rng| {
+        let store = arb_store(rng, 8);
+        let scheme = arb_scheme(rng);
+        let m = rng.range_u64(1, 6) as u32;
+        let domain_bits = rng.range_u64(1, 16) as u32;
+        let layout = LinearLayout::new(1, 64, domain_bits);
+        let mode = FaultMode::mx1(m);
+        let base = mb_avf(&store, &layout, &mode, &AnalysisConfig::new(scheme)).unwrap();
+        let locked = mb_avf(
+            &store,
+            &layout,
+            &mode,
+            &AnalysisConfig::new(scheme).with_due_preempts_sdc(true),
+        )
+        .unwrap();
+        assert!((base.total_avf() - locked.total_avf()).abs() < 1e-12, "case {case}");
+        assert!(locked.sdc_avf() <= base.sdc_avf() + 1e-12, "case {case}");
+    });
+}
+
+/// Windowed results partition the whole-run result exactly.
+#[test]
+fn windows_partition_the_total() {
+    for_cases(64, |case, rng| {
+        let store = arb_store(rng, 6);
+        let scheme = arb_scheme(rng);
+        let m = rng.range_u64(1, 5) as u32;
+        let window = rng.range_u64(1, 500);
+        let layout = LinearLayout::new(1, 48, 8);
+        let mode = FaultMode::mx1(m);
+        let cfg = AnalysisConfig::new(scheme);
+        let total = mb_avf(&store, &layout, &mode, &cfg).unwrap();
+        let parts = windowed_mb_avf(&store, &layout, &mode, &cfg, window).unwrap();
+        let sdc: u128 = parts.iter().map(|p| p.sdc_group_cycles()).sum();
+        let t: u128 = parts.iter().map(|p| p.true_due_group_cycles()).sum();
+        let f: u128 = parts.iter().map(|p| p.false_due_group_cycles()).sum();
+        assert_eq!(sdc, total.sdc_group_cycles(), "case {case}");
+        assert_eq!(t, total.true_due_group_cycles(), "case {case}");
+        assert_eq!(f, total.false_due_group_cycles(), "case {case}");
+        let cycles: u64 = parts.iter().map(|p| p.cycles()).sum();
+        assert_eq!(cycles, TOTAL, "case {case}");
+    });
+}
+
+/// Growing the fault mode never shrinks the unprotected SDC AVF
+/// (a bigger fault can only cover more ACE state per group).
+#[test]
+fn unprotected_sdc_monotone_in_mode_size() {
+    for_cases(64, |case, rng| {
+        let store = arb_store(rng, 8);
+        let m = rng.range_u64(1, 5) as u32;
+        let layout = LinearLayout::new(1, 64, 64);
+        let cfg = AnalysisConfig::new(ProtectionKind::None);
+        let small = mb_avf(&store, &layout, &FaultMode::mx1(m), &cfg).unwrap();
+        let big = mb_avf(&store, &layout, &FaultMode::mx1(m + 1), &cfg).unwrap();
+        // Compare group-cycle *fractions*; group counts differ by one.
+        assert!(
+            big.sdc_avf() >= small.sdc_avf() * 0.98 - 1e-12,
+            "case {case}: m={} small {} big {}",
+            m,
+            small.sdc_avf(),
+            big.sdc_avf()
+        );
+    });
+}
+
+/// The real SEC-DED codec honours the abstract ladder for 1 and 2 flips
+/// on arbitrary data words.
+#[test]
+fn secded_codec_matches_model() {
+    use mbavf::core::ecc::{Decoded, SecDed};
+    let code = SecDed::new(32);
+    for_cases(32, |case, rng| {
+        let data = rng.next_u32();
+        let i = rng.below(39) as u32;
+        let j = rng.below(39) as u32;
+        let cw = code.encode(u64::from(data));
+        assert_eq!(code.decode(cw), Decoded::Ok(u64::from(data)), "case {case}");
+        let one = code.decode(cw ^ (1u128 << i));
+        assert_eq!(one, Decoded::Corrected { data: u64::from(data), bits: 1 }, "case {case}");
+        if i != j {
+            assert_eq!(
+                code.decode(cw ^ (1u128 << i) ^ (1u128 << j)),
+                Decoded::Detected,
+                "case {case}"
+            );
+        }
+    });
+}
+
+/// The real DEC-TED codec corrects any double and never mis-decodes it.
+#[test]
+fn dected_codec_matches_model() {
+    use mbavf::core::ecc::{DecTed, Decoded};
+    let code = DecTed::new();
+    for_cases(32, |case, rng| {
+        let data = rng.next_u32();
+        let i = rng.below(45) as u32;
+        let j = rng.below(45) as u32;
+        let cw = code.encode(data);
+        if i != j {
+            match code.decode(cw ^ (1u64 << i) ^ (1u64 << j)) {
+                Decoded::Corrected { data: d, bits: 2 } => assert_eq!(d, data, "case {case}"),
+                other => panic!("case {case}: bits {i},{j}: {other:?}"),
+            }
+        }
+    });
+}
