@@ -1,20 +1,42 @@
 //! Standalone fault-injection campaign driver over the resilient runner:
-//! crash-isolated trials, deterministic multi-threading, and
-//! checkpoint/resume.
+//! crash-isolated trials, deterministic multi-threading, checkpoint/resume,
+//! confidence intervals, and adaptive trial sizing.
 //!
 //! ```text
 //! campaign --workload dct [--injections 5000] [--seed 0xACE5]
-//!          [--threads 8] [--checkpoint dct.ckpt.json]
+//!          [--mode-bits M] [--threads 8] [--checkpoint dct.ckpt.json]
 //!          [--checkpoint-every 64] [--stop-after N]
 //!          [--scale test|paper] [--no-wrap-oob]
+//!          [--confidence 0.95] [--fail-on sdc,hang,crash]
+//!          [--target-ci-halfwidth H [--batch N] [--max-injections N]]
 //! ```
 //!
 //! Summaries are bit-identical for any `--threads` value, and a killed run
 //! restarted with the same `--checkpoint` file picks up where it left off.
 //! `--no-wrap-oob` makes wild memory accesses fault instead of wrapping, so
-//! corrupted address registers surface as `crash` outcomes.
+//! corrupted address registers surface as `crash` outcomes. `--mode-bits M`
+//! flips `M` contiguous bits per trial (the paper's Mx1 spatial modes).
+//!
+//! Passing `--target-ci-halfwidth` switches to **adaptive sizing**: trial
+//! batches are scheduled (starting at `--batch`, doubling) until the SDC
+//! rate's interval halfwidth at `--confidence` reaches the target or the
+//! `--max-injections` cap. The stage schedule is deterministic, so adaptive
+//! runs stay checkpoint/resume-compatible and thread-count-invariant.
+//!
+//! Exit codes:
+//!
+//! | code | meaning |
+//! |---|---|
+//! | 0 | campaign completed |
+//! | 1 | usage error or campaign failure |
+//! | 2 | an outcome named by `--fail-on` was observed |
+//! | 3 | adaptive target not reached within `--max-injections` |
 
-use mbavf_inject::{run_campaign, CampaignConfig, OutcomeKind, RunnerConfig};
+use mbavf_core::stats::RateEstimate;
+use mbavf_inject::{
+    run_adaptive, run_campaign, AdaptiveConfig, CampaignConfig, CampaignReport, OutcomeKind,
+    RunnerConfig,
+};
 use mbavf_workloads::{by_name, suite, Scale};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -23,14 +45,23 @@ struct Args {
     workload: String,
     cfg: CampaignConfig,
     runner: RunnerConfig,
+    confidence: f64,
+    fail_on: Vec<OutcomeKind>,
+    adaptive: Option<AdaptiveConfig>,
+    batch: usize,
+    max_injections: usize,
 }
 
 fn usage() -> String {
     let names: Vec<&str> = suite().iter().map(|w| w.name).collect();
     format!(
-        "usage: campaign --workload NAME [--injections N] [--seed S] [--threads N]\n\
-         \u{20}                [--checkpoint FILE] [--checkpoint-every N] [--stop-after N]\n\
-         \u{20}                [--scale test|paper] [--no-wrap-oob]\n\
+        "usage: campaign --workload NAME [--injections N] [--seed S] [--mode-bits M]\n\
+         \u{20}                [--threads N] [--checkpoint FILE] [--checkpoint-every N]\n\
+         \u{20}                [--stop-after N] [--scale test|paper] [--no-wrap-oob]\n\
+         \u{20}                [--confidence C] [--fail-on sdc,hang,crash]\n\
+         \u{20}                [--target-ci-halfwidth H [--batch N] [--max-injections N]]\n\
+         exit codes: 0 = done, 1 = error, 2 = --fail-on outcome seen,\n\
+         \u{20}           3 = adaptive target not reached\n\
          workloads: {}",
         names.join(", ")
     )
@@ -44,12 +75,29 @@ fn parse_u64(v: &str) -> Result<u64, String> {
     parsed.map_err(|_| format!("not an unsigned integer: {v}"))
 }
 
+fn parse_fail_on(v: &str) -> Result<Vec<OutcomeKind>, String> {
+    v.split(',')
+        .map(|k| match k.trim() {
+            "sdc" => Ok(OutcomeKind::Sdc),
+            "hang" => Ok(OutcomeKind::Hang),
+            "crash" => Ok(OutcomeKind::Crash),
+            other => Err(format!("unknown outcome {other} (sdc|hang|crash)")),
+        })
+        .collect()
+}
+
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         workload: String::new(),
         cfg: CampaignConfig { injections: 5000, scale: Scale::Paper, ..CampaignConfig::default() },
         runner: RunnerConfig::default(),
+        confidence: 0.95,
+        fail_on: Vec::new(),
+        adaptive: None,
+        batch: 100,
+        max_injections: 5000,
     };
+    let mut target_halfwidth = None;
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
         let mut value = || -> Result<&String, String> {
@@ -60,6 +108,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--injections" => args.cfg.injections = parse_u64(value()?)? as usize,
             "--seed" => args.cfg.seed = parse_u64(value()?)?,
             "--hang-factor" => args.cfg.hang_factor = parse_u64(value()?)?,
+            "--mode-bits" => {
+                args.cfg.mode_bits = match parse_u64(value()?)? {
+                    b @ 1..=32 => b as u8,
+                    other => return Err(format!("mode width {other} out of range (1..=32)")),
+                }
+            }
             "--threads" => args.runner.threads = parse_u64(value()?)? as usize,
             "--checkpoint" => args.runner.checkpoint = Some(PathBuf::from(value()?)),
             "--checkpoint-every" => args.runner.checkpoint_every = parse_u64(value()?)? as usize,
@@ -72,6 +126,24 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 }
             }
             "--no-wrap-oob" => args.cfg.wrap_oob = false,
+            "--confidence" => {
+                let c: f64 = value()?.parse().map_err(|_| "bad --confidence".to_string())?;
+                if c.is_nan() || c <= 0.0 || c >= 1.0 {
+                    return Err(format!("confidence {c} out of range (0, 1)"));
+                }
+                args.confidence = c;
+            }
+            "--fail-on" => args.fail_on = parse_fail_on(value()?)?,
+            "--target-ci-halfwidth" => {
+                let h: f64 =
+                    value()?.parse().map_err(|_| "bad --target-ci-halfwidth".to_string())?;
+                if h.is_nan() || h <= 0.0 {
+                    return Err(format!("halfwidth {h} must be positive"));
+                }
+                target_halfwidth = Some(h);
+            }
+            "--batch" => args.batch = parse_u64(value()?)? as usize,
+            "--max-injections" => args.max_injections = parse_u64(value()?)? as usize,
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
@@ -79,7 +151,54 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     if args.workload.is_empty() {
         return Err(format!("--workload is required\n{}", usage()));
     }
+    if let Some(h) = target_halfwidth {
+        args.adaptive = Some(AdaptiveConfig {
+            target_halfwidth: h,
+            confidence: args.confidence,
+            batch: args.batch,
+            max_injections: args.max_injections,
+        });
+    }
     Ok(args)
+}
+
+fn rate_line(label: &str, r: &RateEstimate) {
+    println!("  {label:<22} {}", r.display(4));
+}
+
+fn print_report(report: &CampaignReport, confidence: f64) {
+    let s = &report.summary;
+    println!(
+        "{}: {} trials ({} resumed from checkpoint, {} run now){}",
+        s.workload,
+        s.records.len(),
+        report.resumed,
+        report.newly_run,
+        if report.complete { "" } else { "  [INCOMPLETE: stopped early]" }
+    );
+    let stats = s.stats(confidence);
+    println!("  {:.0}% confidence intervals (Wilson):", confidence * 100.0);
+    rate_line("masked", &stats.masked);
+    rate_line("sdc", &stats.sdc);
+    rate_line("hang", &stats.hang);
+    rate_line("crash", &stats.crash);
+    rate_line("error (sdc+hang+crash)", &stats.error);
+    rate_line("read-before-overwrite", &stats.read);
+    let crashes = s.count(OutcomeKind::Crash);
+    if crashes > 0 {
+        println!("  first crash reasons:");
+        for r in s
+            .records
+            .iter()
+            .filter_map(|r| match &r.outcome {
+                mbavf_inject::Outcome::Crash { reason } => Some((r.trial, reason)),
+                _ => None,
+            })
+            .take(5)
+        {
+            println!("    trial {:>6}: {}", r.0, r.1);
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -96,46 +215,45 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
 
-    let report = match run_campaign(&w, &args.cfg, &args.runner) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("campaign failed: {e}");
-            return ExitCode::FAILURE;
+    let mut target_missed = false;
+    let report = if let Some(adaptive) = &args.adaptive {
+        match run_adaptive(&w, &args.cfg, &args.runner, adaptive) {
+            Ok(r) => {
+                println!(
+                    "adaptive: stages {:?}, target halfwidth {} {}",
+                    r.stages,
+                    adaptive.target_halfwidth,
+                    if r.target_met { "met" } else { "NOT met (trial cap reached)" }
+                );
+                target_missed = !r.target_met;
+                r.report
+            }
+            Err(e) => {
+                eprintln!("campaign failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match run_campaign(&w, &args.cfg, &args.runner) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("campaign failed: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
 
-    let s = &report.summary;
-    let f = s.fractions();
-    println!(
-        "{}: {} trials ({} resumed from checkpoint, {} run now){}",
-        s.workload,
-        s.records.len(),
-        report.resumed,
-        report.newly_run,
-        if report.complete { "" } else { "  [INCOMPLETE: stopped early]" }
-    );
-    println!(
-        "  masked {:>6.2}%   sdc {:>6.2}%   hang {:>6.2}%   crash {:>6.2}%",
-        100.0 * f.masked,
-        100.0 * f.sdc,
-        100.0 * f.hang,
-        100.0 * f.crash
-    );
-    println!("  read-before-overwrite {:.2}%", 100.0 * s.read_fraction());
-    let crashes = s.count(OutcomeKind::Crash);
-    if crashes > 0 {
-        println!("  first crash reasons:");
-        for r in s
-            .records
-            .iter()
-            .filter_map(|r| match &r.outcome {
-                mbavf_inject::Outcome::Crash { reason } => Some((r.trial, reason)),
-                _ => None,
-            })
-            .take(5)
-        {
-            println!("    trial {:>6}: {}", r.0, r.1);
+    print_report(&report, args.confidence);
+
+    for kind in &args.fail_on {
+        let k = report.summary.count(*kind);
+        if k > 0 {
+            eprintln!("fail-on: observed {k} {kind:?} outcomes");
+            return ExitCode::from(2);
         }
+    }
+    if target_missed {
+        return ExitCode::from(3);
     }
     ExitCode::SUCCESS
 }

@@ -5,11 +5,25 @@
 //! Budget knobs: `MBAVF_INJECTIONS` single-bit injections per workload
 //! (default 300; the paper uses 5000) and `MBAVF_GROUPS` multi-bit groups
 //! per mode (default 40).
+//!
+//! Interference cells read `k/n [lo, hi]` — the observed count with its 95%
+//! Wilson interval, so a "0.1% of groups" conclusion carries its
+//! uncertainty at the chosen budget.
 
 use mbavf_bench::injections_from_env;
 use mbavf_bench::report::{pct, Table};
+use mbavf_core::stats::wilson;
 use mbavf_inject::{try_interference_study, CampaignConfig};
 use mbavf_workloads::{injection_suite, Scale};
+
+/// Interference count as `k/n` with its 95% Wilson interval.
+fn intf_cell(k: usize, n: usize) -> String {
+    if n == 0 {
+        return "0/0".to_string();
+    }
+    let r = wilson(k as u64, n as u64, 0.95);
+    format!("{k}/{n} [{:.2}, {:.2}]", r.lo, r.hi)
+}
 
 fn main() {
     let injections = injections_from_env();
@@ -24,16 +38,7 @@ fn main() {
         scale: Scale::Paper,
         ..CampaignConfig::default()
     };
-    let mut t = Table::new(&[
-        "benchmark",
-        "SDC ACE bits",
-        "2x1 groups",
-        "2x1 intf",
-        "3x1 groups",
-        "3x1 intf",
-        "4x1 groups",
-        "4x1 intf",
-    ]);
+    let mut t = Table::new(&["benchmark", "SDC ACE bits", "2x1 intf", "3x1 intf", "4x1 intf"]);
     let mut total_groups = 0usize;
     let mut total_intf = 0usize;
     let mut total_bits = 0usize;
@@ -49,21 +54,22 @@ fn main() {
         t.row(vec![
             row.workload.into(),
             row.sdc_ace_bits.to_string(),
-            row.groups_tested[0].to_string(),
-            row.interference[0].to_string(),
-            row.groups_tested[1].to_string(),
-            row.interference[1].to_string(),
-            row.groups_tested[2].to_string(),
-            row.interference[2].to_string(),
+            intf_cell(row.interference[0], row.groups_tested[0]),
+            intf_cell(row.interference[1], row.groups_tested[1]),
+            intf_cell(row.interference[2], row.groups_tested[2]),
         ]);
         total_groups += row.groups_tested.iter().sum::<usize>();
         total_intf += row.interference.iter().sum::<usize>();
         total_bits += row.sdc_ace_bits;
     }
     println!("{}", t.render());
+    let total = wilson(total_intf as u64, total_groups.max(1) as u64, 0.95);
     println!(
-        "total: {total_bits} SDC ACE bits, {total_intf}/{total_groups} groups with interference ({})",
-        pct(total_intf as f64 / total_groups.max(1) as f64)
+        "total: {total_bits} SDC ACE bits, {total_intf}/{total_groups} groups with interference \
+         ({}, 95% CI [{}, {}])",
+        pct(total_intf as f64 / total_groups.max(1) as f64),
+        pct(total.lo),
+        pct(total.hi)
     );
     println!("\nACE interference — multiple flipped bits interacting so the group outcome");
     println!("contradicts its constituents — is rare, so single-bit ACE analysis is an");

@@ -19,6 +19,7 @@
 //! | `fig9` | 5x1–8x1 SDC MB-AVF, SEC-DED + x2 way |
 //! | `fig10` | true vs false DUE by fault mode |
 //! | `fig11` | VGPR case study: SDC of parity/ECC × rx/tx interleaving |
+//! | `validate` | ACE-vs-injection differential validation gate |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,11 +28,15 @@ pub mod experiments;
 pub mod microbench;
 pub mod pipeline;
 pub mod report;
+pub mod validate;
 
 pub use mbavf_core::error::PipelineError;
 pub use pipeline::{
     run_suite, run_suite_at, run_workload, try_run_suite_at, try_run_suite_with, try_run_workload,
     SuiteOutcome, WorkloadData,
+};
+pub use validate::{
+    validate_suite, validate_workload, ValidateConfig, ValidationReport, Verdict, WorkloadVerdict,
 };
 
 use mbavf_workloads::Scale;

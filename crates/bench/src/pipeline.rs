@@ -2,19 +2,24 @@
 //! workload so the figure generators share one simulation.
 //!
 //! The suite runners degrade gracefully: a workload that crashes the
-//! simulator or fails its reference check is reported as a
-//! [`PipelineError`] and *skipped*, so the remaining workloads still
-//! produce their tables and figures. Setting the `MBAVF_FAIL_WORKLOAD`
-//! environment variable to a workload name forces that workload to fail —
-//! a resilience drill for exercising the degraded path end-to-end.
+//! simulator, fails its reference check, or fails the double-golden
+//! determinism check is reported as a [`PipelineError`] and *skipped*, so
+//! the remaining workloads still produce their tables and figures. Two
+//! resilience drills exercise the degraded path end-to-end: setting
+//! `MBAVF_FAIL_WORKLOAD` to a workload name forces that workload to fail,
+//! and setting `MBAVF_NONDET_DRILL=1` appends the deliberately
+//! nondeterministic control workload, which the golden-integrity check
+//! must catch.
 
 use mbavf_core::error::PipelineError;
 use mbavf_core::layout::{CacheGeometry, VgprGeometry};
+use mbavf_core::rng::fnv1a;
 use mbavf_core::timeline::TimelineStore;
 use mbavf_sim::extract::{l1_timelines, l2_timelines, vgpr_timelines};
+use mbavf_sim::interp::run_golden;
 use mbavf_sim::liveness::analyze;
 use mbavf_sim::{catch_crash, run_timed, GpuConfig};
-use mbavf_workloads::{suite, Scale, Workload};
+use mbavf_workloads::{nondet_drill, suite, Scale, Workload};
 
 /// Everything the experiments need about one workload's run.
 pub struct WorkloadData {
@@ -59,14 +64,38 @@ impl SuiteOutcome {
 /// Run one workload through the full pipeline at the given scale on the
 /// paper's GPU configuration (4 CUs, 16KB L1s, 256KB L2).
 ///
+/// Before anything is measured, the workload's fault-free golden run is
+/// executed **twice** from independently built instances and the output
+/// digests compared. Every downstream verdict — Masked/SDC classification,
+/// AVF timelines, the validation gate — diffs against "the" golden output,
+/// so a workload whose build or execution drifts between runs would poison
+/// all of it silently. Nondeterminism is surfaced as a typed skip instead.
+///
 /// # Errors
 ///
 /// [`PipelineError::Crash`] if the simulation panics,
-/// [`PipelineError::CheckFailed`] if the run completes but the output fails
-/// the workload's host-side reference check.
+/// [`PipelineError::NondeterministicGolden`] if the two golden runs
+/// disagree, [`PipelineError::CheckFailed`] if the run completes but the
+/// output fails the workload's host-side reference check.
 pub fn try_run_workload(w: &Workload, scale: Scale) -> Result<WorkloadData, PipelineError> {
     let name = w.name;
     catch_crash(|| {
+        let golden_digest = || {
+            let mut inst = w.build(scale);
+            let program = inst.program.clone();
+            let wgs = inst.workgroups;
+            let run = run_golden(&program, &mut inst.mem, wgs);
+            (fnv1a(&run.output), run.per_wg_retired)
+        };
+        let (digest_a, shape_a) = golden_digest();
+        let (digest_b, shape_b) = golden_digest();
+        if digest_a != digest_b || shape_a != shape_b {
+            return Err(PipelineError::NondeterministicGolden {
+                workload: name.to_string(),
+                digest_a,
+                digest_b,
+            });
+        }
         let mut inst = w.build(scale);
         let program = inst.program.clone();
         let wgs = inst.workgroups;
@@ -121,8 +150,15 @@ pub fn try_run_suite_with(
     scale: Scale,
     should_fail: &(dyn Fn(&str) -> bool + Sync),
 ) -> SuiteOutcome {
+    let mut workloads = suite();
+    // The nondeterminism drill: appending the deliberately unstable workload
+    // must end with it in `failures` (caught by the double-golden check),
+    // never in `data`.
+    if std::env::var("MBAVF_NONDET_DRILL").is_ok_and(|v| !v.is_empty() && v != "0") {
+        workloads.push(nondet_drill());
+    }
     let results: Vec<Result<WorkloadData, PipelineError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = suite()
+        let handles: Vec<_> = workloads
             .into_iter()
             .map(|w| {
                 scope.spawn(move || {
@@ -203,6 +239,21 @@ mod tests {
         assert!(raw_avf(&d.l1) > 0.0);
         assert!(raw_avf(&d.vgpr) > 0.0);
         assert!(d.live_fraction > 0.0 && d.live_fraction <= 1.0);
+    }
+
+    #[test]
+    fn nondeterministic_golden_runs_are_detected_and_skipped() {
+        let err = try_run_workload(&nondet_drill(), Scale::Test)
+            .err()
+            .expect("the drill workload must not survive the integrity check");
+        match &err {
+            PipelineError::NondeterministicGolden { workload, digest_a, digest_b } => {
+                assert_eq!(workload, "nondet_drill");
+                assert_ne!(digest_a, digest_b);
+            }
+            other => panic!("expected NondeterministicGolden, got {other}"),
+        }
+        assert_eq!(err.workload(), "nondet_drill");
     }
 
     #[test]

@@ -1,0 +1,643 @@
+//! The ACE-vs-injection differential validation gate (paper Section VII-A,
+//! Table III spirit): does the analytical model agree with fault-injection
+//! ground truth, with uncertainty made explicit?
+//!
+//! Two comparisons run per workload, with different statistical character:
+//!
+//! 1. **Checked-rate differential (exact).** The golden-run register-use
+//!    profile ([`mbavf_sim::profile`]) predicts, for *every individual
+//!    fault site*, whether the flipped register would be read before being
+//!    overwritten. Until that first read an injected run is bit-identical
+//!    to the golden run, so for each non-crashing trial the campaign's
+//!    recorded `read_before_overwrite` flag must equal the profile's
+//!    answer **exactly** (crashing trials imply the value *was* read).
+//!    Any per-site mismatch is a model/injector divergence — never
+//!    sampling noise — and is always a confirmed failure. The
+//!    two-proportion agreement test quantifies the same signal at the
+//!    rate level.
+//!
+//! 2. **Per-mode SDC comparison (statistical).** For each spatial fault
+//!    mode `m`x1, the ACE-model SDC AVF (from the timed run's VGPR
+//!    timelines, restricted to the architectural registers injection can
+//!    hit) is compared against the injection-measured visible-error rate
+//!    with a Wilson interval. The two measures weight time differently
+//!    (model: cycles; injection: dynamic instructions), so agreement is
+//!    expected within a multiplicative tolerance band, not exactly: the
+//!    verdict is [`Verdict::Agree`] when the interval intersects the band,
+//!    [`Verdict::ConfirmedDivergence`] when a well-resolved interval lies
+//!    entirely outside it, and [`Verdict::Inconclusive`] when the trial
+//!    budget is too small to call.
+
+use crate::pipeline::{try_run_workload, WorkloadData};
+use mbavf_core::error::PipelineError;
+use mbavf_core::stats::{two_proportion_test, wilson, AgreementTest, RateEstimate};
+use mbavf_core::timeline::{ByteTimeline, Cycle};
+use mbavf_inject::{run_campaign, CampaignConfig, Outcome, RunnerConfig};
+use mbavf_sim::profile::{profile_golden, RegUseProfile};
+use mbavf_workloads::{Scale, Workload};
+use std::fmt::Write as _;
+
+/// Validation-gate parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidateConfig {
+    /// Problem scale for both the model pipeline and the campaigns.
+    pub scale: Scale,
+    /// Injection trials per workload per fault mode.
+    pub injections: usize,
+    /// Campaign seed (the gate is fully deterministic given it).
+    pub seed: u64,
+    /// Confidence level for every interval and agreement test.
+    pub confidence: f64,
+    /// Spatial fault-mode widths to compare (bits per fault).
+    pub modes: Vec<u8>,
+    /// Multiplicative tolerance of the per-mode band: the measured-rate
+    /// interval must intersect `[model / tolerance, model * tolerance]`.
+    pub tolerance: f64,
+    /// Minimum trials before a band miss is *confirmed* rather than
+    /// inconclusive.
+    pub min_trials_to_confirm: u64,
+}
+
+impl Default for ValidateConfig {
+    fn default() -> Self {
+        Self {
+            scale: Scale::Paper,
+            injections: 300,
+            seed: 0xACE5,
+            confidence: 0.95,
+            modes: vec![1, 2, 4],
+            tolerance: 5.0,
+            min_trials_to_confirm: 50,
+        }
+    }
+}
+
+/// The outcome of one model-vs-injection comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The measurement is consistent with the model.
+    Agree,
+    /// The measurement misses the model band, but the trial budget is too
+    /// small to rule out noise.
+    Inconclusive,
+    /// The model and the measurement disagree decisively.
+    ConfirmedDivergence,
+}
+
+impl Verdict {
+    /// Stable lowercase name (the machine-readable output format).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verdict::Agree => "agree",
+            Verdict::Inconclusive => "inconclusive",
+            Verdict::ConfirmedDivergence => "confirmed-divergence",
+        }
+    }
+
+    /// Whether this verdict must fail a CI gate.
+    pub fn is_failure(self) -> bool {
+        self == Verdict::ConfirmedDivergence
+    }
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Verdict for a band comparison: `interval` vs `[model/tol, model*tol]`.
+///
+/// Exposed so the decision rule itself is unit-testable: intersect → agree,
+/// miss with a well-resolved interval → confirmed, miss on a thin sample →
+/// inconclusive.
+pub fn band_verdict(model: f64, interval: &RateEstimate, tolerance: f64, min_n: u64) -> Verdict {
+    let lo = model / tolerance;
+    let hi = (model * tolerance).min(1.0);
+    if interval.hi >= lo && interval.lo <= hi {
+        Verdict::Agree
+    } else if interval.n >= min_n {
+        Verdict::ConfirmedDivergence
+    } else {
+        Verdict::Inconclusive
+    }
+}
+
+/// One fault mode's model-vs-injection row.
+#[derive(Debug, Clone)]
+pub struct ModeRow {
+    /// Fault width in bits (`m`x1).
+    pub mode_bits: u8,
+    /// ACE-model SDC AVF for this mode over the architectural registers.
+    pub model_sdc: f64,
+    /// Injection-measured SDC rate.
+    pub sdc: RateEstimate,
+    /// Injection-measured visible-error rate (SDC + hang + crash) — the
+    /// quantity the unprotected ACE model actually predicts.
+    pub error: RateEstimate,
+    /// The band comparison's outcome.
+    pub verdict: Verdict,
+}
+
+/// The exact checked-rate differential for one workload.
+#[derive(Debug, Clone)]
+pub struct CheckedRate {
+    /// Analytic read-before-overwrite probability over the whole fault
+    /// space (from the golden-run profile).
+    pub model: f64,
+    /// Measured read-before-overwrite rate, with crashing trials counted
+    /// as read (a crash is fault propagation, which requires a read).
+    pub measured: RateEstimate,
+    /// How many of the sampled sites the profile predicts as read.
+    pub predicted_hits: u64,
+    /// Sites where the campaign record contradicts the profile's per-site
+    /// prediction. **Must be zero**: any mismatch is a confirmed model or
+    /// injector bug, not noise.
+    pub site_mismatches: u64,
+    /// Two-proportion agreement test between the predicted and measured
+    /// hit counts over the same trials.
+    pub test: AgreementTest,
+    /// Combined verdict.
+    pub verdict: Verdict,
+}
+
+/// Everything the gate concluded about one workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadVerdict {
+    /// Workload name.
+    pub workload: &'static str,
+    /// The exact checked-rate differential (computed on the 1x1 campaign).
+    pub checked: CheckedRate,
+    /// One row per fault mode.
+    pub modes: Vec<ModeRow>,
+}
+
+impl WorkloadVerdict {
+    /// The most severe verdict across the checked-rate gate and all modes.
+    pub fn worst(&self) -> Verdict {
+        let mut worst = self.checked.verdict;
+        for row in &self.modes {
+            worst = match (worst, row.verdict) {
+                (Verdict::ConfirmedDivergence, _) | (_, Verdict::ConfirmedDivergence) => {
+                    Verdict::ConfirmedDivergence
+                }
+                (Verdict::Inconclusive, _) | (_, Verdict::Inconclusive) => Verdict::Inconclusive,
+                _ => Verdict::Agree,
+            };
+        }
+        worst
+    }
+}
+
+/// The full validation report across a set of workloads.
+#[derive(Debug, Clone)]
+pub struct ValidationReport {
+    /// Per-workload verdicts, in input order.
+    pub rows: Vec<WorkloadVerdict>,
+    /// Workloads that could not be validated (pipeline or campaign
+    /// failures), skipped like any other degraded workload.
+    pub skipped: Vec<PipelineError>,
+    /// The confidence level every interval was computed at.
+    pub confidence: f64,
+    /// The multiplicative tolerance of the per-mode band.
+    pub tolerance: f64,
+}
+
+impl ValidationReport {
+    /// Whether any workload produced a confirmed divergence — the condition
+    /// under which the `validate` binary exits nonzero.
+    pub fn confirmed_divergence(&self) -> bool {
+        self.rows.iter().any(|r| r.worst().is_failure())
+    }
+
+    /// Render the human-readable verdict tables.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "checked-rate differential (exact per-site gate, {:.0}% intervals):",
+            self.confidence * 100.0
+        );
+        let mut t = crate::report::Table::new(&[
+            "workload",
+            "model",
+            "measured",
+            "mismatches",
+            "p-value",
+            "verdict",
+        ]);
+        for r in &self.rows {
+            let c = &r.checked;
+            t.row(vec![
+                r.workload.into(),
+                format!("{:.4}", c.model),
+                c.measured.display(4),
+                c.site_mismatches.to_string(),
+                format!("{:.3}", c.test.p_value),
+                c.verdict.to_string(),
+            ]);
+        }
+        out.push_str(&t.render());
+        let _ =
+            writeln!(out, "\nper-mode SDC, model vs injection (tolerance x{:.1}):", self.tolerance);
+        let mut t = crate::report::Table::new(&[
+            "workload",
+            "mode",
+            "model SDC",
+            "injected SDC",
+            "injected error",
+            "n",
+            "verdict",
+        ]);
+        for r in &self.rows {
+            for m in &r.modes {
+                t.row(vec![
+                    r.workload.into(),
+                    format!("{}x1", m.mode_bits),
+                    format!("{:.4}", m.model_sdc),
+                    m.sdc.display(4),
+                    m.error.display(4),
+                    m.error.n.to_string(),
+                    m.verdict.to_string(),
+                ]);
+            }
+        }
+        out.push_str(&t.render());
+        for e in &self.skipped {
+            let _ = writeln!(out, "skipped: {e}");
+        }
+        out
+    }
+
+    /// Serialize the report as a JSON document (machine-readable verdicts
+    /// for CI and downstream tooling).
+    pub fn to_json(&self) -> String {
+        fn rate(out: &mut String, r: &RateEstimate) {
+            let _ = write!(
+                out,
+                "{{\"estimate\":{},\"lo\":{},\"hi\":{},\"n\":{},\"successes\":{}}}",
+                r.estimate, r.lo, r.hi, r.n, r.successes
+            );
+        }
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"confidence\":{},\"tolerance\":{},\"confirmed_divergence\":{},\"workloads\":[",
+            self.confidence,
+            self.tolerance,
+            self.confirmed_divergence()
+        );
+        for (i, r) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"workload\":");
+            mbavf_inject::json::write_str(&mut out, r.workload);
+            let c = &r.checked;
+            let _ = write!(
+                out,
+                ",\"verdict\":\"{}\",\"checked\":{{\"model\":{},\"measured\":",
+                r.worst().as_str(),
+                c.model
+            );
+            rate(&mut out, &c.measured);
+            let _ = write!(
+                out,
+                ",\"predicted_hits\":{},\"site_mismatches\":{},\"z\":{},\"p_value\":{},\"verdict\":\"{}\"}},\"modes\":[",
+                c.predicted_hits,
+                c.site_mismatches,
+                c.test.z,
+                c.test.p_value,
+                c.verdict.as_str()
+            );
+            for (j, m) in r.modes.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"mode_bits\":{},\"model_sdc\":{},\"sdc\":",
+                    m.mode_bits, m.model_sdc
+                );
+                rate(&mut out, &m.sdc);
+                out.push_str(",\"error\":");
+                rate(&mut out, &m.error);
+                let _ = write!(out, ",\"verdict\":\"{}\"}}", m.verdict.as_str());
+            }
+            out.push_str("]}");
+        }
+        out.push_str("],\"skipped\":[");
+        for (i, e) in self.skipped.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            mbavf_inject::json::write_str(&mut out, &e.to_string());
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// ACE-model SDC AVF for an `m`x1 fault over the architectural registers —
+/// the part of the physical file injection actually samples.
+///
+/// Mirrors the campaign's fault geometry exactly: the flipped window is `m`
+/// contiguous bits at start `lo = min(bit, 32 - m)` for a uniform `bit` in
+/// `[0, 32)` (so the top `m` draws clip to the same window, same as
+/// [`FaultSite::injection`](mbavf_inject::FaultSite)), and the fault is
+/// modeled as SDC when *any* flipped bit is ACE at the fault cycle.
+pub fn mode_model_sdc(d: &WorkloadData, num_vregs: u32, mode_bits: u8) -> f64 {
+    let geom = d.vgpr_geom;
+    let total = d.vgpr.total_cycles();
+    let regs = num_vregs.min(geom.regs);
+    if total == 0 || regs == 0 {
+        return 0.0;
+    }
+    let m = u32::from(mode_bits.min(32)).max(1);
+    let mut acc = 0.0f64;
+    for thread in 0..geom.threads {
+        for reg in 0..regs {
+            // Per-bit ACE interval lists for the register's 32 bits.
+            let mut per_bit: Vec<Vec<(Cycle, Cycle)>> = vec![Vec::new(); 32];
+            for byte in 0..4u32 {
+                let tl: &ByteTimeline = d.vgpr.byte(geom.byte_index(thread, reg, byte) as usize);
+                for iv in tl.intervals() {
+                    for bit in 0..8u32 {
+                        if iv.ace_mask & (1 << bit) != 0 {
+                            per_bit[(byte * 8 + bit) as usize].push((iv.start, iv.end));
+                        }
+                    }
+                }
+            }
+            // Weighted windows: draws `bit <= 32 - m` map to themselves,
+            // the top `m - 1` draws clip onto `32 - m`.
+            for lo in 0..=(32 - m) {
+                let weight = if lo == 32 - m { m } else { 1 };
+                let len = union_len(&per_bit[lo as usize..(lo + m) as usize]);
+                acc += f64::from(weight) * (len as f64 / total as f64);
+            }
+        }
+    }
+    acc / (f64::from(geom.threads) * f64::from(regs) * 32.0)
+}
+
+/// Total length of the union of several sorted interval lists.
+fn union_len(lists: &[Vec<(Cycle, Cycle)>]) -> Cycle {
+    let mut all: Vec<(Cycle, Cycle)> = lists.iter().flatten().copied().collect();
+    all.sort_unstable();
+    let mut len = 0;
+    let mut cur: Option<(Cycle, Cycle)> = None;
+    for (s, e) in all {
+        match &mut cur {
+            Some((_, ce)) if s <= *ce => *ce = (*ce).max(e),
+            _ => {
+                if let Some((cs, ce)) = cur {
+                    len += ce - cs;
+                }
+                cur = Some((s, e));
+            }
+        }
+    }
+    if let Some((cs, ce)) = cur {
+        len += ce - cs;
+    }
+    len
+}
+
+fn checked_rate(
+    prof: &RegUseProfile,
+    summary: &mbavf_inject::CampaignSummary,
+    confidence: f64,
+) -> CheckedRate {
+    let n = summary.records.len() as u64;
+    let mut predicted = 0u64;
+    let mut measured_k = 0u64;
+    let mut mismatches = 0u64;
+    for r in &summary.records {
+        let s = r.site;
+        let oracle = prof.site_is_read(s.wg, s.after_retired, s.reg, s.lane);
+        predicted += u64::from(oracle);
+        if matches!(r.outcome, Outcome::Crash { .. }) {
+            // The injector loses the watchpoint flag on a crash, but a
+            // crash is propagation, which requires a read: count it as
+            // read, and the profile must agree.
+            measured_k += 1;
+            mismatches += u64::from(!oracle);
+        } else {
+            measured_k += u64::from(r.read_before_overwrite);
+            mismatches += u64::from(r.read_before_overwrite != oracle);
+        }
+    }
+    let model = prof.read_before_overwrite_probability();
+    let measured = wilson(measured_k, n, confidence);
+    let test = two_proportion_test(predicted, n, measured_k, n, confidence);
+    let verdict = if mismatches > 0 || !test.agree {
+        Verdict::ConfirmedDivergence
+    } else if n == 0 || measured.contains(model) {
+        Verdict::Agree
+    } else {
+        // Per-site agreement holds, so an interval miss on the whole-space
+        // probability is sampling fluctuation (expected ~5% of the time).
+        Verdict::Inconclusive
+    };
+    CheckedRate {
+        model,
+        measured,
+        predicted_hits: predicted,
+        site_mismatches: mismatches,
+        test,
+        verdict,
+    }
+}
+
+/// Run the full gate for one workload.
+///
+/// # Errors
+///
+/// Any [`PipelineError`] from the measurement pipeline (including the
+/// double-golden integrity check), or [`PipelineError::Inject`] if a
+/// campaign fails.
+pub fn validate_workload(
+    w: &Workload,
+    cfg: &ValidateConfig,
+) -> Result<WorkloadVerdict, PipelineError> {
+    let data = try_run_workload(w, cfg.scale)?;
+
+    let mut inst = w.build(cfg.scale);
+    let program = inst.program.clone();
+    let wgs = inst.workgroups;
+    let prof = profile_golden(&program, &mut inst.mem, wgs);
+
+    let mut checked = None;
+    let mut modes = Vec::with_capacity(cfg.modes.len());
+    for &m in &cfg.modes {
+        let campaign = CampaignConfig {
+            seed: cfg.seed,
+            injections: cfg.injections,
+            scale: cfg.scale,
+            mode_bits: m,
+            ..CampaignConfig::default()
+        };
+        let report = run_campaign(w, &campaign, &RunnerConfig::default())
+            .map_err(|source| PipelineError::Inject { workload: w.name.to_string(), source })?;
+        let stats = report.summary.stats(cfg.confidence);
+        if m <= 1 {
+            checked = Some(checked_rate(&prof, &report.summary, cfg.confidence));
+        }
+        let model_sdc = mode_model_sdc(&data, u32::from(prof.num_vregs), m);
+        let verdict =
+            band_verdict(model_sdc, &stats.error, cfg.tolerance, cfg.min_trials_to_confirm);
+        modes.push(ModeRow {
+            mode_bits: m,
+            model_sdc,
+            sdc: stats.sdc,
+            error: stats.error,
+            verdict,
+        });
+    }
+    // The checked-rate gate needs a 1x1 campaign; run one if the mode list
+    // did not include it (the read flag is mode-independent, but 1x1 is the
+    // canonical space).
+    let checked = match checked {
+        Some(c) => c,
+        None => {
+            let campaign = CampaignConfig {
+                seed: cfg.seed,
+                injections: cfg.injections,
+                scale: cfg.scale,
+                mode_bits: 1,
+                ..CampaignConfig::default()
+            };
+            let report = run_campaign(w, &campaign, &RunnerConfig::default())
+                .map_err(|source| PipelineError::Inject { workload: w.name.to_string(), source })?;
+            checked_rate(&prof, &report.summary, cfg.confidence)
+        }
+    };
+    Ok(WorkloadVerdict { workload: w.name, checked, modes })
+}
+
+/// Run the gate over several workloads, degrading gracefully: a workload
+/// that fails to validate is reported in `skipped`, not fatal.
+pub fn validate_suite(workloads: &[Workload], cfg: &ValidateConfig) -> ValidationReport {
+    let results = crate::par_map(workloads.to_vec(), |w| validate_workload(&w, cfg));
+    let mut report = ValidationReport {
+        rows: Vec::new(),
+        skipped: Vec::new(),
+        confidence: cfg.confidence,
+        tolerance: cfg.tolerance,
+    };
+    for r in results {
+        match r {
+            Ok(v) => report.rows.push(v),
+            Err(e) => report.skipped.push(e),
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbavf_workloads::{by_name, nondet_drill};
+
+    fn quick_cfg() -> ValidateConfig {
+        ValidateConfig {
+            scale: Scale::Test,
+            injections: 80,
+            seed: 0x7E57,
+            modes: vec![1, 2],
+            ..ValidateConfig::default()
+        }
+    }
+
+    #[test]
+    fn band_verdict_decision_rule() {
+        let tight = wilson(50, 100, 0.95); // ~[0.40, 0.60]
+        assert_eq!(band_verdict(0.5, &tight, 5.0, 50), Verdict::Agree);
+        // Interval far below the band with plenty of trials: confirmed.
+        let low = wilson(0, 400, 0.95);
+        assert_eq!(band_verdict(0.5, &low, 2.0, 50), Verdict::ConfirmedDivergence);
+        // Same miss on a thin sample: inconclusive.
+        let thin = wilson(0, 10, 0.95);
+        assert_eq!(band_verdict(0.9, &thin, 1.05, 50), Verdict::Inconclusive);
+        // Band edges are inclusive-ish: touching counts as agreement.
+        let r = wilson(20, 100, 0.95);
+        assert_eq!(band_verdict(r.hi * 5.0, &r, 5.0, 50), Verdict::Agree);
+    }
+
+    #[test]
+    fn union_len_merges_overlaps() {
+        assert_eq!(union_len(&[vec![(0, 10)], vec![(5, 15)]]), 15);
+        assert_eq!(union_len(&[vec![(0, 2), (8, 10)], vec![(4, 6)]]), 6);
+        assert_eq!(union_len(&[]), 0);
+        assert_eq!(union_len(&[vec![]]), 0);
+    }
+
+    #[test]
+    fn gate_passes_on_healthy_workloads() {
+        for name in ["dct", "fast_walsh"] {
+            let w = by_name(name).expect("registered");
+            let v = validate_workload(&w, &quick_cfg()).unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!(
+                v.checked.site_mismatches, 0,
+                "{name}: the per-site oracle must match the injector exactly"
+            );
+            assert!(v.checked.test.agree, "{name}: rate-level agreement test failed");
+            assert!(v.checked.model > 0.0, "{name}: model found no read windows");
+            assert!(
+                !v.worst().is_failure(),
+                "{name}: healthy workload reported divergence: {:?}",
+                v
+            );
+            assert_eq!(v.modes.len(), 2);
+            for m in &v.modes {
+                assert!(m.model_sdc > 0.0, "{name} {}x1: model SDC is zero", m.mode_bits);
+            }
+        }
+    }
+
+    #[test]
+    fn wider_modes_do_not_shrink_the_model() {
+        // P(any of m bits ACE) is monotone in m for nested windows; clipped
+        // windows keep the monotonicity since every 1-bit window is a
+        // subset of some m-bit window's union coverage per draw.
+        let w = by_name("dct").expect("registered");
+        let d = try_run_workload(&w, Scale::Test).unwrap_or_else(|e| panic!("{e}"));
+        let nv = {
+            let inst = w.build(Scale::Test);
+            u32::from(inst.program.num_vregs())
+        };
+        let m1 = mode_model_sdc(&d, nv, 1);
+        let m2 = mode_model_sdc(&d, nv, 2);
+        let m32 = mode_model_sdc(&d, nv, 32);
+        // Allow float summation-order noise on the comparisons.
+        let eps = 1e-9;
+        assert!(m1 > 0.0);
+        assert!(m2 >= m1 - eps, "2x1 model {m2} below 1x1 {m1}");
+        assert!(m32 >= m2 - eps, "32x1 model {m32} below 2x1 {m2}");
+        assert!(m32 <= 1.0);
+    }
+
+    #[test]
+    fn report_serializes_and_degrades() {
+        let report = validate_suite(&[by_name("dct").unwrap(), nondet_drill()], &quick_cfg());
+        assert_eq!(report.rows.len(), 1, "the drill must be skipped, not validated");
+        assert_eq!(report.skipped.len(), 1);
+        assert_eq!(report.skipped[0].workload(), "nondet_drill");
+        assert!(!report.confirmed_divergence());
+
+        let rendered = report.render();
+        assert!(rendered.contains("dct"));
+        assert!(rendered.contains("nondeterministic"));
+
+        let json = mbavf_inject::json::parse(&report.to_json()).expect("valid JSON");
+        assert_eq!(json.get("confirmed_divergence").and_then(|v| v.as_bool()), Some(false));
+        let rows = json.get("workloads").and_then(|v| v.as_arr()).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("workload").and_then(|v| v.as_str()), Some("dct"));
+        let modes = rows[0].get("modes").and_then(|v| v.as_arr()).unwrap();
+        assert_eq!(modes.len(), 2);
+        assert!(modes[0].get("sdc").and_then(|v| v.get("lo")).is_some());
+        assert_eq!(json.get("skipped").and_then(|v| v.as_arr()).map(<[_]>::len), Some(1));
+    }
+}

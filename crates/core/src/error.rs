@@ -247,6 +247,18 @@ pub enum PipelineError {
         /// The underlying campaign error.
         source: InjectError,
     },
+    /// Two fault-free golden runs of the workload produced different
+    /// outputs. A nondeterministic golden run would silently poison every
+    /// Masked/SDC classification downstream, so the pipeline refuses to
+    /// measure the workload at all.
+    NondeterministicGolden {
+        /// Workload name.
+        workload: String,
+        /// Output digest of the first golden run.
+        digest_a: u64,
+        /// Output digest of the second golden run.
+        digest_b: u64,
+    },
 }
 
 impl PipelineError {
@@ -255,7 +267,8 @@ impl PipelineError {
         match self {
             PipelineError::CheckFailed { workload, .. }
             | PipelineError::Crash { workload, .. }
-            | PipelineError::Inject { workload, .. } => workload,
+            | PipelineError::Inject { workload, .. }
+            | PipelineError::NondeterministicGolden { workload, .. } => workload,
         }
     }
 }
@@ -272,6 +285,10 @@ impl fmt::Display for PipelineError {
             PipelineError::Inject { workload, source } => {
                 write!(f, "{workload}: injection campaign failed: {source}")
             }
+            PipelineError::NondeterministicGolden { workload, digest_a, digest_b } => write!(
+                f,
+                "{workload}: golden run is nondeterministic (output digests {digest_a:#018x} vs {digest_b:#018x}); refusing to classify injections against it"
+            ),
         }
     }
 }
@@ -332,9 +349,23 @@ mod tests {
         for e in [
             PipelineError::CheckFailed { workload: "a".into(), detail: "x".into() },
             PipelineError::Crash { workload: "b".into(), reason: "y".into() },
+            PipelineError::NondeterministicGolden {
+                workload: "c".into(),
+                digest_a: 1,
+                digest_b: 2,
+            },
         ] {
             assert!(!e.to_string().is_empty());
         }
+        assert_eq!(
+            PipelineError::NondeterministicGolden {
+                workload: "c".into(),
+                digest_a: 1,
+                digest_b: 2
+            }
+            .workload(),
+            "c"
+        );
         for e in [
             CheckpointError::Malformed { detail: "d".into() },
             CheckpointError::VersionMismatch { found: 9, expected: 1 },

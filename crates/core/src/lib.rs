@@ -69,6 +69,7 @@ pub mod mttf;
 pub mod protection;
 pub mod rng;
 pub mod ser;
+pub mod stats;
 pub mod timeline;
 
 pub use analysis::{
@@ -79,4 +80,7 @@ pub use geometry::{FaultGroup, FaultMode};
 pub use layout::{BitRef, PhysicalLayout};
 pub use protection::{Action, ProtectionKind};
 pub use rng::SplitMix64;
+pub use stats::{
+    clopper_pearson, two_proportion_test, wilson, z_for_confidence, AgreementTest, RateEstimate,
+};
 pub use timeline::{ByteTimeline, Cycle, Interval, TimelineStore};

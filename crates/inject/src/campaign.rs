@@ -7,7 +7,8 @@
 //! address or allocation size tripping an assert or out-of-bounds access —
 //! and the harness records it as data rather than dying with it.
 
-use mbavf_core::rng::SplitMix64;
+use mbavf_core::rng::{fnv1a, SplitMix64};
+use mbavf_core::stats::{wilson, RateEstimate};
 use mbavf_sim::interp::{run_functional_isolated, run_golden, InterpError, Termination};
 use mbavf_workloads::{Scale, Workload};
 
@@ -167,11 +168,22 @@ pub struct CampaignConfig {
     /// strict memory system where wild accesses fault — corrupted address
     /// registers then surface as [`Outcome::Crash`].
     pub wrap_oob: bool,
+    /// Spatial fault-mode width: each trial flips this many contiguous bits
+    /// (clipped at the register edge; `1` is the classic single-bit
+    /// campaign, larger values model the paper's 1xM multi-bit modes).
+    pub mode_bits: u8,
 }
 
 impl Default for CampaignConfig {
     fn default() -> Self {
-        Self { seed: 0xACE5, injections: 500, scale: Scale::Test, hang_factor: 8, wrap_oob: true }
+        Self {
+            seed: 0xACE5,
+            injections: 500,
+            scale: Scale::Test,
+            hang_factor: 8,
+            wrap_oob: true,
+            mode_bits: 1,
+        }
     }
 }
 
@@ -186,6 +198,31 @@ pub struct Fractions {
     pub hang: f64,
     /// Share of crashes.
     pub crash: f64,
+}
+
+/// Per-outcome rate estimates with confidence intervals — the statistical
+/// view of a campaign that [`Fractions`] (bare point estimates) lacks.
+///
+/// All intervals are Wilson score intervals at the same confidence level;
+/// an empty campaign yields the vacuous estimate (point 0, interval
+/// `[0, 1]`) for every outcome rather than NaN.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CampaignStats {
+    /// Trials in the campaign.
+    pub n: u64,
+    /// Masked rate.
+    pub masked: RateEstimate,
+    /// SDC rate — the quantity adaptive sizing drives to precision.
+    pub sdc: RateEstimate,
+    /// Hang rate.
+    pub hang: RateEstimate,
+    /// Crash rate.
+    pub crash: RateEstimate,
+    /// Any-visible-error rate (SDC + hang + crash).
+    pub error: RateEstimate,
+    /// Read-before-overwrite rate (the injection-measured "checked" rate
+    /// the ACE model must agree with).
+    pub read: RateEstimate,
 }
 
 /// Aggregate campaign results.
@@ -224,6 +261,27 @@ impl CampaignSummary {
     pub fn read_fraction(&self) -> f64 {
         let n = self.records.len().max(1) as f64;
         self.records.iter().filter(|r| r.read_before_overwrite).count() as f64 / n
+    }
+
+    /// Per-outcome rates with Wilson confidence intervals at `confidence`
+    /// (e.g. `0.95`). The statistical counterpart of [`Self::fractions`]:
+    /// a 5000-trial rate and a 50-trial rate stop printing identically.
+    pub fn stats(&self, confidence: f64) -> CampaignStats {
+        let n = self.records.len() as u64;
+        let k = |kind| self.count(kind) as u64;
+        let sdc = k(OutcomeKind::Sdc);
+        let hang = k(OutcomeKind::Hang);
+        let crash = k(OutcomeKind::Crash);
+        let read = self.records.iter().filter(|r| r.read_before_overwrite).count() as u64;
+        CampaignStats {
+            n,
+            masked: wilson(k(OutcomeKind::Masked), n, confidence),
+            sdc: wilson(sdc, n, confidence),
+            hang: wilson(hang, n, confidence),
+            crash: wilson(crash, n, confidence),
+            error: wilson(sdc + hang + crash, n, confidence),
+            read: wilson(read, n, confidence),
+        }
     }
 }
 
@@ -303,25 +361,46 @@ pub(crate) struct GoldenShape {
     pub num_vregs: u8,
 }
 
-/// Run the fault-free golden pass and capture everything trial sampling
-/// needs. Crash-isolated: a panicking golden run becomes an `Err`.
+/// Run the fault-free golden pass **twice** (from two independently built
+/// instances) and capture everything trial sampling needs. Crash-isolated:
+/// a panicking golden run becomes an `Err`.
+///
+/// The double run is the campaign's integrity gate: every Masked/SDC
+/// verdict is a diff against the golden output, so a workload whose build
+/// or execution is nondeterministic would silently poison the whole
+/// campaign. If the two runs disagree — in output bytes or in retirement
+/// shape — the campaign refuses to start.
 pub(crate) fn golden_shape(
     workload: &Workload,
     cfg: &CampaignConfig,
 ) -> Result<GoldenShape, String> {
-    mbavf_sim::isolate::catch_crash(|| {
-        let mut inst = workload.build(cfg.scale);
-        let program = inst.program.clone();
-        let wgs = inst.workgroups;
-        let golden = run_golden(&program, &mut inst.mem, wgs);
-        let max_steps = golden.per_wg_retired.iter().copied().max().unwrap_or(1) * cfg.hang_factor;
-        GoldenShape {
-            output: golden.output,
-            per_wg_retired: golden.per_wg_retired,
-            max_steps,
-            num_vregs: program.num_vregs(),
-        }
-    })
+    let run_once = || {
+        mbavf_sim::isolate::catch_crash(|| {
+            let mut inst = workload.build(cfg.scale);
+            let program = inst.program.clone();
+            let wgs = inst.workgroups;
+            let golden = run_golden(&program, &mut inst.mem, wgs);
+            let max_steps =
+                golden.per_wg_retired.iter().copied().max().unwrap_or(1) * cfg.hang_factor;
+            GoldenShape {
+                output: golden.output,
+                per_wg_retired: golden.per_wg_retired,
+                max_steps,
+                num_vregs: program.num_vregs(),
+            }
+        })
+    };
+    let first = run_once()?;
+    let second = run_once()?;
+    let digest_a = fnv1a(&first.output);
+    let digest_b = fnv1a(&second.output);
+    if digest_a != digest_b || first.per_wg_retired != second.per_wg_retired {
+        return Err(format!(
+            "nondeterministic golden run (output digests {digest_a:#018x} vs {digest_b:#018x}); \
+             injection outcomes cannot be classified against an unstable reference"
+        ));
+    }
+    Ok(first)
 }
 
 #[cfg(test)]
@@ -379,6 +458,67 @@ mod tests {
         }
         assert_eq!(OutcomeKind::parse("nope"), None);
         assert!(Outcome::Crash { reason: "x".into() }.is_error());
+    }
+
+    #[test]
+    fn empty_campaign_yields_zeros_not_nan() {
+        // A zero-injection campaign (or a summary built before any trial
+        // lands) must report explicit zeros and vacuous intervals.
+        let summary = CampaignSummary { workload: "none", records: vec![] };
+        let f = summary.fractions();
+        for v in [f.masked, f.sdc, f.hang, f.crash, summary.read_fraction()] {
+            assert_eq!(v, 0.0);
+            assert!(!v.is_nan());
+        }
+        let s = summary.stats(0.95);
+        assert_eq!(s.n, 0);
+        for r in [s.masked, s.sdc, s.hang, s.crash, s.error, s.read] {
+            assert_eq!(r.estimate, 0.0);
+            assert_eq!((r.lo, r.hi), (0.0, 1.0));
+        }
+        // And an actual zero-budget campaign goes through the same path.
+        let w = by_name("transpose").expect("registered");
+        let empty = single_bit_campaign(&w, &quick_cfg(0));
+        assert_eq!(empty.records.len(), 0);
+        assert_eq!(empty.fractions().sdc, 0.0);
+    }
+
+    #[test]
+    fn stats_intervals_cover_fractions_and_tighten_with_n() {
+        let w = by_name("fast_walsh").expect("registered");
+        let small = single_bit_campaign(&w, &quick_cfg(40)).stats(0.95);
+        let large = single_bit_campaign(&w, &quick_cfg(160)).stats(0.95);
+        for s in [&small, &large] {
+            for r in [s.masked, s.sdc, s.hang, s.crash, s.error, s.read] {
+                assert!(r.contains(r.estimate));
+                assert!(r.lo >= 0.0 && r.hi <= 1.0);
+            }
+        }
+        // More trials, tighter interval on the same underlying rate.
+        assert!(large.sdc.halfwidth() < small.sdc.halfwidth());
+        // The error rate aggregates the three failure classes.
+        assert_eq!(
+            large.error.successes,
+            large.sdc.successes + large.hang.successes + large.crash.successes
+        );
+    }
+
+    #[test]
+    fn multi_bit_mode_is_deterministic_and_distinct() {
+        let w = by_name("fast_walsh").expect("registered");
+        let wide = CampaignConfig { mode_bits: 32, ..quick_cfg(40) };
+        let a = single_bit_campaign(&w, &wide);
+        let b = single_bit_campaign(&w, &wide);
+        assert_eq!(a.records, b.records);
+        // Same seed, same sites — only the flipped mask differs. For this
+        // workload/seed a whole-register flip flips several trials from
+        // masked to visible, so the wide campaign must diverge in outcomes
+        // while sampling identical sites.
+        let narrow = single_bit_campaign(&w, &quick_cfg(40));
+        assert_ne!(a.records, narrow.records);
+        for (x, y) in a.records.iter().zip(narrow.records.iter()) {
+            assert_eq!(x.site, y.site, "sites must not depend on mode width");
+        }
     }
 
     #[test]

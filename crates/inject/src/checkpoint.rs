@@ -1,13 +1,14 @@
 //! Campaign checkpoint files: periodic JSON snapshots of completed trials,
 //! validated and replayed on resume.
 //!
-//! ## File format (version 1)
+//! ## File format (version 2)
 //!
 //! ```json
 //! {
-//!   "version": 1,
+//!   "version": 2,
 //!   "workload": "dct",
 //!   "config_hash": 1234567890123456789,
+//!   "mode_bits": 1,
 //!   "records": [
 //!     {"trial": 0, "wg": 1, "after": 17, "reg": 3, "lane": 9, "bit": 30,
 //!      "outcome": "sdc", "read": true},
@@ -17,12 +18,15 @@
 //! }
 //! ```
 //!
-//! `config_hash` fingerprints the campaign (workload name, seed, injection
-//! budget, scale, hang factor, OOB policy): per-trial seeds depend on all of
-//! it, so a checkpoint is only meaningful against the identical campaign and
-//! resume refuses anything else. Records may be sparse in `trial` — under a
-//! parallel runner trials complete out of order — and the resume path simply
-//! runs whichever indices are missing.
+//! `config_hash` fingerprints the campaign (workload name, seed, scale,
+//! hang factor, OOB policy, fault-mode width): per-trial outcomes depend on
+//! all of it, so a checkpoint is only meaningful against the identical
+//! campaign and resume refuses anything else. The injection *budget* is
+//! deliberately **not** fingerprinted: trial streams are keyed by
+//! `(seed, trial)`, so growing the budget — which is how adaptive sizing
+//! extends a campaign — changes no existing trial's meaning. Records may be
+//! sparse in `trial` — under a parallel runner trials complete out of order —
+//! and the resume path simply runs whichever indices are missing.
 //!
 //! Writes are atomic (temp file + rename), so a campaign killed mid-write
 //! leaves the previous checkpoint intact.
@@ -35,7 +39,10 @@ use std::fmt::Write as _;
 use std::path::Path;
 
 /// The checkpoint format version this build reads and writes.
-pub const VERSION: u64 = 1;
+///
+/// Version 2 added the `mode_bits` field and removed the injection budget
+/// from the config fingerprint (budgets may grow under adaptive sizing).
+pub const VERSION: u64 = 2;
 
 /// A loaded checkpoint.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,6 +51,9 @@ pub struct Checkpoint {
     pub workload: String,
     /// Fingerprint of the writing campaign's configuration.
     pub config_hash: u64,
+    /// Fault-mode width the campaign injected (informational; the
+    /// fingerprint is what resume validates).
+    pub mode_bits: u8,
     /// Completed trials, sorted by trial index.
     pub records: Vec<SingleBitRecord>,
 }
@@ -51,23 +61,34 @@ pub struct Checkpoint {
 /// Stable fingerprint of a campaign configuration.
 ///
 /// Everything that changes the meaning of a trial index goes in: the
-/// workload, the seed (trial streams), the budget (the trial set), the
-/// scale (the program being injected), the hang factor (outcome
-/// classification), and the OOB policy (crash vs. wrap semantics).
+/// workload, the seed (trial streams), the scale (the program being
+/// injected), the hang factor (outcome classification), the OOB policy
+/// (crash vs. wrap semantics), and the fault-mode width (what each trial
+/// flips). The injection budget stays out: per-trial streams are keyed by
+/// `(seed, trial)`, so a grown budget extends a checkpointed campaign
+/// without invalidating it — the contract adaptive trial sizing relies on.
 pub fn config_fingerprint(workload: &str, cfg: &CampaignConfig) -> u64 {
     let canon = format!(
-        "v{VERSION};workload={workload};seed={};injections={};scale={:?};hang={};wrap_oob={}",
-        cfg.seed, cfg.injections, cfg.scale, cfg.hang_factor, cfg.wrap_oob
+        "v{VERSION};workload={workload};seed={};scale={:?};hang={};wrap_oob={};mode_bits={}",
+        cfg.seed, cfg.scale, cfg.hang_factor, cfg.wrap_oob, cfg.mode_bits
     );
     fnv1a(canon.as_bytes())
 }
 
 /// Serialize a checkpoint document.
-pub fn render(workload: &str, config_hash: u64, records: &[SingleBitRecord]) -> String {
+pub fn render(
+    workload: &str,
+    config_hash: u64,
+    mode_bits: u8,
+    records: &[SingleBitRecord],
+) -> String {
     let mut out = String::with_capacity(64 + records.len() * 96);
     let _ = write!(out, "{{\n  \"version\": {VERSION},\n  \"workload\": ");
     json::write_str(&mut out, workload);
-    let _ = write!(out, ",\n  \"config_hash\": {config_hash},\n  \"records\": [");
+    let _ = write!(
+        out,
+        ",\n  \"config_hash\": {config_hash},\n  \"mode_bits\": {mode_bits},\n  \"records\": ["
+    );
     for (i, r) in records.iter().enumerate() {
         let sep = if i == 0 { "\n" } else { ",\n" };
         let _ = write!(
@@ -101,13 +122,14 @@ pub fn save(
     path: &Path,
     workload: &str,
     config_hash: u64,
+    mode_bits: u8,
     records: &[SingleBitRecord],
 ) -> Result<(), CheckpointError> {
     let io = |e: std::io::Error| CheckpointError::Io {
         path: path.display().to_string(),
         detail: e.to_string(),
     };
-    let doc = render(workload, config_hash, records);
+    let doc = render(workload, config_hash, mode_bits, records);
     let tmp = path.with_extension("tmp");
     std::fs::write(&tmp, doc).map_err(io)?;
     std::fs::rename(&tmp, path).map_err(io)
@@ -150,6 +172,13 @@ pub fn load(path: &Path) -> Result<Checkpoint, CheckpointError> {
         .get("config_hash")
         .and_then(Value::as_u64)
         .ok_or_else(|| CheckpointError::Malformed { detail: "missing \"config_hash\"".into() })?;
+    let mode_bits = doc
+        .get("mode_bits")
+        .and_then(Value::as_u64)
+        .filter(|&m| m <= u64::from(u8::MAX))
+        .ok_or_else(|| CheckpointError::Malformed {
+            detail: "missing or out-of-range \"mode_bits\"".into(),
+        })? as u8;
     let raw_records = doc
         .get("records")
         .and_then(Value::as_arr)
@@ -202,7 +231,7 @@ pub fn load(path: &Path) -> Result<Checkpoint, CheckpointError> {
     }
     records.sort_by_key(|r| r.trial);
     records.dedup_by_key(|r| r.trial);
-    Ok(Checkpoint { workload, config_hash, records })
+    Ok(Checkpoint { workload, config_hash, mode_bits, records })
 }
 
 #[cfg(test)]
@@ -238,10 +267,11 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("c.json");
         let records = sample_records();
-        save(&path, "dct", 0xFEED, &records).unwrap();
+        save(&path, "dct", 0xFEED, 2, &records).unwrap();
         let loaded = load(&path).unwrap();
         assert_eq!(loaded.workload, "dct");
         assert_eq!(loaded.config_hash, 0xFEED);
+        assert_eq!(loaded.mode_bits, 2);
         let mut expect = records;
         expect.sort_by_key(|r| r.trial);
         assert_eq!(loaded.records, expect);
@@ -255,8 +285,12 @@ mod tests {
         assert_eq!(h, config_fingerprint("dct", &base));
         assert_ne!(h, config_fingerprint("matmul", &base));
         assert_ne!(h, config_fingerprint("dct", &CampaignConfig { seed: 1, ..base }));
-        assert_ne!(h, config_fingerprint("dct", &CampaignConfig { injections: 9, ..base }));
         assert_ne!(h, config_fingerprint("dct", &CampaignConfig { wrap_oob: false, ..base }));
+        assert_ne!(h, config_fingerprint("dct", &CampaignConfig { mode_bits: 2, ..base }));
+        // The budget is *not* part of the identity: `(seed, trial)` streams
+        // make a grown budget a pure extension of the same campaign, which
+        // is what lets adaptive sizing resume its own checkpoints.
+        assert_eq!(h, config_fingerprint("dct", &CampaignConfig { injections: 9, ..base }));
     }
 
     #[test]
@@ -280,10 +314,21 @@ mod tests {
 
         std::fs::write(
             &path,
-            format!("{{\"version\": {VERSION}, \"workload\": \"x\", \"config_hash\": 1, \"records\": [{{\"trial\": 0}}]}}"),
+            format!("{{\"version\": {VERSION}, \"workload\": \"x\", \"config_hash\": 1, \"mode_bits\": 1, \"records\": [{{\"trial\": 0}}]}}"),
         )
         .unwrap();
         assert!(matches!(load(&path), Err(CheckpointError::Malformed { .. })));
+
+        // A version-1 file (no mode_bits, budget-fingerprinted) is foreign.
+        std::fs::write(
+            &path,
+            "{\"version\": 1, \"workload\": \"x\", \"config_hash\": 1, \"records\": []}",
+        )
+        .unwrap();
+        assert!(matches!(
+            load(&path),
+            Err(CheckpointError::VersionMismatch { found: 1, expected: VERSION })
+        ));
 
         assert!(matches!(load(&dir.join("absent.json")), Err(CheckpointError::Io { .. })));
         std::fs::remove_dir_all(&dir).ok();
@@ -300,7 +345,7 @@ mod tests {
             outcome: Outcome::Crash { reason: "assert \"a < b\"\n\tat mem.rs:96 \\ λ".into() },
             read_before_overwrite: false,
         }];
-        save(&path, "w", 7, &records).unwrap();
+        save(&path, "w", 7, 1, &records).unwrap();
         assert_eq!(load(&path).unwrap().records, records);
         std::fs::remove_dir_all(&dir).ok();
     }

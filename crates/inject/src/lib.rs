@@ -23,9 +23,11 @@ pub mod json;
 pub mod runner;
 
 pub use campaign::{
-    single_bit_campaign, CampaignConfig, CampaignSummary, FaultSite, Fractions, Outcome,
-    OutcomeKind, SingleBitRecord,
+    single_bit_campaign, CampaignConfig, CampaignStats, CampaignSummary, FaultSite, Fractions,
+    Outcome, OutcomeKind, SingleBitRecord,
 };
 pub use interference::{interference_study, try_interference_study, InterferenceRow};
 pub use mbavf_core::error::{CheckpointError, InjectError};
-pub use runner::{run_campaign, CampaignReport, RunnerConfig};
+pub use runner::{
+    run_adaptive, run_campaign, AdaptiveConfig, AdaptiveReport, CampaignReport, RunnerConfig,
+};

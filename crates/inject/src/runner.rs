@@ -93,20 +93,61 @@ struct Shared {
     failed: AtomicBool,
     /// First checkpoint error, if any.
     error: Mutex<Option<CheckpointError>>,
+    /// Serializes snapshot writes: concurrent workers crossing the
+    /// checkpoint cadence at once would otherwise race on the shared
+    /// temp-file-then-rename, and the loser's rename finds the temp file
+    /// already consumed.
+    snapshotting: Mutex<()>,
 }
 
 impl Shared {
-    fn snapshot(&self, workload: &str, fingerprint: u64, path: &std::path::Path) {
+    fn snapshot(&self, workload: &str, fingerprint: u64, mode_bits: u8, path: &std::path::Path) {
         let records: Vec<SingleBitRecord> = {
             let slots = self.slots.lock().expect("slots lock");
             slots.iter().flatten().cloned().collect()
         };
-        if let Err(e) = checkpoint::save(path, workload, fingerprint, &records) {
+        let _write_guard = self.snapshotting.lock().expect("snapshot lock");
+        if let Err(e) = checkpoint::save(path, workload, fingerprint, mode_bits, &records) {
             let mut err = self.error.lock().expect("error lock");
             err.get_or_insert(e);
             self.failed.store(true, Ordering::SeqCst);
         }
     }
+}
+
+/// Load the checkpoint at `path`, quarantining corruption: a file that
+/// fails to *parse* (truncated mid-write by a crash, damaged on disk) is
+/// renamed to `<path>.corrupt` with a warning and the campaign restarts
+/// from zero, instead of wedging every future resume of the run. Version
+/// and config mismatches still error — those are real incompatibilities,
+/// not damage.
+fn load_or_quarantine(
+    path: &std::path::Path,
+) -> Result<Option<checkpoint::Checkpoint>, CheckpointError> {
+    match checkpoint::load(path) {
+        Ok(ck) => Ok(Some(ck)),
+        Err(CheckpointError::Malformed { detail }) => {
+            let quarantine = quarantine_path(path);
+            std::fs::rename(path, &quarantine).map_err(|e| CheckpointError::Io {
+                path: path.display().to_string(),
+                detail: format!("quarantining corrupt checkpoint failed: {e}"),
+            })?;
+            eprintln!(
+                "warning: corrupt checkpoint at {} ({detail}); moved to {} and restarting campaign",
+                path.display(),
+                quarantine.display()
+            );
+            Ok(None)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Where a corrupt checkpoint is moved aside: `<path>.corrupt`.
+pub fn quarantine_path(path: &std::path::Path) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(".corrupt");
+    PathBuf::from(name)
 }
 
 /// Run (or resume) a single-bit campaign under the given execution config.
@@ -144,25 +185,26 @@ pub fn run_campaign(
     let mut resumed = 0usize;
     if let Some(path) = &runner.checkpoint {
         if path.exists() {
-            let ck = checkpoint::load(path)?;
-            if ck.config_hash != fingerprint {
-                return Err(CheckpointError::ConfigMismatch {
-                    expected: fingerprint,
-                    found: ck.config_hash,
+            if let Some(ck) = load_or_quarantine(path)? {
+                if ck.config_hash != fingerprint {
+                    return Err(CheckpointError::ConfigMismatch {
+                        expected: fingerprint,
+                        found: ck.config_hash,
+                    }
+                    .into());
                 }
-                .into());
-            }
-            for rec in ck.records {
-                let trial = rec.trial;
-                let slot =
-                    slots.get_mut(trial as usize).ok_or(CheckpointError::TrialOutOfRange {
-                        trial,
-                        budget: cfg.injections as u64,
-                    })?;
-                if slot.is_none() {
-                    resumed += 1;
+                for rec in ck.records {
+                    let trial = rec.trial;
+                    let slot =
+                        slots.get_mut(trial as usize).ok_or(CheckpointError::TrialOutOfRange {
+                            trial,
+                            budget: cfg.injections as u64,
+                        })?;
+                    if slot.is_none() {
+                        resumed += 1;
+                    }
+                    *slot = Some(rec);
                 }
-                *slot = Some(rec);
             }
         }
     }
@@ -183,6 +225,7 @@ pub fn run_campaign(
         completed: AtomicUsize::new(0),
         failed: AtomicBool::new(false),
         error: Mutex::new(None),
+        snapshotting: Mutex::new(()),
     };
 
     std::thread::scope(|scope| {
@@ -201,7 +244,7 @@ pub fn run_campaign(
                     &golden.output,
                     golden.max_steps,
                     site,
-                    1,
+                    cfg.mode_bits.max(1),
                 );
                 {
                     let mut slots = shared.slots.lock().expect("slots lock");
@@ -211,7 +254,7 @@ pub fn run_campaign(
                 let done = shared.completed.fetch_add(1, Ordering::SeqCst) + 1;
                 if let Some(path) = &runner.checkpoint {
                     if done.is_multiple_of(runner.checkpoint_every) {
-                        shared.snapshot(workload.name, fingerprint, path);
+                        shared.snapshot(workload.name, fingerprint, cfg.mode_bits, path);
                     }
                 }
             });
@@ -225,7 +268,7 @@ pub fn run_campaign(
     let slots = shared.slots.into_inner().expect("slots lock");
     let records: Vec<SingleBitRecord> = slots.into_iter().flatten().collect();
     if let Some(path) = &runner.checkpoint {
-        checkpoint::save(path, workload.name, fingerprint, &records)?;
+        checkpoint::save(path, workload.name, fingerprint, cfg.mode_bits, &records)?;
     }
 
     let newly_run = shared.completed.into_inner();
@@ -235,6 +278,148 @@ pub fn run_campaign(
         newly_run,
         complete: newly_run == total_missing,
     })
+}
+
+/// How an adaptive campaign decides it has run enough trials.
+///
+/// The campaign grows its budget in deterministic stages — `batch`,
+/// `2×batch`, `4×batch`, … capped at `max_injections` — and after each
+/// *complete* stage evaluates the Wilson interval of the SDC rate. It stops
+/// as soon as the interval's halfwidth is at most `target_halfwidth`.
+///
+/// Because stage boundaries are a pure function of `(batch,
+/// max_injections)` and each stage's records are thread-count-invariant,
+/// the final trial count — and every record in it — is bit-identical across
+/// thread counts and across interrupt/resume schedules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Stop when the SDC interval halfwidth is at most this.
+    pub target_halfwidth: f64,
+    /// Confidence level of the interval being tightened (e.g. 0.95).
+    pub confidence: f64,
+    /// First-stage trial budget; later stages double it.
+    pub batch: usize,
+    /// Hard trial cap: the campaign never exceeds this many injections,
+    /// even if the target was not reached.
+    pub max_injections: usize,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        Self { target_halfwidth: 0.05, confidence: 0.95, batch: 100, max_injections: 5000 }
+    }
+}
+
+impl AdaptiveConfig {
+    /// The deterministic stage-budget sequence: `batch`, `2×batch`, …,
+    /// ending exactly at `max_injections`.
+    pub fn stage_budgets(&self) -> Vec<usize> {
+        let mut budgets = Vec::new();
+        let mut b = self.batch.min(self.max_injections).max(1);
+        loop {
+            budgets.push(b);
+            if b >= self.max_injections {
+                return budgets;
+            }
+            b = b.saturating_mul(2).min(self.max_injections);
+        }
+    }
+}
+
+/// What [`run_adaptive`] accomplished.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveReport {
+    /// The final stage's campaign report (all completed trials).
+    pub report: CampaignReport,
+    /// SDC rate with its interval at the adaptive confidence level,
+    /// evaluated over the final records.
+    pub sdc: mbavf_core::stats::RateEstimate,
+    /// Whether the halfwidth target was reached (as opposed to hitting the
+    /// trial cap, or being interrupted by `stop_after`).
+    pub target_met: bool,
+    /// Stage budgets actually evaluated, in order.
+    pub stages: Vec<usize>,
+}
+
+/// Run a campaign adaptively: keep scheduling trial batches until the SDC
+/// rate's confidence interval is tighter than
+/// [`AdaptiveConfig::target_halfwidth`] or the budget reaches
+/// [`AdaptiveConfig::max_injections`].
+///
+/// `cfg.injections` is ignored — the adaptive schedule owns the budget.
+/// Checkpointing works exactly as in [`run_campaign`] (the config
+/// fingerprint excludes the budget, so every stage extends the same
+/// checkpoint), and an interrupted adaptive run resumes into the identical
+/// stage sequence: the result is bit-identical across thread counts and
+/// interruption schedules.
+///
+/// # Errors
+///
+/// Everything [`run_campaign`] can raise, plus [`InjectError::BadConfig`]
+/// for a non-positive target, a confidence outside `(0, 1)`, a zero batch,
+/// or a zero trial cap.
+pub fn run_adaptive(
+    workload: &Workload,
+    cfg: &CampaignConfig,
+    runner: &RunnerConfig,
+    adaptive: &AdaptiveConfig,
+) -> Result<AdaptiveReport, InjectError> {
+    if adaptive.target_halfwidth.is_nan() || adaptive.target_halfwidth <= 0.0 {
+        return Err(InjectError::BadConfig {
+            detail: format!("target halfwidth must be positive, got {}", adaptive.target_halfwidth),
+        });
+    }
+    if adaptive.confidence.is_nan() || adaptive.confidence <= 0.0 || adaptive.confidence >= 1.0 {
+        return Err(InjectError::BadConfig {
+            detail: format!("confidence must be in (0, 1), got {}", adaptive.confidence),
+        });
+    }
+    if adaptive.batch == 0 || adaptive.max_injections == 0 {
+        return Err(InjectError::BadConfig {
+            detail: "adaptive batch and max_injections must be at least 1".into(),
+        });
+    }
+
+    // Resuming: skip straight to the first stage whose budget covers every
+    // already-recorded trial, so a checkpoint from a later stage never
+    // trips the budget bound. Corrupt files are left for run_campaign's
+    // quarantine; skipped stages were already evaluated as "not tight
+    // enough" by the run that recorded past them.
+    let budgets = adaptive.stage_budgets();
+    let mut start_stage = 0usize;
+    if let Some(path) = &runner.checkpoint {
+        if path.exists() {
+            if let Ok(ck) = checkpoint::load(path) {
+                if ck.config_hash == checkpoint::config_fingerprint(workload.name, cfg) {
+                    if let Some(max_trial) = ck.records.iter().map(|r| r.trial).max() {
+                        while start_stage + 1 < budgets.len()
+                            && (budgets[start_stage] as u64) <= max_trial
+                        {
+                            start_stage += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut stages = Vec::new();
+    for (i, &budget) in budgets.iter().enumerate().skip(start_stage) {
+        let stage_cfg = CampaignConfig { injections: budget, ..*cfg };
+        let report = run_campaign(workload, &stage_cfg, runner)?;
+        stages.push(budget);
+        let sdc = report.summary.stats(adaptive.confidence).sdc;
+        if !report.complete {
+            // stop_after interrupted the stage; report partial state. The
+            // checkpoint (if any) lets a later call resume this exact stage.
+            return Ok(AdaptiveReport { report, sdc, target_met: false, stages });
+        }
+        let target_met = sdc.halfwidth() <= adaptive.target_halfwidth;
+        if target_met || i + 1 == budgets.len() {
+            return Ok(AdaptiveReport { report, sdc, target_met, stages });
+        }
+    }
+    unreachable!("stage_budgets is never empty");
 }
 
 #[cfg(test)]
@@ -348,6 +533,7 @@ mod tests {
             checkpoint::render(
                 w.name,
                 checkpoint::config_fingerprint(w.name, &small),
+                small.mode_bits,
                 &run_campaign(&w, &a, &RunnerConfig::serial()).unwrap().summary.records,
             ),
         )

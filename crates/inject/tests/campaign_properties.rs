@@ -8,8 +8,9 @@
 use mbavf_core::rng::SplitMix64;
 use mbavf_inject::campaign::{CampaignConfig, FaultSite, Outcome, SingleBitRecord};
 use mbavf_inject::checkpoint;
-use mbavf_inject::{run_campaign, RunnerConfig};
-use mbavf_workloads::by_name;
+use mbavf_inject::runner::quarantine_path;
+use mbavf_inject::{run_adaptive, run_campaign, AdaptiveConfig, RunnerConfig};
+use mbavf_workloads::{by_name, nondet_drill};
 use std::path::PathBuf;
 
 fn tmpdir(tag: &str) -> PathBuf {
@@ -108,12 +109,149 @@ fn checkpoints_roundtrip_random_records() {
 
         let path = dir.join(format!("c{case}.json"));
         let hash = rng.next_u64();
-        checkpoint::save(&path, "prop", hash, &records).unwrap();
+        checkpoint::save(&path, "prop", hash, 1, &records).unwrap();
         let loaded = checkpoint::load(&path).unwrap();
         assert_eq!(loaded.config_hash, hash, "case {case}");
         assert_eq!(loaded.records, records, "case {case}");
     }
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Adaptive sizing follows a deterministic stage schedule, so its trial
+/// count — and every record — is bit-identical across thread counts.
+#[test]
+fn adaptive_campaigns_are_thread_count_invariant() {
+    let w = by_name("dct").expect("registered");
+    let cfg = CampaignConfig { seed: 0xADA7, ..CampaignConfig::default() };
+    // A target loose enough to be reachable, tight enough to need growth
+    // past the first batch.
+    let adaptive =
+        AdaptiveConfig { target_halfwidth: 0.09, batch: 24, max_injections: 384, confidence: 0.95 };
+    let serial = run_adaptive(&w, &cfg, &RunnerConfig::serial(), &adaptive).unwrap();
+    assert!(
+        serial.stages.len() > 1,
+        "target must require more than one batch: {:?}",
+        serial.stages
+    );
+    assert_eq!(serial.stages, {
+        let all = adaptive.stage_budgets();
+        all[..serial.stages.len()].to_vec()
+    });
+    if serial.target_met {
+        assert!(serial.sdc.halfwidth() <= adaptive.target_halfwidth);
+    } else {
+        assert_eq!(*serial.stages.last().unwrap(), adaptive.max_injections);
+    }
+    for threads in [2, 6] {
+        let par =
+            run_adaptive(&w, &cfg, &RunnerConfig { threads, ..RunnerConfig::default() }, &adaptive)
+                .unwrap();
+        assert_eq!(par.report.summary, serial.report.summary, "threads {threads}");
+        assert_eq!(par.sdc, serial.sdc, "threads {threads}");
+        assert_eq!(par.stages, serial.stages, "threads {threads}");
+        assert_eq!(par.target_met, serial.target_met, "threads {threads}");
+    }
+}
+
+/// Interrupting an adaptive campaign at several points and resuming from
+/// its checkpoint converges to the identical final state: the records, the
+/// interval, and the stopping decision are all interruption-invariant.
+#[test]
+fn adaptive_resume_matches_uninterrupted() {
+    let w = by_name("fast_walsh").expect("registered");
+    let cfg = CampaignConfig { seed: 0x2E5, ..CampaignConfig::default() };
+    let adaptive =
+        AdaptiveConfig { target_halfwidth: 0.08, batch: 16, max_injections: 256, confidence: 0.95 };
+    let uninterrupted = run_adaptive(&w, &cfg, &RunnerConfig::serial(), &adaptive).unwrap();
+    assert!(uninterrupted.stages.len() > 1, "want a multi-stage run: {:?}", uninterrupted.stages);
+
+    let dir = tmpdir("adaptive-resume");
+    for stop in [1usize, 7, 20, 33] {
+        let path = dir.join(format!("ada{stop}.json"));
+        std::fs::remove_file(&path).ok();
+        // Drive the campaign in `stop`-trial slices until it completes.
+        let mut rounds = 0;
+        let finished = loop {
+            let slice = run_adaptive(
+                &w,
+                &cfg,
+                &RunnerConfig {
+                    threads: 2,
+                    checkpoint: Some(path.clone()),
+                    checkpoint_every: 4,
+                    stop_after: Some(stop),
+                },
+                &adaptive,
+            )
+            .unwrap();
+            rounds += 1;
+            assert!(rounds < 1000, "stop {stop}: adaptive run failed to converge");
+            if slice.target_met || slice.report.complete {
+                break slice;
+            }
+        };
+        assert_eq!(
+            finished.report.summary, uninterrupted.report.summary,
+            "stop {stop}: records diverged"
+        );
+        assert_eq!(finished.sdc, uninterrupted.sdc, "stop {stop}");
+        assert_eq!(finished.target_met, uninterrupted.target_met, "stop {stop}");
+        assert_eq!(
+            finished.stages.last(),
+            uninterrupted.stages.last(),
+            "stop {stop}: final budget diverged"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A corrupt (truncated) checkpoint is quarantined to `<path>.corrupt` and
+/// the campaign restarts cleanly, reproducing the uncorrupted summary.
+#[test]
+fn corrupt_checkpoints_are_quarantined_and_recovered() {
+    let w = by_name("transpose").expect("registered");
+    let cfg = CampaignConfig { seed: 0xC0, injections: 12, ..CampaignConfig::default() };
+    let clean = run_campaign(&w, &cfg, &RunnerConfig::serial()).unwrap();
+
+    let dir = tmpdir("quarantine");
+    let path = dir.join("camp.json");
+    let runner = RunnerConfig { checkpoint: Some(path.clone()), ..RunnerConfig::serial() };
+    run_campaign(&w, &cfg, &runner).unwrap();
+    let intact = std::fs::read(&path).unwrap();
+
+    // Truncation at any of these byte offsets must be survivable: the file
+    // is set aside and the campaign restarts from zero.
+    for cut in [0usize, 1, intact.len() / 4, intact.len() / 2, intact.len() - 3] {
+        std::fs::write(&path, &intact[..cut]).unwrap();
+        std::fs::remove_file(quarantine_path(&path)).ok();
+
+        let recovered = run_campaign(&w, &cfg, &runner)
+            .unwrap_or_else(|e| panic!("cut at {cut}: recovery failed: {e}"));
+        assert_eq!(recovered.resumed, 0, "cut at {cut}: nothing valid to resume");
+        assert_eq!(recovered.newly_run, cfg.injections, "cut at {cut}");
+        assert_eq!(recovered.summary, clean.summary, "cut at {cut}");
+        assert_eq!(
+            std::fs::read(quarantine_path(&path)).unwrap(),
+            intact[..cut],
+            "cut at {cut}: quarantined bytes must be the damaged file"
+        );
+        // The rewritten checkpoint is valid again.
+        assert_eq!(checkpoint::load(&path).unwrap().records.len(), cfg.injections);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The integrity negative control: a workload whose golden run drifts
+/// between builds must be refused outright — classifying injections against
+/// an unstable reference would poison every verdict.
+#[test]
+fn nondeterministic_golden_runs_are_refused() {
+    let w = nondet_drill();
+    let cfg = CampaignConfig { injections: 4, ..CampaignConfig::default() };
+    let err =
+        run_campaign(&w, &cfg, &RunnerConfig::serial()).expect_err("the drill exists to be caught");
+    let msg = err.to_string();
+    assert!(msg.contains("nondeterministic"), "unhelpful diagnostic: {msg}");
 }
 
 /// The crash positive control: with OOB wrapping disabled, fault-induced

@@ -30,6 +30,7 @@ pub mod isa;
 pub mod isolate;
 pub mod liveness;
 pub mod mem;
+pub mod profile;
 pub mod program;
 pub mod trace;
 
@@ -38,4 +39,5 @@ pub use gpu::{run_timed, GpuConfig, RunResult};
 pub use interp::{run_functional, run_functional_isolated, run_golden, Injection};
 pub use isolate::catch_crash;
 pub use mem::Memory;
+pub use profile::{profile_golden, RegUseProfile};
 pub use program::{Assembler, Program};

@@ -7,6 +7,7 @@ pub mod fast_walsh;
 pub mod histogram;
 pub mod matmul;
 pub mod minife;
+pub mod nondet_drill;
 pub mod pathfinder;
 pub mod prefix_sum;
 pub mod recursive_gaussian;

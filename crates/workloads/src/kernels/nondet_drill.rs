@@ -1,0 +1,99 @@
+//! A deliberately nondeterministic workload — the negative control for the
+//! golden-run integrity gates.
+//!
+//! Every call to [`build`] perturbs one input word with a process-global
+//! counter, so two "identical" instances produce different golden outputs.
+//! Campaign and pipeline layers must *detect* this (their double-golden
+//! digest check) and refuse to classify injections against it; a harness
+//! that runs this workload without complaint has a hole in its integrity
+//! gate. It is therefore excluded from [`suite`](crate::suite) and only
+//! reachable through [`nondet_drill`](crate::nondet_drill).
+
+use crate::util::{check_u32, gen_u32};
+use crate::{Instance, InstanceMeta, Scale};
+use mbavf_sim::isa::VReg;
+use mbavf_sim::program::Assembler;
+use mbavf_sim::Memory;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Monotone per-build drift: no two instances ever see the same input.
+static DRIFT: AtomicU32 = AtomicU32::new(0);
+
+/// Build the workload. **Each call yields a different instance.**
+pub fn build(scale: Scale) -> Instance {
+    let n: u32 = match scale {
+        Scale::Test => 64,
+        Scale::Paper => 256,
+    };
+    let mut input = gen_u32(0xD217, n as usize);
+    let drift = DRIFT.fetch_add(1, Ordering::Relaxed);
+    input[0] ^= drift.wrapping_mul(0x9E37_79B9) | 1;
+
+    let mut mem = Memory::new(1 << 18);
+    let in_addr = {
+        let addr = mem.alloc_zeroed(n);
+        for (i, v) in input.iter().enumerate() {
+            mem.write_u32_host(addr + 4 * i as u32, *v);
+        }
+        addr
+    };
+    let out_addr = mem.alloc_zeroed(n);
+    mem.mark_output(out_addr, n * 4);
+
+    // out[i] = in[i] * 3 + 1 — trivial on purpose; the interesting part is
+    // the drifting input, not the kernel.
+    let mut a = Assembler::new();
+    let (addr, val) = (VReg(2), VReg(3));
+    a.v_mul_u(addr, VReg(1), 4u32);
+    a.v_load(val, addr, in_addr);
+    a.v_mul_u(val, val, 3u32);
+    a.v_add_u(val, val, 1u32);
+    a.v_store(val, addr, out_addr);
+    a.end();
+
+    Instance {
+        name: "nondet_drill",
+        program: a.finish().expect("valid kernel"),
+        mem,
+        workgroups: n / 64,
+        check,
+        meta: InstanceMeta { addrs: vec![("in", in_addr), ("out", out_addr)], n },
+    }
+}
+
+/// Self-consistent check: the output must match *this instance's* input
+/// (a fixed host reference is impossible — the input drifts by design).
+fn check(mem: &Memory, meta: &InstanceMeta) -> Result<(), String> {
+    let input = mem.read_u32_slice(meta.addr("in"), meta.n);
+    let out = mem.read_u32_slice(meta.addr("out"), meta.n);
+    let expected: Vec<u32> = input.iter().map(|v| v.wrapping_mul(3).wrapping_add(1)).collect();
+    check_u32(&out, &expected, "nondet_drill out")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbavf_sim::interp::run_golden;
+
+    #[test]
+    fn each_build_gets_different_input() {
+        let a = build(Scale::Test);
+        let b = build(Scale::Test);
+        assert_ne!(
+            a.mem.read_u32(a.meta.addr("in")),
+            b.mem.read_u32(b.meta.addr("in")),
+            "two builds must never agree — that is the point of the drill"
+        );
+    }
+
+    #[test]
+    fn each_instance_is_self_consistent() {
+        // Nondeterministic *across* builds, but any single instance runs
+        // and checks fine — the drill is only detectable by comparing runs.
+        let mut inst = build(Scale::Test);
+        let p = inst.program.clone();
+        let wgs = inst.workgroups;
+        run_golden(&p, &mut inst.mem, wgs);
+        inst.check(&inst.mem).unwrap();
+    }
+}

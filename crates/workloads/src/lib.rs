@@ -201,6 +201,19 @@ pub fn by_name(name: &str) -> Option<Workload> {
     suite().into_iter().find(|w| w.name == name)
 }
 
+/// The deliberately **nondeterministic** drill workload: every
+/// [`Workload::build`] call perturbs its input, so two golden runs of
+/// "the same" instance disagree. It exists to prove the golden-run
+/// integrity gates fire, is excluded from [`suite`] (and thus from
+/// [`by_name`]), and must never be used for real measurements.
+pub fn nondet_drill() -> Workload {
+    Workload {
+        name: "nondet_drill",
+        desc: "negative control: input drifts between builds",
+        builder: kernels::nondet_drill::build,
+    }
+}
+
 /// The nine AMD-APP-style workloads used in the paper's Table II fault
 /// injection study.
 pub fn injection_suite() -> Vec<Workload> {
@@ -242,6 +255,14 @@ mod tests {
     fn by_name_roundtrip() {
         assert!(by_name("minife").is_some());
         assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn nondet_drill_is_kept_out_of_the_suite() {
+        // The drill is a negative control: reachable on purpose, never by
+        // accident.
+        assert!(by_name("nondet_drill").is_none());
+        assert_eq!(nondet_drill().name, "nondet_drill");
     }
 
     /// Every workload must run to completion at test scale and pass its own
