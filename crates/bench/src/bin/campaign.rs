@@ -8,6 +8,7 @@
 //!          [--checkpoint-every 64] [--stop-after N]
 //!          [--scale test|paper] [--no-wrap-oob]
 //!          [--confidence 0.95] [--fail-on sdc,hang,crash]
+//!          [--repro-dir DIR] [--repro-cap N]
 //!          [--target-ci-halfwidth H [--batch N] [--max-injections N]]
 //! ```
 //!
@@ -22,6 +23,11 @@
 //! rate's interval halfwidth at `--confidence` reaches the target or the
 //! `--max-injections` cap. The stage schedule is deterministic, so adaptive
 //! runs stay checkpoint/resume-compatible and thread-count-invariant.
+//!
+//! With `--repro-dir`, every SDC/hang/crash trial (capped per outcome kind
+//! by `--repro-cap`, duplicate crash reasons collapsed) is written as a
+//! self-contained repro bundle that the `replay` binary re-executes
+//! bit-exactly — see `replay --help` for the triage workflow.
 //!
 //! Exit codes:
 //!
@@ -59,6 +65,7 @@ fn usage() -> String {
          \u{20}                [--threads N] [--checkpoint FILE] [--checkpoint-every N]\n\
          \u{20}                [--stop-after N] [--scale test|paper] [--no-wrap-oob]\n\
          \u{20}                [--confidence C] [--fail-on sdc,hang,crash]\n\
+         \u{20}                [--repro-dir DIR] [--repro-cap N]\n\
          \u{20}                [--target-ci-halfwidth H [--batch N] [--max-injections N]]\n\
          exit codes: 0 = done, 1 = error, 2 = --fail-on outcome seen,\n\
          \u{20}           3 = adaptive target not reached\n\
@@ -76,14 +83,24 @@ fn parse_u64(v: &str) -> Result<u64, String> {
 }
 
 fn parse_fail_on(v: &str) -> Result<Vec<OutcomeKind>, String> {
-    v.split(',')
-        .map(|k| match k.trim() {
-            "sdc" => Ok(OutcomeKind::Sdc),
-            "hang" => Ok(OutcomeKind::Hang),
-            "crash" => Ok(OutcomeKind::Crash),
-            other => Err(format!("unknown outcome {other} (sdc|hang|crash)")),
-        })
-        .collect()
+    const VALID: &str = "valid outcomes: sdc, hang, crash";
+    let mut kinds = Vec::new();
+    for token in v.split(',') {
+        let kind = match token.trim() {
+            "sdc" => OutcomeKind::Sdc,
+            "hang" => OutcomeKind::Hang,
+            "crash" => OutcomeKind::Crash,
+            other => return Err(format!("unknown outcome {other:?} in --fail-on ({VALID})")),
+        };
+        if kinds.contains(&kind) {
+            return Err(format!(
+                "duplicate outcome {:?} in --fail-on ({VALID}, each at most once)",
+                token.trim()
+            ));
+        }
+        kinds.push(kind);
+    }
+    Ok(kinds)
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -134,6 +151,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.confidence = c;
             }
             "--fail-on" => args.fail_on = parse_fail_on(value()?)?,
+            "--repro-dir" => args.runner.repro_dir = Some(PathBuf::from(value()?)),
+            "--repro-cap" => {
+                args.runner.repro_cap = match parse_u64(value()?)? as usize {
+                    0 => return Err("--repro-cap must be at least 1".into()),
+                    n => n,
+                }
+            }
             "--target-ci-halfwidth" => {
                 let h: f64 =
                     value()?.parse().map_err(|_| "bad --target-ci-halfwidth".to_string())?;
@@ -244,6 +268,14 @@ fn main() -> ExitCode {
     };
 
     print_report(&report, args.confidence);
+    if let Some(dir) = &args.runner.repro_dir {
+        println!(
+            "  {} repro bundle(s) in {} (replay with: replay {}/*.repro.json)",
+            report.bundles.len(),
+            dir.display(),
+            dir.display()
+        );
+    }
 
     for kind in &args.fail_on {
         let k = report.summary.count(*kind);
@@ -256,4 +288,50 @@ fn main() -> ExitCode {
         return ExitCode::from(3);
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn fail_on_parses_each_kind_once() {
+        assert_eq!(parse_fail_on("sdc").unwrap(), vec![OutcomeKind::Sdc]);
+        assert_eq!(
+            parse_fail_on("sdc, hang,crash").unwrap(),
+            vec![OutcomeKind::Sdc, OutcomeKind::Hang, OutcomeKind::Crash]
+        );
+    }
+
+    #[test]
+    fn fail_on_rejects_duplicates_and_lists_valid_tokens() {
+        let err = parse_fail_on("sdc,hang,sdc").unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+        assert!(err.contains("sdc, hang, crash"), "must list valid tokens: {err}");
+    }
+
+    #[test]
+    fn fail_on_rejects_unknown_tokens_and_lists_valid_ones() {
+        for bad in ["masked", "SDC", "", "sdc;hang"] {
+            let err = parse_fail_on(bad).unwrap_err();
+            assert!(err.contains("unknown outcome"), "{bad}: {err}");
+            assert!(err.contains("sdc, hang, crash"), "{bad} must list valid tokens: {err}");
+        }
+    }
+
+    #[test]
+    fn repro_flags_parse_and_validate() {
+        let args =
+            parse_args(&argv(&["--workload", "dct", "--repro-dir", "bundles", "--repro-cap", "3"]))
+                .unwrap();
+        assert_eq!(args.runner.repro_dir, Some(PathBuf::from("bundles")));
+        assert_eq!(args.runner.repro_cap, 3);
+        assert!(parse_args(&argv(&["--workload", "dct", "--repro-cap", "0"])).is_err());
+        // Default: no bundle emission.
+        assert_eq!(parse_args(&argv(&["--workload", "dct"])).unwrap().runner.repro_dir, None);
+    }
 }

@@ -1,0 +1,162 @@
+//! Replay repro bundles written by `campaign --repro-dir` (or the validate
+//! gate): re-execute each bundled trial deterministically and check that
+//! the recorded outcome reproduces.
+//!
+//! ```text
+//! replay [--trace] [--shrink] BUNDLE.repro.json [BUNDLE...]
+//! ```
+//!
+//! `--trace` additionally runs the golden and faulty executions in
+//! per-instruction lockstep and prints the first architectural-state delta
+//! (register, mask, pc, or memory byte) — the instruction where the fault
+//! escaped. `--shrink` searches for the smallest fault still producing the
+//! recorded outcome kind and writes it back into the bundle's `minimized`
+//! section.
+//!
+//! Exit codes (mirroring `campaign`'s table):
+//!
+//! | code | meaning |
+//! |---|---|
+//! | 0 | every bundle's recorded outcome reproduced |
+//! | 1 | usage error, unreadable/malformed bundle, or replay harness error |
+//! | 2 | at least one bundle did not reproduce |
+//! | 3 | fingerprint or golden-digest mismatch (bundle from another build/config) |
+//!
+//! When several problems occur across bundles the most severe code wins:
+//! 1 over 3 over 2.
+
+use mbavf_core::error::{BundleError, InjectError};
+use mbavf_inject::{find_divergence, load_bundle, replay_bundle, shrink_and_update};
+use std::path::Path;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: replay [--trace] [--shrink] BUNDLE.repro.json [BUNDLE...]\n\
+    exit codes: 0 = all reproduced, 1 = load/harness error,\n\
+    \u{20}           2 = outcome did not reproduce, 3 = fingerprint/golden mismatch";
+
+/// What one bundle's replay amounted to, ranked by severity.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Status {
+    Reproduced,
+    NotReproduced,
+    Mismatch,
+    HarnessError,
+}
+
+fn mismatch(e: &InjectError) -> bool {
+    matches!(
+        e,
+        InjectError::Bundle(
+            BundleError::FingerprintMismatch { .. } | BundleError::GoldenMismatch { .. }
+        )
+    )
+}
+
+fn replay_one(path: &Path, trace: bool, shrink: bool) -> Status {
+    let name = path.display();
+    let bundle = match load_bundle(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{name}: {e}");
+            return Status::HarnessError;
+        }
+    };
+    println!(
+        "{name}: {} trial {} at wg {} after {} v{} lane {} bit {} ({} bit(s))",
+        bundle.outcome.kind().as_str(),
+        bundle.trial,
+        bundle.site.wg,
+        bundle.site.after_retired,
+        bundle.site.reg,
+        bundle.site.lane,
+        bundle.site.bit,
+        bundle.mode_bits,
+    );
+    let report = match replay_bundle(&bundle) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{name}: {e}");
+            return if mismatch(&e) { Status::Mismatch } else { Status::HarnessError };
+        }
+    };
+    if !report.reproduced {
+        println!(
+            "  NOT REPRODUCED: recorded {}, observed {}",
+            bundle.outcome.kind().as_str(),
+            report.observed.kind().as_str()
+        );
+        return Status::NotReproduced;
+    }
+    println!("  reproduced: {}", report.observed.kind().as_str());
+    if trace {
+        match find_divergence(&bundle) {
+            Ok(Some(d)) => println!("  divergence: {d}"),
+            Ok(None) => println!("  divergence: none (fault never escaped the register)"),
+            Err(e) => {
+                eprintln!("{name}: trace failed: {e}");
+                return if mismatch(&e) { Status::Mismatch } else { Status::HarnessError };
+            }
+        }
+    }
+    if shrink {
+        match shrink_and_update(path) {
+            Ok(s) if s.improved => println!(
+                "  minimized: {} bit(s) at bit {} ({} candidate(s) tested), written back",
+                s.mode_bits, s.site.bit, s.candidates_tested
+            ),
+            Ok(s) => println!(
+                "  minimized: already minimal at {} bit(s) ({} candidate(s) tested)",
+                s.mode_bits, s.candidates_tested
+            ),
+            Err(e) => {
+                eprintln!("{name}: shrink failed: {e}");
+                return if mismatch(&e) { Status::Mismatch } else { Status::HarnessError };
+            }
+        }
+    }
+    Status::Reproduced
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut trace = false;
+    let mut shrink = false;
+    let mut paths = Vec::new();
+    for arg in &argv {
+        match arg.as_str() {
+            "--trace" => trace = true,
+            "--shrink" => shrink = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+            other => paths.push(other.to_string()),
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("no bundles given\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+
+    let mut worst = Status::Reproduced;
+    let total = paths.len();
+    let mut reproduced = 0usize;
+    for p in &paths {
+        let status = replay_one(Path::new(p), trace, shrink);
+        if status == Status::Reproduced {
+            reproduced += 1;
+        }
+        worst = worst.max(status);
+    }
+    println!("{reproduced}/{total} bundle(s) reproduced");
+    match worst {
+        Status::Reproduced => ExitCode::SUCCESS,
+        Status::NotReproduced => ExitCode::from(2),
+        Status::Mismatch => ExitCode::from(3),
+        Status::HarnessError => ExitCode::FAILURE,
+    }
+}

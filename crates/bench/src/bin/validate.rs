@@ -7,12 +7,18 @@
 //! validate [--workloads dct,fast_walsh,...] [--modes 1,2,4]
 //!          [--injections N] [--seed S] [--confidence 0.95]
 //!          [--tolerance 5.0] [--scale test|paper] [--json FILE]
+//!          [--repro-dir DIR]
 //! ```
 //!
 //! Exit codes: `0` all comparisons agree (or are inconclusive at the given
 //! budget), `1` usage or harness error, `2` **confirmed divergence** — the
 //! model and the injector decisively disagree somewhere, which should fail
 //! CI.
+//!
+//! With `--repro-dir`, every confirmed divergence also writes repro
+//! bundles for the trials behind it (error outcomes of a diverging mode
+//! campaign; per-site oracle contradictions of the checked-rate gate), so
+//! a red gate arrives with one-command `replay` reproductions attached.
 
 use mbavf_bench::validate::{validate_suite, ValidateConfig};
 use mbavf_workloads::{by_name, injection_suite, Scale, Workload};
@@ -23,7 +29,7 @@ fn usage() -> String {
     format!(
         "usage: validate [--workloads A,B,...] [--modes 1,2,4] [--injections N]\n\
          \u{20}               [--seed S] [--confidence C] [--tolerance T]\n\
-         \u{20}               [--scale test|paper] [--json FILE]\n\
+         \u{20}               [--scale test|paper] [--json FILE] [--repro-dir DIR]\n\
          exit codes: 0 = agreement, 1 = error, 2 = confirmed divergence\n\
          default workloads: {}",
         names.join(", ")
@@ -92,6 +98,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 }
             }
             "--json" => args.json = Some(value()?.clone()),
+            "--repro-dir" => {
+                args.cfg.repro_dir = Some(std::path::PathBuf::from(value()?));
+            }
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }

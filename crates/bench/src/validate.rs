@@ -32,10 +32,13 @@ use crate::pipeline::{try_run_workload, WorkloadData};
 use mbavf_core::error::PipelineError;
 use mbavf_core::stats::{two_proportion_test, wilson, AgreementTest, RateEstimate};
 use mbavf_core::timeline::{ByteTimeline, Cycle};
-use mbavf_inject::{run_campaign, CampaignConfig, Outcome, RunnerConfig};
+use mbavf_inject::{
+    run_campaign, CampaignConfig, Outcome, RunnerConfig, SingleBitRecord, DEFAULT_BUNDLE_CAP,
+};
 use mbavf_sim::profile::{profile_golden, RegUseProfile};
 use mbavf_workloads::{Scale, Workload};
 use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
 
 /// Validation-gate parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,6 +59,12 @@ pub struct ValidateConfig {
     /// Minimum trials before a band miss is *confirmed* rather than
     /// inconclusive.
     pub min_trials_to_confirm: u64,
+    /// When set, confirmed divergences write repro bundles here: the
+    /// error-outcome trials of any mode campaign whose verdict is a
+    /// confirmed divergence, and every trial whose recorded read flag
+    /// contradicts the per-site oracle. Bundle-write failures degrade to
+    /// warnings — the verdict never depends on the disk.
+    pub repro_dir: Option<PathBuf>,
 }
 
 impl Default for ValidateConfig {
@@ -68,6 +77,7 @@ impl Default for ValidateConfig {
             modes: vec![1, 2, 4],
             tolerance: 5.0,
             min_trials_to_confirm: 50,
+            repro_dir: None,
         }
     }
 }
@@ -404,6 +414,50 @@ fn union_len(lists: &[Vec<(Cycle, Cycle)>]) -> Cycle {
     len
 }
 
+/// Whether one campaign record contradicts the per-site oracle — the
+/// checked-rate gate's confirmed-failure condition, record by record.
+fn site_mismatch(prof: &RegUseProfile, r: &SingleBitRecord) -> bool {
+    let s = r.site;
+    let oracle = prof.site_is_read(s.wg, s.after_retired, s.reg, s.lane);
+    if matches!(r.outcome, Outcome::Crash { .. }) {
+        !oracle
+    } else {
+        r.read_before_overwrite != oracle
+    }
+}
+
+/// Best-effort repro-bundle emission for a divergent validate campaign.
+/// Failures degrade to a warning: the gate's verdict is already decided
+/// and must not be masked by a full disk or an unwritable directory.
+fn emit_bundles(
+    dir: &Path,
+    w: &Workload,
+    campaign: &CampaignConfig,
+    records: &[SingleBitRecord],
+    keep: &dyn Fn(&SingleBitRecord) -> bool,
+) {
+    match mbavf_inject::bundle::write_campaign_bundles(
+        dir,
+        w,
+        campaign,
+        records,
+        DEFAULT_BUNDLE_CAP,
+        keep,
+    ) {
+        Ok(paths) if !paths.is_empty() => eprintln!(
+            "validate: wrote {} repro bundle(s) for {} ({}x1) to {}",
+            paths.len(),
+            w.name,
+            campaign.mode_bits,
+            dir.display()
+        ),
+        Ok(_) => {}
+        Err(e) => {
+            eprintln!("warning: could not write repro bundles to {}: {e}", dir.display());
+        }
+    }
+}
+
 fn checked_rate(
     prof: &RegUseProfile,
     summary: &mbavf_inject::CampaignSummary,
@@ -417,16 +471,12 @@ fn checked_rate(
         let s = r.site;
         let oracle = prof.site_is_read(s.wg, s.after_retired, s.reg, s.lane);
         predicted += u64::from(oracle);
-        if matches!(r.outcome, Outcome::Crash { .. }) {
-            // The injector loses the watchpoint flag on a crash, but a
-            // crash is propagation, which requires a read: count it as
-            // read, and the profile must agree.
-            measured_k += 1;
-            mismatches += u64::from(!oracle);
-        } else {
-            measured_k += u64::from(r.read_before_overwrite);
-            mismatches += u64::from(r.read_before_overwrite != oracle);
-        }
+        // The injector loses the watchpoint flag on a crash, but a crash
+        // is propagation, which requires a read: count it as read, and
+        // the profile must agree.
+        let measured_read = matches!(r.outcome, Outcome::Crash { .. }) || r.read_before_overwrite;
+        measured_k += u64::from(measured_read);
+        mismatches += u64::from(site_mismatch(prof, r));
     }
     let model = prof.read_before_overwrite_probability();
     let measured = wilson(measured_k, n, confidence);
@@ -482,11 +532,24 @@ pub fn validate_workload(
             .map_err(|source| PipelineError::Inject { workload: w.name.to_string(), source })?;
         let stats = report.summary.stats(cfg.confidence);
         if m <= 1 {
-            checked = Some(checked_rate(&prof, &report.summary, cfg.confidence));
+            let c = checked_rate(&prof, &report.summary, cfg.confidence);
+            if let Some(dir) = cfg.repro_dir.as_deref() {
+                if c.site_mismatches > 0 {
+                    emit_bundles(dir, w, &campaign, &report.summary.records, &|r| {
+                        site_mismatch(&prof, r)
+                    });
+                }
+            }
+            checked = Some(c);
         }
         let model_sdc = mode_model_sdc(&data, u32::from(prof.num_vregs), m);
         let verdict =
             band_verdict(model_sdc, &stats.error, cfg.tolerance, cfg.min_trials_to_confirm);
+        if let Some(dir) = cfg.repro_dir.as_deref() {
+            if verdict.is_failure() {
+                emit_bundles(dir, w, &campaign, &report.summary.records, &|r| r.outcome.is_error());
+            }
+        }
         modes.push(ModeRow {
             mode_bits: m,
             model_sdc,
@@ -510,7 +573,15 @@ pub fn validate_workload(
             };
             let report = run_campaign(w, &campaign, &RunnerConfig::default())
                 .map_err(|source| PipelineError::Inject { workload: w.name.to_string(), source })?;
-            checked_rate(&prof, &report.summary, cfg.confidence)
+            let c = checked_rate(&prof, &report.summary, cfg.confidence);
+            if let Some(dir) = cfg.repro_dir.as_deref() {
+                if c.site_mismatches > 0 {
+                    emit_bundles(dir, w, &campaign, &report.summary.records, &|r| {
+                        site_mismatch(&prof, r)
+                    });
+                }
+            }
+            c
         }
     };
     Ok(WorkloadVerdict { workload: w.name, checked, modes })

@@ -167,6 +167,95 @@ impl fmt::Display for CheckpointError {
 
 impl std::error::Error for CheckpointError {}
 
+/// Why a repro bundle could not be loaded or replayed.
+///
+/// Repro bundles are single-trial forensic records written by the campaign
+/// runner; replay refuses to run a bundle whose recorded configuration
+/// fingerprint or golden-output digest no longer matches this build, because
+/// a "reproduction" against a different golden run would be meaningless.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BundleError {
+    /// The file is not valid repro-bundle JSON.
+    Malformed {
+        /// What the parser objected to.
+        detail: String,
+    },
+    /// The bundle was written by an incompatible format version.
+    VersionMismatch {
+        /// Version found in the file.
+        found: u64,
+        /// Version this build writes.
+        expected: u64,
+    },
+    /// The bundle's recorded configuration fingerprint does not match the
+    /// fingerprint recomputed from its own embedded configuration.
+    FingerprintMismatch {
+        /// Fingerprint recomputed by this build.
+        expected: u64,
+        /// Fingerprint recorded in the file.
+        found: u64,
+    },
+    /// The golden (fault-free) output digest of this build differs from the
+    /// digest recorded at capture time, so outcome classification would not
+    /// be comparable.
+    GoldenMismatch {
+        /// Digest recorded in the bundle.
+        expected: u64,
+        /// Digest this build computed.
+        found: u64,
+    },
+    /// The bundle names a workload this build does not know.
+    UnknownWorkload {
+        /// The workload name from the file.
+        name: String,
+    },
+    /// The recorded fault site does not exist in the named workload.
+    SiteOutOfRange {
+        /// Human-readable explanation of which coordinate is out of range.
+        detail: String,
+    },
+    /// The file could not be read or written.
+    Io {
+        /// Path involved.
+        path: String,
+        /// OS error text.
+        detail: String,
+    },
+}
+
+impl fmt::Display for BundleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BundleError::Malformed { detail } => {
+                write!(f, "malformed repro bundle: {detail}")
+            }
+            BundleError::VersionMismatch { found, expected } => {
+                write!(f, "repro bundle format version {found}, this build expects {expected}")
+            }
+            BundleError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "repro bundle fingerprint {found:#018x} does not match its own configuration (recomputed {expected:#018x}); refusing to replay"
+            ),
+            BundleError::GoldenMismatch { expected, found } => write!(
+                f,
+                "golden output digest drifted: bundle recorded {expected:#018x}, this build produces {found:#018x}; refusing to replay"
+            ),
+            BundleError::UnknownWorkload { name } => {
+                write!(f, "repro bundle names unknown workload {name:?}")
+            }
+            BundleError::SiteOutOfRange { detail } => {
+                write!(f, "repro bundle fault site out of range: {detail}")
+            }
+            BundleError::Io { path, detail } => {
+                write!(f, "repro bundle I/O on {path}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BundleError {}
+
 /// Errors from fault-injection campaigns (the `mbavf-inject` runner).
 ///
 /// A *trial* panicking is deliberately **not** an error: fault-induced
@@ -184,6 +273,8 @@ pub enum InjectError {
     },
     /// A checkpoint could not be loaded or saved.
     Checkpoint(CheckpointError),
+    /// A repro bundle could not be written, loaded, or replayed.
+    Bundle(BundleError),
     /// The runner was configured inconsistently.
     BadConfig {
         /// Human-readable explanation.
@@ -198,6 +289,7 @@ impl fmt::Display for InjectError {
                 write!(f, "golden run of {workload} failed: {detail}")
             }
             InjectError::Checkpoint(e) => write!(f, "{e}"),
+            InjectError::Bundle(e) => write!(f, "{e}"),
             InjectError::BadConfig { detail } => write!(f, "bad campaign config: {detail}"),
         }
     }
@@ -207,6 +299,7 @@ impl std::error::Error for InjectError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             InjectError::Checkpoint(e) => Some(e),
+            InjectError::Bundle(e) => Some(e),
             _ => None,
         }
     }
@@ -215,6 +308,12 @@ impl std::error::Error for InjectError {
 impl From<CheckpointError> for InjectError {
     fn from(e: CheckpointError) -> Self {
         InjectError::Checkpoint(e)
+    }
+}
+
+impl From<BundleError> for InjectError {
+    fn from(e: BundleError) -> Self {
+        InjectError::Bundle(e)
     }
 }
 
@@ -374,5 +473,35 @@ mod tests {
         ] {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn bundle_errors_display_and_chain() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BundleError>();
+        for e in [
+            BundleError::Malformed { detail: "d".into() },
+            BundleError::VersionMismatch { found: 9, expected: 1 },
+            BundleError::FingerprintMismatch { expected: 1, found: 2 },
+            BundleError::GoldenMismatch { expected: 3, found: 4 },
+            BundleError::UnknownWorkload { name: "ghost".into() },
+            BundleError::SiteOutOfRange { detail: "wg 99".into() },
+            BundleError::Io { path: "/p".into(), detail: "gone".into() },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+        let inj: InjectError = BundleError::UnknownWorkload { name: "ghost".into() }.into();
+        assert!(inj.to_string().contains("ghost"));
+        assert!(std::error::Error::source(&inj).is_some());
+    }
+
+    #[test]
+    fn version_mismatch_messages_name_both_versions() {
+        // A researcher staring at a stale file needs to see the version they
+        // have AND the version this build wants, for both file formats.
+        let ck = CheckpointError::VersionMismatch { found: 1, expected: 2 };
+        assert!(ck.to_string().contains('1') && ck.to_string().contains('2'));
+        let bu = BundleError::VersionMismatch { found: 1, expected: 2 };
+        assert!(bu.to_string().contains('1') && bu.to_string().contains('2'));
     }
 }

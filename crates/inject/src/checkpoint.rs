@@ -335,6 +335,29 @@ mod tests {
     }
 
     #[test]
+    fn version_1_document_is_refused_with_both_versions_named() {
+        // A realistic version-1 checkpoint: no `mode_bits` field, budget
+        // still folded into the fingerprint, records present. Migration
+        // policy is refusal — v1 trial indices mean different faults — and
+        // the error text must tell the researcher both the version they
+        // have and the version this build expects.
+        let dir = std::env::temp_dir().join("mbavf-ckpt-migration");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("v1.json");
+        std::fs::write(
+            &path,
+            "{\n  \"version\": 1,\n  \"workload\": \"dct\",\n  \"config_hash\": 42,\n  \"records\": [\n    {\"trial\": 0, \"wg\": 1, \"after\": 17, \"reg\": 3, \"lane\": 9, \"bit\": 30, \"outcome\": \"sdc\", \"read\": true}\n  ]\n}\n",
+        )
+        .unwrap();
+        let err = load(&path).unwrap_err();
+        assert_eq!(err, CheckpointError::VersionMismatch { found: 1, expected: VERSION });
+        let text = err.to_string();
+        assert!(text.contains("version 1"), "must name the found version: {text}");
+        assert!(text.contains(&VERSION.to_string()), "must name the expected version: {text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn crash_reasons_with_hostile_characters_roundtrip() {
         let dir = std::env::temp_dir().join("mbavf-ckpt-escape");
         std::fs::create_dir_all(&dir).unwrap();

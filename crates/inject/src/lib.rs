@@ -12,22 +12,35 @@
 //! the union of its constituents' single-bit outcomes (e.g. two flips
 //! cancelling inside an XOR tree). The paper finds interference in 0.1% of
 //! groups, justifying estimating SDC MB-AVF from single-bit ACE analysis.
+//!
+//! The **failure triage layer** ([`bundle`], [`replay`], [`shrink`]) turns
+//! every visible error a campaign records into a one-command, bit-exact
+//! reproduction: campaigns emit self-contained repro bundles, replay
+//! re-executes a single bundled trial against a fingerprint-verified golden
+//! reference, and the shrinker minimizes multi-bit faults to the smallest
+//! window that still reproduces.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bundle;
 pub mod campaign;
 pub mod checkpoint;
 pub mod interference;
 pub mod json;
+pub mod replay;
 pub mod runner;
+pub mod shrink;
 
+pub use bundle::{Minimized, ReproBundle, BUNDLE_VERSION, DEFAULT_BUNDLE_CAP};
 pub use campaign::{
     single_bit_campaign, CampaignConfig, CampaignStats, CampaignSummary, FaultSite, Fractions,
     Outcome, OutcomeKind, SingleBitRecord,
 };
 pub use interference::{interference_study, try_interference_study, InterferenceRow};
-pub use mbavf_core::error::{CheckpointError, InjectError};
+pub use mbavf_core::error::{BundleError, CheckpointError, InjectError};
+pub use replay::{find_divergence, load_bundle, replay_bundle, Divergence, ReplayReport};
 pub use runner::{
     run_adaptive, run_campaign, AdaptiveConfig, AdaptiveReport, CampaignReport, RunnerConfig,
 };
+pub use shrink::{shrink_and_update, shrink_bundle, ShrinkOutcome};

@@ -42,11 +42,24 @@ pub struct RunnerConfig {
     /// this many *new* trials. `None` runs to completion. This is how tests
     /// and long campaigns simulate/schedule interruption without `kill -9`.
     pub stop_after: Option<usize>,
+    /// Directory to write repro bundles into (one self-contained JSON file
+    /// per interesting trial, capped per outcome kind). `None` disables
+    /// bundle emission.
+    pub repro_dir: Option<PathBuf>,
+    /// Per-outcome-kind cap on emitted repro bundles.
+    pub repro_cap: usize,
 }
 
 impl Default for RunnerConfig {
     fn default() -> Self {
-        Self { threads: 0, checkpoint: None, checkpoint_every: 64, stop_after: None }
+        Self {
+            threads: 0,
+            checkpoint: None,
+            checkpoint_every: 64,
+            stop_after: None,
+            repro_dir: None,
+            repro_cap: crate::bundle::DEFAULT_BUNDLE_CAP,
+        }
     }
 }
 
@@ -79,6 +92,10 @@ pub struct CampaignReport {
     /// Whether every trial in the budget is now complete. `false` only when
     /// [`RunnerConfig::stop_after`] cut the run short.
     pub complete: bool,
+    /// Repro bundles this campaign's records select (written or already on
+    /// disk), in trial order. Empty unless [`RunnerConfig::repro_dir`] is
+    /// set.
+    pub bundles: Vec<PathBuf>,
 }
 
 /// Shared worker state for one campaign execution.
@@ -127,16 +144,20 @@ fn load_or_quarantine(
     match checkpoint::load(path) {
         Ok(ck) => Ok(Some(ck)),
         Err(CheckpointError::Malformed { detail }) => {
-            let quarantine = quarantine_path(path);
-            std::fs::rename(path, &quarantine).map_err(|e| CheckpointError::Io {
-                path: path.display().to_string(),
-                detail: format!("quarantining corrupt checkpoint failed: {e}"),
-            })?;
-            eprintln!(
-                "warning: corrupt checkpoint at {} ({detail}); moved to {} and restarting campaign",
-                path.display(),
-                quarantine.display()
-            );
+            match quarantine_corrupt(path) {
+                Some(quarantine) => eprintln!(
+                    "warning: corrupt checkpoint at {} ({detail}); moved to {} and restarting campaign",
+                    path.display(),
+                    quarantine.display()
+                ),
+                // Quarantine failing (permissions, a vanished parent dir) is
+                // a warning, not an abort: the campaign restarts from zero
+                // and its next snapshot overwrites the corrupt file anyway.
+                None => eprintln!(
+                    "warning: corrupt checkpoint at {} ({detail}); quarantine failed, restarting campaign over it",
+                    path.display()
+                ),
+            }
             Ok(None)
         }
         Err(e) => Err(e),
@@ -148,6 +169,28 @@ pub fn quarantine_path(path: &std::path::Path) -> PathBuf {
     let mut name = path.as_os_str().to_os_string();
     name.push(".corrupt");
     PathBuf::from(name)
+}
+
+/// Move the corrupt file at `path` aside to the first free quarantine slot
+/// (`<path>.corrupt`, `<path>.corrupt.1`, `<path>.corrupt.2`, …), so an
+/// earlier quarantined file — evidence of a previous corruption — is never
+/// clobbered by a later one.
+///
+/// Returns the destination on success, `None` if the rename failed (the
+/// caller degrades to a warning).
+pub fn quarantine_corrupt(path: &std::path::Path) -> Option<PathBuf> {
+    let base = quarantine_path(path);
+    let mut dest = base.clone();
+    let mut n = 0u32;
+    // Bounded probe: a directory with 10k quarantined checkpoints is a
+    // deeper problem than one more clobbered file.
+    while dest.exists() && n < 10_000 {
+        n += 1;
+        let mut name = base.as_os_str().to_os_string();
+        name.push(format!(".{n}"));
+        dest = PathBuf::from(name);
+    }
+    std::fs::rename(path, &dest).ok().map(|()| dest)
 }
 
 /// Run (or resume) a single-bit campaign under the given execution config.
@@ -271,12 +314,30 @@ pub fn run_campaign(
         checkpoint::save(path, workload.name, fingerprint, cfg.mode_bits, &records)?;
     }
 
+    // Emit repro bundles for every visible error, in trial order. Records
+    // are thread-count- and resume-invariant and an interrupted run's
+    // records are a prefix of the full trial sequence, so the bundle set a
+    // completed campaign ends up with is a pure function of its config.
+    let mut bundles = Vec::new();
+    if let Some(dir) = &runner.repro_dir {
+        let writer = crate::bundle::BundleWriter {
+            dir,
+            workload: workload.name,
+            cfg,
+            fingerprint,
+            golden_digest: mbavf_core::rng::fnv1a(&golden.output),
+            cap: runner.repro_cap,
+        };
+        bundles = writer.write(&records, &|r| r.outcome.is_error())?;
+    }
+
     let newly_run = shared.completed.into_inner();
     Ok(CampaignReport {
         summary: CampaignSummary { workload: workload.name, records },
         resumed,
         newly_run,
         complete: newly_run == total_missing,
+        bundles,
     })
 }
 
@@ -469,6 +530,7 @@ mod tests {
             checkpoint: Some(path.clone()),
             checkpoint_every: 3,
             stop_after: Some(7),
+            ..RunnerConfig::default()
         };
         let first = run_campaign(&w, &cfg, &stop).unwrap();
         assert!(!first.complete);

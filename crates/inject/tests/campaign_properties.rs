@@ -57,6 +57,7 @@ fn resume_matches_uninterrupted_at_every_stop_point() {
                 checkpoint: Some(path.clone()),
                 checkpoint_every: 2,
                 stop_after: Some(stop),
+                ..RunnerConfig::default()
             },
         )
         .unwrap();
@@ -180,6 +181,7 @@ fn adaptive_resume_matches_uninterrupted() {
                     checkpoint: Some(path.clone()),
                     checkpoint_every: 4,
                     stop_after: Some(stop),
+                    ..RunnerConfig::default()
                 },
                 &adaptive,
             )

@@ -1,0 +1,190 @@
+//! Durability torture: checkpoint and repro-bundle loading must survive
+//! arbitrary on-disk damage — every possible truncation length and every
+//! single-byte corruption of a valid file — without panicking, and the
+//! campaign engine must quarantine damage and carry on.
+
+use mbavf_core::error::{BundleError, CheckpointError};
+use mbavf_inject::campaign::CampaignConfig;
+use mbavf_inject::runner::{quarantine_corrupt, quarantine_path};
+use mbavf_inject::{bundle, checkpoint, run_campaign, RunnerConfig};
+use mbavf_workloads::by_name;
+use std::path::{Path, PathBuf};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("mbavf-torture-{tag}"));
+    std::fs::remove_dir_all(&d).ok();
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Run a tiny campaign that emits both a checkpoint and repro bundles,
+/// returning (checkpoint path, bundle paths).
+fn seed_artifacts(dir: &Path) -> (PathBuf, Vec<PathBuf>) {
+    let w = by_name("fast_walsh").expect("registered");
+    let cfg = CampaignConfig { seed: 7, injections: 60, ..CampaignConfig::default() };
+    let ckpt = dir.join("camp.json");
+    let runner = RunnerConfig {
+        checkpoint: Some(ckpt.clone()),
+        repro_dir: Some(dir.join("repro")),
+        ..RunnerConfig::serial()
+    };
+    let report = run_campaign(&w, &cfg, &runner).unwrap();
+    assert!(!report.bundles.is_empty(), "seed campaign must emit at least one bundle");
+    (ckpt, report.bundles)
+}
+
+/// Every prefix truncation and every single-byte corruption of a valid
+/// checkpoint must load as `Ok` or a typed error — never a panic. The
+/// damaged loads are run under `catch_unwind` so a regression reports the
+/// offending byte rather than aborting the suite.
+#[test]
+fn checkpoint_load_never_panics_under_damage() {
+    let dir = tmpdir("ckpt");
+    let (ckpt, _) = seed_artifacts(&dir);
+    let intact = std::fs::read(&ckpt).unwrap();
+    assert!(checkpoint::load(&ckpt).is_ok());
+
+    let damaged = dir.join("damaged.json");
+    for cut in 0..intact.len() {
+        std::fs::write(&damaged, &intact[..cut]).unwrap();
+        let got = std::panic::catch_unwind(|| checkpoint::load(&damaged).map(drop));
+        match got {
+            Ok(_) => {}
+            Err(_) => panic!("checkpoint load panicked on truncation to {cut} bytes"),
+        }
+    }
+    for pos in 0..intact.len() {
+        let mut bytes = intact.clone();
+        bytes[pos] ^= 0x55;
+        std::fs::write(&damaged, &bytes).unwrap();
+        let got = std::panic::catch_unwind(|| checkpoint::load(&damaged).map(drop));
+        match got {
+            Ok(
+                Ok(_)
+                | Err(
+                    CheckpointError::Malformed { .. }
+                    | CheckpointError::VersionMismatch { .. }
+                    | CheckpointError::Io { .. },
+                ),
+            ) => {}
+            Ok(Err(other)) => panic!("unexpected error class at byte {pos}: {other}"),
+            Err(_) => panic!("checkpoint load panicked on corrupt byte {pos}"),
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The same torture applied to repro bundles: `bundle::load` must return
+/// `Ok` or a typed [`BundleError`] on every prefix and every flipped byte.
+#[test]
+fn bundle_load_never_panics_under_damage() {
+    let dir = tmpdir("bundle");
+    let (_, bundles) = seed_artifacts(&dir);
+    let intact = std::fs::read(&bundles[0]).unwrap();
+    assert!(bundle::load(&bundles[0]).is_ok());
+
+    let damaged = dir.join("damaged.repro.json");
+    for cut in 0..intact.len() {
+        std::fs::write(&damaged, &intact[..cut]).unwrap();
+        if std::panic::catch_unwind(|| bundle::load(&damaged).map(drop)).is_err() {
+            panic!("bundle load panicked on truncation to {cut} bytes");
+        }
+    }
+    for pos in 0..intact.len() {
+        let mut bytes = intact.clone();
+        bytes[pos] ^= 0x55;
+        std::fs::write(&damaged, &bytes).unwrap();
+        match std::panic::catch_unwind(|| bundle::load(&damaged).map(drop)) {
+            Ok(
+                Ok(())
+                | Err(
+                    BundleError::Malformed { .. }
+                    | BundleError::VersionMismatch { .. }
+                    | BundleError::SiteOutOfRange { .. }
+                    | BundleError::Io { .. },
+                ),
+            ) => {}
+            Ok(Err(other)) => panic!("unexpected error class at byte {pos}: {other}"),
+            Err(_) => panic!("bundle load panicked on corrupt byte {pos}"),
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Quarantine never clobbers earlier evidence: a second corruption of the
+/// same checkpoint moves to `.corrupt.1` while `.corrupt` keeps the first
+/// damaged file, and a vanished path degrades to `None` instead of failing.
+#[test]
+fn quarantine_preserves_every_corpse_and_degrades() {
+    let dir = tmpdir("quarantine");
+    let path = dir.join("camp.json");
+
+    std::fs::write(&path, b"first corpse").unwrap();
+    let q0 = quarantine_corrupt(&path).expect("first quarantine succeeds");
+    assert_eq!(q0, quarantine_path(&path));
+    assert_eq!(std::fs::read(&q0).unwrap(), b"first corpse");
+
+    std::fs::write(&path, b"second corpse").unwrap();
+    let q1 = quarantine_corrupt(&path).expect("second quarantine succeeds");
+    assert_ne!(q0, q1, "second quarantine must not clobber the first");
+    assert!(q1.to_string_lossy().ends_with(".corrupt.1"), "got {}", q1.display());
+    assert_eq!(std::fs::read(&q0).unwrap(), b"first corpse", "first corpse clobbered");
+    assert_eq!(std::fs::read(&q1).unwrap(), b"second corpse");
+
+    std::fs::write(&path, b"third corpse").unwrap();
+    let q2 = quarantine_corrupt(&path).expect("third quarantine succeeds");
+    assert!(q2.to_string_lossy().ends_with(".corrupt.2"), "got {}", q2.display());
+
+    // A path that cannot be renamed (already gone) degrades to None.
+    assert!(quarantine_corrupt(&dir.join("never-existed.json")).is_none());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Kill-and-resume loop with damage injected between rounds: whatever
+/// prefix the checkpoint holds, a resumed campaign ends with the exact
+/// record set of an uninterrupted run, and the bundle set matches too.
+#[test]
+fn kill_resume_with_mid_run_corruption_converges() {
+    let w = by_name("fast_walsh").expect("registered");
+    let cfg = CampaignConfig { seed: 7, injections: 24, ..CampaignConfig::default() };
+    let clean_dir = tmpdir("kr-clean");
+    let clean = run_campaign(
+        &w,
+        &cfg,
+        &RunnerConfig { repro_dir: Some(clean_dir.join("repro")), ..RunnerConfig::serial() },
+    )
+    .unwrap();
+
+    let dir = tmpdir("kr");
+    let ckpt = dir.join("camp.json");
+    let runner = |stop| RunnerConfig {
+        checkpoint: Some(ckpt.clone()),
+        checkpoint_every: 2,
+        stop_after: stop,
+        repro_dir: Some(dir.join("repro")),
+        ..RunnerConfig::serial()
+    };
+
+    // Kill after a few trials, then corrupt the tail of the checkpoint.
+    run_campaign(&w, &cfg, &runner(Some(5))).unwrap();
+    let bytes = std::fs::read(&ckpt).unwrap();
+    std::fs::write(&ckpt, &bytes[..bytes.len().saturating_sub(4)]).unwrap();
+
+    // Kill again mid-flight, then run to completion: the quarantine path
+    // plus per-trial determinism must still converge on the clean summary.
+    run_campaign(&w, &cfg, &runner(Some(9))).unwrap();
+    let finished = run_campaign(&w, &cfg, &runner(None)).unwrap();
+    assert!(finished.complete);
+    assert_eq!(finished.summary, clean.summary, "records diverged after corruption + resume");
+
+    // Record-for-record identity on disk, and identical bundle bytes.
+    let reloaded = checkpoint::load(&ckpt).unwrap();
+    assert_eq!(reloaded.records, clean.summary.records);
+    assert_eq!(finished.bundles.len(), clean.bundles.len());
+    for (a, b) in finished.bundles.iter().zip(&clean.bundles) {
+        assert_eq!(a.file_name(), b.file_name());
+        assert_eq!(std::fs::read(a).unwrap(), std::fs::read(b).unwrap(), "{}", a.display());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&clean_dir).ok();
+}

@@ -1,0 +1,156 @@
+//! End-to-end triage-layer guarantees: bundle emission is a pure function
+//! of the campaign config (any thread count, interrupted or not), every
+//! emitted bundle replays to its recorded outcome, and the shrinker is
+//! deterministic with a replay-verified result.
+
+use mbavf_inject::campaign::CampaignConfig;
+use mbavf_inject::replay::replay_site;
+use mbavf_inject::{
+    load_bundle, replay_bundle, run_campaign, shrink_and_update, shrink_bundle, RunnerConfig,
+};
+use mbavf_workloads::by_name;
+use std::path::{Path, PathBuf};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("mbavf-triage-{tag}"));
+    std::fs::remove_dir_all(&d).ok();
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn multi_bit_cfg() -> CampaignConfig {
+    CampaignConfig { seed: 7, injections: 60, mode_bits: 4, ..CampaignConfig::default() }
+}
+
+fn dir_listing(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| {
+            let e = e.unwrap();
+            (e.file_name().to_string_lossy().into_owned(), std::fs::read(e.path()).unwrap())
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+/// The bundle directory is byte-identical whether the campaign ran
+/// serially, on 4 threads, or was killed and resumed — the e2e determinism
+/// proof for the triage layer's ground truth.
+#[test]
+fn bundle_dirs_are_identical_across_threads_and_resume() {
+    let w = by_name("fast_walsh").expect("registered");
+    let cfg = multi_bit_cfg();
+
+    let serial_dir = tmpdir("serial");
+    let serial = run_campaign(
+        &w,
+        &cfg,
+        &RunnerConfig { repro_dir: Some(serial_dir.clone()), ..RunnerConfig::serial() },
+    )
+    .unwrap();
+    assert!(!serial.bundles.is_empty(), "campaign must emit bundles to compare");
+    let want = dir_listing(&serial_dir);
+
+    let par_dir = tmpdir("par");
+    run_campaign(
+        &w,
+        &cfg,
+        &RunnerConfig { threads: 4, repro_dir: Some(par_dir.clone()), ..RunnerConfig::default() },
+    )
+    .unwrap();
+    assert_eq!(dir_listing(&par_dir), want, "4-thread bundle dir diverged from serial");
+
+    // Kill after 13 trials, resume to completion on 2 threads.
+    let kr_dir = tmpdir("kr");
+    let ckpt = kr_dir.join("camp.json");
+    let runner = |threads, stop| RunnerConfig {
+        threads,
+        checkpoint: Some(ckpt.clone()),
+        checkpoint_every: 4,
+        stop_after: stop,
+        repro_dir: Some(kr_dir.join("repro")),
+        ..RunnerConfig::default()
+    };
+    run_campaign(&w, &cfg, &runner(1, Some(13))).unwrap();
+    let resumed = run_campaign(&w, &cfg, &runner(2, None)).unwrap();
+    assert!(resumed.complete);
+    assert_eq!(dir_listing(&kr_dir.join("repro")), want, "kill-and-resume bundle dir diverged");
+
+    for d in [serial_dir, par_dir, kr_dir] {
+        std::fs::remove_dir_all(&d).ok();
+    }
+}
+
+/// Every bundle a runner campaign emits replays to its recorded outcome
+/// kind — the round trip the whole layer exists for.
+#[test]
+fn runner_bundles_all_replay() {
+    let w = by_name("fast_walsh").expect("registered");
+    let dir = tmpdir("replay");
+    let report = run_campaign(
+        &w,
+        &multi_bit_cfg(),
+        &RunnerConfig { repro_dir: Some(dir.clone()), ..RunnerConfig::serial() },
+    )
+    .unwrap();
+    assert!(!report.bundles.is_empty());
+    for p in &report.bundles {
+        let b = load_bundle(p).unwrap_or_else(|e| panic!("{}: {e}", p.display()));
+        let r = replay_bundle(&b).unwrap_or_else(|e| panic!("{}: {e}", p.display()));
+        assert!(
+            r.reproduced,
+            "{}: recorded {} but replay observed {}",
+            p.display(),
+            b.outcome.kind().as_str(),
+            r.observed.kind().as_str()
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The shrinker is a deterministic function of the bundle, its result
+/// reproduces the recorded outcome kind under replay, and
+/// `shrink_and_update` persists it into the bundle's `minimized` section.
+#[test]
+fn shrinking_is_deterministic_and_replay_verified() {
+    let w = by_name("fast_walsh").expect("registered");
+    let dir = tmpdir("shrink");
+    let report = run_campaign(
+        &w,
+        &multi_bit_cfg(),
+        &RunnerConfig { repro_dir: Some(dir.clone()), ..RunnerConfig::serial() },
+    )
+    .unwrap();
+    assert!(!report.bundles.is_empty());
+
+    let mut improved_any = false;
+    for p in &report.bundles {
+        let b = load_bundle(p).unwrap();
+        let once = shrink_bundle(&b).unwrap_or_else(|e| panic!("{}: {e}", p.display()));
+        let twice = shrink_bundle(&b).unwrap();
+        assert_eq!(once, twice, "{}: shrinker is nondeterministic", p.display());
+        assert!(once.mode_bits <= b.mode_bits);
+        improved_any |= once.improved;
+
+        // The minimized fault must itself reproduce the recorded kind.
+        let r = replay_site(&b, once.site, once.mode_bits).unwrap();
+        assert!(
+            r.reproduced,
+            "{}: minimized {}-bit fault no longer reproduces {}",
+            p.display(),
+            once.mode_bits,
+            b.outcome.kind().as_str()
+        );
+
+        // And the write-back lands in the bundle file.
+        let written = shrink_and_update(p).unwrap();
+        assert_eq!(written, once, "{}: write-back shrank differently", p.display());
+        let reloaded = load_bundle(p).unwrap();
+        let min = reloaded.minimized.expect("minimized section written");
+        assert_eq!(min.site, once.site);
+        assert_eq!(min.mode_bits, once.mode_bits);
+    }
+    assert!(improved_any, "no 4-bit bundle shrank at all — the shrinker test has lost its teeth");
+    std::fs::remove_dir_all(&dir).ok();
+}

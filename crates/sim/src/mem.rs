@@ -7,6 +7,61 @@ use std::ops::Range;
 /// Sentinel "writer" id for bytes initialized by the host (kernel inputs).
 pub const HOST_WRITER: u32 = u32::MAX;
 
+/// Typed errors from the simulated memory's host-side fallible paths.
+///
+/// Device-side wild accesses during fault injection are handled by the
+/// `wrap_oob` policy or the crash-capture boundary; these variants exist so
+/// *host* code handling fault-corrupted addresses (replay, triage, result
+/// extraction) can fail gracefully instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// An allocation's end address overflows the 32-bit address space.
+    AllocOverflow {
+        /// Base address the allocation would start at.
+        at: u32,
+        /// Requested length in bytes.
+        len: u32,
+    },
+    /// An allocation does not fit in the remaining simulated memory.
+    MemoryExhausted {
+        /// End address the allocation would need.
+        needed: u64,
+        /// Total memory size in bytes.
+        size: u32,
+    },
+    /// A host access touches bytes outside the simulated memory.
+    OutOfBounds {
+        /// Base address of the access.
+        addr: u32,
+        /// Access length in bytes.
+        len: u32,
+        /// Total memory size in bytes.
+        size: u32,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::AllocOverflow { at, len } => {
+                write!(f, "allocation overflows address space: {len} bytes at {at:#x}")
+            }
+            SimError::MemoryExhausted { needed, size } => {
+                write!(f, "simulated memory exhausted: need {needed} bytes of {size}")
+            }
+            SimError::OutOfBounds { addr, len, size } => {
+                write!(
+                    f,
+                    "host access out of bounds: {len} bytes at {addr:#x} in {size}-byte memory"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
 /// Byte-addressed simulated memory.
 ///
 /// The host allocates buffers, fills inputs, marks output ranges (the ranges
@@ -87,15 +142,33 @@ impl Memory {
 
     /// Allocate `len` bytes aligned to 64 (a cache line).
     ///
+    /// Returns a typed error when the allocation overflows the address space
+    /// or exhausts the simulated memory, so host code sizing buffers from
+    /// possibly-corrupted values never panics.
+    pub fn try_alloc(&mut self, len: u32) -> Result<u32, SimError> {
+        let addr = self.next_alloc;
+        let end = addr.checked_add(len).ok_or(SimError::AllocOverflow { at: addr, len })?;
+        if end as usize > self.data.len() {
+            return Err(SimError::MemoryExhausted {
+                needed: u64::from(end),
+                size: self.data.len() as u32,
+            });
+        }
+        // Aligning the *next* allocation up can itself overflow when `end`
+        // sits in the last line of the address space; saturate so the next
+        // try_alloc reports exhaustion instead of wrapping to low addresses.
+        self.next_alloc = end.checked_add(63).map_or(u32::MAX, |e| e & !63);
+        Ok(addr)
+    }
+
+    /// Allocate `len` bytes aligned to 64 (a cache line).
+    ///
     /// # Panics
     ///
-    /// Panics if memory is exhausted.
+    /// Panics if memory is exhausted; see [`Memory::try_alloc`] for the
+    /// fallible equivalent.
     pub fn alloc(&mut self, len: u32) -> u32 {
-        let addr = self.next_alloc;
-        let end = addr.checked_add(len).expect("allocation overflows address space");
-        assert!(end as usize <= self.data.len(), "simulated memory exhausted");
-        self.next_alloc = (end + 63) & !63;
-        addr
+        self.try_alloc(len).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Allocate and fill a buffer of u32 words; returns its base address.
@@ -115,7 +188,10 @@ impl Memory {
 
     /// Allocate a zero-filled buffer of `words` u32 entries.
     pub fn alloc_zeroed(&mut self, words: u32) -> u32 {
-        self.alloc(words * 4)
+        let len = words.checked_mul(4).unwrap_or_else(|| {
+            panic!("{}", SimError::AllocOverflow { at: self.next_alloc, len: u32::MAX })
+        });
+        self.alloc(len)
     }
 
     /// Mark `[addr, addr+len)` as architectural output: the final contents of
@@ -128,6 +204,12 @@ impl Memory {
     /// The declared output ranges.
     pub fn outputs(&self) -> &[Range<u32>] {
         &self.outputs
+    }
+
+    /// The entire memory contents, for lockstep state comparison between a
+    /// golden and a faulty execution (divergence tracing).
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
     }
 
     /// Concatenated bytes of all output ranges, for golden-output comparison
@@ -155,9 +237,27 @@ impl Memory {
     }
 
     /// Host read of a u32.
-    pub fn read_u32(&self, addr: u32) -> u32 {
+    ///
+    /// Returns a typed error instead of panicking when the four bytes are not
+    /// all inside the simulated memory — the host-side path for addresses
+    /// that may have been corrupted by an injected fault.
+    pub fn try_read_u32(&self, addr: u32) -> Result<u32, SimError> {
         let a = addr as usize;
-        u32::from_le_bytes(self.data[a..a + 4].try_into().expect("4 bytes"))
+        let bytes = a
+            .checked_add(4)
+            .and_then(|end| self.data.get(a..end))
+            .ok_or(SimError::OutOfBounds { addr, len: 4, size: self.data.len() as u32 })?;
+        Ok(u32::from_le_bytes(bytes.try_into().expect("4-byte slice")))
+    }
+
+    /// Host read of a u32.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds access; see [`Memory::try_read_u32`] for the
+    /// fallible equivalent.
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        self.try_read_u32(addr).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Host read of an f32.
@@ -238,6 +338,42 @@ mod tests {
     fn alloc_overflow_panics() {
         let mut m = Memory::new(128);
         m.alloc(256);
+    }
+
+    #[test]
+    fn try_alloc_returns_typed_errors() {
+        let mut m = Memory::new(128);
+        assert_eq!(
+            m.try_alloc(256),
+            Err(SimError::MemoryExhausted { needed: 64 + 256, size: 128 })
+        );
+        // The failed allocation must not move the cursor.
+        assert_eq!(m.try_alloc(32), Ok(64));
+        let mut m = Memory::new(256);
+        let base = m.try_alloc(0).unwrap();
+        assert_eq!(m.try_alloc(u32::MAX), Err(SimError::AllocOverflow { at: base, len: u32::MAX }));
+    }
+
+    #[test]
+    fn try_read_u32_returns_typed_errors() {
+        let mut m = Memory::new(128);
+        let a = m.alloc(8);
+        m.write_u32_host(a, 0xDEADBEEF);
+        assert_eq!(m.try_read_u32(a), Ok(0xDEADBEEF));
+        // Straddling the end and numeric overflow of addr+4 both fail typed.
+        assert_eq!(
+            m.try_read_u32(126),
+            Err(SimError::OutOfBounds { addr: 126, len: 4, size: 128 })
+        );
+        assert_eq!(
+            m.try_read_u32(u32::MAX - 1),
+            Err(SimError::OutOfBounds { addr: u32::MAX - 1, len: 4, size: 128 })
+        );
+        // The panicking wrapper keeps its documented message substring.
+        let err = SimError::OutOfBounds { addr: 126, len: 4, size: 128 };
+        assert!(err.to_string().contains("out of bounds"));
+        let ex = SimError::MemoryExhausted { needed: 320, size: 128 };
+        assert!(ex.to_string().contains("exhausted"));
     }
 
     #[test]
