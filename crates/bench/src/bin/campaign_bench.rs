@@ -1,0 +1,207 @@
+//! Campaign hot-path microbenchmark: clone-per-trial vs. reusable arena.
+//!
+//! Measures the same pre-sampled fault sites through both trial paths —
+//! the historical [`run_one`] (fresh `Workload::build` per trial, a full
+//! memory image allocated and dropped every time) and the arena path
+//! (one [`TrialArena`] reset between trials via dirty-page tracking) —
+//! and emits a machine-readable `BENCH_campaign.json`:
+//!
+//! ```json
+//! {
+//!   "workload": "fast_walsh",
+//!   "trials": 300,
+//!   "baseline": {"trials_per_sec": ..., "allocs_per_trial": ...},
+//!   "arena":    {"trials_per_sec": ..., "allocs_per_trial": ...},
+//!   "speedup": ...
+//! }
+//! ```
+//!
+//! Every trial's verdict is cross-checked between the two paths; any
+//! disagreement is a hard failure (the arena must be an optimization, not
+//! a reinterpretation). `--min-speedup X` turns the speedup into a gate
+//! for CI.
+//!
+//! ```text
+//! campaign_bench [--workload NAME] [--trials N] [--out FILE] [--min-speedup X]
+//! ```
+
+use mbavf_inject::campaign::{run_one, CampaignConfig, OutcomeKind, SiteSampler};
+use mbavf_sim::interp::{run_golden, InterpError, Termination};
+use mbavf_sim::TrialArena;
+use mbavf_workloads::by_name;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// System allocator wrapped with an allocation counter, so the benchmark
+/// can report *allocations per trial* — the quantity the arena exists to
+/// eliminate — not just wall-clock.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const USAGE: &str =
+    "usage: campaign_bench [--workload NAME] [--trials N] [--out FILE] [--min-speedup X]";
+
+struct PathStats {
+    trials_per_sec: f64,
+    allocs_per_trial: f64,
+}
+
+fn measure(trials: usize, mut trial: impl FnMut(usize)) -> PathStats {
+    trial(0); // warm-up: fault the lazy setup out of the measured region
+    let alloc0 = ALLOCS.load(Ordering::Relaxed);
+    let t0 = Instant::now();
+    for t in 0..trials {
+        trial(t);
+    }
+    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+    let allocs = ALLOCS.load(Ordering::Relaxed) - alloc0;
+    PathStats {
+        trials_per_sec: trials as f64 / secs,
+        allocs_per_trial: allocs as f64 / trials as f64,
+    }
+}
+
+fn main() -> ExitCode {
+    let mut workload = "fast_walsh".to_string();
+    let mut trials = 300usize;
+    let mut out = "BENCH_campaign.json".to_string();
+    let mut min_speedup: Option<f64> = None;
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].clone();
+        let mut value = || {
+            i += 1;
+            argv.get(i).cloned().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        let parsed = match flag.as_str() {
+            "--workload" => value().map(|v| workload = v),
+            "--trials" => value()
+                .and_then(|v| v.parse().map(|n| trials = n).map_err(|e| format!("--trials: {e}"))),
+            "--out" => value().map(|v| out = v),
+            "--min-speedup" => value().and_then(|v| {
+                v.parse().map(|x| min_speedup = Some(x)).map_err(|e| format!("--min-speedup: {e}"))
+            }),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown argument {other}\n{USAGE}")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+        i += 1;
+    }
+    if trials == 0 {
+        eprintln!("--trials must be positive");
+        return ExitCode::FAILURE;
+    }
+
+    let Some(w) = by_name(&workload) else {
+        eprintln!("unknown workload {workload}");
+        return ExitCode::FAILURE;
+    };
+    let cfg = CampaignConfig { seed: 0xBE9C, injections: trials, ..CampaignConfig::default() };
+
+    // Golden reference + sampler, set up exactly as a campaign would.
+    let mut inst = w.build(cfg.scale);
+    let program = inst.program.clone();
+    let wgs = inst.workgroups;
+    let golden = run_golden(&program, &mut inst.mem, wgs);
+    let max_steps = golden.per_wg_retired.iter().copied().max().unwrap_or(1) * cfg.hang_factor;
+    let sampler = match SiteSampler::new(&golden.per_wg_retired, program.num_vregs()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{workload}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let sites: Vec<_> = (0..trials as u64).map(|t| sampler.sample(cfg.seed, t)).collect();
+
+    // Both paths classify the identical site list; verdicts must agree.
+    let mut base_verdicts: Vec<(OutcomeKind, bool)> = Vec::with_capacity(trials + 1);
+    let base = measure(trials, |t| {
+        let (outcome, read) = run_one(&w, &cfg, &golden.output, max_steps, sites[t], 1);
+        base_verdicts.push((outcome.kind(), read));
+    });
+
+    let fresh = w.build(cfg.scale);
+    let mut arena = TrialArena::new(fresh.program, fresh.mem, fresh.workgroups, cfg.wrap_oob);
+    let mut arena_verdicts: Vec<(OutcomeKind, bool)> = Vec::with_capacity(trials + 1);
+    let arena_stats = measure(trials, |t| {
+        let verdict = match arena.run_trial(sites[t].injection(1), max_steps, &golden.output) {
+            Ok(run) => {
+                let kind = if run.termination == Termination::Hang {
+                    OutcomeKind::Hang
+                } else if run.output_matches {
+                    OutcomeKind::Masked
+                } else {
+                    OutcomeKind::Sdc
+                };
+                (kind, run.injected_value_read)
+            }
+            Err(InterpError::Crash { .. }) => (OutcomeKind::Crash, false),
+            Err(e) => panic!("arena refused a sampled site: {e}"),
+        };
+        arena_verdicts.push(verdict);
+    });
+
+    // Drop the warm-up entries, then insist on bit-identical verdicts.
+    for (t, (b, a)) in base_verdicts[1..].iter().zip(&arena_verdicts[1..]).enumerate() {
+        if b != a {
+            eprintln!("trial {t}: baseline {b:?} but arena {a:?} — the paths diverged");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let speedup = arena_stats.trials_per_sec / base.trials_per_sec.max(1e-9);
+    let doc = format!(
+        "{{\n  \"workload\": \"{workload}\",\n  \"trials\": {trials},\n  \
+         \"baseline\": {{\"trials_per_sec\": {:.1}, \"allocs_per_trial\": {:.2}}},\n  \
+         \"arena\": {{\"trials_per_sec\": {:.1}, \"allocs_per_trial\": {:.2}}},\n  \
+         \"speedup\": {speedup:.2}\n}}\n",
+        base.trials_per_sec,
+        base.allocs_per_trial,
+        arena_stats.trials_per_sec,
+        arena_stats.allocs_per_trial,
+    );
+    print!("{doc}");
+    if let Err(e) = std::fs::write(&out, &doc) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out}");
+
+    if let Some(min) = min_speedup {
+        if speedup < min {
+            eprintln!("speedup {speedup:.2}x below required {min:.2}x");
+            return ExitCode::from(2);
+        }
+    }
+    ExitCode::SUCCESS
+}

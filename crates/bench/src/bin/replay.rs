@@ -20,7 +20,7 @@
 //! | 0 | every bundle's recorded outcome reproduced |
 //! | 1 | usage error, unreadable/malformed bundle, or replay harness error |
 //! | 2 | at least one bundle did not reproduce |
-//! | 3 | fingerprint or golden-digest mismatch (bundle from another build/config) |
+//! | 3 | fingerprint, golden-digest, or sampler mismatch (bundle from another build/config, or recorded under the retired v1 fault-site sampler) |
 //!
 //! When several problems occur across bundles the most severe code wins:
 //! 1 over 3 over 2.
@@ -32,7 +32,8 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage: replay [--trace] [--shrink] BUNDLE.repro.json [BUNDLE...]\n\
     exit codes: 0 = all reproduced, 1 = load/harness error,\n\
-    \u{20}           2 = outcome did not reproduce, 3 = fingerprint/golden mismatch";
+    \u{20}           2 = outcome did not reproduce,\n\
+    \u{20}           3 = fingerprint/golden/sampler mismatch";
 
 /// What one bundle's replay amounted to, ranked by severity.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -47,7 +48,9 @@ fn mismatch(e: &InjectError) -> bool {
     matches!(
         e,
         InjectError::Bundle(
-            BundleError::FingerprintMismatch { .. } | BundleError::GoldenMismatch { .. }
+            BundleError::FingerprintMismatch { .. }
+                | BundleError::GoldenMismatch { .. }
+                | BundleError::SamplerMismatch { .. }
         )
     )
 }
@@ -56,6 +59,14 @@ fn replay_one(path: &Path, trace: bool, shrink: bool) -> Status {
     let name = path.display();
     let bundle = match load_bundle(path) {
         Ok(b) => b,
+        // A sampler mismatch at load time is provenance, not damage: the
+        // file is a well-formed bundle from a build whose sampler maps the
+        // recorded trial to a different fault, so it ranks with the
+        // fingerprint/golden gates (exit 3), not with unreadable files.
+        Err(e @ BundleError::SamplerMismatch { .. }) => {
+            eprintln!("{name}: {e}");
+            return Status::Mismatch;
+        }
         Err(e) => {
             eprintln!("{name}: {e}");
             return Status::HarnessError;

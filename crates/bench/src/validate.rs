@@ -180,6 +180,9 @@ pub struct WorkloadVerdict {
     pub checked: CheckedRate,
     /// One row per fault mode.
     pub modes: Vec<ModeRow>,
+    /// Repro bundles written for this workload's confirmed divergences
+    /// (empty when nothing diverged or no `repro_dir` was configured).
+    pub bundles: Vec<PathBuf>,
 }
 
 impl WorkloadVerdict {
@@ -334,6 +337,13 @@ impl ValidationReport {
                 rate(&mut out, &m.error);
                 let _ = write!(out, ",\"verdict\":\"{}\"}}", m.verdict.as_str());
             }
+            out.push_str("],\"bundles\":[");
+            for (j, p) in r.bundles.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                mbavf_inject::json::write_str(&mut out, &p.display().to_string());
+            }
             out.push_str("]}");
         }
         out.push_str("],\"skipped\":[");
@@ -435,7 +445,7 @@ fn emit_bundles(
     campaign: &CampaignConfig,
     records: &[SingleBitRecord],
     keep: &dyn Fn(&SingleBitRecord) -> bool,
-) {
+) -> Vec<PathBuf> {
     match mbavf_inject::bundle::write_campaign_bundles(
         dir,
         w,
@@ -444,16 +454,21 @@ fn emit_bundles(
         DEFAULT_BUNDLE_CAP,
         keep,
     ) {
-        Ok(paths) if !paths.is_empty() => eprintln!(
-            "validate: wrote {} repro bundle(s) for {} ({}x1) to {}",
-            paths.len(),
-            w.name,
-            campaign.mode_bits,
-            dir.display()
-        ),
-        Ok(_) => {}
+        Ok(paths) => {
+            if !paths.is_empty() {
+                eprintln!(
+                    "validate: wrote {} repro bundle(s) for {} ({}x1) to {}",
+                    paths.len(),
+                    w.name,
+                    campaign.mode_bits,
+                    dir.display()
+                );
+            }
+            paths
+        }
         Err(e) => {
             eprintln!("warning: could not write repro bundles to {}: {e}", dir.display());
+            Vec::new()
         }
     }
 }
@@ -520,6 +535,7 @@ pub fn validate_workload(
 
     let mut checked = None;
     let mut modes = Vec::with_capacity(cfg.modes.len());
+    let mut bundles: Vec<PathBuf> = Vec::new();
     for &m in &cfg.modes {
         let campaign = CampaignConfig {
             seed: cfg.seed,
@@ -535,9 +551,13 @@ pub fn validate_workload(
             let c = checked_rate(&prof, &report.summary, cfg.confidence);
             if let Some(dir) = cfg.repro_dir.as_deref() {
                 if c.site_mismatches > 0 {
-                    emit_bundles(dir, w, &campaign, &report.summary.records, &|r| {
-                        site_mismatch(&prof, r)
-                    });
+                    bundles.extend(emit_bundles(
+                        dir,
+                        w,
+                        &campaign,
+                        &report.summary.records,
+                        &|r| site_mismatch(&prof, r),
+                    ));
                 }
             }
             checked = Some(c);
@@ -547,7 +567,9 @@ pub fn validate_workload(
             band_verdict(model_sdc, &stats.error, cfg.tolerance, cfg.min_trials_to_confirm);
         if let Some(dir) = cfg.repro_dir.as_deref() {
             if verdict.is_failure() {
-                emit_bundles(dir, w, &campaign, &report.summary.records, &|r| r.outcome.is_error());
+                bundles.extend(emit_bundles(dir, w, &campaign, &report.summary.records, &|r| {
+                    r.outcome.is_error()
+                }));
             }
         }
         modes.push(ModeRow {
@@ -576,15 +598,23 @@ pub fn validate_workload(
             let c = checked_rate(&prof, &report.summary, cfg.confidence);
             if let Some(dir) = cfg.repro_dir.as_deref() {
                 if c.site_mismatches > 0 {
-                    emit_bundles(dir, w, &campaign, &report.summary.records, &|r| {
-                        site_mismatch(&prof, r)
-                    });
+                    bundles.extend(emit_bundles(
+                        dir,
+                        w,
+                        &campaign,
+                        &report.summary.records,
+                        &|r| site_mismatch(&prof, r),
+                    ));
                 }
             }
             c
         }
     };
-    Ok(WorkloadVerdict { workload: w.name, checked, modes })
+    // The writer dedups per (kind, trial) across calls, so the same path
+    // can come back from several mode campaigns; report each file once.
+    bundles.sort();
+    bundles.dedup();
+    Ok(WorkloadVerdict { workload: w.name, checked, modes, bundles })
 }
 
 /// Run the gate over several workloads, degrading gracefully: a workload
@@ -690,6 +720,46 @@ mod tests {
     }
 
     #[test]
+    fn confirmed_divergence_lists_bundle_paths_in_json() {
+        let dir = std::env::temp_dir().join("mbavf-validate-bundles");
+        std::fs::remove_dir_all(&dir).ok();
+        // A degenerate tolerance band (`[model * 1e300, ~0]`) that no
+        // interval can intersect forces every mode to a confirmed
+        // divergence, deterministically, without needing a real model bug.
+        let cfg = ValidateConfig {
+            tolerance: 1e-300,
+            min_trials_to_confirm: 1,
+            repro_dir: Some(dir.clone()),
+            ..quick_cfg()
+        };
+        let w = by_name("fast_walsh").expect("registered");
+        let v = validate_workload(&w, &cfg).unwrap_or_else(|e| panic!("{e}"));
+        assert!(v.worst().is_failure(), "degenerate band must confirm a divergence");
+        assert!(!v.bundles.is_empty(), "confirmed divergence must write repro bundles");
+        let mut sorted = v.bundles.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(v.bundles, sorted, "bundle paths must be sorted and deduped");
+        for p in &v.bundles {
+            assert!(p.is_file(), "listed bundle missing on disk: {}", p.display());
+        }
+
+        let report = ValidationReport {
+            rows: vec![v.clone()],
+            skipped: Vec::new(),
+            confidence: cfg.confidence,
+            tolerance: cfg.tolerance,
+        };
+        let json = mbavf_inject::json::parse(&report.to_json()).expect("valid JSON");
+        let rows = json.get("workloads").and_then(|val| val.as_arr()).unwrap();
+        let listed = rows[0].get("bundles").and_then(|val| val.as_arr()).unwrap();
+        let listed: Vec<&str> = listed.iter().filter_map(|val| val.as_str()).collect();
+        let expect: Vec<String> = v.bundles.iter().map(|p| p.display().to_string()).collect();
+        assert_eq!(listed, expect, "--json must list every divergence bundle path");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn report_serializes_and_degrades() {
         let report = validate_suite(&[by_name("dct").unwrap(), nondet_drill()], &quick_cfg());
         assert_eq!(report.rows.len(), 1, "the drill must be skipped, not validated");
@@ -709,6 +779,9 @@ mod tests {
         let modes = rows[0].get("modes").and_then(|v| v.as_arr()).unwrap();
         assert_eq!(modes.len(), 2);
         assert!(modes[0].get("sdc").and_then(|v| v.get("lo")).is_some());
+        // A healthy workload with no repro_dir still carries the (empty)
+        // bundle list so consumers can rely on the key being present.
+        assert_eq!(rows[0].get("bundles").and_then(|v| v.as_arr()).map(<[_]>::len), Some(0));
         assert_eq!(json.get("skipped").and_then(|v| v.as_arr()).map(<[_]>::len), Some(1));
     }
 }

@@ -1,0 +1,89 @@
+//! Exit-code contract of the `replay` binary, exercised end to end.
+//!
+//! The codes are part of the CI interface (scripts branch on them), so
+//! they are pinned here against real process invocations:
+//!
+//! * 0 — a valid bundle reproduces (driven with the checked-in
+//!   conformance fixture);
+//! * 3 — a bundle recorded under the retired v1 fault-site sampler is
+//!   refused before any execution: under the v2 sampler the recorded
+//!   trial would map to a different fault, so "replaying" it would
+//!   silently verify the wrong thing;
+//! * 1 — an unreadable path is a harness error, distinct from both.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../inject/tests/fixtures/conformance.repro.json")
+}
+
+fn replay(paths: &[&Path]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_replay"))
+        .args(paths)
+        .output()
+        .expect("replay binary must spawn")
+}
+
+#[test]
+fn valid_bundle_exits_zero() {
+    let out = replay(&[&fixture()]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("1/1 bundle(s) reproduced"), "stdout: {stdout}");
+}
+
+#[test]
+fn v1_sampled_bundle_is_refused_with_exit_code_3() {
+    let dir = std::env::temp_dir().join("mbavf-replay-cli-v1");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    // A version-1 bundle is the current fixture minus the sampler stamp:
+    // same schema otherwise, but its trial was drawn by the v1 scheme.
+    let v1 = std::fs::read_to_string(fixture())
+        .unwrap()
+        .replace("\"version\": 2,\n  \"sampler\": \"v2\",", "\"version\": 1,");
+    let path = dir.join("old.repro.json");
+    std::fs::write(&path, v1).unwrap();
+
+    let out = replay(&[&path]);
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "v1 bundles must exit 3 (mismatch), stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("sampled by") && stderr.contains("v1"),
+        "refusal must name the sampler mismatch: {stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unreadable_bundle_is_a_harness_error_not_a_mismatch() {
+    let out = replay(&[Path::new("/nonexistent/nope.repro.json")]);
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn worst_status_wins_across_bundles() {
+    let dir = std::env::temp_dir().join("mbavf-replay-cli-worst");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let v1 = std::fs::read_to_string(fixture())
+        .unwrap()
+        .replace("\"version\": 2,\n  \"sampler\": \"v2\",", "\"version\": 1,");
+    let old = dir.join("old.repro.json");
+    std::fs::write(&old, v1).unwrap();
+
+    // Good bundle + v1 bundle: the mismatch dominates the success.
+    let good = fixture();
+    let out = replay(&[&good, &old]);
+    assert_eq!(out.status.code(), Some(3));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("1/2 bundle(s) reproduced"), "stdout: {stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}

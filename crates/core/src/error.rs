@@ -215,6 +215,15 @@ pub enum BundleError {
         /// Human-readable explanation of which coordinate is out of range.
         detail: String,
     },
+    /// The bundle's trial was drawn by an incompatible fault-site sampler,
+    /// so its `(seed, trial)` pair maps to a *different site* under this
+    /// build. Replaying it would silently test the wrong fault.
+    SamplerMismatch {
+        /// Sampler identifier recorded in (or implied by) the file.
+        found: String,
+        /// Sampler identifier this build uses.
+        expected: String,
+    },
     /// The file could not be read or written.
     Io {
         /// Path involved.
@@ -247,6 +256,10 @@ impl fmt::Display for BundleError {
             BundleError::SiteOutOfRange { detail } => {
                 write!(f, "repro bundle fault site out of range: {detail}")
             }
+            BundleError::SamplerMismatch { found, expected } => write!(
+                f,
+                "repro bundle sampled by {found}, this build samples with {expected}; the recorded trial maps to a different fault site — refusing to replay"
+            ),
             BundleError::Io { path, detail } => {
                 write!(f, "repro bundle I/O on {path}: {detail}")
             }
@@ -280,6 +293,13 @@ pub enum InjectError {
         /// Human-readable explanation.
         detail: String,
     },
+    /// The golden run retired no instructions in any wavefront, so there is
+    /// no residency to sample fault sites from (an empty or degenerate
+    /// workload, not a campaign failure worth panicking over).
+    EmptySampleSpace {
+        /// Human-readable explanation (workload / retirement shape).
+        detail: String,
+    },
 }
 
 impl fmt::Display for InjectError {
@@ -291,6 +311,9 @@ impl fmt::Display for InjectError {
             InjectError::Checkpoint(e) => write!(f, "{e}"),
             InjectError::Bundle(e) => write!(f, "{e}"),
             InjectError::BadConfig { detail } => write!(f, "bad campaign config: {detail}"),
+            InjectError::EmptySampleSpace { detail } => {
+                write!(f, "no retired instructions to sample fault sites from: {detail}")
+            }
         }
     }
 }
@@ -486,10 +509,16 @@ mod tests {
             BundleError::GoldenMismatch { expected: 3, found: 4 },
             BundleError::UnknownWorkload { name: "ghost".into() },
             BundleError::SiteOutOfRange { detail: "wg 99".into() },
+            BundleError::SamplerMismatch { found: "v1".into(), expected: "v2".into() },
             BundleError::Io { path: "/p".into(), detail: "gone".into() },
         ] {
             assert!(!e.to_string().is_empty());
         }
+        let sm = BundleError::SamplerMismatch { found: "v1".into(), expected: "v2".into() };
+        assert!(sm.to_string().contains("v1") && sm.to_string().contains("v2"));
+        assert!(InjectError::EmptySampleSpace { detail: "all-zero retirement".into() }
+            .to_string()
+            .contains("all-zero retirement"));
         let inj: InjectError = BundleError::UnknownWorkload { name: "ghost".into() }.into();
         assert!(inj.to_string().contains("ghost"));
         assert!(std::error::Error::source(&inj).is_some());

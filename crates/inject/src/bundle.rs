@@ -1,11 +1,12 @@
 //! Self-contained repro bundles: one file per interesting trial, holding
 //! everything needed to re-execute that single fault deterministically.
 //!
-//! ## File format (version 1)
+//! ## File format (version 2)
 //!
 //! ```json
 //! {
-//!   "version": 1,
+//!   "version": 2,
+//!   "sampler": "v2",
 //!   "workload": "fast_walsh",
 //!   "config_fingerprint": 1234567890123456789,
 //!   "seed": 44357,
@@ -23,10 +24,15 @@
 //! }
 //! ```
 //!
-//! The `config_fingerprint` is the same campaign fingerprint checkpoints
-//! carry; replay recomputes it from the bundle's own embedded configuration
-//! and refuses a mismatch, so any corruption of a classification-relevant
-//! field is caught before a single instruction executes. `golden_digest` is
+//! The `sampler` field records which fault-site sampling scheme drew the
+//! bundle's trial ([`SAMPLER_ID`]); replay refuses any other value — and
+//! refuses format-version-1 files outright, whose trials were drawn by the
+//! retired per-workgroup-uniform v1 scheme and therefore name different
+//! faults under this build. The `config_fingerprint` is the same campaign
+//! fingerprint checkpoints carry; replay recomputes it from the bundle's
+//! own embedded configuration and refuses a mismatch, so any corruption of
+//! a classification-relevant field is caught before a single instruction
+//! executes. `golden_digest` is
 //! the FNV-1a digest of the golden output the outcome was classified
 //! against; replay re-derives it and refuses drift. The optional
 //! `minimized` section is written back by the shrinker
@@ -39,7 +45,7 @@
 //! of thread count and of any interrupt/resume schedule.
 
 use crate::campaign::{
-    golden_shape, CampaignConfig, FaultSite, Outcome, OutcomeKind, SingleBitRecord,
+    golden_shape, CampaignConfig, FaultSite, Outcome, OutcomeKind, SingleBitRecord, SAMPLER_ID,
 };
 use crate::checkpoint::config_fingerprint;
 use crate::json::{self, Value};
@@ -51,7 +57,12 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 /// The repro-bundle format version this build reads and writes.
-pub const BUNDLE_VERSION: u64 = 1;
+///
+/// Version 2 added the `sampler` field alongside the switch to the
+/// residency-weighted fault-site sampler; version-1 bundles are refused
+/// with [`BundleError::SamplerMismatch`] because their trials were drawn by
+/// the retired v1 scheme.
+pub const BUNDLE_VERSION: u64 = 2;
 
 /// Default per-outcome-kind cap on bundles emitted by one campaign.
 pub const DEFAULT_BUNDLE_CAP: usize = 8;
@@ -139,7 +150,10 @@ fn render_site(out: &mut String, site: &FaultSite) {
 /// Serialize a bundle document.
 pub fn render(b: &ReproBundle) -> String {
     let mut out = String::with_capacity(512);
-    let _ = write!(out, "{{\n  \"version\": {BUNDLE_VERSION},\n  \"workload\": ");
+    let _ = write!(
+        out,
+        "{{\n  \"version\": {BUNDLE_VERSION},\n  \"sampler\": \"{SAMPLER_ID}\",\n  \"workload\": "
+    );
     json::write_str(&mut out, &b.workload);
     let _ = write!(
         out,
@@ -224,8 +238,27 @@ pub fn load(path: &Path) -> Result<ReproBundle, BundleError> {
     let doc = json::parse(&text).map_err(|detail| BundleError::Malformed { detail })?;
 
     let version = field_u64(&doc, "version")?;
+    if version == 1 {
+        // Format version 1 predates the sampler field; its trials were
+        // drawn by the per-workgroup-uniform v1 scheme, so under this build
+        // the recorded (seed, trial) names a different fault entirely.
+        return Err(BundleError::SamplerMismatch {
+            found: "v1 (implied by bundle format version 1)".into(),
+            expected: SAMPLER_ID.into(),
+        });
+    }
     if version != BUNDLE_VERSION {
         return Err(BundleError::VersionMismatch { found: version, expected: BUNDLE_VERSION });
+    }
+    let sampler = doc
+        .get("sampler")
+        .and_then(Value::as_str)
+        .ok_or_else(|| BundleError::Malformed { detail: "missing \"sampler\"".into() })?;
+    if sampler != SAMPLER_ID {
+        return Err(BundleError::SamplerMismatch {
+            found: sampler.to_string(),
+            expected: SAMPLER_ID.into(),
+        });
     }
     let workload = doc
         .get("workload")
@@ -483,6 +516,38 @@ mod tests {
         std::fs::write(&path, doc).unwrap();
         assert!(matches!(load(&path), Err(BundleError::Malformed { .. })));
         assert!(matches!(load(&dir.join("absent.json")), Err(BundleError::Io { .. })));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sampler_provenance_is_enforced() {
+        let dir = tmp_dir("mbavf-bundle-sampler");
+        let path = dir.join("b.repro.json");
+        // Format-version-1 files predate the sampler field; the refusal is a
+        // SamplerMismatch, not a generic version error, because the recorded
+        // trial maps to a different fault under the v2 sampler.
+        let v1 = render(&sample_bundle())
+            .replace("\"version\": 2,\n  \"sampler\": \"v2\",", "\"version\": 1,");
+        std::fs::write(&path, v1).unwrap();
+        match load(&path) {
+            Err(BundleError::SamplerMismatch { found, expected }) => {
+                assert!(found.contains("v1"), "found: {found}");
+                assert_eq!(expected, SAMPLER_ID);
+            }
+            other => panic!("v1 bundle not refused as SamplerMismatch: {other:?}"),
+        }
+        // A v2 file claiming some other sampler is also refused.
+        let foreign =
+            render(&sample_bundle()).replace("\"sampler\": \"v2\"", "\"sampler\": \"v9\"");
+        std::fs::write(&path, foreign).unwrap();
+        assert!(matches!(
+            load(&path),
+            Err(BundleError::SamplerMismatch { found, .. }) if found == "v9"
+        ));
+        // A v2 file with no sampler stamp at all is malformed.
+        let missing = render(&sample_bundle()).replace("  \"sampler\": \"v2\",\n", "");
+        std::fs::write(&path, missing).unwrap();
+        assert!(matches!(load(&path), Err(BundleError::Malformed { .. })));
         std::fs::remove_dir_all(&dir).ok();
     }
 

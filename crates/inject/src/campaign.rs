@@ -7,6 +7,7 @@
 //! address or allocation size tripping an assert or out-of-bounds access —
 //! and the harness records it as data rather than dying with it.
 
+use mbavf_core::error::InjectError;
 use mbavf_core::rng::{fnv1a, SplitMix64};
 use mbavf_core::stats::{wilson, RateEstimate};
 use mbavf_sim::interp::{run_functional_isolated, run_golden, InterpError, Termination};
@@ -45,19 +46,83 @@ impl FaultSite {
             bits: mask,
         }
     }
+}
 
-    /// Sample a uniform site for `trial` of a campaign, from the trial's own
-    /// SplitMix stream. The draw depends only on `(seed, trial)` and the
-    /// golden run's shape — never on which thread executes the trial or in
-    /// what order — which is what makes parallel campaigns bit-identical to
-    /// serial ones.
-    pub fn sample(seed: u64, trial: u64, per_wg_retired: &[u64], num_vregs: u8) -> FaultSite {
+/// Identifier of the fault-site sampling scheme this build implements,
+/// recorded in repro bundles so replay can refuse trials whose
+/// `(seed, trial)` pair maps to a different site under a different scheme.
+///
+/// `"v2"` is the residency-weighted sampler: one draw uniform over *total
+/// retired instructions*, mapped to `(wg, after_retired)` through a
+/// prefix-sum table. The retired v1 scheme drew the workgroup uniformly
+/// over workgroups first, over-sampling low-retirement workgroups per
+/// retired instruction.
+pub const SAMPLER_ID: &str = "v2";
+
+/// Residency-weighted fault-site sampler (scheme [`SAMPLER_ID`]).
+///
+/// Statistical fault injection estimates per-bit vulnerability, so sites
+/// must be drawn uniformly over *bit residency* — every retired dynamic
+/// instruction equally likely, whichever wavefront retires it. The sampler
+/// folds the golden run's `per_wg_retired` into an inclusive prefix-sum
+/// table once, then maps a single draw in `[0, total_retired)` to
+/// `(wg, after_retired)` by binary search. Wavefronts that retire nothing
+/// are never sampled: no residency, no fault.
+///
+/// Each trial's draws still come from the trial's own SplitMix stream, so a
+/// site depends only on `(seed, trial)` and the golden shape — never on
+/// which thread executes the trial or in what order — which is what keeps
+/// parallel campaigns bit-identical to serial ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteSampler {
+    /// `cumulative[i]` = total instructions retired by wavefronts `0..=i`.
+    cumulative: Vec<u64>,
+    num_vregs: u8,
+}
+
+impl SiteSampler {
+    /// Build the prefix-sum table over the golden run's per-wavefront
+    /// retirement counts.
+    ///
+    /// Returns [`InjectError::EmptySampleSpace`] when `per_wg_retired` is
+    /// empty or all-zero — there is no residency to sample — and
+    /// [`InjectError::BadConfig`] if the total overflows `u64` (not
+    /// reachable from a real golden run).
+    pub fn new(per_wg_retired: &[u64], num_vregs: u8) -> Result<Self, InjectError> {
+        let mut cumulative = Vec::with_capacity(per_wg_retired.len());
+        let mut total: u64 = 0;
+        for (wg, &n) in per_wg_retired.iter().enumerate() {
+            total = total.checked_add(n).ok_or_else(|| InjectError::BadConfig {
+                detail: format!("retired-instruction total overflows u64 at wavefront {wg}"),
+            })?;
+            cumulative.push(total);
+        }
+        if total == 0 {
+            return Err(InjectError::EmptySampleSpace {
+                detail: format!(
+                    "golden run retired 0 instructions across {} wavefront(s)",
+                    per_wg_retired.len()
+                ),
+            });
+        }
+        Ok(Self { cumulative, num_vregs: num_vregs.max(1) })
+    }
+
+    /// Total instructions retired across all wavefronts (the sample space).
+    pub fn total_retired(&self) -> u64 {
+        *self.cumulative.last().expect("nonempty by construction")
+    }
+
+    /// Sample the site for `trial` of the campaign seeded with `seed`.
+    pub fn sample(&self, seed: u64, trial: u64) -> FaultSite {
         let mut rng = SplitMix64::stream(seed, trial);
-        let wg = rng.below(per_wg_retired.len() as u64) as u32;
+        let g = rng.below(self.total_retired());
+        let wg = self.cumulative.partition_point(|&c| c <= g);
+        let before = if wg == 0 { 0 } else { self.cumulative[wg - 1] };
         FaultSite {
-            wg,
-            after_retired: rng.below(per_wg_retired[wg as usize].max(1)),
-            reg: rng.below(u64::from(num_vregs.max(1))) as u8,
+            wg: wg as u32,
+            after_retired: g - before,
+            reg: rng.below(u64::from(self.num_vregs)) as u8,
             lane: rng.below(64) as u8,
             bit: rng.below(32) as u8,
         }
@@ -331,6 +396,38 @@ pub fn run_one(
     }
 }
 
+/// Arena-path equivalent of [`run_one`]: run one injection on a reusable
+/// [`TrialArena`](mbavf_sim::TrialArena) and classify with the identical
+/// decision order (hang, then output comparison, crash capture).
+///
+/// # Panics
+///
+/// Panics on out-of-range sites, exactly like [`run_one`].
+pub(crate) fn run_one_arena(
+    arena: &mut mbavf_sim::TrialArena,
+    golden: &GoldenShape,
+    site: FaultSite,
+    m: u8,
+) -> (Outcome, bool) {
+    match arena.run_trial(site.injection(m), golden.max_steps, &golden.output) {
+        Ok(run) => {
+            let outcome = if run.termination == Termination::Hang {
+                Outcome::Hang
+            } else if run.output_matches {
+                Outcome::Masked
+            } else {
+                Outcome::Sdc
+            };
+            (outcome, run.injected_value_read)
+        }
+        Err(InterpError::Crash { reason }) => (Outcome::Crash { reason }, false),
+        Err(e @ InterpError::BadInjection(_)) => {
+            panic!("campaign sampled an out-of-range site: {e}")
+        }
+        Err(e) => panic!("unexpected interpreter error: {e}"),
+    }
+}
+
 /// Run a seeded single-bit campaign serially: `cfg.injections` uniform
 /// random faults over (wavefront, dynamic time, register, lane, bit).
 ///
@@ -434,14 +531,75 @@ mod tests {
 
     #[test]
     fn sampled_sites_are_in_range() {
-        let per_wg = [5u64, 9, 1, 40];
+        let per_wg = [5u64, 9, 0, 40];
+        let sampler = SiteSampler::new(&per_wg, 17).expect("nonzero residency");
+        assert_eq!(sampler.total_retired(), 54);
         for trial in 0..200 {
-            let s = FaultSite::sample(0xBEEF, trial, &per_wg, 17);
+            let s = sampler.sample(0xBEEF, trial);
             assert!((s.wg as usize) < per_wg.len());
-            assert!(s.after_retired < per_wg[s.wg as usize].max(1));
+            assert!(s.after_retired < per_wg[s.wg as usize], "{s:?}");
+            assert_ne!(s.wg, 2, "zero-residency wavefronts must never be sampled");
             assert!(s.reg < 17);
             assert!(s.lane < 64);
             assert!(s.bit < 32);
+        }
+    }
+
+    #[test]
+    fn sampler_covers_the_whole_residency_space() {
+        // Every (wg, after_retired) pair with nonzero residency must be
+        // reachable: walk the prefix-sum mapping directly over a tiny space.
+        let per_wg = [2u64, 1, 3];
+        let sampler = SiteSampler::new(&per_wg, 4).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for trial in 0..4000u64 {
+            let s = sampler.sample(42, trial);
+            seen.insert((s.wg, s.after_retired));
+        }
+        let expected: std::collections::HashSet<_> = per_wg
+            .iter()
+            .enumerate()
+            .flat_map(|(wg, &n)| (0..n).map(move |t| (wg as u32, t)))
+            .collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn sampler_refuses_empty_sample_space() {
+        for per_wg in [&[] as &[u64], &[0, 0, 0]] {
+            match SiteSampler::new(per_wg, 8) {
+                Err(InjectError::EmptySampleSpace { detail }) => {
+                    assert!(detail.contains("retired 0 instructions"), "{detail}");
+                }
+                other => panic!("expected EmptySampleSpace, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sampler_weights_wavefronts_by_retirement() {
+        // The tentpole property, at the unit level: per-wavefront hit counts
+        // must track retirement weights, not be uniform over wavefronts.
+        // wg 0 retires 100x what each of the other three retire; under the
+        // biased v1 scheme it would receive ~25% of sites, under v2 ~97%.
+        let per_wg = [5000u64, 50, 50, 50];
+        let total: u64 = per_wg.iter().sum();
+        let sampler = SiteSampler::new(&per_wg, 8).unwrap();
+        let n = 20_000u64;
+        let mut hits = [0u64; 4];
+        for trial in 0..n {
+            hits[sampler.sample(0xD15E, trial).wg as usize] += 1;
+        }
+        for (wg, (&h, &w)) in hits.iter().zip(per_wg.iter()).enumerate() {
+            let observed = h as f64 / n as f64;
+            let expected = w as f64 / total as f64;
+            // Binomial std-dev at n=20k is < 0.004 for every weight here;
+            // a 0.02 absolute band is > 5 sigma yet rejects the uniform
+            // draw (off by ~0.72 for wg 0) by orders of magnitude.
+            assert!(
+                (observed - expected).abs() < 0.02,
+                "wg {wg}: observed share {observed:.4}, expected {expected:.4}"
+            );
         }
     }
 

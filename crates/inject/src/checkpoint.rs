@@ -1,11 +1,11 @@
 //! Campaign checkpoint files: periodic JSON snapshots of completed trials,
 //! validated and replayed on resume.
 //!
-//! ## File format (version 2)
+//! ## File format (version 3)
 //!
 //! ```json
 //! {
-//!   "version": 2,
+//!   "version": 3,
 //!   "workload": "dct",
 //!   "config_hash": 1234567890123456789,
 //!   "mode_bits": 1,
@@ -42,7 +42,13 @@ use std::path::Path;
 ///
 /// Version 2 added the `mode_bits` field and removed the injection budget
 /// from the config fingerprint (budgets may grow under adaptive sizing).
-pub const VERSION: u64 = 2;
+/// Version 3 marks the switch to the residency-weighted v2 fault-site
+/// sampler ([`crate::campaign::SAMPLER_ID`]): the same `(seed, trial)` pair
+/// now maps to a different site, so trial records written under earlier
+/// versions mean different faults and must not be resumed. The version is
+/// folded into the config fingerprint, so older checkpoints are refused by
+/// both the version check and the fingerprint check.
+pub const VERSION: u64 = 3;
 
 /// A loaded checkpoint.
 #[derive(Debug, Clone, PartialEq)]
@@ -328,6 +334,18 @@ mod tests {
         assert!(matches!(
             load(&path),
             Err(CheckpointError::VersionMismatch { found: 1, expected: VERSION })
+        ));
+
+        // A version-2 file predates the residency-weighted sampler: its
+        // trial indices map to different fault sites, so it is foreign too.
+        std::fs::write(
+            &path,
+            "{\"version\": 2, \"workload\": \"x\", \"config_hash\": 1, \"mode_bits\": 1, \"records\": []}",
+        )
+        .unwrap();
+        assert!(matches!(
+            load(&path),
+            Err(CheckpointError::VersionMismatch { found: 2, expected: VERSION })
         ));
 
         assert!(matches!(load(&dir.join("absent.json")), Err(CheckpointError::Io { .. })));

@@ -35,7 +35,7 @@ pub mod shrink;
 pub use bundle::{Minimized, ReproBundle, BUNDLE_VERSION, DEFAULT_BUNDLE_CAP};
 pub use campaign::{
     single_bit_campaign, CampaignConfig, CampaignStats, CampaignSummary, FaultSite, Fractions,
-    Outcome, OutcomeKind, SingleBitRecord,
+    Outcome, OutcomeKind, SingleBitRecord, SiteSampler, SAMPLER_ID,
 };
 pub use interference::{interference_study, try_interference_study, InterferenceRow};
 pub use mbavf_core::error::{BundleError, CheckpointError, InjectError};

@@ -19,7 +19,10 @@
 //! completions, and writes a final checkpoint when done. A campaign killed at
 //! any point loses at most one snapshot interval of work.
 
-use crate::campaign::{golden_shape, CampaignConfig, CampaignSummary, FaultSite, SingleBitRecord};
+use crate::campaign::{
+    golden_shape, CampaignConfig, CampaignSummary, FaultSite, GoldenShape, SingleBitRecord,
+    SiteSampler,
+};
 use crate::checkpoint;
 use mbavf_core::error::{CheckpointError, InjectError};
 use mbavf_workloads::Workload;
@@ -211,16 +214,47 @@ pub fn run_campaign(
     cfg: &CampaignConfig,
     runner: &RunnerConfig,
 ) -> Result<CampaignReport, InjectError> {
+    let golden = golden_shape(workload, cfg).map_err(|detail| InjectError::GoldenRunFailed {
+        workload: workload.name.to_string(),
+        detail,
+    })?;
+    run_campaign_with(workload, cfg, runner, &golden)
+}
+
+/// Trials claimed per atomic increment. Workers pre-sample every fault site
+/// of a claimed chunk in one pass before executing any of its trials, so
+/// the per-trial hot loop touches no sampler state at all. Chunking changes
+/// only which worker runs which trial — records land in per-trial slots, so
+/// summaries stay bit-identical at any chunk size or thread count.
+const SITE_CHUNK: usize = 32;
+
+/// [`run_campaign`] against an already-computed golden shape, so callers
+/// scheduling several budgets over the same campaign config (adaptive
+/// sizing) pay for the double golden integrity run once, not per stage.
+pub(crate) fn run_campaign_with(
+    workload: &Workload,
+    cfg: &CampaignConfig,
+    runner: &RunnerConfig,
+    golden: &GoldenShape,
+) -> Result<CampaignReport, InjectError> {
     if runner.checkpoint.is_some() && runner.checkpoint_every == 0 {
         return Err(InjectError::BadConfig {
             detail: "checkpoint_every must be at least 1 when checkpointing".into(),
         });
     }
 
-    let golden = golden_shape(workload, cfg).map_err(|detail| InjectError::GoldenRunFailed {
-        workload: workload.name.to_string(),
-        detail,
-    })?;
+    // A zero-budget campaign samples nothing, so a degenerate retirement
+    // shape is only an error when there are trials to draw.
+    let sampler = if cfg.injections == 0 {
+        None
+    } else {
+        Some(SiteSampler::new(&golden.per_wg_retired, golden.num_vregs).map_err(|e| match e {
+            InjectError::EmptySampleSpace { detail } => {
+                InjectError::EmptySampleSpace { detail: format!("{}: {detail}", workload.name) }
+            }
+            other => other,
+        })?)
+    };
     let fingerprint = checkpoint::config_fingerprint(workload.name, cfg);
 
     // Restore completed trials from the checkpoint, if one exists.
@@ -273,31 +307,60 @@ pub fn run_campaign(
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                if shared.failed.load(Ordering::SeqCst) {
-                    return;
-                }
-                let i = shared.next.fetch_add(1, Ordering::SeqCst);
-                let Some(&trial) = pending.get(i) else { return };
-                let site =
-                    FaultSite::sample(cfg.seed, trial, &golden.per_wg_retired, golden.num_vregs);
-                let (outcome, read) = crate::campaign::run_one(
-                    workload,
-                    cfg,
-                    &golden.output,
-                    golden.max_steps,
-                    site,
-                    cfg.mode_bits.max(1),
-                );
-                {
-                    let mut slots = shared.slots.lock().expect("slots lock");
-                    slots[trial as usize] =
-                        Some(SingleBitRecord { trial, site, outcome, read_before_overwrite: read });
-                }
-                let done = shared.completed.fetch_add(1, Ordering::SeqCst) + 1;
-                if let Some(path) = &runner.checkpoint {
-                    if done.is_multiple_of(runner.checkpoint_every) {
-                        shared.snapshot(workload.name, fingerprint, cfg.mode_bits, path);
+            scope.spawn(|| {
+                // Per-thread reusable simulation arena, built lazily on the
+                // first claimed chunk: one instance build per worker per
+                // campaign, zero steady-state allocation per trial.
+                let mut arena: Option<mbavf_sim::TrialArena> = None;
+                let mut sites: Vec<(u64, FaultSite)> = Vec::with_capacity(SITE_CHUNK);
+                loop {
+                    if shared.failed.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let start = shared.next.fetch_add(SITE_CHUNK, Ordering::SeqCst);
+                    let end = pending.len().min(start.saturating_add(SITE_CHUNK));
+                    if start >= end {
+                        return;
+                    }
+                    let sampler = sampler.as_ref().expect("pending trials imply a sampler");
+                    sites.clear();
+                    for &trial in &pending[start..end] {
+                        sites.push((trial, sampler.sample(cfg.seed, trial)));
+                    }
+                    let arena = arena.get_or_insert_with(|| {
+                        let inst = workload.build(cfg.scale);
+                        mbavf_sim::TrialArena::new(
+                            inst.program,
+                            inst.mem,
+                            inst.workgroups,
+                            cfg.wrap_oob,
+                        )
+                    });
+                    for &(trial, site) in &sites {
+                        if shared.failed.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        let (outcome, read) = crate::campaign::run_one_arena(
+                            arena,
+                            golden,
+                            site,
+                            cfg.mode_bits.max(1),
+                        );
+                        {
+                            let mut slots = shared.slots.lock().expect("slots lock");
+                            slots[trial as usize] = Some(SingleBitRecord {
+                                trial,
+                                site,
+                                outcome,
+                                read_before_overwrite: read,
+                            });
+                        }
+                        let done = shared.completed.fetch_add(1, Ordering::SeqCst) + 1;
+                        if let Some(path) = &runner.checkpoint {
+                            if done.is_multiple_of(runner.checkpoint_every) {
+                                shared.snapshot(workload.name, fingerprint, cfg.mode_bits, path);
+                            }
+                        }
                     }
                 }
             });
@@ -441,6 +504,13 @@ pub fn run_adaptive(
         });
     }
 
+    // The golden shape depends on (workload, scale, hang_factor) but not on
+    // the budget, so one double-run integrity check covers every stage.
+    let golden = golden_shape(workload, cfg).map_err(|detail| InjectError::GoldenRunFailed {
+        workload: workload.name.to_string(),
+        detail,
+    })?;
+
     // Resuming: skip straight to the first stage whose budget covers every
     // already-recorded trial, so a checkpoint from a later stage never
     // trips the budget bound. Corrupt files are left for run_campaign's
@@ -467,7 +537,7 @@ pub fn run_adaptive(
     let mut stages = Vec::new();
     for (i, &budget) in budgets.iter().enumerate().skip(start_stage) {
         let stage_cfg = CampaignConfig { injections: budget, ..*cfg };
-        let report = run_campaign(workload, &stage_cfg, runner)?;
+        let report = run_campaign_with(workload, &stage_cfg, runner, &golden)?;
         stages.push(budget);
         let sdc = report.summary.stats(adaptive.confidence).sdc;
         if !report.complete {

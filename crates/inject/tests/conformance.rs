@@ -1,0 +1,58 @@
+//! Repro-bundle format conformance, pinned against a checked-in fixture.
+//!
+//! `tests/fixtures/conformance.repro.json` is a real bundle emitted by a
+//! fast_walsh campaign (seed 7, trial 5) under the v2 residency-weighted
+//! sampler. The test pins its golden FNV-1a digest, its fingerprint, its
+//! fault site, and its replay verdict as literals. If any of these drift —
+//! a sampler change, a golden-run change, a fingerprint-scheme change, a
+//! format change — this test fails, which is the signal to bump the bundle
+//! format version and regenerate the fixture *deliberately* rather than
+//! silently invalidating every bundle users have on disk.
+
+use mbavf_inject::campaign::{FaultSite, Outcome};
+use mbavf_inject::{load_bundle, replay_bundle, BUNDLE_VERSION, SAMPLER_ID};
+use std::path::PathBuf;
+
+fn fixture() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/conformance.repro.json")
+}
+
+/// Every field of the checked-in bundle, bit for bit.
+#[test]
+fn conformance_fixture_parses_to_the_pinned_bundle() {
+    let b = load_bundle(&fixture()).unwrap_or_else(|e| panic!("fixture must load: {e}"));
+    assert_eq!(b.workload, "fast_walsh");
+    assert_eq!(b.seed, 7);
+    assert_eq!(b.trial, 5);
+    assert_eq!(b.mode_bits, 1);
+    assert!(b.wrap_oob);
+    assert_eq!(b.hang_factor, 8);
+    assert_eq!(b.site, FaultSite { wg: 1, after_retired: 47, reg: 4, lane: 21, bit: 16 });
+    assert_eq!(b.outcome, Outcome::Sdc);
+    assert!(b.read_before_overwrite);
+    // The two integrity anchors: the campaign fingerprint and the golden
+    // output's FNV-1a digest, as literals. A change here means this build
+    // would refuse (or misread) every bundle written by the previous one.
+    assert_eq!(b.config_fingerprint, 9_640_199_761_213_749_073);
+    assert_eq!(b.golden_digest, 15_510_683_022_007_955_151);
+    assert_eq!(b.minimized, None);
+}
+
+/// The fixture's recorded verdict must reproduce on this build.
+#[test]
+fn conformance_fixture_replays_to_the_recorded_verdict() {
+    let b = load_bundle(&fixture()).unwrap();
+    let report = replay_bundle(&b).unwrap_or_else(|e| panic!("fixture must replay: {e}"));
+    assert!(report.reproduced, "recorded sdc, observed {:?}", report.observed);
+    assert_eq!(report.observed, Outcome::Sdc);
+    assert!(report.read_before_overwrite);
+}
+
+/// The fixture's raw text carries the current format version and sampler
+/// stamp — guarding the serialization side, not just the parse.
+#[test]
+fn conformance_fixture_is_stamped_with_the_current_format() {
+    let text = std::fs::read_to_string(fixture()).unwrap();
+    assert!(text.contains(&format!("\"version\": {BUNDLE_VERSION}")));
+    assert!(text.contains(&format!("\"sampler\": \"{SAMPLER_ID}\"")));
+}

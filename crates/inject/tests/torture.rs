@@ -100,6 +100,7 @@ fn bundle_load_never_panics_under_damage() {
                 | Err(
                     BundleError::Malformed { .. }
                     | BundleError::VersionMismatch { .. }
+                    | BundleError::SamplerMismatch { .. }
                     | BundleError::SiteOutOfRange { .. }
                     | BundleError::Io { .. },
                 ),

@@ -133,6 +133,41 @@ impl Wavefront {
         }
     }
 
+    /// Reset this wavefront in place to the state [`Wavefront::launch`]
+    /// would produce for `(program, wf_id, slot, total_wgs)` — without
+    /// reallocating the register files when the program's register demand
+    /// is unchanged. The reusable-arena counterpart of `launch`, for trial
+    /// loops that rerun the same kernel thousands of times.
+    pub fn relaunch(&mut self, program: &Program, wf_id: u32, slot: u8, total_wgs: u32) {
+        let nv = program.num_vregs() as usize;
+        let ns = (program.num_sregs() as usize).max(2);
+        self.vregs.resize(nv, [0u32; WAVE_LANES]);
+        self.vregs.fill([0u32; WAVE_LANES]);
+        let (v0, rest) = self.vregs.split_at_mut(1);
+        for (lane, (l0, l1)) in v0[0].iter_mut().zip(rest[0].iter_mut()).enumerate() {
+            *l0 = lane as u32;
+            *l1 = wf_id * WAVE_LANES as u32 + lane as u32;
+        }
+        self.sregs.resize(ns, 0);
+        self.sregs.fill(0);
+        self.sregs[0] = wf_id;
+        self.sregs[1] = total_wgs;
+        self.vreg_writer.resize(nv, NO_PRODUCER);
+        self.vreg_writer.fill(NO_PRODUCER);
+        self.sreg_writer.resize(ns, NO_PRODUCER);
+        self.sreg_writer.fill(NO_PRODUCER);
+        self.wf_id = wf_id;
+        self.slot = slot;
+        self.pc = 0;
+        self.scc = false;
+        self.vcc = 0;
+        self.exec = !0;
+        self.done = false;
+        self.retired = 0;
+        self.vcc_writer = NO_PRODUCER;
+        self.scc_writer = NO_PRODUCER;
+    }
+
     /// Flip `bit_mask` bits of register `reg` in `lane` (fault injection).
     ///
     /// # Panics
@@ -646,6 +681,47 @@ mod tests {
         let p = a.finish().unwrap();
         run_functional(&p, &mut mem, 1);
         assert_eq!(mem.read_u32(out), 7);
+    }
+
+    #[test]
+    fn relaunch_matches_fresh_launch_bit_for_bit() {
+        // Dirty every piece of wavefront state by running a real kernel,
+        // then relaunch and compare against a fresh launch field by field —
+        // a stale writer id or condition code would silently skew
+        // read-before-overwrite detection in reused arenas.
+        let mut mem = Memory::new(1 << 16);
+        let out = mem.alloc_zeroed(64);
+        let mut a = Assembler::new();
+        a.s_mov(SReg(2), 5u32);
+        a.v_cmp(CmpOp::LtU, VReg(0), 3u32);
+        a.s_set_exec(crate::isa::ExecOp::Vcc);
+        a.v_mul_u(VReg(2), VReg(1), 4u32);
+        a.v_store(VReg(2), VReg(2), out);
+        a.s_cmp(CmpOp::LtU, SReg(2), 10u32);
+        a.end();
+        let p = a.finish().unwrap();
+        let mut wf = Wavefront::launch(&p, 2, 1, 4);
+        let mut ports = NullPorts;
+        while !wf.done {
+            let mut ctx = StepCtx { mem: &mut mem, trace: None, ports: &mut ports, now: 0 };
+            step(&mut wf, &p, &mut ctx);
+        }
+        wf.relaunch(&p, 3, 0, 8);
+        let fresh = Wavefront::launch(&p, 3, 0, 8);
+        assert_eq!(wf.wf_id, fresh.wf_id);
+        assert_eq!(wf.slot, fresh.slot);
+        assert_eq!(wf.pc, fresh.pc);
+        assert_eq!(wf.vregs, fresh.vregs);
+        assert_eq!(wf.sregs, fresh.sregs);
+        assert_eq!(wf.scc, fresh.scc);
+        assert_eq!(wf.vcc, fresh.vcc);
+        assert_eq!(wf.exec, fresh.exec);
+        assert_eq!(wf.done, fresh.done);
+        assert_eq!(wf.retired, fresh.retired);
+        assert_eq!(wf.vreg_writer, fresh.vreg_writer);
+        assert_eq!(wf.sreg_writer, fresh.sreg_writer);
+        assert_eq!(wf.vcc_writer, fresh.vcc_writer);
+        assert_eq!(wf.scc_writer, fresh.scc_writer);
     }
 
     #[test]

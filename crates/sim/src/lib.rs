@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod cache;
 pub mod exec;
 pub mod extract;
@@ -34,6 +35,7 @@ pub mod profile;
 pub mod program;
 pub mod trace;
 
+pub use arena::{TrialArena, TrialResult};
 pub use exec::Wavefront;
 pub use gpu::{run_timed, GpuConfig, RunResult};
 pub use interp::{run_functional, run_functional_isolated, run_golden, Injection};

@@ -7,6 +7,9 @@ use std::ops::Range;
 /// Sentinel "writer" id for bytes initialized by the host (kernel inputs).
 pub const HOST_WRITER: u32 = u32::MAX;
 
+/// Dirty-page granularity: 1 KiB pages (`1 << PAGE_SHIFT` bytes).
+const PAGE_SHIFT: u32 = 10;
+
 /// Typed errors from the simulated memory's host-side fallible paths.
 ///
 /// Device-side wild accesses during fault injection are handled by the
@@ -67,6 +70,7 @@ impl std::error::Error for SimError {}
 /// The host allocates buffers, fills inputs, marks output ranges (the ranges
 /// whose final contents constitute the program's architectural output), and
 /// reads results back after a run.
+#[derive(Clone)]
 pub struct Memory {
     data: Vec<u8>,
     /// Per-byte dynamic-instruction id of the last writer (for provenance);
@@ -78,6 +82,11 @@ pub struct Memory {
     outputs: Vec<Range<u32>>,
     track: bool,
     wrap_oob: bool,
+    /// One bit per [`PAGE_SHIFT`]-sized page, set when any byte of the page
+    /// is written after construction (or after the last
+    /// [`Memory::reset_from`]). Lets a reusable trial memory restore only
+    /// the pages a run touched instead of deep-copying the whole image.
+    dirty: Vec<u64>,
 }
 
 impl fmt::Debug for Memory {
@@ -100,6 +109,7 @@ impl Memory {
     /// A memory of `size` bytes; `track = false` skips provenance metadata
     /// (the fast path for fault-injection runs).
     pub fn with_tracking(size: u32, track: bool) -> Self {
+        let pages = (size as usize).div_ceil(1 << PAGE_SHIFT);
         Self {
             data: vec![0; size as usize],
             writer: if track { vec![HOST_WRITER; size as usize] } else { Vec::new() },
@@ -108,6 +118,19 @@ impl Memory {
             outputs: Vec::new(),
             track,
             wrap_oob: false,
+            dirty: vec![0; pages.div_ceil(64)],
+        }
+    }
+
+    /// Mark byte index `i` dirty. Out-of-range indices are ignored: the
+    /// write that follows panics before mutating anything, so the page needs
+    /// no restore, and marking *before* writing keeps a panic-interrupted
+    /// multi-byte store fully covered by the dirty map.
+    #[inline]
+    fn mark_dirty(&mut self, i: usize) {
+        let page = i >> PAGE_SHIFT;
+        if let Some(word) = self.dirty.get_mut(page >> 6) {
+            *word |= 1 << (page & 63);
         }
     }
 
@@ -227,6 +250,8 @@ impl Memory {
     /// Host write of a u32 (marks the byte as host-initialized).
     pub fn write_u32_host(&mut self, addr: u32, value: u32) {
         let a = addr as usize;
+        self.mark_dirty(a);
+        self.mark_dirty(a + 3);
         self.data[a..a + 4].copy_from_slice(&value.to_le_bytes());
         if self.track {
             for k in 0..4 {
@@ -300,12 +325,70 @@ impl Memory {
     pub fn store(&mut self, addr: u32, len: u32, value: u32, dyn_id: u32) {
         for k in 0..len as usize {
             let i = self.index(addr, k);
+            self.mark_dirty(i);
             self.data[i] = (value >> (8 * k)) as u8;
             if self.track {
                 self.writer[i] = dyn_id;
                 self.writer_byte[i] = k as u8;
             }
         }
+    }
+
+    /// Restore this memory to the state of `template`, copying only the
+    /// pages written since the last reset (or since construction).
+    ///
+    /// This is the allocation-free alternative to `*self = template.clone()`
+    /// for trial loops that rerun a kernel thousands of times against the
+    /// same golden image: a trial typically touches a small fraction of the
+    /// address space, and only those pages need restoring. The receiver's
+    /// `wrap_oob` policy is preserved (it belongs to the run, not the
+    /// image). Works even after a crash-isolated trial panicked mid-store:
+    /// pages are marked dirty *before* each byte write, so every mutated
+    /// page is covered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `template` differs in size or tracking mode — resetting
+    /// against a different image is a harness bug, not a recoverable state.
+    pub fn reset_from(&mut self, template: &Memory) {
+        assert_eq!(self.data.len(), template.data.len(), "reset_from: size mismatch");
+        assert_eq!(self.track, template.track, "reset_from: tracking mismatch");
+        for wi in 0..self.dirty.len() {
+            let mut word = self.dirty[wi];
+            if word == 0 {
+                continue;
+            }
+            self.dirty[wi] = 0;
+            while word != 0 {
+                let page = wi * 64 + word.trailing_zeros() as usize;
+                word &= word - 1;
+                let start = page << PAGE_SHIFT;
+                let end = ((page + 1) << PAGE_SHIFT).min(self.data.len());
+                self.data[start..end].copy_from_slice(&template.data[start..end]);
+                if self.track {
+                    self.writer[start..end].copy_from_slice(&template.writer[start..end]);
+                    self.writer_byte[start..end].copy_from_slice(&template.writer_byte[start..end]);
+                }
+            }
+        }
+        self.next_alloc = template.next_alloc;
+        self.outputs.clone_from(&template.outputs);
+    }
+
+    /// Whether the concatenated output ranges equal `golden`, byte for byte
+    /// — the in-place equivalent of `output_snapshot() == golden` without
+    /// building the snapshot vector.
+    pub fn output_matches(&self, golden: &[u8]) -> bool {
+        let mut off = 0usize;
+        for r in &self.outputs {
+            let (start, end) = (r.start as usize, r.end as usize);
+            let len = end - start;
+            match golden.get(off..off + len) {
+                Some(g) if g == &self.data[start..end] => off += len,
+                _ => return false,
+            }
+        }
+        off == golden.len()
     }
 
     /// The `(writer dyn-id, byte-within-store)` provenance of byte `addr`.
@@ -403,6 +486,66 @@ mod tests {
         m.store(a, 4, 7, 1);
         assert_eq!(m.load(a, 4), 7);
         assert!(!m.tracking());
+    }
+
+    #[test]
+    fn reset_from_restores_only_dirty_pages_exactly() {
+        let mut template = Memory::new(8192);
+        let a = template.alloc_u32(&[1, 2, 3, 4]);
+        template.mark_output(a, 16);
+        let mut work = template.clone();
+        // Touch bytes across two pages, bump the cursor, add an output.
+        work.store(a, 4, 0xDEAD_BEEF, 9);
+        work.store(4096, 4, 0x0BAD_CAFE, 10);
+        let _ = work.alloc(64);
+        work.mark_output(4096, 4);
+        work.reset_from(&template);
+        assert_eq!(work.bytes(), template.bytes());
+        assert_eq!(work.outputs(), template.outputs());
+        assert_eq!(work.alloc(4), template.clone().alloc(4), "cursor restored");
+        assert_eq!(work.provenance(a), template.provenance(a));
+    }
+
+    #[test]
+    fn reset_from_preserves_receiver_wrap_policy() {
+        let template = Memory::new(1024);
+        let mut work = template.clone();
+        work.set_wrap_oob(true);
+        // A wrapping store lands in-bounds and must be rolled back too.
+        work.store(1022, 4, 0xFFFF_FFFF, 1);
+        work.reset_from(&template);
+        assert_eq!(work.bytes(), template.bytes());
+        // wrap_oob belongs to the run, not the image: still wrapping.
+        work.store(1022, 4, 0xFFFF_FFFF, 1);
+        assert_eq!(work.load(0, 1), 0xFF);
+    }
+
+    #[test]
+    fn output_matches_agrees_with_snapshot() {
+        let mut m = Memory::new(1024);
+        let a = m.alloc(64);
+        let b = m.alloc(64);
+        m.write_u32_host(a, 0x01020304);
+        m.write_u32_host(b, 0x05060708);
+        m.mark_output(a, 4);
+        m.mark_output(b, 2);
+        let snap = m.output_snapshot();
+        assert!(m.output_matches(&snap));
+        assert!(!m.output_matches(&snap[..5]), "length mismatch (short)");
+        let mut longer = snap.clone();
+        longer.push(0);
+        assert!(!m.output_matches(&longer), "length mismatch (long)");
+        let mut wrong = snap;
+        wrong[0] ^= 1;
+        assert!(!m.output_matches(&wrong));
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn reset_from_refuses_mismatched_images() {
+        let template = Memory::new(1024);
+        let mut other = Memory::new(2048);
+        other.reset_from(&template);
     }
 
     #[test]

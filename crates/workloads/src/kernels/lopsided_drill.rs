@@ -1,0 +1,145 @@
+//! A deliberately **lopsided** workload — the positive control for the
+//! residency-weighted fault-site sampler.
+//!
+//! Every workgroup runs the same accumulation kernel, but workgroup `w`
+//! iterates `(wgs - w)^3` times: with four workgroups the retirement split
+//! is 64 : 27 : 8 : 1, so workgroup 0 retires roughly two-thirds of the
+//! program's dynamic instructions. A sampler that is uniform *per
+//! workgroup* (the retired v1 scheme) injects each workgroup equally and
+//! therefore over-samples the nearly idle tail by an order of magnitude; a
+//! sampler that is uniform *per retired instruction* must track this split.
+//! The distribution-proportionality tests drive campaigns against this
+//! workload and compare per-workgroup injection counts to the golden run's
+//! per-workgroup retirement.
+//!
+//! Unlike [`nondet_drill`](super::nondet_drill) this workload is fully
+//! deterministic — it is a valid injection target — but it is still a
+//! drill: it is excluded from [`suite`](crate::suite) and only reachable
+//! through [`lopsided_drill`](crate::lopsided_drill), because its only
+//! purpose is to make sampling bias loud.
+
+use crate::util::{check_u32, gen_u32};
+use crate::{Instance, InstanceMeta, Scale};
+use mbavf_sim::isa::{CmpOp, SReg, VReg};
+use mbavf_sim::program::Assembler;
+use mbavf_sim::Memory;
+
+/// Build the workload. Deterministic: identical instances every call.
+pub fn build(scale: Scale) -> Instance {
+    let n: u32 = match scale {
+        Scale::Test => 256,
+        Scale::Paper => 512,
+    };
+    let wgs = n / 64;
+    let input = gen_u32(0x10B5, n as usize);
+
+    let mut mem = Memory::new(1 << 18);
+    let in_addr = {
+        let addr = mem.alloc_zeroed(n);
+        for (i, v) in input.iter().enumerate() {
+            mem.write_u32_host(addr + 4 * i as u32, *v);
+        }
+        addr
+    };
+    let out_addr = mem.alloc_zeroed(n);
+    mem.mark_output(out_addr, n * 4);
+
+    // out[i] = fold over (wgs - wg)^3 rounds of acc = acc * 3 + in[i].
+    // The cubic round count is the whole point: it concentrates retirement
+    // in the low workgroups while every lane still produces checked output.
+    let mut a = Assembler::new();
+    let (addr, val, acc) = (VReg(2), VReg(3), VReg(4));
+    let (s_iters, s_i) = (SReg(2), SReg(3));
+    a.v_mul_u(addr, VReg(1), 4u32);
+    a.v_load(val, addr, in_addr);
+    a.v_mov(acc, 0u32);
+    a.s_sub(s_iters, SReg(1), SReg(0));
+    a.s_mul(s_i, s_iters, s_iters);
+    a.s_mul(s_iters, s_i, s_iters);
+    a.s_mov(s_i, 0u32);
+    a.label("round");
+    a.v_mul_u(acc, acc, 3u32);
+    a.v_add_u(acc, acc, val);
+    a.s_add(s_i, s_i, 1u32);
+    a.s_cmp(CmpOp::LtU, s_i, s_iters);
+    a.branch_scc_nz("round");
+    a.v_store(acc, addr, out_addr);
+    a.end();
+
+    Instance {
+        name: "lopsided_drill",
+        program: a.finish().expect("valid kernel"),
+        mem,
+        workgroups: wgs,
+        check,
+        meta: InstanceMeta { addrs: vec![("in", in_addr), ("out", out_addr)], n },
+    }
+}
+
+/// Host reference: replay the per-workgroup round count exactly.
+fn check(mem: &Memory, meta: &InstanceMeta) -> Result<(), String> {
+    let input = mem.read_u32_slice(meta.addr("in"), meta.n);
+    let out = mem.read_u32_slice(meta.addr("out"), meta.n);
+    let wgs = meta.n / 64;
+    let expected: Vec<u32> = input
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            let rounds = (wgs - i as u32 / 64).pow(3);
+            (0..rounds).fold(0u32, |acc, _| acc.wrapping_mul(3).wrapping_add(*v))
+        })
+        .collect();
+    check_u32(&out, &expected, "lopsided_drill out")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbavf_sim::exec::{step, NullPorts, StepCtx, Wavefront};
+    use mbavf_sim::interp::run_golden;
+
+    #[test]
+    fn kernel_matches_reference_at_both_scales() {
+        for scale in [Scale::Test, Scale::Paper] {
+            let mut inst = build(scale);
+            let p = inst.program.clone();
+            let wgs = inst.workgroups;
+            run_golden(&p, &mut inst.mem, wgs);
+            inst.check(&inst.mem).unwrap_or_else(|e| panic!("{scale:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn retirement_is_heavily_lopsided() {
+        let mut inst = build(Scale::Test);
+        let p = inst.program.clone();
+        let wgs = inst.workgroups;
+        let mut retired = Vec::new();
+        for wg in 0..wgs {
+            let mut wf = Wavefront::launch(&p, wg, 0, wgs);
+            while !wf.done {
+                let mut ctx =
+                    StepCtx { mem: &mut inst.mem, trace: None, ports: &mut NullPorts, now: 0 };
+                step(&mut wf, &p, &mut ctx);
+            }
+            retired.push(wf.retired);
+        }
+        assert_eq!(retired.len(), 4);
+        assert!(
+            retired[0] > 10 * retired[3],
+            "workgroup 0 must dominate: per-wg retired {retired:?}"
+        );
+        let total: u64 = retired.iter().sum();
+        assert!(
+            retired[0] as f64 / total as f64 > 0.5,
+            "workgroup 0 must retire the majority: {retired:?}"
+        );
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let a = build(Scale::Test);
+        let b = build(Scale::Test);
+        assert_eq!(a.mem.bytes(), b.mem.bytes(), "a drill you can inject into must not drift");
+    }
+}

@@ -5,6 +5,7 @@ pub mod dct;
 pub mod dwt_haar;
 pub mod fast_walsh;
 pub mod histogram;
+pub mod lopsided_drill;
 pub mod matmul;
 pub mod minife;
 pub mod nondet_drill;

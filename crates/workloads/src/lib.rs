@@ -214,6 +214,21 @@ pub fn nondet_drill() -> Workload {
     }
 }
 
+/// The deliberately **lopsided** drill workload: deterministic, but with a
+/// cubically skewed per-workgroup retirement profile (64 : 27 : 8 : 1 at
+/// four workgroups). It exists to make fault-site sampling bias measurable
+/// — a sampler uniform per workgroup rather than per retired instruction
+/// visibly over-samples its idle tail — and is excluded from [`suite`]
+/// (and thus from [`by_name`]) because it measures the harness, not the
+/// hardware.
+pub fn lopsided_drill() -> Workload {
+    Workload {
+        name: "lopsided_drill",
+        desc: "positive control: cubically skewed per-workgroup retirement",
+        builder: kernels::lopsided_drill::build,
+    }
+}
+
 /// The nine AMD-APP-style workloads used in the paper's Table II fault
 /// injection study.
 pub fn injection_suite() -> Vec<Workload> {
@@ -263,6 +278,12 @@ mod tests {
         // accident.
         assert!(by_name("nondet_drill").is_none());
         assert_eq!(nondet_drill().name, "nondet_drill");
+    }
+
+    #[test]
+    fn lopsided_drill_is_kept_out_of_the_suite() {
+        assert!(by_name("lopsided_drill").is_none());
+        assert_eq!(lopsided_drill().name, "lopsided_drill");
     }
 
     /// Every workload must run to completion at test scale and pass its own
