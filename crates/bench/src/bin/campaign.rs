@@ -7,6 +7,10 @@
 //!          [--mode-bits M] [--threads 8] [--checkpoint dct.ckpt.json]
 //!          [--checkpoint-every 64] [--stop-after N]
 //!          [--scale test|paper] [--no-wrap-oob]
+//!          [--hang-multiplier K] [--heartbeat SECS]
+//!          [--isolation thread|process] [--workers N] [--shard-size N]
+//!          [--shard-timeout SECS] [--max-retries N] [--backoff-ms MS]
+//!          [--max-poison N] [--poison-file FILE]
 //!          [--confidence 0.95] [--fail-on sdc,hang,crash]
 //!          [--repro-dir DIR] [--repro-cap N]
 //!          [--target-ci-halfwidth H [--batch N] [--max-injections N]]
@@ -17,6 +21,27 @@
 //! `--no-wrap-oob` makes wild memory accesses fault instead of wrapping, so
 //! corrupted address registers surface as `crash` outcomes. `--mode-bits M`
 //! flips `M` contiguous bits per trial (the paper's Mx1 spatial modes).
+//!
+//! `--hang-multiplier K` (alias: `--hang-factor`) declares a trial hung
+//! after `K × golden-instructions` retire in one wavefront. The multiplier
+//! is part of the campaign's config fingerprint — it changes which trials
+//! classify as hangs, so a checkpoint written under one multiplier refuses
+//! to resume under another.
+//!
+//! `--isolation process` runs trials in disposable worker subprocesses
+//! (spawned as `campaign __worker …`), surviving aborts, livelocks, and OOM
+//! kills that in-process isolation cannot: dead workers are respawned with
+//! backoff, and a trial that repeatedly kills its worker is *poisoned* —
+//! quarantined to `<checkpoint>.poison.json` (or `--poison-file`) with a
+//! repro bundle, and excluded from the rates so the campaign still
+//! completes. Non-poison records are bit-identical to thread mode. If
+//! workers cannot be spawned, the campaign degrades to thread isolation
+//! with a warning.
+//!
+//! A heartbeat line (trials done/total, trials/sec, per-kind counts, live
+//! workers, ETA) is printed to stderr every `--heartbeat` seconds
+//! (default 5; 0 disables), and the final summary reports p50/p99 trial
+//! latency.
 //!
 //! Passing `--target-ci-halfwidth` switches to **adaptive sizing**: trial
 //! batches are scheduled (starting at `--batch`, doubling) until the SDC
@@ -37,20 +62,27 @@
 //! | 1 | usage error or campaign failure |
 //! | 2 | an outcome named by `--fail-on` was observed |
 //! | 3 | adaptive target not reached within `--max-injections` |
+//!
+//! Worker subprocesses themselves exit 0 on success, 10 on a fatal
+//! configuration error, or die by signal — the supervisor translates all
+//! of it; `__worker` is not a user-facing mode.
 
 use mbavf_core::stats::RateEstimate;
 use mbavf_inject::{
-    run_adaptive, run_campaign, AdaptiveConfig, CampaignConfig, CampaignReport, OutcomeKind,
-    RunnerConfig,
+    run_adaptive, run_campaign, run_supervised, worker_main, AdaptiveConfig, CampaignConfig,
+    CampaignReport, IsolationMode, OutcomeKind, RunnerConfig, SupervisorConfig,
 };
 use mbavf_workloads::{by_name, suite, Scale};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Args {
     workload: String,
     cfg: CampaignConfig,
     runner: RunnerConfig,
+    isolation: IsolationMode,
+    sup: SupervisorConfig,
     confidence: f64,
     fail_on: Vec<OutcomeKind>,
     adaptive: Option<AdaptiveConfig>,
@@ -64,6 +96,10 @@ fn usage() -> String {
         "usage: campaign --workload NAME [--injections N] [--seed S] [--mode-bits M]\n\
          \u{20}                [--threads N] [--checkpoint FILE] [--checkpoint-every N]\n\
          \u{20}                [--stop-after N] [--scale test|paper] [--no-wrap-oob]\n\
+         \u{20}                [--hang-multiplier K] [--heartbeat SECS (0 = off)]\n\
+         \u{20}                [--isolation thread|process] [--workers N] [--shard-size N]\n\
+         \u{20}                [--shard-timeout SECS] [--max-retries N] [--backoff-ms MS]\n\
+         \u{20}                [--max-poison N] [--poison-file FILE]\n\
          \u{20}                [--confidence C] [--fail-on sdc,hang,crash]\n\
          \u{20}                [--repro-dir DIR] [--repro-cap N]\n\
          \u{20}                [--target-ci-halfwidth H [--batch N] [--max-injections N]]\n\
@@ -107,7 +143,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         workload: String::new(),
         cfg: CampaignConfig { injections: 5000, scale: Scale::Paper, ..CampaignConfig::default() },
-        runner: RunnerConfig::default(),
+        runner: RunnerConfig { heartbeat: Some(Duration::from_secs(5)), ..RunnerConfig::default() },
+        isolation: IsolationMode::Thread,
+        sup: SupervisorConfig::default(),
         confidence: 0.95,
         fail_on: Vec::new(),
         adaptive: None,
@@ -124,7 +162,14 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--workload" => args.workload = value()?.clone(),
             "--injections" => args.cfg.injections = parse_u64(value()?)? as usize,
             "--seed" => args.cfg.seed = parse_u64(value()?)?,
-            "--hang-factor" => args.cfg.hang_factor = parse_u64(value()?)?,
+            // `--hang-multiplier` is the documented spelling; `--hang-factor`
+            // is kept as a compatible alias. Both feed the config fingerprint.
+            "--hang-factor" | "--hang-multiplier" => {
+                args.cfg.hang_factor = match parse_u64(value()?)? {
+                    0 => return Err("hang multiplier must be at least 1".into()),
+                    k => k,
+                }
+            }
             "--mode-bits" => {
                 args.cfg.mode_bits = match parse_u64(value()?)? {
                     b @ 1..=32 => b as u8,
@@ -143,6 +188,38 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 }
             }
             "--no-wrap-oob" => args.cfg.wrap_oob = false,
+            "--heartbeat" => {
+                args.runner.heartbeat = match parse_u64(value()?)? {
+                    0 => None,
+                    secs => Some(Duration::from_secs(secs)),
+                }
+            }
+            "--isolation" => {
+                let v = value()?;
+                args.isolation = IsolationMode::parse(v)
+                    .ok_or_else(|| format!("unknown isolation mode {v} (thread|process)"))?;
+            }
+            "--workers" => args.sup.workers = parse_u64(value()?)? as usize,
+            "--shard-size" => {
+                args.sup.shard_size = match parse_u64(value()?)? as usize {
+                    0 => return Err("--shard-size must be at least 1".into()),
+                    n => n,
+                }
+            }
+            "--shard-timeout" => {
+                args.sup.shard_timeout = match parse_u64(value()?)? {
+                    0 => return Err("--shard-timeout must be at least 1 second".into()),
+                    secs => Duration::from_secs(secs),
+                }
+            }
+            "--max-retries" => args.sup.max_retries = parse_u64(value()?)? as u32,
+            "--backoff-ms" => {
+                let base = Duration::from_millis(parse_u64(value()?)?);
+                args.sup.backoff_base = base;
+                args.sup.backoff_cap = args.sup.backoff_cap.max(base);
+            }
+            "--max-poison" => args.sup.max_poison = parse_u64(value()?)? as usize,
+            "--poison-file" => args.sup.poison_path = Some(PathBuf::from(value()?)),
             "--confidence" => {
                 let c: f64 = value()?.parse().map_err(|_| "bad --confidence".to_string())?;
                 if c.is_nan() || c <= 0.0 || c >= 1.0 {
@@ -174,6 +251,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     }
     if args.workload.is_empty() {
         return Err(format!("--workload is required\n{}", usage()));
+    }
+    if target_halfwidth.is_some() && args.isolation == IsolationMode::Process {
+        return Err(
+            "--target-ci-halfwidth (adaptive sizing) currently requires --isolation thread".into(),
+        );
     }
     if let Some(h) = target_halfwidth {
         args.adaptive = Some(AdaptiveConfig {
@@ -208,6 +290,21 @@ fn print_report(report: &CampaignReport, confidence: f64) {
     rate_line("crash", &stats.crash);
     rate_line("error (sdc+hang+crash)", &stats.error);
     rate_line("read-before-overwrite", &stats.read);
+    if let Some(l) = &report.trial_latency {
+        println!(
+            "  trial latency (n={}): p50 {}us, p99 {}us, max {}us",
+            l.n, l.p50_us, l.p99_us, l.max_us
+        );
+    }
+    if !report.poisoned.is_empty() {
+        println!(
+            "  {} poisoned trial(s) quarantined (excluded from the rates above):",
+            report.poisoned.len()
+        );
+        for e in report.poisoned.iter().take(5) {
+            println!("    trial {:>6}: {} ({} attempts)", e.trial, e.reason, e.attempts);
+        }
+    }
     let crashes = s.count(OutcomeKind::Crash);
     if crashes > 0 {
         println!("  first crash reasons:");
@@ -227,6 +324,12 @@ fn print_report(report: &CampaignReport, confidence: f64) {
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    // Hidden supervisor re-exec entrypoint: `campaign __worker <flags>` runs
+    // one shard of trials and streams records over stdout. Must be dispatched
+    // before normal flag parsing.
+    if argv.first().map(String::as_str) == Some("__worker") {
+        std::process::exit(worker_main(&argv[1..]));
+    }
     let args = match parse_args(&argv) {
         Ok(a) => a,
         Err(msg) => {
@@ -258,7 +361,11 @@ fn main() -> ExitCode {
             }
         }
     } else {
-        match run_campaign(&w, &args.cfg, &args.runner) {
+        let run = match args.isolation {
+            IsolationMode::Thread => run_campaign(&w, &args.cfg, &args.runner),
+            IsolationMode::Process => run_supervised(&w, &args.cfg, &args.runner, &args.sup),
+        };
+        match run {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("campaign failed: {e}");
@@ -278,7 +385,13 @@ fn main() -> ExitCode {
     }
 
     for kind in &args.fail_on {
-        let k = report.summary.count(*kind);
+        // Poisoned trials killed their worker outright, so they count as
+        // crash-class outcomes for gating purposes.
+        let poisoned = match kind {
+            OutcomeKind::Crash => report.poisoned.len(),
+            _ => 0,
+        };
+        let k = report.summary.count(*kind) + poisoned;
         if k > 0 {
             eprintln!("fail-on: observed {k} {kind:?} outcomes");
             return ExitCode::from(2);
@@ -321,6 +434,84 @@ mod tests {
             assert!(err.contains("unknown outcome"), "{bad}: {err}");
             assert!(err.contains("sdc, hang, crash"), "{bad} must list valid tokens: {err}");
         }
+    }
+
+    #[test]
+    fn isolation_flags_parse_and_validate() {
+        let args = parse_args(&argv(&[
+            "--workload",
+            "dct",
+            "--isolation",
+            "process",
+            "--workers",
+            "3",
+            "--shard-size",
+            "16",
+            "--shard-timeout",
+            "120",
+            "--max-retries",
+            "4",
+            "--backoff-ms",
+            "10",
+            "--max-poison",
+            "2",
+            "--poison-file",
+            "bad.json",
+        ]))
+        .unwrap();
+        assert_eq!(args.isolation, IsolationMode::Process);
+        assert_eq!(args.sup.workers, 3);
+        assert_eq!(args.sup.shard_size, 16);
+        assert_eq!(args.sup.shard_timeout, Duration::from_secs(120));
+        assert_eq!(args.sup.max_retries, 4);
+        assert_eq!(args.sup.backoff_base, Duration::from_millis(10));
+        assert!(args.sup.backoff_cap >= args.sup.backoff_base);
+        assert_eq!(args.sup.max_poison, 2);
+        assert_eq!(args.sup.poison_path, Some(PathBuf::from("bad.json")));
+
+        // Defaults: thread isolation, so existing invocations are unchanged.
+        assert_eq!(
+            parse_args(&argv(&["--workload", "dct"])).unwrap().isolation,
+            IsolationMode::Thread
+        );
+        assert!(parse_args(&argv(&["--workload", "dct", "--isolation", "forkbomb"])).is_err());
+        assert!(parse_args(&argv(&["--workload", "dct", "--shard-size", "0"])).is_err());
+        assert!(parse_args(&argv(&["--workload", "dct", "--shard-timeout", "0"])).is_err());
+    }
+
+    #[test]
+    fn adaptive_sizing_rejects_process_isolation() {
+        let Err(err) = parse_args(&argv(&[
+            "--workload",
+            "dct",
+            "--isolation",
+            "process",
+            "--target-ci-halfwidth",
+            "0.01",
+        ])) else {
+            panic!("adaptive + process isolation must be rejected");
+        };
+        assert!(err.contains("--isolation thread"), "{err}");
+    }
+
+    #[test]
+    fn hang_multiplier_aliases_hang_factor() {
+        let a = parse_args(&argv(&["--workload", "dct", "--hang-multiplier", "12"])).unwrap();
+        let b = parse_args(&argv(&["--workload", "dct", "--hang-factor", "12"])).unwrap();
+        assert_eq!(a.cfg.hang_factor, 12);
+        assert_eq!(b.cfg.hang_factor, 12);
+        assert!(parse_args(&argv(&["--workload", "dct", "--hang-multiplier", "0"])).is_err());
+    }
+
+    #[test]
+    fn heartbeat_flag_sets_interval_and_zero_disables() {
+        let on = parse_args(&argv(&["--workload", "dct", "--heartbeat", "2"])).unwrap();
+        assert_eq!(on.runner.heartbeat, Some(Duration::from_secs(2)));
+        let off = parse_args(&argv(&["--workload", "dct", "--heartbeat", "0"])).unwrap();
+        assert_eq!(off.runner.heartbeat, None);
+        // Default: heartbeat on, every 5s.
+        let dflt = parse_args(&argv(&["--workload", "dct"])).unwrap();
+        assert_eq!(dflt.runner.heartbeat, Some(Duration::from_secs(5)));
     }
 
     #[test]

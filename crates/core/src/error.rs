@@ -269,6 +269,90 @@ impl fmt::Display for BundleError {
 
 impl std::error::Error for BundleError {}
 
+/// Why a supervised (process-isolated) campaign could not continue.
+///
+/// The supervisor spawns the campaign binary as worker subprocesses so a
+/// trial that aborts, OOMs, or livelocks the simulator kills only its
+/// worker. These variants cover failures of the *supervision machinery*;
+/// a worker dying is ordinarily handled by retry/backoff and poison
+/// quarantine, not surfaced as an error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SupervisorError {
+    /// A worker subprocess could not be spawned (and no graceful
+    /// degradation to thread mode was possible).
+    Spawn {
+        /// OS error text.
+        detail: String,
+    },
+    /// A worker produced output that violates the line-delimited JSON
+    /// worker protocol (wrong handshake, malformed record, trial outside
+    /// its shard).
+    Protocol {
+        /// What the supervisor objected to.
+        detail: String,
+    },
+    /// A worker reported a deterministic, non-retryable failure (unknown
+    /// workload, failed golden run, empty sample space).
+    WorkerFatal {
+        /// The worker's own description of the failure.
+        detail: String,
+    },
+    /// More trials were poisoned than the configured cap allows; the
+    /// campaign is systematically killing its workers rather than hitting
+    /// isolated poison trials.
+    TooManyPoisoned {
+        /// Trials quarantined so far.
+        poisoned: usize,
+        /// The configured cap.
+        cap: usize,
+    },
+    /// The poison sidecar file exists but belongs to a different campaign
+    /// configuration.
+    SidecarMismatch {
+        /// Fingerprint of the campaign being run.
+        expected: u64,
+        /// Fingerprint recorded in the sidecar.
+        found: u64,
+    },
+    /// The poison sidecar could not be read or written.
+    Io {
+        /// Path involved.
+        path: String,
+        /// OS error text.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SupervisorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SupervisorError::Spawn { detail } => {
+                write!(f, "cannot spawn worker subprocess: {detail}")
+            }
+            SupervisorError::Protocol { detail } => {
+                write!(f, "worker protocol violation: {detail}")
+            }
+            SupervisorError::WorkerFatal { detail } => {
+                write!(f, "worker reported a non-retryable failure: {detail}")
+            }
+            SupervisorError::TooManyPoisoned { poisoned, cap } => write!(
+                f,
+                "{poisoned} trials poisoned (cap {cap}): workers are dying systematically, not on isolated poison trials"
+            ),
+            SupervisorError::SidecarMismatch { expected, found } => write!(
+                f,
+                "poison sidecar belongs to a different campaign (config hash {found:#018x}, expected {expected:#018x})"
+            ),
+            SupervisorError::Io { path, detail } => {
+                write!(f, "poison sidecar I/O on {path}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SupervisorError {}
+
 /// Errors from fault-injection campaigns (the `mbavf-inject` runner).
 ///
 /// A *trial* panicking is deliberately **not** an error: fault-induced
@@ -288,6 +372,8 @@ pub enum InjectError {
     Checkpoint(CheckpointError),
     /// A repro bundle could not be written, loaded, or replayed.
     Bundle(BundleError),
+    /// Process-isolated execution failed at the supervision layer.
+    Supervisor(SupervisorError),
     /// The runner was configured inconsistently.
     BadConfig {
         /// Human-readable explanation.
@@ -310,6 +396,7 @@ impl fmt::Display for InjectError {
             }
             InjectError::Checkpoint(e) => write!(f, "{e}"),
             InjectError::Bundle(e) => write!(f, "{e}"),
+            InjectError::Supervisor(e) => write!(f, "{e}"),
             InjectError::BadConfig { detail } => write!(f, "bad campaign config: {detail}"),
             InjectError::EmptySampleSpace { detail } => {
                 write!(f, "no retired instructions to sample fault sites from: {detail}")
@@ -323,6 +410,7 @@ impl std::error::Error for InjectError {
         match self {
             InjectError::Checkpoint(e) => Some(e),
             InjectError::Bundle(e) => Some(e),
+            InjectError::Supervisor(e) => Some(e),
             _ => None,
         }
     }
@@ -337,6 +425,12 @@ impl From<CheckpointError> for InjectError {
 impl From<BundleError> for InjectError {
     fn from(e: BundleError) -> Self {
         InjectError::Bundle(e)
+    }
+}
+
+impl From<SupervisorError> for InjectError {
+    fn from(e: SupervisorError) -> Self {
+        InjectError::Supervisor(e)
     }
 }
 
@@ -521,6 +615,27 @@ mod tests {
             .contains("all-zero retirement"));
         let inj: InjectError = BundleError::UnknownWorkload { name: "ghost".into() }.into();
         assert!(inj.to_string().contains("ghost"));
+        assert!(std::error::Error::source(&inj).is_some());
+    }
+
+    #[test]
+    fn supervisor_errors_display_and_chain() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SupervisorError>();
+        for e in [
+            SupervisorError::Spawn { detail: "ENOENT".into() },
+            SupervisorError::Protocol { detail: "bad handshake".into() },
+            SupervisorError::WorkerFatal { detail: "unknown workload".into() },
+            SupervisorError::TooManyPoisoned { poisoned: 17, cap: 16 },
+            SupervisorError::SidecarMismatch { expected: 1, found: 2 },
+            SupervisorError::Io { path: "/p".into(), detail: "gone".into() },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+        let tm = SupervisorError::TooManyPoisoned { poisoned: 17, cap: 16 };
+        assert!(tm.to_string().contains("17") && tm.to_string().contains("16"));
+        let inj: InjectError = SupervisorError::Spawn { detail: "ENOENT".into() }.into();
+        assert!(inj.to_string().contains("ENOENT"));
         assert!(std::error::Error::source(&inj).is_some());
     }
 

@@ -75,7 +75,9 @@ pub mod timeline;
 pub use analysis::{
     ace_locality, mb_avf, mb_avf_modes, windowed_mb_avf, AnalysisConfig, MbAvfResult,
 };
-pub use error::{BundleError, CheckpointError, CoreError, InjectError, PipelineError};
+pub use error::{
+    BundleError, CheckpointError, CoreError, InjectError, PipelineError, SupervisorError,
+};
 pub use geometry::{FaultGroup, FaultMode};
 pub use layout::{BitRef, PhysicalLayout};
 pub use protection::{Action, ProtectionKind};

@@ -382,12 +382,7 @@ impl BundleWriter<'_> {
                 continue;
             }
             let kind = r.outcome.kind();
-            let slot = match kind {
-                OutcomeKind::Masked => 0,
-                OutcomeKind::Sdc => 1,
-                OutcomeKind::Hang => 2,
-                OutcomeKind::Crash => 3,
-            };
+            let slot = kind.index();
             if counts[slot] >= self.cap {
                 continue;
             }

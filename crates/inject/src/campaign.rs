@@ -178,6 +178,22 @@ pub enum OutcomeKind {
 }
 
 impl OutcomeKind {
+    /// Every outcome class, in taxonomy order (the order counters and
+    /// heartbeat lines report).
+    pub const ALL: [OutcomeKind; 4] =
+        [OutcomeKind::Masked, OutcomeKind::Sdc, OutcomeKind::Hang, OutcomeKind::Crash];
+
+    /// Position of this class in [`Self::ALL`] (a stable dense index for
+    /// per-kind counter arrays).
+    pub fn index(self) -> usize {
+        match self {
+            OutcomeKind::Masked => 0,
+            OutcomeKind::Sdc => 1,
+            OutcomeKind::Hang => 2,
+            OutcomeKind::Crash => 3,
+        }
+    }
+
     /// Stable lowercase name (the checkpoint wire format).
     pub fn as_str(self) -> &'static str {
         match self {
@@ -616,6 +632,10 @@ mod tests {
         }
         assert_eq!(OutcomeKind::parse("nope"), None);
         assert!(Outcome::Crash { reason: "x".into() }.is_error());
+        // The dense index must agree with the position in ALL.
+        for (i, k) in OutcomeKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod json;
 pub mod replay;
 pub mod runner;
 pub mod shrink;
+pub mod supervisor;
 
 pub use bundle::{Minimized, ReproBundle, BUNDLE_VERSION, DEFAULT_BUNDLE_CAP};
 pub use campaign::{
@@ -38,9 +39,11 @@ pub use campaign::{
     Outcome, OutcomeKind, SingleBitRecord, SiteSampler, SAMPLER_ID,
 };
 pub use interference::{interference_study, try_interference_study, InterferenceRow};
-pub use mbavf_core::error::{BundleError, CheckpointError, InjectError};
+pub use mbavf_core::error::{BundleError, CheckpointError, InjectError, SupervisorError};
 pub use replay::{find_divergence, load_bundle, replay_bundle, Divergence, ReplayReport};
 pub use runner::{
-    run_adaptive, run_campaign, AdaptiveConfig, AdaptiveReport, CampaignReport, RunnerConfig,
+    run_adaptive, run_campaign, AdaptiveConfig, AdaptiveReport, CampaignReport, LatencyStats,
+    RunnerConfig,
 };
 pub use shrink::{shrink_and_update, shrink_bundle, ShrinkOutcome};
+pub use supervisor::{run_supervised, worker_main, IsolationMode, PoisonEntry, SupervisorConfig};

@@ -20,15 +20,17 @@
 //! any point loses at most one snapshot interval of work.
 
 use crate::campaign::{
-    golden_shape, CampaignConfig, CampaignSummary, FaultSite, GoldenShape, SingleBitRecord,
-    SiteSampler,
+    golden_shape, CampaignConfig, CampaignSummary, FaultSite, GoldenShape, OutcomeKind,
+    SingleBitRecord, SiteSampler,
 };
 use crate::checkpoint;
+use crate::supervisor::PoisonEntry;
 use mbavf_core::error::{CheckpointError, InjectError};
 use mbavf_workloads::Workload;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// How to execute a campaign (as opposed to *what* to run, which is
 /// [`CampaignConfig`]). Execution knobs never affect the records produced —
@@ -51,6 +53,11 @@ pub struct RunnerConfig {
     pub repro_dir: Option<PathBuf>,
     /// Per-outcome-kind cap on emitted repro bundles.
     pub repro_cap: usize,
+    /// Emit a progress heartbeat line to stderr at this interval (trials
+    /// done/total, trials/sec, per-kind counts, live workers, ETA). `None`
+    /// keeps the runner silent until the end. Heartbeats are an observation
+    /// channel only — they never change the records produced.
+    pub heartbeat: Option<Duration>,
 }
 
 impl Default for RunnerConfig {
@@ -62,6 +69,7 @@ impl Default for RunnerConfig {
             stop_after: None,
             repro_dir: None,
             repro_cap: crate::bundle::DEFAULT_BUNDLE_CAP,
+            heartbeat: None,
         }
     }
 }
@@ -82,6 +90,42 @@ impl RunnerConfig {
     }
 }
 
+/// Wall-clock percentiles over the trials a single call executed.
+///
+/// Latency is an execution-side observation (it depends on the machine, not
+/// the campaign config), so it lives in the report, never in checkpoints or
+/// summaries — two bit-identical campaigns can legitimately differ here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// Trials measured (newly run by this call; resumed trials have no
+    /// latency).
+    pub n: usize,
+    /// Median trial wall-clock, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile trial wall-clock, microseconds.
+    pub p99_us: u64,
+    /// Slowest trial wall-clock, microseconds.
+    pub max_us: u64,
+}
+
+impl LatencyStats {
+    /// Nearest-rank percentiles over per-trial latencies (microseconds).
+    /// Returns `None` for an empty sample.
+    pub fn from_micros(mut us: Vec<u64>) -> Option<LatencyStats> {
+        if us.is_empty() {
+            return None;
+        }
+        us.sort_unstable();
+        let rank = |q: f64| us[((q * us.len() as f64).ceil() as usize).clamp(1, us.len()) - 1];
+        Some(LatencyStats {
+            n: us.len(),
+            p50_us: rank(0.50),
+            p99_us: rank(0.99),
+            max_us: *us.last().expect("nonempty"),
+        })
+    }
+}
+
 /// What a [`run_campaign`] call accomplished.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignReport {
@@ -99,18 +143,36 @@ pub struct CampaignReport {
     /// disk), in trial order. Empty unless [`RunnerConfig::repro_dir`] is
     /// set.
     pub bundles: Vec<PathBuf>,
+    /// Trials quarantined by the process-isolation supervisor because they
+    /// repeatedly killed their worker. Always empty in thread mode; the
+    /// summary deliberately excludes these trials (they are counted
+    /// honestly as *unmeasured*, not guessed at).
+    pub poisoned: Vec<PoisonEntry>,
+    /// Wall-clock percentiles of the trials this call executed, when any
+    /// were measured.
+    pub trial_latency: Option<LatencyStats>,
 }
 
-/// Shared worker state for one campaign execution.
-struct Shared {
+/// Shared worker state for one campaign execution. Also reused by the
+/// process-isolation supervisor ([`crate::supervisor`]), whose record
+/// stream arrives from worker subprocesses instead of in-process threads.
+pub(crate) struct Shared {
     /// One slot per trial in the budget; `Some` once completed.
-    slots: Mutex<Vec<Option<SingleBitRecord>>>,
+    pub(crate) slots: Mutex<Vec<Option<SingleBitRecord>>>,
     /// Next index into the pending-trials list.
     next: AtomicUsize,
     /// Completions since the run started (drives checkpoint cadence).
-    completed: AtomicUsize,
+    pub(crate) completed: AtomicUsize,
+    /// Completions per outcome class (heartbeat reporting).
+    pub(crate) kind_counts: [AtomicUsize; 4],
+    /// Workers currently executing trials (heartbeat reporting and monitor
+    /// shutdown).
+    pub(crate) active_workers: AtomicUsize,
+    /// Per-trial wall-clock, microseconds, for trials run by this call.
+    /// Pre-reserved to the pending count so the hot path never allocates.
+    pub(crate) latencies_us: Mutex<Vec<u64>>,
     /// Set when a checkpoint write fails; workers drain and stop.
-    failed: AtomicBool,
+    pub(crate) failed: AtomicBool,
     /// First checkpoint error, if any.
     error: Mutex<Option<CheckpointError>>,
     /// Serializes snapshot writes: concurrent workers crossing the
@@ -121,7 +183,44 @@ struct Shared {
 }
 
 impl Shared {
-    fn snapshot(&self, workload: &str, fingerprint: u64, mode_bits: u8, path: &std::path::Path) {
+    pub(crate) fn new(slots: Vec<Option<SingleBitRecord>>, pending: usize) -> Self {
+        Shared {
+            slots: Mutex::new(slots),
+            next: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+            kind_counts: Default::default(),
+            active_workers: AtomicUsize::new(0),
+            latencies_us: Mutex::new(Vec::with_capacity(pending)),
+            failed: AtomicBool::new(false),
+            error: Mutex::new(None),
+            snapshotting: Mutex::new(()),
+        }
+    }
+
+    /// Record one completed trial into its slot and the heartbeat counters,
+    /// returning the new completion count (drives checkpoint cadence).
+    pub(crate) fn commit(&self, record: SingleBitRecord, elapsed_us: u64) -> usize {
+        let kind = record.outcome.kind();
+        let trial = record.trial as usize;
+        {
+            let mut slots = self.slots.lock().expect("slots lock");
+            slots[trial] = Some(record);
+        }
+        self.kind_counts[kind.index()].fetch_add(1, Ordering::Relaxed);
+        {
+            let mut lat = self.latencies_us.lock().expect("latency lock");
+            lat.push(elapsed_us);
+        }
+        self.completed.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    pub(crate) fn snapshot(
+        &self,
+        workload: &str,
+        fingerprint: u64,
+        mode_bits: u8,
+        path: &std::path::Path,
+    ) {
         let records: Vec<SingleBitRecord> = {
             let slots = self.slots.lock().expect("slots lock");
             slots.iter().flatten().cloned().collect()
@@ -133,6 +232,85 @@ impl Shared {
             self.failed.store(true, Ordering::SeqCst);
         }
     }
+
+    pub(crate) fn take_error(&self) -> Option<CheckpointError> {
+        self.error.lock().expect("error lock").take()
+    }
+
+    /// Heartbeat monitor loop: print a progress line to stderr every
+    /// `interval` until all workers have retired (`active_workers` reaches
+    /// zero — the caller pre-registers the worker count *before* spawning,
+    /// so the monitor cannot exit during worker startup). `done_offset`
+    /// counts trials restored from a checkpoint before this call started;
+    /// `label` names the execution mode; `live` reports the current worker
+    /// count (threads or subprocesses); `extra` appends mode-specific
+    /// detail (e.g. poison counts).
+    pub(crate) fn monitor(
+        &self,
+        interval: Duration,
+        done_offset: usize,
+        total: usize,
+        label: &str,
+        live: &dyn Fn() -> usize,
+        extra: &dyn Fn() -> String,
+    ) {
+        let start = Instant::now();
+        let mut last_beat = Instant::now();
+        loop {
+            std::thread::sleep(Duration::from_millis(25));
+            if self.active_workers.load(Ordering::SeqCst) == 0 {
+                return;
+            }
+            if last_beat.elapsed() < interval {
+                continue;
+            }
+            last_beat = Instant::now();
+            let new = self.completed.load(Ordering::SeqCst);
+            let done = done_offset + new;
+            let secs = start.elapsed().as_secs_f64().max(1e-9);
+            let rate = new as f64 / secs;
+            let eta = if rate > 0.0 && total >= done {
+                format!("{:.0}s", (total - done) as f64 / rate)
+            } else {
+                "?".to_string()
+            };
+            let kinds: Vec<String> = OutcomeKind::ALL
+                .iter()
+                .map(|k| {
+                    format!(
+                        "{} {}",
+                        k.as_str(),
+                        self.kind_counts[k.index()].load(Ordering::Relaxed)
+                    )
+                })
+                .collect();
+            eprintln!(
+                "heartbeat[{label}]: {done}/{total} trials, {rate:.1} trials/s, eta {eta}, workers {}, {}{}",
+                live(),
+                kinds.join(" "),
+                extra()
+            );
+        }
+    }
+}
+
+/// An RAII guard retiring one pre-registered worker slot on drop. The
+/// spawning side calls [`Shared::new`]-then-`active_workers.store(n)` before
+/// launching workers, and each worker (thread or supervisor-side shard
+/// handler) holds one guard — so [`Shared::monitor`] observes a non-zero
+/// count from before the first worker starts until after the last exits.
+pub(crate) struct WorkerGuard<'a>(&'a Shared);
+
+impl<'a> WorkerGuard<'a> {
+    pub(crate) fn retire_on_drop(shared: &'a Shared) -> Self {
+        WorkerGuard(shared)
+    }
+}
+
+impl Drop for WorkerGuard<'_> {
+    fn drop(&mut self) {
+        self.0.active_workers.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// Load the checkpoint at `path`, quarantining corruption: a file that
@@ -141,7 +319,7 @@ impl Shared {
 /// from zero, instead of wedging every future resume of the run. Version
 /// and config mismatches still error — those are real incompatibilities,
 /// not damage.
-fn load_or_quarantine(
+pub(crate) fn load_or_quarantine(
     path: &std::path::Path,
 ) -> Result<Option<checkpoint::Checkpoint>, CheckpointError> {
     match checkpoint::load(path) {
@@ -194,6 +372,44 @@ pub fn quarantine_corrupt(path: &std::path::Path) -> Option<PathBuf> {
         dest = PathBuf::from(name);
     }
     std::fs::rename(path, &dest).ok().map(|()| dest)
+}
+
+/// Restore completed trials from `runner.checkpoint` (when set and present)
+/// into a fresh slot vector of `budget` entries, validating the config
+/// fingerprint. Returns the slots plus how many trials were restored.
+/// Shared by the thread-mode runner and the process-isolation supervisor so
+/// both resume from the same checkpoint identically.
+pub(crate) fn restore_slots(
+    runner: &RunnerConfig,
+    fingerprint: u64,
+    budget: usize,
+) -> Result<(Vec<Option<SingleBitRecord>>, usize), InjectError> {
+    let mut slots: Vec<Option<SingleBitRecord>> = vec![None; budget];
+    let mut resumed = 0usize;
+    if let Some(path) = &runner.checkpoint {
+        if path.exists() {
+            if let Some(ck) = load_or_quarantine(path)? {
+                if ck.config_hash != fingerprint {
+                    return Err(CheckpointError::ConfigMismatch {
+                        expected: fingerprint,
+                        found: ck.config_hash,
+                    }
+                    .into());
+                }
+                for rec in ck.records {
+                    let trial = rec.trial;
+                    let slot = slots
+                        .get_mut(trial as usize)
+                        .ok_or(CheckpointError::TrialOutOfRange { trial, budget: budget as u64 })?;
+                    if slot.is_none() {
+                        resumed += 1;
+                    }
+                    *slot = Some(rec);
+                }
+            }
+        }
+    }
+    Ok((slots, resumed))
 }
 
 /// Run (or resume) a single-bit campaign under the given execution config.
@@ -258,33 +474,7 @@ pub(crate) fn run_campaign_with(
     let fingerprint = checkpoint::config_fingerprint(workload.name, cfg);
 
     // Restore completed trials from the checkpoint, if one exists.
-    let mut slots: Vec<Option<SingleBitRecord>> = vec![None; cfg.injections];
-    let mut resumed = 0usize;
-    if let Some(path) = &runner.checkpoint {
-        if path.exists() {
-            if let Some(ck) = load_or_quarantine(path)? {
-                if ck.config_hash != fingerprint {
-                    return Err(CheckpointError::ConfigMismatch {
-                        expected: fingerprint,
-                        found: ck.config_hash,
-                    }
-                    .into());
-                }
-                for rec in ck.records {
-                    let trial = rec.trial;
-                    let slot =
-                        slots.get_mut(trial as usize).ok_or(CheckpointError::TrialOutOfRange {
-                            trial,
-                            budget: cfg.injections as u64,
-                        })?;
-                    if slot.is_none() {
-                        resumed += 1;
-                    }
-                    *slot = Some(rec);
-                }
-            }
-        }
-    }
+    let (slots, resumed) = restore_slots(runner, fingerprint, cfg.injections)?;
 
     // The work list: every trial not already restored, oldest first, cut to
     // the graceful-stop budget.
@@ -296,18 +486,28 @@ pub(crate) fn run_campaign_with(
     }
 
     let threads = runner.resolved_threads(pending.len());
-    let shared = Shared {
-        slots: Mutex::new(slots),
-        next: AtomicUsize::new(0),
-        completed: AtomicUsize::new(0),
-        failed: AtomicBool::new(false),
-        error: Mutex::new(None),
-        snapshotting: Mutex::new(()),
-    };
+    let shared = Shared::new(slots, pending.len());
+    shared.active_workers.store(threads, Ordering::SeqCst);
 
     std::thread::scope(|scope| {
+        if let Some(interval) = runner.heartbeat {
+            if !pending.is_empty() {
+                let shared = &shared;
+                scope.spawn(move || {
+                    shared.monitor(
+                        interval,
+                        resumed,
+                        cfg.injections,
+                        "thread",
+                        &|| shared.active_workers.load(Ordering::SeqCst),
+                        &String::new,
+                    );
+                });
+            }
+        }
         for _ in 0..threads {
             scope.spawn(|| {
+                let _slot = WorkerGuard::retire_on_drop(&shared);
                 // Per-thread reusable simulation arena, built lazily on the
                 // first claimed chunk: one instance build per worker per
                 // campaign, zero steady-state allocation per trial.
@@ -340,22 +540,18 @@ pub(crate) fn run_campaign_with(
                         if shared.failed.load(Ordering::SeqCst) {
                             return;
                         }
+                        let t0 = Instant::now();
                         let (outcome, read) = crate::campaign::run_one_arena(
                             arena,
                             golden,
                             site,
                             cfg.mode_bits.max(1),
                         );
-                        {
-                            let mut slots = shared.slots.lock().expect("slots lock");
-                            slots[trial as usize] = Some(SingleBitRecord {
-                                trial,
-                                site,
-                                outcome,
-                                read_before_overwrite: read,
-                            });
-                        }
-                        let done = shared.completed.fetch_add(1, Ordering::SeqCst) + 1;
+                        let elapsed_us = t0.elapsed().as_micros() as u64;
+                        let done = shared.commit(
+                            SingleBitRecord { trial, site, outcome, read_before_overwrite: read },
+                            elapsed_us,
+                        );
                         if let Some(path) = &runner.checkpoint {
                             if done.is_multiple_of(runner.checkpoint_every) {
                                 shared.snapshot(workload.name, fingerprint, cfg.mode_bits, path);
@@ -367,7 +563,7 @@ pub(crate) fn run_campaign_with(
         }
     });
 
-    if let Some(e) = shared.error.into_inner().expect("error lock") {
+    if let Some(e) = shared.take_error() {
         return Err(e.into());
     }
 
@@ -395,12 +591,16 @@ pub(crate) fn run_campaign_with(
     }
 
     let newly_run = shared.completed.into_inner();
+    let trial_latency =
+        LatencyStats::from_micros(shared.latencies_us.into_inner().expect("latency lock"));
     Ok(CampaignReport {
         summary: CampaignSummary { workload: workload.name, records },
         resumed,
         newly_run,
         complete: newly_run == total_missing,
         bundles,
+        poisoned: Vec::new(),
+        trial_latency,
     })
 }
 

@@ -1,0 +1,1361 @@
+//! Process-isolation supervisor: survive workers that really die.
+//!
+//! The thread-mode engine in [`crate::runner`] crash-isolates *unwinding*
+//! panics, but a fault campaign can provoke failures no in-process mechanism
+//! survives: `std::process::abort`, stack exhaustion, the OOM killer, or a
+//! livelock that outruns the hang guard. This module runs trials in
+//! disposable **worker subprocesses** so the supervising campaign outlives
+//! all of them.
+//!
+//! ## Architecture
+//!
+//! [`run_supervised`] shards the pending trial indices into contiguous
+//! blocks whose boundaries depend only on the trial index (`trial /
+//! shard_size`), so the shard layout — and therefore every record — is
+//! invariant under the worker count. Each supervisor-side handler thread
+//! pops a shard and spawns the current executable with a hidden `__worker`
+//! argv (hosting binaries route it to [`worker_main`]), passing the campaign
+//! config and the shard's trials as a range list (`"0-5,9,11-20"`).
+//!
+//! The worker speaks line-delimited JSON on stdout:
+//!
+//! 1. a handshake — `{"mbavf_worker": 1, "fingerprint": <u64>}` — that the
+//!    supervisor validates against its own config fingerprint,
+//! 2. one record line per trial, in order, flushed per line (checkpoint
+//!    record fields plus `"us"`, the trial's wall-clock in microseconds),
+//! 3. a `{"done": N}` sentinel on success; or `{"error": "<detail>"}` and
+//!    exit code 10 for a fatal configuration error.
+//!
+//! ## Failure policy
+//!
+//! A per-spawn **watchdog** (`shard_timeout`) kills workers that stop
+//! responding. Worker death (any cause: signal, abort, truncated stdout,
+//! watchdog) triggers a respawn on the shard's *remaining* trials with
+//! bounded exponential backoff; because records arrive in trial order and
+//! are flushed per line, the first missing trial after a death is the
+//! offender, so repeated death with no progress bisects to it for free.
+//! After `max_retries` consecutive no-progress failures that head trial is
+//! **poisoned**: excluded from the summary (the campaign completes with
+//! N−1 trials, counted honestly), quarantined into a fingerprint-validated
+//! `*.poison.json` sidecar next to the checkpoint, given a standard repro
+//! bundle, and skipped by every future resume. More than `max_poison` total
+//! poisoned trials aborts the campaign with
+//! [`SupervisorError::TooManyPoisoned`] — mass poisoning means the
+//! environment, not the trials, is broken.
+//!
+//! ## Graceful degradation
+//!
+//! If workers cannot be spawned at all, or the first line is not a valid
+//! handshake (e.g. the hosting binary does not dispatch `__worker`), and no
+//! trial has completed yet, the supervisor warns and falls back to the
+//! thread-mode engine — same checkpoint, bit-identical records — instead of
+//! failing the campaign.
+
+use crate::campaign::{
+    golden_shape, run_one_arena, CampaignConfig, CampaignSummary, FaultSite, Outcome, OutcomeKind,
+    SingleBitRecord, SiteSampler,
+};
+use crate::checkpoint;
+use crate::json::{self, Value};
+use crate::runner::{
+    quarantine_corrupt, restore_slots, run_campaign_with, CampaignReport, LatencyStats,
+    RunnerConfig, Shared, WorkerGuard,
+};
+use mbavf_core::error::{InjectError, SupervisorError};
+use mbavf_workloads::{by_name, Scale, Workload};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write as _};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Version of the supervisor↔worker stdout protocol (the handshake's
+/// `mbavf_worker` field). Bumped whenever the line format changes.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Version of the `*.poison.json` sidecar format.
+pub const POISON_VERSION: u64 = 1;
+
+/// How a campaign executes its trials.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IsolationMode {
+    /// In-process worker threads (panic isolation only).
+    Thread,
+    /// Worker subprocesses under [`run_supervised`] (survives aborts,
+    /// livelocks, OOM kills).
+    Process,
+}
+
+impl IsolationMode {
+    /// Parse the CLI spelling (`"thread"` / `"process"`).
+    pub fn parse(s: &str) -> Option<IsolationMode> {
+        match s {
+            "thread" => Some(IsolationMode::Thread),
+            "process" => Some(IsolationMode::Process),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            IsolationMode::Thread => "thread",
+            IsolationMode::Process => "process",
+        }
+    }
+}
+
+/// Process-isolation knobs (the execution policy; [`RunnerConfig`] still
+/// owns checkpointing, bundles, and the heartbeat).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// Concurrent worker subprocesses; `0` means one per available CPU.
+    pub workers: usize,
+    /// Trials per worker shard. Shard boundaries are `trial / shard_size`,
+    /// so records are invariant under the worker count.
+    pub shard_size: usize,
+    /// Watchdog: a worker spawn that has not finished its shard within this
+    /// wall-clock budget is killed and retried.
+    pub shard_timeout: Duration,
+    /// Consecutive no-progress worker failures tolerated before the shard's
+    /// first remaining trial is poisoned. Progress resets the count.
+    pub max_retries: u32,
+    /// First respawn delay; doubles per consecutive failure.
+    pub backoff_base: Duration,
+    /// Ceiling on the respawn delay.
+    pub backoff_cap: Duration,
+    /// Abort the campaign once more than this many trials (including ones
+    /// poisoned by earlier runs) are poisoned.
+    pub max_poison: usize,
+    /// Poison sidecar path. `None` derives `<checkpoint>.poison.json` when
+    /// a checkpoint is configured (no checkpoint → poison kept in-memory
+    /// only, in the report).
+    pub poison_path: Option<PathBuf>,
+    /// Override the worker argv (tests use shell scripts). `None` spawns
+    /// `current_exe __worker`. Config flags are appended either way.
+    pub worker_cmd: Option<Vec<String>>,
+    /// Extra environment variables for workers (e.g. fault drills).
+    pub worker_env: Vec<(String, String)>,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            shard_size: 64,
+            shard_timeout: Duration::from_secs(60),
+            max_retries: 2,
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            max_poison: 8,
+            poison_path: None,
+            worker_cmd: None,
+            worker_env: Vec::new(),
+        }
+    }
+}
+
+/// One quarantined trial: it repeatedly killed its worker and was excluded
+/// from the campaign summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoisonEntry {
+    /// Campaign trial index.
+    pub trial: u64,
+    /// The fault the trial would have injected.
+    pub site: FaultSite,
+    /// The last worker failure observed (watchdog, exit signal, …).
+    pub reason: String,
+    /// Worker spawns the trial consumed before being poisoned.
+    pub attempts: u32,
+}
+
+/// Render a sorted trial list compactly: `"0-5,9,11-20"`.
+pub fn format_trials(trials: &[u64]) -> String {
+    let mut out = String::new();
+    let mut i = 0;
+    while i < trials.len() {
+        let start = trials[i];
+        let mut end = start;
+        while i + 1 < trials.len() && trials[i + 1] == end + 1 {
+            i += 1;
+            end = trials[i];
+        }
+        if !out.is_empty() {
+            out.push(',');
+        }
+        if start == end {
+            let _ = write!(out, "{start}");
+        } else {
+            let _ = write!(out, "{start}-{end}");
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Parse [`format_trials`] output back into a trial list.
+///
+/// # Errors
+///
+/// A description of the first malformed segment (bad integer, inverted
+/// range, empty list).
+pub fn parse_trials(s: &str) -> Result<Vec<u64>, String> {
+    let mut trials = Vec::new();
+    for seg in s.split(',') {
+        let parse = |t: &str| t.parse::<u64>().map_err(|_| format!("bad trial index {t:?}"));
+        match seg.split_once('-') {
+            Some((a, b)) => {
+                let (a, b) = (parse(a)?, parse(b)?);
+                if a > b {
+                    return Err(format!("inverted range {seg:?}"));
+                }
+                trials.extend(a..=b);
+            }
+            None => trials.push(parse(seg)?),
+        }
+    }
+    if trials.is_empty() {
+        return Err("empty trial list".into());
+    }
+    Ok(trials)
+}
+
+/// Default sidecar location: `<checkpoint>.poison.json` (appended, so the
+/// checkpoint's own extension survives).
+pub fn default_poison_path(checkpoint: &Path) -> PathBuf {
+    let mut name = checkpoint.as_os_str().to_os_string();
+    name.push(".poison.json");
+    PathBuf::from(name)
+}
+
+/// Serialize a poison sidecar document.
+pub fn render_poison(workload: &str, config_hash: u64, entries: &[PoisonEntry]) -> String {
+    let mut out = String::with_capacity(96 + entries.len() * 128);
+    let _ = write!(out, "{{\n  \"version\": {POISON_VERSION},\n  \"workload\": ");
+    json::write_str(&mut out, workload);
+    let _ = write!(out, ",\n  \"config_hash\": {config_hash},\n  \"poisoned\": [");
+    for (i, e) in entries.iter().enumerate() {
+        let sep = if i == 0 { "\n" } else { ",\n" };
+        let _ = write!(
+            out,
+            "{sep}    {{\"trial\": {}, \"wg\": {}, \"after\": {}, \"reg\": {}, \"lane\": {}, \"bit\": {}, \"attempts\": {}, \"reason\": ",
+            e.trial, e.site.wg, e.site.after_retired, e.site.reg, e.site.lane, e.site.bit, e.attempts,
+        );
+        json::write_str(&mut out, &e.reason);
+        out.push('}');
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Atomically write the poison sidecar at `path`.
+///
+/// # Errors
+///
+/// [`SupervisorError::Io`] if the temp file cannot be written or renamed.
+pub fn save_poison(
+    path: &Path,
+    workload: &str,
+    config_hash: u64,
+    entries: &[PoisonEntry],
+) -> Result<(), SupervisorError> {
+    let io = |e: std::io::Error| SupervisorError::Io {
+        path: path.display().to_string(),
+        detail: e.to_string(),
+    };
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, render_poison(workload, config_hash, entries)).map_err(io)?;
+    std::fs::rename(&tmp, path).map_err(io)
+}
+
+/// A loaded poison sidecar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoisonSidecar {
+    /// Workload the poisoning campaign ran over.
+    pub workload: String,
+    /// Fingerprint of the poisoning campaign's configuration.
+    pub config_hash: u64,
+    /// Quarantined trials, sorted by trial index.
+    pub entries: Vec<PoisonEntry>,
+}
+
+/// Load and validate the poison sidecar at `path`.
+///
+/// # Errors
+///
+/// [`SupervisorError::Io`] if the file cannot be read;
+/// [`SupervisorError::Protocol`] for parse or schema violations (the caller
+/// quarantines those). Fingerprint validation is the caller's job.
+pub fn load_poison(path: &Path) -> Result<PoisonSidecar, SupervisorError> {
+    let text = std::fs::read_to_string(path).map_err(|e| SupervisorError::Io {
+        path: path.display().to_string(),
+        detail: e.to_string(),
+    })?;
+    let bad = |detail: String| SupervisorError::Protocol { detail };
+    let doc = json::parse(&text).map_err(|d| bad(format!("poison sidecar: {d}")))?;
+    let version = doc
+        .get("version")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| bad("poison sidecar: missing \"version\"".into()))?;
+    if version != POISON_VERSION {
+        return Err(bad(format!("poison sidecar: foreign version {version}")));
+    }
+    let workload = doc
+        .get("workload")
+        .and_then(Value::as_str)
+        .ok_or_else(|| bad("poison sidecar: missing \"workload\"".into()))?
+        .to_string();
+    let config_hash = doc
+        .get("config_hash")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| bad("poison sidecar: missing \"config_hash\"".into()))?;
+    let raw = doc
+        .get("poisoned")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| bad("poison sidecar: missing \"poisoned\"".into()))?;
+    let mut entries = Vec::with_capacity(raw.len());
+    for (i, e) in raw.iter().enumerate() {
+        let field = |k: &str| {
+            e.get(k)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| bad(format!("poison entry {i}: missing \"{k}\"")))
+        };
+        entries.push(PoisonEntry {
+            trial: field("trial")?,
+            site: FaultSite {
+                wg: u32::try_from(field("wg")?)
+                    .map_err(|_| bad(format!("poison entry {i}: \"wg\" out of range")))?,
+                after_retired: field("after")?,
+                reg: u8::try_from(field("reg")?)
+                    .map_err(|_| bad(format!("poison entry {i}: \"reg\" out of range")))?,
+                lane: u8::try_from(field("lane")?)
+                    .map_err(|_| bad(format!("poison entry {i}: \"lane\" out of range")))?,
+                bit: u8::try_from(field("bit")?)
+                    .map_err(|_| bad(format!("poison entry {i}: \"bit\" out of range")))?,
+            },
+            attempts: field("attempts")? as u32,
+            reason: e
+                .get("reason")
+                .and_then(Value::as_str)
+                .ok_or_else(|| bad(format!("poison entry {i}: missing \"reason\"")))?
+                .to_string(),
+        });
+    }
+    entries.sort_by_key(|e| e.trial);
+    entries.dedup_by_key(|e| e.trial);
+    Ok(PoisonSidecar { workload, config_hash, entries })
+}
+
+/// Load the sidecar, quarantining malformed files (like checkpoint
+/// corruption: moved to `<path>.corrupt` with a warning, treated as
+/// absent). A fingerprint mismatch is a hard error — the sidecar belongs to
+/// a different campaign.
+fn load_or_quarantine_poison(
+    path: &Path,
+    fingerprint: u64,
+) -> Result<Vec<PoisonEntry>, SupervisorError> {
+    if !path.exists() {
+        return Ok(Vec::new());
+    }
+    match load_poison(path) {
+        Ok(sidecar) => {
+            if sidecar.config_hash != fingerprint {
+                return Err(SupervisorError::SidecarMismatch {
+                    expected: fingerprint,
+                    found: sidecar.config_hash,
+                });
+            }
+            Ok(sidecar.entries)
+        }
+        Err(SupervisorError::Protocol { detail }) => {
+            match quarantine_corrupt(path) {
+                Some(q) => eprintln!(
+                    "warning: corrupt poison sidecar at {} ({detail}); moved to {}",
+                    path.display(),
+                    q.display()
+                ),
+                None => eprintln!(
+                    "warning: corrupt poison sidecar at {} ({detail}); quarantine failed, ignoring it",
+                    path.display()
+                ),
+            }
+            Ok(Vec::new())
+        }
+        Err(e) => Err(e),
+    }
+}
+
+fn render_record_line(r: &SingleBitRecord, us: u64) -> String {
+    let mut out = String::with_capacity(128);
+    let _ = write!(
+        out,
+        "{{\"trial\": {}, \"wg\": {}, \"after\": {}, \"reg\": {}, \"lane\": {}, \"bit\": {}, \"outcome\": \"{}\", ",
+        r.trial,
+        r.site.wg,
+        r.site.after_retired,
+        r.site.reg,
+        r.site.lane,
+        r.site.bit,
+        r.outcome.kind().as_str(),
+    );
+    if let Outcome::Crash { reason } = &r.outcome {
+        out.push_str("\"reason\": ");
+        json::write_str(&mut out, reason);
+        out.push_str(", ");
+    }
+    let _ = write!(out, "\"read\": {}, \"us\": {us}}}", r.read_before_overwrite);
+    out
+}
+
+fn parse_record_line(v: &Value) -> Result<(SingleBitRecord, u64), String> {
+    let field = |k: &str| {
+        v.get(k).and_then(Value::as_u64).ok_or_else(|| format!("missing or non-integer \"{k}\""))
+    };
+    let kind = v
+        .get("outcome")
+        .and_then(Value::as_str)
+        .and_then(OutcomeKind::parse)
+        .ok_or_else(|| "missing or unknown \"outcome\"".to_string())?;
+    let outcome = match kind {
+        OutcomeKind::Masked => Outcome::Masked,
+        OutcomeKind::Sdc => Outcome::Sdc,
+        OutcomeKind::Hang => Outcome::Hang,
+        OutcomeKind::Crash => Outcome::Crash {
+            reason: v
+                .get("reason")
+                .and_then(Value::as_str)
+                .unwrap_or("unrecorded crash reason")
+                .to_string(),
+        },
+    };
+    let read =
+        v.get("read").and_then(Value::as_bool).ok_or_else(|| "missing \"read\"".to_string())?;
+    let record = SingleBitRecord {
+        trial: field("trial")?,
+        site: FaultSite {
+            wg: u32::try_from(field("wg")?).map_err(|_| "\"wg\" out of range".to_string())?,
+            after_retired: field("after")?,
+            reg: u8::try_from(field("reg")?).map_err(|_| "\"reg\" out of range".to_string())?,
+            lane: u8::try_from(field("lane")?).map_err(|_| "\"lane\" out of range".to_string())?,
+            bit: u8::try_from(field("bit")?).map_err(|_| "\"bit\" out of range".to_string())?,
+        },
+        outcome,
+        read_before_overwrite: read,
+    };
+    Ok((record, field("us")?))
+}
+
+// ---------------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------------
+
+fn drill(var: &str) -> Option<u64> {
+    std::env::var(var).ok()?.parse().ok()
+}
+
+/// Deliver SIGKILL to this process — the kill drill simulates an external
+/// killer (OOM, operator), which no in-process handler can observe.
+fn sigkill_self() -> ! {
+    let pid = std::process::id().to_string();
+    let _ = Command::new("kill").args(["-9", &pid]).status();
+    // No `kill` binary on PATH: abort still exercises the death path.
+    std::process::abort();
+}
+
+fn flag<'a>(args: &'a [String], name: &str) -> Result<&'a str, String> {
+    args.windows(2)
+        .find(|w| w[0] == name)
+        .map(|w| w[1].as_str())
+        .ok_or_else(|| format!("missing worker flag {name}"))
+}
+
+fn worker_run(args: &[String]) -> Result<(), String> {
+    let workload_name = flag(args, "--workload")?;
+    let parse_u64 = |name: &str| -> Result<u64, String> {
+        flag(args, name)?.parse::<u64>().map_err(|_| format!("bad integer for {name}"))
+    };
+    let scale = match flag(args, "--scale")? {
+        "test" => Scale::Test,
+        "paper" => Scale::Paper,
+        other => return Err(format!("unknown scale {other:?}")),
+    };
+    let wrap_oob = match flag(args, "--wrap-oob")? {
+        "true" => true,
+        "false" => false,
+        other => return Err(format!("bad --wrap-oob {other:?}")),
+    };
+    let trials = parse_trials(flag(args, "--trials")?)?;
+    let attempt = parse_u64("--attempt")? as u32;
+    let cfg = CampaignConfig {
+        seed: parse_u64("--seed")?,
+        // The budget is excluded from the fingerprint; any value covering
+        // the shard works.
+        injections: trials.len().max(1),
+        scale,
+        hang_factor: parse_u64("--hang-factor")?,
+        wrap_oob,
+        mode_bits: u8::try_from(parse_u64("--mode-bits")?)
+            .map_err(|_| "--mode-bits out of range".to_string())?,
+    };
+    let workload =
+        by_name(workload_name).ok_or_else(|| format!("unknown workload {workload_name:?}"))?;
+    let fingerprint = checkpoint::config_fingerprint(workload.name, &cfg);
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let io = |e: std::io::Error| format!("worker stdout: {e}");
+    writeln!(out, "{{\"mbavf_worker\": {PROTOCOL_VERSION}, \"fingerprint\": {fingerprint}}}")
+        .map_err(io)?;
+    out.flush().map_err(io)?;
+
+    let golden = golden_shape(&workload, &cfg).map_err(|d| format!("golden run failed: {d}"))?;
+    let sampler =
+        SiteSampler::new(&golden.per_wg_retired, golden.num_vregs).map_err(|e| e.to_string())?;
+    let inst = workload.build(cfg.scale);
+    let mut arena =
+        mbavf_sim::TrialArena::new(inst.program, inst.mem, inst.workgroups, cfg.wrap_oob);
+
+    for &trial in &trials {
+        // Fault drills, used by torture tests and the CI smoke job. Checked
+        // only here, in the worker: the supervisor never drills itself.
+        if drill("MBAVF_ABORT_DRILL") == Some(trial) {
+            std::process::abort();
+        }
+        if attempt == 0 && drill("MBAVF_KILL_DRILL") == Some(trial) {
+            sigkill_self();
+        }
+        if attempt == 0 && drill("MBAVF_TRUNC_DRILL") == Some(trial) {
+            // A torn stdout write: partial line, no newline, clean exit.
+            let _ = write!(out, "{{\"trial\": {trial}, \"wg\": 0");
+            let _ = out.flush();
+            return Ok(());
+        }
+        let site = sampler.sample(cfg.seed, trial);
+        let t0 = Instant::now();
+        let (outcome, read) = run_one_arena(&mut arena, &golden, site, cfg.mode_bits.max(1));
+        let us = t0.elapsed().as_micros() as u64;
+        let record = SingleBitRecord { trial, site, outcome, read_before_overwrite: read };
+        writeln!(out, "{}", render_record_line(&record, us)).map_err(io)?;
+        out.flush().map_err(io)?;
+    }
+    writeln!(out, "{{\"done\": {}}}", trials.len()).map_err(io)?;
+    out.flush().map_err(io)?;
+    Ok(())
+}
+
+/// Entry point for the hidden `__worker` argv. Hosting binaries (the
+/// campaign CLI, `harness = false` test binaries) must call this before
+/// anything else when `argv[1] == "__worker"`, passing the remaining
+/// arguments, and exit with the returned code.
+///
+/// On a fatal configuration error the worker emits `{"error": "<detail>"}`
+/// and returns exit code 10, which the supervisor reports as
+/// [`SupervisorError::WorkerFatal`] instead of retrying.
+pub fn worker_main(args: &[String]) -> i32 {
+    match worker_run(args) {
+        Ok(()) => 0,
+        Err(detail) => {
+            let mut line = String::from("{\"error\": ");
+            json::write_str(&mut line, &detail);
+            line.push('}');
+            println!("{line}");
+            let _ = std::io::stdout().flush();
+            10
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor side
+// ---------------------------------------------------------------------------
+
+enum ShardRun {
+    /// Worker finished every remaining trial.
+    Done,
+    /// Worker died (signal, abort, truncated stdout, watchdog kill).
+    Died { progress: bool, detail: String },
+    /// Non-retryable worker failure.
+    Fatal(SupervisorError),
+    /// First line was not a valid handshake for this campaign.
+    Mismatch(String),
+}
+
+struct SupCtx<'a> {
+    cfg: &'a CampaignConfig,
+    runner: &'a RunnerConfig,
+    sup: &'a SupervisorConfig,
+    workload_name: &'a str,
+    fingerprint: u64,
+    sampler: Option<&'a SiteSampler>,
+    shared: &'a Shared,
+    prior_poison: usize,
+    queue: Mutex<VecDeque<VecDeque<u64>>>,
+    poison: Mutex<Vec<PoisonEntry>>,
+    fatal: Mutex<Option<SupervisorError>>,
+    degrade: AtomicBool,
+    stop: AtomicBool,
+    live_children: AtomicUsize,
+}
+
+impl SupCtx<'_> {
+    fn should_stop(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+            || self.degrade.load(Ordering::SeqCst)
+            || self.shared.failed.load(Ordering::SeqCst)
+    }
+
+    fn raise_fatal(&self, e: SupervisorError) {
+        self.fatal.lock().expect("fatal lock").get_or_insert(e);
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Degrade is only safe while nothing has happened yet: no completed
+    /// trial, no new poison. Returns whether degradation was initiated.
+    fn try_degrade(&self) -> bool {
+        let untouched = self.shared.completed.load(Ordering::SeqCst) == 0
+            && self.poison.lock().expect("poison lock").is_empty();
+        if untouched {
+            self.degrade.store(true, Ordering::SeqCst);
+        }
+        untouched
+    }
+
+    fn backoff(&self, consecutive_failures: u32) -> Duration {
+        let shift = consecutive_failures.saturating_sub(1).min(16);
+        self.sup.backoff_base.saturating_mul(1u32 << shift).min(self.sup.backoff_cap)
+    }
+
+    fn worker_argv(&self, trials: &[u64], attempt: u32) -> Result<Vec<String>, String> {
+        let mut argv = match &self.sup.worker_cmd {
+            Some(base) => base.clone(),
+            None => {
+                let exe =
+                    std::env::current_exe().map_err(|e| format!("current_exe unavailable: {e}"))?;
+                vec![exe.to_string_lossy().into_owned(), "__worker".to_string()]
+            }
+        };
+        let scale = match self.cfg.scale {
+            Scale::Test => "test",
+            Scale::Paper => "paper",
+        };
+        argv.extend(
+            [
+                ("--workload", self.workload_name.to_string()),
+                ("--seed", self.cfg.seed.to_string()),
+                ("--scale", scale.to_string()),
+                ("--hang-factor", self.cfg.hang_factor.to_string()),
+                ("--wrap-oob", self.cfg.wrap_oob.to_string()),
+                ("--mode-bits", self.cfg.mode_bits.to_string()),
+                ("--trials", format_trials(trials)),
+                ("--attempt", attempt.to_string()),
+            ]
+            .into_iter()
+            .flat_map(|(k, v)| [k.to_string(), v]),
+        );
+        Ok(argv)
+    }
+
+    fn spawn_worker(&self, trials: &[u64], attempt: u32) -> Result<Child, String> {
+        let argv = self.worker_argv(trials, attempt)?;
+        let mut cmd = Command::new(&argv[0]);
+        cmd.args(&argv[1..]).stdin(Stdio::null()).stdout(Stdio::piped());
+        for (k, v) in &self.sup.worker_env {
+            cmd.env(k, v);
+        }
+        cmd.spawn().map_err(|e| format!("spawning {:?}: {e}", argv[0]))
+    }
+
+    /// Stream one worker's stdout, committing records as they arrive.
+    /// Committed trials are removed from `remaining`, so a retry respawns
+    /// only what is still missing — and the head of `remaining` is always
+    /// the trial the last death is attributable to.
+    fn stream_child(&self, child: &mut Child, remaining: &mut VecDeque<u64>) -> ShardRun {
+        let stdout = child.stdout.take().expect("worker stdout is piped");
+        let (tx, rx) = mpsc::channel::<String>();
+        std::thread::spawn(move || {
+            for line in BufReader::new(stdout).lines() {
+                match line {
+                    Ok(l) => {
+                        if tx.send(l).is_err() {
+                            return;
+                        }
+                    }
+                    Err(_) => return,
+                }
+            }
+        });
+
+        let kill_and_reap = |child: &mut Child| {
+            let _ = child.kill();
+            let _ = child.wait();
+        };
+        let deadline = Instant::now() + self.sup.shard_timeout;
+        let mut progress = false;
+        let mut handshaken = false;
+        loop {
+            if self.should_stop() {
+                kill_and_reap(child);
+                return ShardRun::Died { progress, detail: "supervisor shutdown".into() };
+            }
+            let wait =
+                deadline.saturating_duration_since(Instant::now()).min(Duration::from_millis(50));
+            match rx.recv_timeout(wait) {
+                Ok(line) => {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    if !handshaken {
+                        let ok = json::parse(&line).ok().is_some_and(|v| {
+                            v.get("mbavf_worker").and_then(Value::as_u64) == Some(PROTOCOL_VERSION)
+                                && v.get("fingerprint").and_then(Value::as_u64)
+                                    == Some(self.fingerprint)
+                        });
+                        if !ok {
+                            kill_and_reap(child);
+                            let head: String = line.chars().take(120).collect();
+                            return ShardRun::Mismatch(format!(
+                                "expected worker handshake, got {head:?}"
+                            ));
+                        }
+                        handshaken = true;
+                        continue;
+                    }
+                    let Ok(v) = json::parse(&line) else {
+                        // A torn line: the worker died mid-write. The EOF
+                        // that follows drives the retry; nothing to commit.
+                        continue;
+                    };
+                    if let Some(detail) = v.get("error").and_then(Value::as_str) {
+                        kill_and_reap(child);
+                        return ShardRun::Fatal(SupervisorError::WorkerFatal {
+                            detail: detail.to_string(),
+                        });
+                    }
+                    if v.get("done").is_some() {
+                        let _ = child.wait();
+                        return if remaining.is_empty() {
+                            ShardRun::Done
+                        } else {
+                            ShardRun::Fatal(SupervisorError::Protocol {
+                                detail: format!(
+                                    "worker reported done with {} trials unaccounted for",
+                                    remaining.len()
+                                ),
+                            })
+                        };
+                    }
+                    let (record, us) = match parse_record_line(&v) {
+                        Ok(r) => r,
+                        Err(detail) => {
+                            kill_and_reap(child);
+                            return ShardRun::Fatal(SupervisorError::Protocol {
+                                detail: format!("bad record line: {detail}"),
+                            });
+                        }
+                    };
+                    let Some(pos) = remaining.iter().position(|&t| t == record.trial) else {
+                        kill_and_reap(child);
+                        return ShardRun::Fatal(SupervisorError::Protocol {
+                            detail: format!(
+                                "worker emitted trial {} outside its shard",
+                                record.trial
+                            ),
+                        });
+                    };
+                    remaining.remove(pos);
+                    progress = true;
+                    let done = self.shared.commit(record, us);
+                    if let Some(path) = &self.runner.checkpoint {
+                        if done.is_multiple_of(self.runner.checkpoint_every) {
+                            self.shared.snapshot(
+                                self.workload_name,
+                                self.fingerprint,
+                                self.cfg.mode_bits,
+                                path,
+                            );
+                        }
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if Instant::now() >= deadline {
+                        kill_and_reap(child);
+                        return ShardRun::Died {
+                            progress,
+                            detail: format!(
+                                "shard watchdog fired after {:?} with {} trials outstanding",
+                                self.sup.shard_timeout,
+                                remaining.len()
+                            ),
+                        };
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    let status = child
+                        .wait()
+                        .map(|s| s.to_string())
+                        .unwrap_or_else(|e| format!("unwaitable: {e}"));
+                    // A worker that drained its shard but lost the sentinel
+                    // did all the work; don't retry an empty shard.
+                    return if remaining.is_empty() {
+                        ShardRun::Done
+                    } else {
+                        ShardRun::Died {
+                            progress,
+                            detail: format!(
+                                "worker died ({status}) with {} trials left",
+                                remaining.len()
+                            ),
+                        }
+                    };
+                }
+            }
+        }
+    }
+
+    /// Drive one shard to completion: spawn/respawn with backoff, poison
+    /// the head trial after repeated no-progress death.
+    fn run_shard(&self, mut remaining: VecDeque<u64>) {
+        let mut attempts: u32 = 0; // consecutive no-progress worker deaths
+        let mut spawn_fails: u32 = 0;
+        let mut last_fail = String::from("never ran");
+        while !remaining.is_empty() {
+            if self.should_stop() {
+                return;
+            }
+            if attempts > self.sup.max_retries {
+                let trial = remaining.pop_front().expect("remaining is non-empty");
+                let sampler = self.sampler.expect("pending trials imply a sampler");
+                let entry = PoisonEntry {
+                    trial,
+                    site: sampler.sample(self.cfg.seed, trial),
+                    reason: last_fail.clone(),
+                    attempts,
+                };
+                eprintln!(
+                    "warning: poisoning trial {trial} after {attempts} failed worker attempts ({last_fail})"
+                );
+                let total = {
+                    let mut poison = self.poison.lock().expect("poison lock");
+                    poison.push(entry);
+                    self.prior_poison + poison.len()
+                };
+                if total > self.sup.max_poison {
+                    self.raise_fatal(SupervisorError::TooManyPoisoned {
+                        poisoned: total,
+                        cap: self.sup.max_poison,
+                    });
+                    return;
+                }
+                attempts = 0;
+                last_fail = String::from("never ran");
+                continue;
+            }
+            let failures = attempts.max(spawn_fails);
+            if failures > 0 {
+                std::thread::sleep(self.backoff(failures));
+            }
+            let trials: Vec<u64> = remaining.iter().copied().collect();
+            let mut child = match self.spawn_worker(&trials, attempts + spawn_fails) {
+                Ok(c) => c,
+                Err(detail) => {
+                    if self.try_degrade() {
+                        return;
+                    }
+                    spawn_fails += 1;
+                    if spawn_fails > self.sup.max_retries {
+                        self.raise_fatal(SupervisorError::Spawn { detail });
+                        return;
+                    }
+                    continue;
+                }
+            };
+            self.live_children.fetch_add(1, Ordering::SeqCst);
+            let run = self.stream_child(&mut child, &mut remaining);
+            self.live_children.fetch_sub(1, Ordering::SeqCst);
+            spawn_fails = 0;
+            match run {
+                ShardRun::Done => return,
+                ShardRun::Died { progress, detail } => {
+                    attempts = if progress { 1 } else { attempts + 1 };
+                    last_fail = detail;
+                }
+                ShardRun::Fatal(e) => {
+                    self.raise_fatal(e);
+                    return;
+                }
+                ShardRun::Mismatch(detail) => {
+                    if self.try_degrade() {
+                        eprintln!(
+                            "warning: worker handshake failed ({detail}); is this binary missing the __worker dispatch?"
+                        );
+                        return;
+                    }
+                    self.raise_fatal(SupervisorError::Protocol { detail });
+                    return;
+                }
+            }
+        }
+    }
+
+    fn handler(&self) {
+        let _slot = WorkerGuard::retire_on_drop(self.shared);
+        loop {
+            if self.should_stop() {
+                return;
+            }
+            let Some(shard) = self.queue.lock().expect("queue lock").pop_front() else {
+                return;
+            };
+            self.run_shard(shard);
+        }
+    }
+}
+
+/// Run (or resume) a campaign with worker subprocesses.
+///
+/// Identical record semantics to [`crate::runner::run_campaign`] — the same
+/// checkpoint format, the same fingerprint, bit-identical non-poison
+/// records at any worker count — plus the failure policy described at the
+/// module level. Trials that repeatedly kill their worker are poisoned
+/// rather than failing the campaign; if workers cannot be spawned at all
+/// the supervisor degrades to the thread-mode engine with a warning.
+///
+/// # Errors
+///
+/// Everything [`crate::runner::run_campaign`] can raise, plus
+/// [`InjectError::Supervisor`] for a fatal worker error (exit 10), a
+/// protocol violation after trials have completed, a poison sidecar from a
+/// different campaign, or more than [`SupervisorConfig::max_poison`]
+/// poisoned trials.
+pub fn run_supervised(
+    workload: &Workload,
+    cfg: &CampaignConfig,
+    runner: &RunnerConfig,
+    sup: &SupervisorConfig,
+) -> Result<CampaignReport, InjectError> {
+    if runner.checkpoint.is_some() && runner.checkpoint_every == 0 {
+        return Err(InjectError::BadConfig {
+            detail: "checkpoint_every must be at least 1 when checkpointing".into(),
+        });
+    }
+    if sup.shard_size == 0 {
+        return Err(InjectError::BadConfig { detail: "shard_size must be at least 1".into() });
+    }
+
+    let golden = golden_shape(workload, cfg).map_err(|detail| InjectError::GoldenRunFailed {
+        workload: workload.name.to_string(),
+        detail,
+    })?;
+    let sampler = if cfg.injections == 0 {
+        None
+    } else {
+        Some(SiteSampler::new(&golden.per_wg_retired, golden.num_vregs).map_err(|e| match e {
+            InjectError::EmptySampleSpace { detail } => {
+                InjectError::EmptySampleSpace { detail: format!("{}: {detail}", workload.name) }
+            }
+            other => other,
+        })?)
+    };
+    let fingerprint = checkpoint::config_fingerprint(workload.name, cfg);
+
+    let (slots, resumed) = restore_slots(runner, fingerprint, cfg.injections)?;
+    let poison_path = sup
+        .poison_path
+        .clone()
+        .or_else(|| runner.checkpoint.as_ref().map(|p| default_poison_path(p)));
+    let prior_poison = match &poison_path {
+        Some(p) => load_or_quarantine_poison(p, fingerprint).map_err(InjectError::from)?,
+        None => Vec::new(),
+    };
+
+    // Work list: not restored, not previously poisoned, cut to the
+    // graceful-stop budget — same ordering contract as thread mode.
+    let mut pending: Vec<u64> = (0..cfg.injections as u64)
+        .filter(|&t| slots[t as usize].is_none() && !prior_poison.iter().any(|e| e.trial == t))
+        .collect();
+    let total_missing = pending.len();
+    if let Some(cap) = runner.stop_after {
+        pending.truncate(cap);
+    }
+
+    // Contiguous shards with boundaries fixed by trial index, so the shard
+    // layout is invariant under the worker count.
+    let mut shards: VecDeque<VecDeque<u64>> = VecDeque::new();
+    for &t in &pending {
+        let shard_id = t / sup.shard_size as u64;
+        match shards.back_mut() {
+            Some(last) if last.back().is_some_and(|&p| p / sup.shard_size as u64 == shard_id) => {
+                last.push_back(t)
+            }
+            _ => shards.push_back(VecDeque::from([t])),
+        }
+    }
+    let workers = if sup.workers == 0 {
+        std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+    } else {
+        sup.workers
+    }
+    .clamp(1, shards.len().max(1));
+
+    let shared = Shared::new(slots, pending.len());
+    shared.active_workers.store(workers, Ordering::SeqCst);
+    let ctx = SupCtx {
+        cfg,
+        runner,
+        sup,
+        workload_name: workload.name,
+        fingerprint,
+        sampler: sampler.as_ref(),
+        shared: &shared,
+        prior_poison: prior_poison.len(),
+        queue: Mutex::new(shards),
+        poison: Mutex::new(Vec::new()),
+        fatal: Mutex::new(None),
+        degrade: AtomicBool::new(false),
+        stop: AtomicBool::new(false),
+        live_children: AtomicUsize::new(0),
+    };
+
+    std::thread::scope(|scope| {
+        if let Some(interval) = runner.heartbeat {
+            if !pending.is_empty() {
+                let ctx = &ctx;
+                scope.spawn(move || {
+                    ctx.shared.monitor(
+                        interval,
+                        resumed,
+                        cfg.injections,
+                        "process",
+                        &|| ctx.live_children.load(Ordering::SeqCst),
+                        &|| {
+                            let n =
+                                ctx.prior_poison + ctx.poison.lock().expect("poison lock").len();
+                            if n == 0 {
+                                String::new()
+                            } else {
+                                format!(", poisoned {n}")
+                            }
+                        },
+                    );
+                });
+            }
+        }
+        for _ in 0..workers {
+            let ctx = &ctx;
+            scope.spawn(move || ctx.handler());
+        }
+    });
+
+    if ctx.degrade.load(Ordering::SeqCst) {
+        eprintln!(
+            "warning: process isolation unavailable; degrading to thread isolation for this campaign"
+        );
+        return run_campaign_with(workload, cfg, runner, &golden);
+    }
+
+    let mut new_poison = ctx.poison.into_inner().expect("poison lock");
+    new_poison.sort_by_key(|e| e.trial);
+    let newly_poisoned = new_poison.len();
+    let mut all_poison = prior_poison;
+    all_poison.extend(new_poison);
+    all_poison.sort_by_key(|e| e.trial);
+
+    // Persist what we have — records and poisons — even on a fatal error,
+    // so the evidence survives for the resume that follows the fix.
+    let records: Vec<SingleBitRecord> = {
+        let slots = shared.slots.lock().expect("slots lock");
+        slots.iter().flatten().cloned().collect()
+    };
+    if let Some(path) = &runner.checkpoint {
+        checkpoint::save(path, workload.name, fingerprint, cfg.mode_bits, &records)?;
+    }
+    if let Some(path) = &poison_path {
+        if !all_poison.is_empty() {
+            save_poison(path, workload.name, fingerprint, &all_poison)
+                .map_err(InjectError::from)?;
+        }
+    }
+
+    if let Some(e) = shared.take_error() {
+        return Err(e.into());
+    }
+    if let Some(e) = ctx.fatal.into_inner().expect("fatal lock") {
+        return Err(e.into());
+    }
+
+    let mut bundles = Vec::new();
+    if let Some(dir) = &runner.repro_dir {
+        let writer = crate::bundle::BundleWriter {
+            dir,
+            workload: workload.name,
+            cfg,
+            fingerprint,
+            golden_digest: mbavf_core::rng::fnv1a(&golden.output),
+            cap: runner.repro_cap,
+        };
+        bundles = writer.write(&records, &|r| r.outcome.is_error())?;
+        // Poisoned trials get repro bundles too: the whole point of the
+        // quarantine is that someone replays them later, in isolation.
+        let poison_records: Vec<SingleBitRecord> = all_poison
+            .iter()
+            .map(|e| SingleBitRecord {
+                trial: e.trial,
+                site: e.site,
+                outcome: Outcome::Crash { reason: format!("poison: {}", e.reason) },
+                read_before_overwrite: false,
+            })
+            .collect();
+        bundles.extend(writer.write(&poison_records, &|_| true)?);
+    }
+
+    let newly_run = shared.completed.load(Ordering::SeqCst);
+    let trial_latency = LatencyStats::from_micros(std::mem::take(
+        &mut *shared.latencies_us.lock().expect("latency lock"),
+    ));
+    Ok(CampaignReport {
+        summary: CampaignSummary { workload: workload.name, records },
+        resumed,
+        newly_run,
+        complete: newly_run + newly_poisoned == total_missing,
+        bundles,
+        poisoned: all_poison,
+        trial_latency,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_campaign;
+
+    fn cfg(n: usize) -> CampaignConfig {
+        CampaignConfig { seed: 0x5EED, injections: n, ..CampaignConfig::default() }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("mbavf-supervisor-{tag}"));
+        std::fs::remove_dir_all(&d).ok();
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn sh(script: &str) -> Option<Vec<String>> {
+        Some(vec!["sh".into(), "-c".into(), script.into()])
+    }
+
+    #[test]
+    fn rangelist_roundtrips() {
+        for trials in [
+            vec![0u64],
+            vec![0, 1, 2, 3],
+            vec![0, 1, 2, 5, 9, 10, 11, 40],
+            vec![7],
+            (100..200).collect(),
+        ] {
+            let s = format_trials(&trials);
+            assert_eq!(parse_trials(&s).unwrap(), trials, "via {s:?}");
+        }
+        assert_eq!(format_trials(&[0, 1, 2, 5, 9, 10, 11]), "0-2,5,9-11");
+        assert!(parse_trials("").is_err());
+        assert!(parse_trials("3-1").is_err());
+        assert!(parse_trials("a-b").is_err());
+    }
+
+    #[test]
+    fn poison_sidecar_roundtrips_and_quarantines() {
+        let dir = tmpdir("sidecar");
+        let path = dir.join("c.json.poison.json");
+        let entries = vec![
+            PoisonEntry {
+                trial: 3,
+                site: FaultSite { wg: 1, after_retired: 17, reg: 3, lane: 9, bit: 30 },
+                reason: "worker died (signal: 6) with 2 trials left".into(),
+                attempts: 3,
+            },
+            PoisonEntry {
+                trial: 9,
+                site: FaultSite { wg: 0, after_retired: 0, reg: 0, lane: 0, bit: 0 },
+                reason: "shard watchdog fired after 100ms with 1 trials outstanding".into(),
+                attempts: 1,
+            },
+        ];
+        save_poison(&path, "transpose", 0xABCD, &entries).unwrap();
+        let loaded = load_poison(&path).unwrap();
+        assert_eq!(loaded.workload, "transpose");
+        assert_eq!(loaded.config_hash, 0xABCD);
+        assert_eq!(loaded.entries, entries);
+        assert_eq!(load_or_quarantine_poison(&path, 0xABCD).unwrap(), entries);
+
+        // Wrong campaign: hard error, not quarantine.
+        assert!(matches!(
+            load_or_quarantine_poison(&path, 0xBEEF),
+            Err(SupervisorError::SidecarMismatch { expected: 0xBEEF, found: 0xABCD })
+        ));
+
+        // Corruption: quarantined aside, treated as absent.
+        std::fs::write(&path, "{ not json").unwrap();
+        assert_eq!(load_or_quarantine_poison(&path, 0xABCD).unwrap(), Vec::new());
+        assert!(!path.exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn record_line_roundtrips() {
+        let records = [
+            SingleBitRecord {
+                trial: 7,
+                site: FaultSite { wg: 2, after_retired: 99, reg: 11, lane: 63, bit: 31 },
+                outcome: Outcome::Crash { reason: "boom \"quoted\"\n".into() },
+                read_before_overwrite: true,
+            },
+            SingleBitRecord {
+                trial: 0,
+                site: FaultSite { wg: 0, after_retired: 0, reg: 0, lane: 0, bit: 0 },
+                outcome: Outcome::Masked,
+                read_before_overwrite: false,
+            },
+        ];
+        for r in records {
+            let line = render_record_line(&r, 1234);
+            let v = json::parse(&line).unwrap();
+            assert_eq!(parse_record_line(&v).unwrap(), (r, 1234));
+        }
+    }
+
+    #[test]
+    fn spawn_failure_degrades_to_thread_mode() {
+        let w = by_name("transpose").expect("registered");
+        let cfg = cfg(8);
+        let sup = SupervisorConfig {
+            workers: 1,
+            worker_cmd: Some(vec!["/nonexistent/mbavf-worker".into()]),
+            ..SupervisorConfig::default()
+        };
+        let report = run_supervised(&w, &cfg, &RunnerConfig::serial(), &sup).unwrap();
+        let thread = run_campaign(&w, &cfg, &RunnerConfig::serial()).unwrap();
+        assert_eq!(report.summary, thread.summary);
+        assert!(report.complete);
+        assert!(report.poisoned.is_empty());
+    }
+
+    #[test]
+    fn handshake_garbage_degrades_to_thread_mode() {
+        let w = by_name("transpose").expect("registered");
+        let cfg = cfg(6);
+        let sup = SupervisorConfig {
+            workers: 1,
+            worker_cmd: sh("echo 'running 4 tests'"),
+            ..SupervisorConfig::default()
+        };
+        let report = run_supervised(&w, &cfg, &RunnerConfig::serial(), &sup).unwrap();
+        let thread = run_campaign(&w, &cfg, &RunnerConfig::serial()).unwrap();
+        assert_eq!(report.summary, thread.summary);
+        assert!(report.poisoned.is_empty());
+    }
+
+    #[test]
+    fn watchdog_poisons_silent_workers() {
+        // A worker that hangs without ever speaking: every trial is
+        // eventually poisoned, the campaign still completes, honestly
+        // reporting zero measured trials.
+        let w = by_name("transpose").expect("registered");
+        let cfg = cfg(2);
+        let sup = SupervisorConfig {
+            workers: 1,
+            shard_timeout: Duration::from_millis(200),
+            max_retries: 0,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(5),
+            max_poison: 8,
+            worker_cmd: sh("sleep 5"),
+            ..SupervisorConfig::default()
+        };
+        let report = run_supervised(&w, &cfg, &RunnerConfig::serial(), &sup).unwrap();
+        assert!(report.complete);
+        assert_eq!(report.newly_run, 0);
+        assert_eq!(report.summary.records.len(), 0);
+        assert_eq!(report.poisoned.len(), 2);
+        assert_eq!(report.poisoned[0].trial, 0);
+        assert_eq!(report.poisoned[1].trial, 1);
+        assert!(report.poisoned[0].reason.contains("watchdog"), "{}", report.poisoned[0].reason);
+    }
+
+    #[test]
+    fn poison_cap_aborts_the_campaign() {
+        let w = by_name("transpose").expect("registered");
+        let cfg = cfg(3);
+        let sup = SupervisorConfig {
+            workers: 1,
+            shard_timeout: Duration::from_millis(150),
+            max_retries: 0,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(5),
+            max_poison: 1,
+            worker_cmd: sh("sleep 5"),
+            ..SupervisorConfig::default()
+        };
+        let err = run_supervised(&w, &cfg, &RunnerConfig::serial(), &sup).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                InjectError::Supervisor(SupervisorError::TooManyPoisoned { poisoned: 2, cap: 1 })
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn worker_error_line_is_fatal_not_retried() {
+        let w = by_name("transpose").expect("registered");
+        let cfg = cfg(4);
+        let fp = checkpoint::config_fingerprint(w.name, &cfg);
+        let script = format!(
+            "echo '{{\"mbavf_worker\": {PROTOCOL_VERSION}, \"fingerprint\": {fp}}}'; \
+             echo '{{\"error\": \"unknown workload\"}}'; exit 10"
+        );
+        let sup =
+            SupervisorConfig { workers: 1, worker_cmd: sh(&script), ..SupervisorConfig::default() };
+        let err = run_supervised(&w, &cfg, &RunnerConfig::serial(), &sup).unwrap_err();
+        match err {
+            InjectError::Supervisor(SupervisorError::WorkerFatal { detail }) => {
+                assert_eq!(detail, "unknown workload");
+            }
+            other => panic!("expected WorkerFatal, got {other}"),
+        }
+    }
+
+    #[test]
+    fn worker_cli_flag_parsing_rejects_garbage() {
+        let args = |list: &[(&str, &str)]| -> Vec<String> {
+            list.iter().flat_map(|(k, v)| [k.to_string(), v.to_string()]).collect()
+        };
+        let base = args(&[
+            ("--workload", "transpose"),
+            ("--seed", "1"),
+            ("--scale", "test"),
+            ("--hang-factor", "8"),
+            ("--wrap-oob", "true"),
+            ("--mode-bits", "1"),
+            ("--trials", "0-3"),
+            ("--attempt", "0"),
+        ]);
+        // A fully valid argv parses up to the golden run (exercised by the
+        // torture tests); here, check each way it can be malformed.
+        for (flag_name, bad) in [
+            ("--scale", "huge"),
+            ("--wrap-oob", "yes"),
+            ("--trials", "5-1"),
+            ("--seed", "not-a-number"),
+            ("--workload", "no-such-workload"),
+        ] {
+            let mut argv = base.clone();
+            let i = argv.iter().position(|a| a == flag_name).unwrap();
+            argv[i + 1] = bad.to_string();
+            assert!(worker_run(&argv).is_err(), "{flag_name}={bad} must be rejected");
+        }
+        assert!(worker_run(&base[2..]).is_err(), "missing --workload must be rejected");
+    }
+}

@@ -1,14 +1,78 @@
 //! Durability torture: checkpoint and repro-bundle loading must survive
 //! arbitrary on-disk damage — every possible truncation length and every
-//! single-byte corruption of a valid file — without panicking, and the
-//! campaign engine must quarantine damage and carry on.
+//! single-byte corruption of a valid file — without panicking; the campaign
+//! engine must quarantine damage and carry on; and the process-isolation
+//! supervisor must survive workers that abort, get SIGKILLed, or tear their
+//! stdout mid-record.
+//!
+//! This test runs with `harness = false` and a hand-rolled main: the
+//! supervisor re-executes the current binary with a hidden `__worker` argv,
+//! which libtest's own main would swallow (recursively running the test
+//! suite inside every worker). Our main dispatches `__worker` to
+//! [`mbavf_inject::worker_main`] before anything else, making re-execution
+//! safe.
 
 use mbavf_core::error::{BundleError, CheckpointError};
-use mbavf_inject::campaign::CampaignConfig;
+use mbavf_inject::campaign::{CampaignConfig, Outcome, OutcomeKind};
 use mbavf_inject::runner::{quarantine_corrupt, quarantine_path};
-use mbavf_inject::{bundle, checkpoint, run_campaign, RunnerConfig};
+use mbavf_inject::supervisor::{default_poison_path, load_poison};
+use mbavf_inject::{
+    bundle, checkpoint, run_campaign, run_supervised, worker_main, RunnerConfig, SupervisorConfig,
+};
 use mbavf_workloads::by_name;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("__worker") {
+        std::process::exit(worker_main(&args[2..]));
+    }
+    let tests: &[(&str, fn())] = &[
+        ("checkpoint_load_never_panics_under_damage", checkpoint_load_never_panics_under_damage),
+        ("bundle_load_never_panics_under_damage", bundle_load_never_panics_under_damage),
+        (
+            "quarantine_preserves_every_corpse_and_degrades",
+            quarantine_preserves_every_corpse_and_degrades,
+        ),
+        (
+            "kill_resume_with_mid_run_corruption_converges",
+            kill_resume_with_mid_run_corruption_converges,
+        ),
+        (
+            "process_isolation_matches_thread_mode_bit_exact",
+            process_isolation_matches_thread_mode_bit_exact,
+        ),
+        ("abort_drill_poisons_and_resumes_clean", abort_drill_poisons_and_resumes_clean),
+        ("sigkill_mid_shard_recovers_bit_exact", sigkill_mid_shard_recovers_bit_exact),
+        ("stdout_truncation_recovers_bit_exact", stdout_truncation_recovers_bit_exact),
+        ("process_kill_resume_converges_cross_mode", process_kill_resume_converges_cross_mode),
+    ];
+    let filter = args.iter().skip(1).find(|a| !a.starts_with('-')).cloned();
+    let mut ran = 0usize;
+    let mut failed = 0usize;
+    for (name, f) in tests {
+        if let Some(fil) = &filter {
+            if !name.contains(fil.as_str()) {
+                continue;
+            }
+        }
+        ran += 1;
+        println!("test {name} ...");
+        match std::panic::catch_unwind(f) {
+            Ok(()) => println!("test {name} ... ok"),
+            Err(_) => {
+                println!("test {name} ... FAILED");
+                failed += 1;
+            }
+        }
+    }
+    let verdict = if failed == 0 { "ok" } else { "FAILED" };
+    println!("\ntest result: {verdict}. {} passed; {failed} failed", ran - failed);
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}
 
 fn tmpdir(tag: &str) -> PathBuf {
     let d = std::env::temp_dir().join(format!("mbavf-torture-{tag}"));
@@ -33,11 +97,25 @@ fn seed_artifacts(dir: &Path) -> (PathBuf, Vec<PathBuf>) {
     (ckpt, report.bundles)
 }
 
+/// A supervisor tuned for tests: tiny shards (so several workers get work),
+/// millisecond backoff, and a watchdog short enough to fail fast but long
+/// enough for a debug-build worker to do real work.
+fn test_supervisor(workers: usize, shard_size: usize) -> SupervisorConfig {
+    SupervisorConfig {
+        workers,
+        shard_size,
+        shard_timeout: Duration::from_secs(60),
+        max_retries: 1,
+        backoff_base: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(20),
+        ..SupervisorConfig::default()
+    }
+}
+
 /// Every prefix truncation and every single-byte corruption of a valid
 /// checkpoint must load as `Ok` or a typed error — never a panic. The
 /// damaged loads are run under `catch_unwind` so a regression reports the
 /// offending byte rather than aborting the suite.
-#[test]
 fn checkpoint_load_never_panics_under_damage() {
     let dir = tmpdir("ckpt");
     let (ckpt, _) = seed_artifacts(&dir);
@@ -76,7 +154,6 @@ fn checkpoint_load_never_panics_under_damage() {
 
 /// The same torture applied to repro bundles: `bundle::load` must return
 /// `Ok` or a typed [`BundleError`] on every prefix and every flipped byte.
-#[test]
 fn bundle_load_never_panics_under_damage() {
     let dir = tmpdir("bundle");
     let (_, bundles) = seed_artifacts(&dir);
@@ -115,7 +192,6 @@ fn bundle_load_never_panics_under_damage() {
 /// Quarantine never clobbers earlier evidence: a second corruption of the
 /// same checkpoint moves to `.corrupt.1` while `.corrupt` keeps the first
 /// damaged file, and a vanished path degrades to `None` instead of failing.
-#[test]
 fn quarantine_preserves_every_corpse_and_degrades() {
     let dir = tmpdir("quarantine");
     let path = dir.join("camp.json");
@@ -144,7 +220,6 @@ fn quarantine_preserves_every_corpse_and_degrades() {
 /// Kill-and-resume loop with damage injected between rounds: whatever
 /// prefix the checkpoint holds, a resumed campaign ends with the exact
 /// record set of an uninterrupted run, and the bundle set matches too.
-#[test]
 fn kill_resume_with_mid_run_corruption_converges() {
     let w = by_name("fast_walsh").expect("registered");
     let cfg = CampaignConfig { seed: 7, injections: 24, ..CampaignConfig::default() };
@@ -188,4 +263,145 @@ fn kill_resume_with_mid_run_corruption_converges() {
     }
     std::fs::remove_dir_all(&dir).ok();
     std::fs::remove_dir_all(&clean_dir).ok();
+}
+
+/// Real subprocess workers (re-executing this binary through `__worker`)
+/// must produce records bit-identical to the in-process thread engine, at
+/// any worker count and shard size — including crash outcomes, whose
+/// reasons cross the stdout protocol as escaped JSON.
+fn process_isolation_matches_thread_mode_bit_exact() {
+    let w = by_name("histogram").expect("registered");
+    let cfg = CampaignConfig {
+        seed: 0xC0FFEE,
+        injections: 40,
+        wrap_oob: false,
+        ..CampaignConfig::default()
+    };
+    let thread = run_campaign(&w, &cfg, &RunnerConfig::serial()).unwrap();
+    assert!(
+        thread.summary.count(OutcomeKind::Crash) > 0,
+        "campaign must include crash outcomes to exercise reason transport"
+    );
+    for (workers, shard_size) in [(1usize, 8usize), (2, 8), (3, 64)] {
+        let sup = test_supervisor(workers, shard_size);
+        let report = run_supervised(&w, &cfg, &RunnerConfig::serial(), &sup).unwrap();
+        assert!(report.complete, "workers={workers} shard={shard_size}");
+        assert!(report.poisoned.is_empty(), "workers={workers} shard={shard_size}");
+        assert_eq!(report.summary, thread.summary, "workers={workers} shard={shard_size}");
+        assert!(report.trial_latency.is_some(), "worker latencies must reach the report");
+    }
+}
+
+/// The abort drill end-to-end: a worker that calls `std::process::abort()`
+/// on a marker trial is retried, bisected, and the marker poisoned — the
+/// campaign completes with N−1 trials, the sidecar and a repro bundle name
+/// exactly the marker, and a later resume leaves the quarantine intact.
+fn abort_drill_poisons_and_resumes_clean() {
+    let w = by_name("fast_walsh").expect("registered");
+    let cfg = CampaignConfig { seed: 7, injections: 12, ..CampaignConfig::default() };
+    let dir = tmpdir("abort-drill");
+    let ckpt = dir.join("camp.json");
+    let runner = RunnerConfig {
+        checkpoint: Some(ckpt.clone()),
+        checkpoint_every: 4,
+        repro_dir: Some(dir.join("repro")),
+        ..RunnerConfig::serial()
+    };
+    let marker = 5u64;
+    let mut sup = test_supervisor(2, 4);
+    sup.worker_env = vec![("MBAVF_ABORT_DRILL".into(), marker.to_string())];
+
+    let report = run_supervised(&w, &cfg, &runner, &sup).unwrap();
+    assert!(report.complete);
+    assert_eq!(report.newly_run, 11);
+    assert_eq!(report.poisoned.len(), 1, "poisoned: {:?}", report.poisoned);
+    assert_eq!(report.poisoned[0].trial, marker);
+    assert!(report.summary.records.iter().all(|r| r.trial != marker));
+
+    // The sidecar names exactly the drilled trial.
+    let sidecar = load_poison(&default_poison_path(&ckpt)).unwrap();
+    assert_eq!(sidecar.entries.len(), 1);
+    assert_eq!(sidecar.entries[0].trial, marker);
+    assert_eq!(sidecar.config_hash, checkpoint::config_fingerprint(w.name, &cfg));
+
+    // The poisoned trial has a standard repro bundle, flagged as poison.
+    let fp = checkpoint::config_fingerprint(w.name, &cfg);
+    let bpath = bundle::bundle_path(&dir.join("repro"), w.name, fp, marker, OutcomeKind::Crash);
+    assert!(bpath.exists(), "missing poison bundle {}", bpath.display());
+    let b = bundle::load(&bpath).unwrap();
+    assert!(
+        matches!(&b.outcome, Outcome::Crash { reason } if reason.starts_with("poison: ")),
+        "{:?}",
+        b.outcome
+    );
+
+    // Resume without the drill: the quarantine holds (the trial is *not*
+    // retried just because the environment recovered), nothing re-runs, and
+    // the summary is unchanged.
+    let resume = run_supervised(&w, &cfg, &runner, &test_supervisor(1, 4)).unwrap();
+    assert!(resume.complete);
+    assert_eq!(resume.newly_run, 0);
+    assert_eq!(resume.resumed, 11);
+    assert_eq!(resume.poisoned, report.poisoned);
+    assert_eq!(resume.summary, report.summary);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// SIGKILL mid-shard: the worker kills itself (simulating the OOM killer)
+/// before the marker trial on its first attempt only. The respawn must pick
+/// up exactly the remaining trials and converge bit-exact with no poison.
+fn sigkill_mid_shard_recovers_bit_exact() {
+    let w = by_name("fast_walsh").expect("registered");
+    let cfg = CampaignConfig { seed: 7, injections: 12, ..CampaignConfig::default() };
+    let thread = run_campaign(&w, &cfg, &RunnerConfig::serial()).unwrap();
+    let mut sup = test_supervisor(2, 4);
+    sup.worker_env = vec![("MBAVF_KILL_DRILL".into(), "6".into())];
+    let report = run_supervised(&w, &cfg, &RunnerConfig::serial(), &sup).unwrap();
+    assert!(report.complete);
+    assert!(report.poisoned.is_empty(), "kill drill must recover, not poison");
+    assert_eq!(report.summary, thread.summary);
+}
+
+/// Torn stdout: the worker writes half a record line, flushes, and exits
+/// cleanly. The supervisor must discard the partial line, respawn on the
+/// remaining trials, and converge bit-exact with no poison.
+fn stdout_truncation_recovers_bit_exact() {
+    let w = by_name("fast_walsh").expect("registered");
+    let cfg = CampaignConfig { seed: 7, injections: 12, ..CampaignConfig::default() };
+    let thread = run_campaign(&w, &cfg, &RunnerConfig::serial()).unwrap();
+    let mut sup = test_supervisor(2, 4);
+    sup.worker_env = vec![("MBAVF_TRUNC_DRILL".into(), "2".into())];
+    let report = run_supervised(&w, &cfg, &RunnerConfig::serial(), &sup).unwrap();
+    assert!(report.complete);
+    assert!(report.poisoned.is_empty(), "truncation must recover, not poison");
+    assert_eq!(report.summary, thread.summary);
+}
+
+/// A process-isolated campaign interrupted by `stop_after` must resume —
+/// in *thread* mode — into the identical final checkpoint and summary:
+/// isolation is an execution property, never a record property.
+fn process_kill_resume_converges_cross_mode() {
+    let w = by_name("fast_walsh").expect("registered");
+    let cfg = CampaignConfig { seed: 7, injections: 16, ..CampaignConfig::default() };
+    let clean = run_campaign(&w, &cfg, &RunnerConfig::serial()).unwrap();
+
+    let dir = tmpdir("proc-resume");
+    let ckpt = dir.join("camp.json");
+    let runner = |stop| RunnerConfig {
+        checkpoint: Some(ckpt.clone()),
+        checkpoint_every: 2,
+        stop_after: stop,
+        ..RunnerConfig::serial()
+    };
+    let first = run_supervised(&w, &cfg, &runner(Some(6)), &test_supervisor(2, 4)).unwrap();
+    assert!(!first.complete);
+    assert_eq!(first.newly_run, 6);
+
+    let finished = run_campaign(&w, &cfg, &runner(None)).unwrap();
+    assert!(finished.complete);
+    assert_eq!(finished.resumed, 6);
+    assert_eq!(finished.summary, clean.summary, "process-then-thread resume diverged");
+    let reloaded = checkpoint::load(&ckpt).unwrap();
+    assert_eq!(reloaded.records, clean.summary.records);
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -27,6 +27,19 @@ thread_local! {
     static ARMED: RefCell<bool> = const { RefCell::new(false) };
 }
 
+/// Render a panic payload as a crash reason. `&str` and `String` payloads
+/// (everything `panic!` produces) pass through verbatim; anything else —
+/// `panic_any` with an arbitrary type — is stamped with the payload's
+/// `TypeId` so two crashes carrying *different* non-string payloads never
+/// collapse into one deduplicated reason.
+fn payload_message(payload: &dyn std::any::Any) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| format!("non-string panic payload ({:?})", payload.type_id()))
+}
+
 fn install_hook() {
     HOOK.call_once(|| {
         let prev = panic::take_hook();
@@ -36,12 +49,7 @@ fn install_hook() {
                 prev(info);
                 return;
             }
-            let msg = info
-                .payload()
-                .downcast_ref::<&str>()
-                .map(|s| (*s).to_string())
-                .or_else(|| info.payload().downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "non-string panic payload".to_string());
+            let msg = payload_message(info.payload());
             let reason = match info.location() {
                 Some(loc) => format!("{msg} (at {}:{})", loc.file(), loc.line()),
                 None => msg,
@@ -72,11 +80,7 @@ pub fn catch_crash<R>(f: impl FnOnce() -> R) -> Result<R, String> {
         Err(payload) => Err(captured.unwrap_or_else(|| {
             // The hook missed (e.g. a panic while panicking): fall back to
             // the unwind payload.
-            payload
-                .downcast_ref::<&str>()
-                .map(|s| (*s).to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "unknown panic".to_string())
+            payload_message(payload.as_ref())
         })),
     }
 }
@@ -103,6 +107,24 @@ mod tests {
         let idx = 10usize;
         let err = catch_crash(|| v[idx]).unwrap_err();
         assert!(err.contains("out of bounds"), "{err}");
+    }
+
+    #[test]
+    fn non_string_payloads_keep_distinct_type_identities() {
+        // `panic_any` with two different payload types must NOT produce the
+        // same crash reason — crash-reason dedup (bundles, poison
+        // quarantine) would otherwise merge unrelated failures.
+        let a = catch_crash(|| -> () { std::panic::panic_any(42u32) }).unwrap_err();
+        let b = catch_crash(|| -> () { std::panic::panic_any(2.5f64) }).unwrap_err();
+        assert!(a.contains("non-string panic payload"), "{a}");
+        assert!(b.contains("non-string panic payload"), "{b}");
+        // Compare payload identities with source locations stripped, so the
+        // distinction comes from the type, not the panic site.
+        let strip = |s: &str| s.split(" (at ").next().unwrap().to_string();
+        assert_ne!(strip(&a), strip(&b), "different payload types must yield different reasons");
+        // The same type twice yields the same reason (dedup still works).
+        let a2 = catch_crash(|| -> () { std::panic::panic_any(7u32) }).unwrap_err();
+        assert_eq!(strip(&a), strip(&a2));
     }
 
     #[test]
