@@ -8,12 +8,14 @@
 //!          [--checkpoint-every 64] [--stop-after N]
 //!          [--scale test|paper] [--no-wrap-oob]
 //!          [--hang-multiplier K] [--heartbeat SECS]
-//!          [--isolation thread|process] [--workers N] [--shard-size N]
+//!          [--isolation thread|process|tcp] [--workers N] [--shard-size N]
 //!          [--shard-timeout SECS] [--max-retries N] [--backoff-ms MS]
 //!          [--max-poison N] [--poison-file FILE]
+//!          [--connect HOST:PORT,HOST:PORT,...] [--lease-timeout SECS]
 //!          [--confidence 0.95] [--fail-on sdc,hang,crash]
 //!          [--repro-dir DIR] [--repro-cap N]
 //!          [--target-ci-halfwidth H [--batch N] [--max-injections N]]
+//! campaign --listen HOST:PORT        # worker daemon for --isolation tcp
 //! ```
 //!
 //! Summaries are bit-identical for any `--threads` value, and a killed run
@@ -37,6 +39,19 @@
 //! completes. Non-poison records are bit-identical to thread mode. If
 //! workers cannot be spawned, the campaign degrades to thread isolation
 //! with a warning.
+//!
+//! `--isolation tcp` leases shards to **worker daemons on other machines**:
+//! start `campaign --listen 0.0.0.0:7017` on each worker host, then point
+//! the supervisor at them with `--connect hostA:7017,hostB:7017`. One
+//! supervisor handler drives each endpoint over a persistent connection;
+//! shard ownership is a sliding lease (`--lease-timeout`, default 30s)
+//! renewed by progress, a severed connection is redialed with backoff and
+//! re-leased from the first missing trial, and an endpoint that stays
+//! unreachable hands its shard to the surviving endpoints. Records merge
+//! idempotently by trial index, so replays and reorderings cannot
+//! double-count: non-poison records — and the checkpoint — are bit-identical
+//! to thread mode. If no endpoint ever produces a record the campaign
+//! degrades to local process isolation with a warning.
 //!
 //! A heartbeat line (trials done/total, trials/sec, per-kind counts, live
 //! workers, ETA) is printed to stderr every `--heartbeat` seconds
@@ -69,8 +84,9 @@
 
 use mbavf_core::stats::RateEstimate;
 use mbavf_inject::{
-    run_adaptive, run_campaign, run_supervised, worker_main, AdaptiveConfig, CampaignConfig,
-    CampaignReport, IsolationMode, OutcomeKind, RunnerConfig, SupervisorConfig,
+    run_adaptive, run_campaign, run_supervised, serve_main, worker_main, AdaptiveConfig,
+    CampaignConfig, CampaignReport, IsolationMode, OutcomeKind, RunnerConfig, SupervisorConfig,
+    TransportKind,
 };
 use mbavf_workloads::{by_name, suite, Scale};
 use std::path::PathBuf;
@@ -79,6 +95,7 @@ use std::time::Duration;
 
 struct Args {
     workload: String,
+    listen: Option<String>,
     cfg: CampaignConfig,
     runner: RunnerConfig,
     isolation: IsolationMode,
@@ -97,12 +114,14 @@ fn usage() -> String {
          \u{20}                [--threads N] [--checkpoint FILE] [--checkpoint-every N]\n\
          \u{20}                [--stop-after N] [--scale test|paper] [--no-wrap-oob]\n\
          \u{20}                [--hang-multiplier K] [--heartbeat SECS (0 = off)]\n\
-         \u{20}                [--isolation thread|process] [--workers N] [--shard-size N]\n\
+         \u{20}                [--isolation thread|process|tcp] [--workers N] [--shard-size N]\n\
          \u{20}                [--shard-timeout SECS] [--max-retries N] [--backoff-ms MS]\n\
          \u{20}                [--max-poison N] [--poison-file FILE]\n\
+         \u{20}                [--connect HOST:PORT,...] [--lease-timeout SECS]\n\
          \u{20}                [--confidence C] [--fail-on sdc,hang,crash]\n\
          \u{20}                [--repro-dir DIR] [--repro-cap N]\n\
          \u{20}                [--target-ci-halfwidth H [--batch N] [--max-injections N]]\n\
+         \u{20}      campaign --listen HOST:PORT   (worker daemon for --isolation tcp)\n\
          exit codes: 0 = done, 1 = error, 2 = --fail-on outcome seen,\n\
          \u{20}           3 = adaptive target not reached\n\
          workloads: {}",
@@ -142,6 +161,7 @@ fn parse_fail_on(v: &str) -> Result<Vec<OutcomeKind>, String> {
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         workload: String::new(),
+        listen: None,
         cfg: CampaignConfig { injections: 5000, scale: Scale::Paper, ..CampaignConfig::default() },
         runner: RunnerConfig { heartbeat: Some(Duration::from_secs(5)), ..RunnerConfig::default() },
         isolation: IsolationMode::Thread,
@@ -153,6 +173,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         max_injections: 5000,
     };
     let mut target_halfwidth = None;
+    let mut endpoints: Vec<String> = Vec::new();
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
         let mut value = || -> Result<&String, String> {
@@ -197,7 +218,23 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--isolation" => {
                 let v = value()?;
                 args.isolation = IsolationMode::parse(v)
-                    .ok_or_else(|| format!("unknown isolation mode {v} (thread|process)"))?;
+                    .ok_or_else(|| format!("unknown isolation mode {v} (thread|process|tcp)"))?;
+            }
+            "--listen" => args.listen = Some(value()?.clone()),
+            "--connect" => {
+                for ep in value()?.split(',') {
+                    let ep = ep.trim();
+                    if ep.is_empty() {
+                        return Err("--connect has an empty endpoint".into());
+                    }
+                    endpoints.push(ep.to_string());
+                }
+            }
+            "--lease-timeout" => {
+                args.sup.lease_timeout = match parse_u64(value()?)? {
+                    0 => return Err("--lease-timeout must be at least 1 second".into()),
+                    secs => Duration::from_secs(secs),
+                }
             }
             "--workers" => args.sup.workers = parse_u64(value()?)? as usize,
             "--shard-size" => {
@@ -249,10 +286,28 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
+    if args.listen.is_some() {
+        // Daemon mode serves whatever campaigns connect to it; every other
+        // flag (including --workload) arrives over the wire.
+        if argv.len() != 2 {
+            return Err("--listen (worker daemon mode) takes no other flags".into());
+        }
+        return Ok(args);
+    }
     if args.workload.is_empty() {
         return Err(format!("--workload is required\n{}", usage()));
     }
-    if target_halfwidth.is_some() && args.isolation == IsolationMode::Process {
+    match (args.isolation, endpoints.is_empty()) {
+        (IsolationMode::Tcp, true) => {
+            return Err("--isolation tcp requires --connect HOST:PORT[,HOST:PORT...]".into());
+        }
+        (IsolationMode::Tcp, false) => {
+            args.sup.transport = TransportKind::Tcp { endpoints };
+        }
+        (_, false) => return Err("--connect requires --isolation tcp".into()),
+        (_, true) => {}
+    }
+    if target_halfwidth.is_some() && args.isolation != IsolationMode::Thread {
         return Err(
             "--target-ci-halfwidth (adaptive sizing) currently requires --isolation thread".into(),
         );
@@ -330,6 +385,12 @@ fn main() -> ExitCode {
     if argv.first().map(String::as_str) == Some("__worker") {
         std::process::exit(worker_main(&argv[1..]));
     }
+    // Hidden daemon entrypoint: `campaign __serve --listen host:port` (the
+    // spelling orchestration scripts use; `campaign --listen host:port` is
+    // the user-facing alias below).
+    if argv.first().map(String::as_str) == Some("__serve") {
+        std::process::exit(serve_main(&argv[1..]));
+    }
     let args = match parse_args(&argv) {
         Ok(a) => a,
         Err(msg) => {
@@ -337,6 +398,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(addr) = &args.listen {
+        std::process::exit(serve_main(&["--listen".to_string(), addr.clone()]));
+    }
     let Some(w) = by_name(&args.workload) else {
         eprintln!("unknown workload {}\n{}", args.workload, usage());
         return ExitCode::FAILURE;
@@ -363,7 +427,9 @@ fn main() -> ExitCode {
     } else {
         let run = match args.isolation {
             IsolationMode::Thread => run_campaign(&w, &args.cfg, &args.runner),
-            IsolationMode::Process => run_supervised(&w, &args.cfg, &args.runner, &args.sup),
+            IsolationMode::Process | IsolationMode::Tcp => {
+                run_supervised(&w, &args.cfg, &args.runner, &args.sup)
+            }
         };
         match run {
             Ok(r) => r,
@@ -477,6 +543,74 @@ mod tests {
         assert!(parse_args(&argv(&["--workload", "dct", "--isolation", "forkbomb"])).is_err());
         assert!(parse_args(&argv(&["--workload", "dct", "--shard-size", "0"])).is_err());
         assert!(parse_args(&argv(&["--workload", "dct", "--shard-timeout", "0"])).is_err());
+    }
+
+    #[test]
+    fn tcp_flags_parse_and_validate() {
+        let args = parse_args(&argv(&[
+            "--workload",
+            "dct",
+            "--isolation",
+            "tcp",
+            "--connect",
+            "hostA:7017, hostB:7017",
+            "--lease-timeout",
+            "45",
+        ]))
+        .unwrap();
+        assert_eq!(args.isolation, IsolationMode::Tcp);
+        assert_eq!(
+            args.sup.transport,
+            TransportKind::Tcp { endpoints: vec!["hostA:7017".into(), "hostB:7017".into()] }
+        );
+        assert_eq!(args.sup.lease_timeout, Duration::from_secs(45));
+
+        let Err(err) = parse_args(&argv(&["--workload", "dct", "--isolation", "tcp"])) else {
+            panic!("tcp isolation without --connect must be rejected");
+        };
+        assert!(err.contains("--connect"), "{err}");
+        let Err(err) = parse_args(&argv(&["--workload", "dct", "--connect", "h:1"])) else {
+            panic!("--connect without tcp isolation must be rejected");
+        };
+        assert!(err.contains("--isolation tcp"), "{err}");
+        assert!(parse_args(&argv(&[
+            "--workload",
+            "dct",
+            "--isolation",
+            "tcp",
+            "--connect",
+            "h:1,,h:2"
+        ]))
+        .is_err());
+        assert!(parse_args(&argv(&["--workload", "dct", "--lease-timeout", "0"])).is_err());
+    }
+
+    #[test]
+    fn listen_mode_needs_no_workload_and_rejects_extra_flags() {
+        let args = parse_args(&argv(&["--listen", "127.0.0.1:0"])).unwrap();
+        assert_eq!(args.listen.as_deref(), Some("127.0.0.1:0"));
+        assert!(args.workload.is_empty());
+        let Err(err) = parse_args(&argv(&["--listen", "127.0.0.1:0", "--workload", "dct"])) else {
+            panic!("--listen with extra flags must be rejected");
+        };
+        assert!(err.contains("no other flags"), "{err}");
+    }
+
+    #[test]
+    fn adaptive_sizing_rejects_tcp_isolation() {
+        let Err(err) = parse_args(&argv(&[
+            "--workload",
+            "dct",
+            "--isolation",
+            "tcp",
+            "--connect",
+            "h:1",
+            "--target-ci-halfwidth",
+            "0.01",
+        ])) else {
+            panic!("adaptive + tcp isolation must be rejected");
+        };
+        assert!(err.contains("--isolation thread"), "{err}");
     }
 
     #[test]

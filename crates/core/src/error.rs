@@ -269,6 +269,84 @@ impl fmt::Display for BundleError {
 
 impl std::error::Error for BundleError {}
 
+/// Why a networked supervisor↔worker channel failed.
+///
+/// The TCP transport carries the same line-delimited record protocol as the
+/// local pipe, framed with a length prefix. Most network failures are
+/// *retryable* — the supervisor redials with backoff and re-leases the
+/// shard — so these variants surface only once an endpoint (or every
+/// endpoint) is considered gone for good.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TransportError {
+    /// A worker endpoint could not be dialed (connection refused, bad
+    /// address, dial timeout) after exhausting the retry budget.
+    Dial {
+        /// The `host:port` the supervisor tried to reach.
+        addr: String,
+        /// OS error text of the last attempt.
+        detail: String,
+    },
+    /// Reading or writing an established connection failed.
+    Io {
+        /// The `host:port` of the connection.
+        addr: String,
+        /// OS error text.
+        detail: String,
+    },
+    /// A frame violated the length-delimited encoding (oversized length
+    /// prefix, non-UTF-8 payload).
+    Frame {
+        /// What the framing layer objected to.
+        detail: String,
+    },
+    /// The worker daemon rejected the campaign hello (protocol version or
+    /// configuration it cannot serve).
+    Handshake {
+        /// The `host:port` of the daemon.
+        addr: String,
+        /// The daemon's stated reason.
+        detail: String,
+    },
+    /// No worker endpoints were configured for a TCP-transport campaign.
+    NoEndpoints,
+    /// Every configured worker endpoint died or became unreachable while
+    /// shards were still outstanding (and degradation to local execution
+    /// was no longer safe).
+    AllEndpointsLost {
+        /// Shards still waiting for a worker when the last endpoint died.
+        pending: usize,
+    },
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Dial { addr, detail } => {
+                write!(f, "cannot reach worker endpoint {addr}: {detail}")
+            }
+            TransportError::Io { addr, detail } => {
+                write!(f, "transport I/O with {addr}: {detail}")
+            }
+            TransportError::Frame { detail } => {
+                write!(f, "malformed transport frame: {detail}")
+            }
+            TransportError::Handshake { addr, detail } => {
+                write!(f, "worker endpoint {addr} rejected the campaign: {detail}")
+            }
+            TransportError::NoEndpoints => {
+                write!(f, "tcp transport configured with no worker endpoints")
+            }
+            TransportError::AllEndpointsLost { pending } => write!(
+                f,
+                "all worker endpoints lost with {pending} shard(s) still pending and work already committed"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
 /// Why a supervised (process-isolated) campaign could not continue.
 ///
 /// The supervisor spawns the campaign binary as worker subprocesses so a
@@ -322,6 +400,8 @@ pub enum SupervisorError {
         /// OS error text.
         detail: String,
     },
+    /// The networked transport to the worker fleet failed unrecoverably.
+    Transport(TransportError),
 }
 
 impl fmt::Display for SupervisorError {
@@ -347,11 +427,25 @@ impl fmt::Display for SupervisorError {
             SupervisorError::Io { path, detail } => {
                 write!(f, "poison sidecar I/O on {path}: {detail}")
             }
+            SupervisorError::Transport(e) => write!(f, "{e}"),
         }
     }
 }
 
-impl std::error::Error for SupervisorError {}
+impl std::error::Error for SupervisorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SupervisorError::Transport(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TransportError> for SupervisorError {
+    fn from(e: TransportError) -> Self {
+        SupervisorError::Transport(e)
+    }
+}
 
 /// Errors from fault-injection campaigns (the `mbavf-inject` runner).
 ///

@@ -77,6 +77,7 @@ pub use analysis::{
 };
 pub use error::{
     BundleError, CheckpointError, CoreError, InjectError, PipelineError, SupervisorError,
+    TransportError,
 };
 pub use geometry::{FaultGroup, FaultMode};
 pub use layout::{BitRef, PhysicalLayout};

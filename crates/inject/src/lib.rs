@@ -39,11 +39,17 @@ pub use campaign::{
     Outcome, OutcomeKind, SingleBitRecord, SiteSampler, SAMPLER_ID,
 };
 pub use interference::{interference_study, try_interference_study, InterferenceRow};
-pub use mbavf_core::error::{BundleError, CheckpointError, InjectError, SupervisorError};
+pub use mbavf_core::error::{
+    BundleError, CheckpointError, InjectError, SupervisorError, TransportError,
+};
 pub use replay::{find_divergence, load_bundle, replay_bundle, Divergence, ReplayReport};
 pub use runner::{
     run_adaptive, run_campaign, AdaptiveConfig, AdaptiveReport, CampaignReport, LatencyStats,
     RunnerConfig,
 };
 pub use shrink::{shrink_and_update, shrink_bundle, ShrinkOutcome};
-pub use supervisor::{run_supervised, worker_main, IsolationMode, PoisonEntry, SupervisorConfig};
+pub use supervisor::merge::{MergeVerdict, RecordMerge};
+pub use supervisor::{
+    run_supervised, serve_main, worker_main, IsolationMode, PoisonEntry, SupervisorConfig,
+    TransportKind,
+};

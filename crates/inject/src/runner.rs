@@ -24,6 +24,7 @@ use crate::campaign::{
     SingleBitRecord, SiteSampler,
 };
 use crate::checkpoint;
+use crate::supervisor::merge::{merge_slot, MergeVerdict};
 use crate::supervisor::PoisonEntry;
 use mbavf_core::error::{CheckpointError, InjectError};
 use mbavf_workloads::Workload;
@@ -153,6 +154,23 @@ pub struct CampaignReport {
     pub trial_latency: Option<LatencyStats>,
 }
 
+/// What [`Shared::commit_remote`] did with an offered record — the merge
+/// verdict plus, for fresh commits, the new completion count that drives
+/// the checkpoint cadence.
+pub(crate) enum RemoteCommit {
+    /// First sighting: stored and counted. Carries the new completion count.
+    Fresh(usize),
+    /// Byte-equal replay of an already-committed record: dropped.
+    Duplicate,
+    /// Same trial, conflicting contents: a protocol violation.
+    Conflict {
+        /// Human-readable description of the disagreement.
+        detail: String,
+    },
+    /// Outside the budget, or not covered by the sender's lease.
+    Foreign,
+}
+
 /// Shared worker state for one campaign execution. Also reused by the
 /// process-isolation supervisor ([`crate::supervisor`]), whose record
 /// stream arrives from worker subprocesses instead of in-process threads.
@@ -214,6 +232,39 @@ impl Shared {
         self.completed.fetch_add(1, Ordering::SeqCst) + 1
     }
 
+    /// Commit one record arriving from a remote (or replayed) stream
+    /// through the idempotent merge. `leased` is whether the sending worker
+    /// currently holds a lease covering the trial — without it, only
+    /// byte-equal replays of already-committed records are tolerated. Only
+    /// a [`RemoteCommit::Fresh`] verdict updates the completion counters;
+    /// duplicates are dropped without recounting, so a reconnect that
+    /// replays frames can never inflate the campaign.
+    pub(crate) fn commit_remote(
+        &self,
+        record: SingleBitRecord,
+        elapsed_us: u64,
+        leased: bool,
+    ) -> RemoteCommit {
+        let kind = record.outcome.kind();
+        let verdict = {
+            let mut slots = self.slots.lock().expect("slots lock");
+            merge_slot(&mut slots, record, leased)
+        };
+        match verdict {
+            MergeVerdict::Fresh => {
+                self.kind_counts[kind.index()].fetch_add(1, Ordering::Relaxed);
+                {
+                    let mut lat = self.latencies_us.lock().expect("latency lock");
+                    lat.push(elapsed_us);
+                }
+                RemoteCommit::Fresh(self.completed.fetch_add(1, Ordering::SeqCst) + 1)
+            }
+            MergeVerdict::Duplicate => RemoteCommit::Duplicate,
+            MergeVerdict::Conflict { detail } => RemoteCommit::Conflict { detail },
+            MergeVerdict::Foreign { .. } => RemoteCommit::Foreign,
+        }
+    }
+
     pub(crate) fn snapshot(
         &self,
         workload: &str,
@@ -267,12 +318,19 @@ impl Shared {
             last_beat = Instant::now();
             let new = self.completed.load(Ordering::SeqCst);
             let done = done_offset + new;
-            let secs = start.elapsed().as_secs_f64().max(1e-9);
-            let rate = new as f64 / secs;
-            let eta = if rate > 0.0 && total >= done {
-                format!("{:.0}s", (total - done) as f64 / rate)
+            let secs = start.elapsed().as_secs_f64();
+            // Before any completion (or on a degenerate clock) there is no
+            // rate to report: print `--` rather than 0.0/inf/NaN noise.
+            let (rate, eta) = if new == 0 || secs <= f64::EPSILON {
+                ("--".to_string(), "--".to_string())
             } else {
-                "?".to_string()
+                let r = new as f64 / secs;
+                let eta = if total >= done {
+                    format!("{:.0}s", (total - done) as f64 / r)
+                } else {
+                    "?".to_string()
+                };
+                (format!("{r:.1}"), eta)
             };
             let kinds: Vec<String> = OutcomeKind::ALL
                 .iter()
@@ -285,7 +343,7 @@ impl Shared {
                 })
                 .collect();
             eprintln!(
-                "heartbeat[{label}]: {done}/{total} trials, {rate:.1} trials/s, eta {eta}, workers {}, {}{}",
+                "heartbeat[{label}]: {done}/{total} trials, {rate} trials/s, eta {eta}, workers {}, {}{}",
                 live(),
                 kinds.join(" "),
                 extra()

@@ -1,0 +1,160 @@
+//! Shard leases: who owns which trials, and for how long.
+//!
+//! A shard travels through the [`LeaseQueue`] carrying its own failure
+//! history, so retry/poison accounting survives the shard being re-offered
+//! to a different worker after its original endpoint dies. While a worker
+//! holds a shard, a [`Lease`] tracks the revocation deadline: the local
+//! pipe transport keeps the PR-5 watchdog semantics (a fixed whole-shard
+//! budget), the TCP transport uses a sliding deadline renewed by progress
+//! (records, or heartbeat frames whose completion count advanced).
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One shard of trial indices plus the failure history charged to its head
+/// trial. `attempts` and `last_fail` ride along through give-backs so a
+/// shard that hops between workers still poisons its head trial after the
+/// configured retry budget, no matter which endpoints it visited.
+pub(crate) struct Shard {
+    /// Trials not yet committed, in trial order.
+    pub(crate) remaining: VecDeque<u64>,
+    /// Consecutive no-progress worker failures charged to the head trial.
+    pub(crate) attempts: u32,
+    /// The last worker failure observed (watchdog, exit signal, lease
+    /// expiry, connection loss).
+    pub(crate) last_fail: String,
+}
+
+impl Shard {
+    pub(crate) fn new(trials: VecDeque<u64>) -> Self {
+        Shard { remaining: trials, attempts: 0, last_fail: String::from("never ran") }
+    }
+}
+
+/// The supervisor's shared work queue. Handlers lease shards off the front;
+/// a handler whose endpoint dies gives its shard back (history intact) for
+/// any surviving handler to pick up.
+pub(crate) struct LeaseQueue {
+    shards: Mutex<VecDeque<Shard>>,
+}
+
+impl LeaseQueue {
+    pub(crate) fn new(shards: VecDeque<Shard>) -> Self {
+        LeaseQueue { shards: Mutex::new(shards) }
+    }
+
+    pub(crate) fn take(&self) -> Option<Shard> {
+        self.shards.lock().expect("lease queue lock").pop_front()
+    }
+
+    pub(crate) fn give_back(&self, shard: Shard) {
+        self.shards.lock().expect("lease queue lock").push_back(shard);
+    }
+
+    pub(crate) fn outstanding(&self) -> usize {
+        self.shards.lock().expect("lease queue lock").len()
+    }
+}
+
+/// When a leased shard is revoked from an unresponsive worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DeadlinePolicy {
+    /// Whole-shard wall-clock budget, set once at lease time (the pipe
+    /// transport's watchdog: a subprocess gets `shard_timeout` for the
+    /// entire shard, however it spends it).
+    Fixed(Duration),
+    /// Sliding deadline renewed on progress (the TCP transport's lease: a
+    /// worker keeps the shard as long as records keep landing, and loses it
+    /// `lease_timeout` after progress stalls — even if its heartbeat is
+    /// still beating, so a livelocked executor cannot hold a lease
+    /// forever).
+    Sliding(Duration),
+}
+
+/// Deadline tracking for one leased shard attempt.
+pub(crate) struct Lease {
+    policy: DeadlinePolicy,
+    deadline: Instant,
+}
+
+impl Lease {
+    pub(crate) fn new(policy: DeadlinePolicy) -> Self {
+        let budget = match policy {
+            DeadlinePolicy::Fixed(d) | DeadlinePolicy::Sliding(d) => d,
+        };
+        Lease { policy, deadline: Instant::now() + budget }
+    }
+
+    /// Push the deadline out on progress. A no-op for a fixed-budget lease.
+    pub(crate) fn renew(&mut self) {
+        if let DeadlinePolicy::Sliding(d) = self.policy {
+            self.deadline = Instant::now() + d;
+        }
+    }
+
+    pub(crate) fn expired(&self) -> bool {
+        Instant::now() >= self.deadline
+    }
+
+    /// How long the stream loop may block waiting for the next message:
+    /// until the deadline, capped so shutdown signals are noticed promptly.
+    pub(crate) fn wait(&self) -> Duration {
+        self.deadline.saturating_duration_since(Instant::now()).min(Duration::from_millis(50))
+    }
+
+    /// The failure message recorded when this lease is revoked.
+    pub(crate) fn describe(&self, outstanding: usize) -> String {
+        match self.policy {
+            DeadlinePolicy::Fixed(d) => {
+                format!("shard watchdog fired after {d:?} with {outstanding} trials outstanding")
+            }
+            DeadlinePolicy::Sliding(d) => {
+                format!("shard lease expired after {d:?} with {outstanding} trials outstanding")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_leases_never_renew_sliding_leases_do() {
+        let mut fixed = Lease::new(DeadlinePolicy::Fixed(Duration::from_millis(20)));
+        let mut sliding = Lease::new(DeadlinePolicy::Sliding(Duration::from_millis(80)));
+        let t0 = Instant::now();
+        while t0.elapsed() < Duration::from_millis(30) {
+            fixed.renew();
+            sliding.renew();
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(fixed.expired(), "renew must not extend a fixed watchdog");
+        assert!(!sliding.expired(), "renewal must keep a sliding lease alive");
+    }
+
+    #[test]
+    fn revocation_messages_name_the_policy() {
+        let fixed = Lease::new(DeadlinePolicy::Fixed(Duration::from_secs(60)));
+        assert_eq!(fixed.describe(3), "shard watchdog fired after 60s with 3 trials outstanding");
+        let sliding = Lease::new(DeadlinePolicy::Sliding(Duration::from_secs(30)));
+        assert_eq!(sliding.describe(1), "shard lease expired after 30s with 1 trials outstanding");
+    }
+
+    #[test]
+    fn queue_give_back_preserves_failure_history() {
+        let q = LeaseQueue::new(VecDeque::from([Shard::new(VecDeque::from([0, 1, 2]))]));
+        let mut shard = q.take().expect("one shard queued");
+        assert_eq!(q.outstanding(), 0);
+        shard.attempts = 2;
+        shard.last_fail = "connection lost".into();
+        shard.remaining.pop_front();
+        q.give_back(shard);
+        assert_eq!(q.outstanding(), 1);
+        let back = q.take().expect("shard re-offered");
+        assert_eq!(back.attempts, 2);
+        assert_eq!(back.last_fail, "connection lost");
+        assert_eq!(back.remaining, VecDeque::from([1, 2]));
+    }
+}

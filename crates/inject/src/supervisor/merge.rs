@@ -1,0 +1,136 @@
+//! Idempotent record merge keyed by trial index.
+//!
+//! The networked transport can replay records: a retried shard re-sends
+//! everything still missing, a reconnect can deliver frames the supervisor
+//! already committed from an earlier lease, and a hostile network can
+//! reorder or duplicate anything in flight. The merge makes all of that
+//! harmless — a record lands in its trial's slot exactly once, byte-equal
+//! duplicates are ignored without recounting, and *conflicting* contents
+//! for the same trial are a protocol violation (records are deterministic
+//! functions of the campaign config, so two honest workers can never
+//! disagree about a trial).
+//!
+//! Because slot assignment depends only on the trial index, merging any
+//! permutation of a record stream with arbitrarily duplicated prefixes
+//! yields the same slot vector — and therefore the same checkpoint — as the
+//! in-order stream. The `merge_properties` integration test proves this
+//! invariant; the TCP transport relies on it.
+
+use crate::campaign::SingleBitRecord;
+
+/// What happened when a record was offered to the merge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeVerdict {
+    /// First sighting of this trial: the record was stored and must be
+    /// counted by the caller.
+    Fresh,
+    /// Byte-equal to the record already stored for this trial: dropped,
+    /// never recounted.
+    Duplicate,
+    /// Same trial, different contents — a protocol violation, since trial
+    /// records are deterministic.
+    Conflict {
+        /// Human-readable description of the disagreement.
+        detail: String,
+    },
+    /// The trial cannot be accepted: outside the budget, or emitted by a
+    /// worker that was never leased it.
+    Foreign {
+        /// The offending trial index.
+        trial: u64,
+    },
+}
+
+/// Merge one record into a slot vector. `allow_insert` is false when the
+/// sender does not hold a lease covering the trial: then only a byte-equal
+/// duplicate of an already-committed record is tolerated (a replay), and
+/// anything else is foreign.
+pub(crate) fn merge_slot(
+    slots: &mut [Option<SingleBitRecord>],
+    record: SingleBitRecord,
+    allow_insert: bool,
+) -> MergeVerdict {
+    let trial = record.trial;
+    let Some(slot) = slots.get_mut(trial as usize) else {
+        return MergeVerdict::Foreign { trial };
+    };
+    match slot {
+        Some(existing) if *existing == record => MergeVerdict::Duplicate,
+        Some(_) => MergeVerdict::Conflict {
+            detail: format!("worker re-emitted trial {trial} with conflicting contents"),
+        },
+        None if allow_insert => {
+            *slot = Some(record);
+            MergeVerdict::Fresh
+        }
+        None => MergeVerdict::Foreign { trial },
+    }
+}
+
+/// An order- and duplication-insensitive accumulator of campaign records:
+/// offer records in any order, with any duplication, and read back the
+/// deterministic in-trial-order result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordMerge {
+    slots: Vec<Option<SingleBitRecord>>,
+}
+
+impl RecordMerge {
+    /// An empty merge over a campaign budget of `budget` trials.
+    pub fn new(budget: usize) -> Self {
+        RecordMerge { slots: vec![None; budget] }
+    }
+
+    /// Offer one record. Only a [`MergeVerdict::Fresh`] verdict changed the
+    /// merge's contents.
+    pub fn offer(&mut self, record: SingleBitRecord) -> MergeVerdict {
+        merge_slot(&mut self.slots, record, true)
+    }
+
+    /// Trials merged so far.
+    pub fn merged(&self) -> usize {
+        self.slots.iter().flatten().count()
+    }
+
+    /// The merged records in trial order — exactly what a checkpoint of the
+    /// equivalent in-order stream would contain.
+    pub fn records(&self) -> Vec<SingleBitRecord> {
+        self.slots.iter().flatten().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{FaultSite, Outcome};
+
+    fn rec(trial: u64, bit: u8) -> SingleBitRecord {
+        SingleBitRecord {
+            trial,
+            site: FaultSite { wg: 0, after_retired: 7, reg: 1, lane: 2, bit },
+            outcome: Outcome::Masked,
+            read_before_overwrite: false,
+        }
+    }
+
+    #[test]
+    fn duplicates_merge_once_and_conflicts_are_flagged() {
+        let mut m = RecordMerge::new(4);
+        assert_eq!(m.offer(rec(2, 5)), MergeVerdict::Fresh);
+        assert_eq!(m.offer(rec(2, 5)), MergeVerdict::Duplicate);
+        assert_eq!(m.merged(), 1);
+        assert!(matches!(m.offer(rec(2, 6)), MergeVerdict::Conflict { .. }));
+        // The conflicting offer must not clobber the committed record.
+        assert_eq!(m.records(), vec![rec(2, 5)]);
+        assert_eq!(m.offer(rec(9, 0)), MergeVerdict::Foreign { trial: 9 });
+    }
+
+    #[test]
+    fn unleased_slots_reject_inserts_but_tolerate_replays() {
+        let mut slots = vec![None, Some(rec(1, 3)), None];
+        assert_eq!(merge_slot(&mut slots, rec(1, 3), false), MergeVerdict::Duplicate);
+        assert_eq!(merge_slot(&mut slots, rec(0, 1), false), MergeVerdict::Foreign { trial: 0 });
+        assert_eq!(slots[0], None, "a foreign record must not be stored");
+        assert_eq!(merge_slot(&mut slots, rec(0, 1), true), MergeVerdict::Fresh);
+    }
+}

@@ -1,11 +1,12 @@
-//! Process-isolation supervisor: survive workers that really die.
+//! Fault-tolerant supervisor: survive workers that really die — or that
+//! live on the far side of a hostile network.
 //!
 //! The thread-mode engine in [`crate::runner`] crash-isolates *unwinding*
 //! panics, but a fault campaign can provoke failures no in-process mechanism
 //! survives: `std::process::abort`, stack exhaustion, the OOM killer, or a
 //! livelock that outruns the hang guard. This module runs trials in
-//! disposable **worker subprocesses** so the supervising campaign outlives
-//! all of them.
+//! disposable **worker subprocesses** — or in **worker daemons on other
+//! machines** — so the supervising campaign outlives all of them.
 //!
 //! ## Architecture
 //!
@@ -13,29 +14,48 @@
 //! blocks whose boundaries depend only on the trial index (`trial /
 //! shard_size`), so the shard layout — and therefore every record — is
 //! invariant under the worker count. Each supervisor-side handler thread
-//! pops a shard and spawns the current executable with a hidden `__worker`
-//! argv (hosting binaries route it to [`worker_main`]), passing the campaign
-//! config and the shard's trials as a range list (`"0-5,9,11-20"`).
+//! leases shards to a worker over a [`transport::Transport`]:
 //!
-//! The worker speaks line-delimited JSON on stdout:
+//! * **Pipe** ([`TransportKind::Pipe`], the default): each lease spawns the
+//!   current executable with a hidden `__worker` argv (hosting binaries
+//!   route it to [`worker_main`]), passing the campaign config and the
+//!   shard's trials as a range list (`"0-5,9,11-20"`), and reads
+//!   line-delimited JSON from its stdout.
+//! * **TCP** ([`TransportKind::Tcp`]): each handler holds one persistent
+//!   connection to a `campaign --listen` worker daemon ([`serve_main`]),
+//!   sends the campaign config once per connection and a lease frame per
+//!   shard, and reads length-delimited frames back.
+//!
+//! Both channels carry the same protocol:
 //!
 //! 1. a handshake — `{"mbavf_worker": 1, "fingerprint": <u64>}` — that the
 //!    supervisor validates against its own config fingerprint,
 //! 2. one record line per trial, in order, flushed per line (checkpoint
 //!    record fields plus `"us"`, the trial's wall-clock in microseconds),
 //! 3. a `{"done": N}` sentinel on success; or `{"error": "<detail>"}` and
-//!    exit code 10 for a fatal configuration error.
+//!    (for subprocesses) exit code 10 for a fatal configuration error.
+//!
+//! The TCP stream additionally interleaves `{"hb": N}` heartbeat frames.
 //!
 //! ## Failure policy
 //!
-//! A per-spawn **watchdog** (`shard_timeout`) kills workers that stop
-//! responding. Worker death (any cause: signal, abort, truncated stdout,
-//! watchdog) triggers a respawn on the shard's *remaining* trials with
-//! bounded exponential backoff; because records arrive in trial order and
-//! are flushed per line, the first missing trial after a death is the
-//! offender, so repeated death with no progress bisects to it for free.
-//! After `max_retries` consecutive no-progress failures that head trial is
-//! **poisoned**: excluded from the summary (the campaign completes with
+//! While a worker holds a shard, a [`lease::Lease`] tracks the revocation
+//! deadline. The pipe transport keeps a fixed whole-shard **watchdog**
+//! (`shard_timeout`); the TCP transport uses a **sliding lease**
+//! (`lease_timeout`) renewed by progress — records, or heartbeat frames
+//! whose completion count advanced, so a livelocked remote executor with a
+//! beating heart still loses its lease. A missed deadline revokes the lease
+//! (kill the subprocess / sever the socket) and retries the shard's
+//! *remaining* trials with bounded, per-handler-jittered exponential
+//! backoff; because records arrive in trial order and are committed through
+//! an idempotent [`merge`] keyed by trial index, a reconnect simply
+//! re-leases from the first missing trial, and duplicated or reordered
+//! records can never double-count. A **remote endpoint that stays
+//! unreachable** hands its shard — failure history intact — back to the
+//! queue for any surviving endpoint to pick up.
+//!
+//! After `max_retries` consecutive no-progress failures a shard's head trial
+//! is **poisoned**: excluded from the summary (the campaign completes with
 //! N−1 trials, counted honestly), quarantined into a fingerprint-validated
 //! `*.poison.json` sidecar next to the checkpoint, given a standard repro
 //! bundle, and skipped by every future resume. More than `max_poison` total
@@ -45,35 +65,49 @@
 //!
 //! ## Graceful degradation
 //!
-//! If workers cannot be spawned at all, or the first line is not a valid
-//! handshake (e.g. the hosting binary does not dispatch `__worker`), and no
-//! trial has completed yet, the supervisor warns and falls back to the
-//! thread-mode engine — same checkpoint, bit-identical records — instead of
-//! failing the campaign.
+//! If no worker has produced anything yet — subprocesses cannot be spawned,
+//! the first line is not a valid handshake, or no TCP endpoint ever
+//! connects — the supervisor warns and falls back one isolation level (TCP →
+//! local processes → threads) instead of failing the campaign: same
+//! checkpoint, bit-identical records. Once work has been committed the
+//! fallback is off the table, and losing every endpoint raises
+//! [`TransportError::AllEndpointsLost`].
 
 use crate::campaign::{
-    golden_shape, run_one_arena, CampaignConfig, CampaignSummary, FaultSite, Outcome, OutcomeKind,
-    SingleBitRecord, SiteSampler,
+    golden_shape, run_one_arena, CampaignConfig, CampaignSummary, FaultSite, GoldenShape, Outcome,
+    OutcomeKind, SingleBitRecord, SiteSampler,
 };
 use crate::checkpoint;
 use crate::json::{self, Value};
 use crate::runner::{
     quarantine_corrupt, restore_slots, run_campaign_with, CampaignReport, LatencyStats,
-    RunnerConfig, Shared, WorkerGuard,
+    RemoteCommit, RunnerConfig, Shared, WorkerGuard,
 };
-use mbavf_core::error::{InjectError, SupervisorError};
+use mbavf_core::error::{InjectError, SupervisorError, TransportError};
+use mbavf_core::rng::SplitMix64;
 use mbavf_workloads::{by_name, Scale, Workload};
 use std::collections::VecDeque;
 use std::fmt::Write as _;
-use std::io::{BufRead, BufReader, Write as _};
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::process::{Child, Command, Stdio};
+use std::process::Command;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-/// Version of the supervisor↔worker stdout protocol (the handshake's
-/// `mbavf_worker` field). Bumped whenever the line format changes.
+pub(crate) mod lease;
+pub mod merge;
+mod serve;
+pub(crate) mod transport;
+
+pub use self::serve::serve_main;
+
+use self::lease::{Lease, LeaseQueue, Shard};
+use self::transport::{render_hello, ChannelEvent, PipeTransport, TcpTransport, Transport};
+
+/// Version of the supervisor↔worker protocol (the handshake's
+/// `mbavf_worker` field, and the hello frame's `mbavf_hello` field). Bumped
+/// whenever the line or frame format changes.
 pub const PROTOCOL_VERSION: u64 = 1;
 
 /// Version of the `*.poison.json` sidecar format.
@@ -87,14 +121,19 @@ pub enum IsolationMode {
     /// Worker subprocesses under [`run_supervised`] (survives aborts,
     /// livelocks, OOM kills).
     Process,
+    /// Remote worker daemons over TCP ([`TransportKind::Tcp`]): process
+    /// isolation plus lease-based shard ownership, reconnect-with-resume,
+    /// and endpoint failover.
+    Tcp,
 }
 
 impl IsolationMode {
-    /// Parse the CLI spelling (`"thread"` / `"process"`).
+    /// Parse the CLI spelling (`"thread"` / `"process"` / `"tcp"`).
     pub fn parse(s: &str) -> Option<IsolationMode> {
         match s {
             "thread" => Some(IsolationMode::Thread),
             "process" => Some(IsolationMode::Process),
+            "tcp" => Some(IsolationMode::Tcp),
             _ => None,
         }
     }
@@ -104,28 +143,46 @@ impl IsolationMode {
         match self {
             IsolationMode::Thread => "thread",
             IsolationMode::Process => "process",
+            IsolationMode::Tcp => "tcp",
         }
     }
 }
 
-/// Process-isolation knobs (the execution policy; [`RunnerConfig`] still
-/// owns checkpointing, bundles, and the heartbeat).
+/// How the supervisor reaches its workers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportKind {
+    /// Disposable local `__worker` subprocesses, one per lease,
+    /// line-delimited JSON over piped stdout.
+    Pipe,
+    /// Persistent connections to `campaign --listen` worker daemons,
+    /// length-delimited frames, one handler per endpoint.
+    Tcp {
+        /// Worker daemon `host:port` endpoints.
+        endpoints: Vec<String>,
+    },
+}
+
+/// Supervision knobs (the execution policy; [`RunnerConfig`] still owns
+/// checkpointing, bundles, and the heartbeat).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SupervisorConfig {
     /// Concurrent worker subprocesses; `0` means one per available CPU.
+    /// Ignored by the TCP transport, which runs one handler per endpoint.
     pub workers: usize,
     /// Trials per worker shard. Shard boundaries are `trial / shard_size`,
     /// so records are invariant under the worker count.
     pub shard_size: usize,
-    /// Watchdog: a worker spawn that has not finished its shard within this
-    /// wall-clock budget is killed and retried.
+    /// Pipe watchdog: a worker spawn that has not finished its shard within
+    /// this wall-clock budget is killed and retried.
     pub shard_timeout: Duration,
     /// Consecutive no-progress worker failures tolerated before the shard's
     /// first remaining trial is poisoned. Progress resets the count.
     pub max_retries: u32,
-    /// First respawn delay; doubles per consecutive failure.
+    /// First retry delay; doubles per consecutive failure. The actual sleep
+    /// is jittered deterministically per handler so workers that died
+    /// together do not respawn together.
     pub backoff_base: Duration,
-    /// Ceiling on the respawn delay.
+    /// Ceiling on the retry delay.
     pub backoff_cap: Duration,
     /// Abort the campaign once more than this many trials (including ones
     /// poisoned by earlier runs) are poisoned.
@@ -136,9 +193,19 @@ pub struct SupervisorConfig {
     pub poison_path: Option<PathBuf>,
     /// Override the worker argv (tests use shell scripts). `None` spawns
     /// `current_exe __worker`. Config flags are appended either way.
+    /// Pipe transport only.
     pub worker_cmd: Option<Vec<String>>,
-    /// Extra environment variables for workers (e.g. fault drills).
+    /// Extra environment variables for workers (e.g. fault drills). Pipe
+    /// transport only — TCP daemons inherit their own environment.
     pub worker_env: Vec<(String, String)>,
+    /// How workers are reached: local subprocess pipes (default) or TCP
+    /// connections to `campaign --listen` daemons.
+    pub transport: TransportKind,
+    /// TCP lease: a remote worker whose *progress* stalls for this long
+    /// loses its shard (revoked and re-leased, possibly elsewhere). Renewed
+    /// by records and by heartbeat frames whose completion count advanced —
+    /// never by heartbeats alone.
+    pub lease_timeout: Duration,
 }
 
 impl Default for SupervisorConfig {
@@ -154,6 +221,8 @@ impl Default for SupervisorConfig {
             poison_path: None,
             worker_cmd: None,
             worker_env: Vec::new(),
+            transport: TransportKind::Pipe,
+            lease_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -166,9 +235,10 @@ pub struct PoisonEntry {
     pub trial: u64,
     /// The fault the trial would have injected.
     pub site: FaultSite,
-    /// The last worker failure observed (watchdog, exit signal, …).
+    /// The last worker failure observed (watchdog, exit signal, lease
+    /// expiry, connection loss).
     pub reason: String,
-    /// Worker spawns the trial consumed before being poisoned.
+    /// Worker attempts the trial consumed before being poisoned.
     pub attempts: u32,
 }
 
@@ -388,7 +458,7 @@ fn load_or_quarantine_poison(
     }
 }
 
-fn render_record_line(r: &SingleBitRecord, us: u64) -> String {
+pub(crate) fn render_record_line(r: &SingleBitRecord, us: u64) -> String {
     let mut out = String::with_capacity(128);
     let _ = write!(
         out,
@@ -448,28 +518,82 @@ fn parse_record_line(v: &Value) -> Result<(SingleBitRecord, u64), String> {
     Ok((record, field("us")?))
 }
 
+/// The campaign-config flag pairs every worker needs (everything but
+/// `--trials` / `--attempt`, which are per-lease).
+pub(crate) fn campaign_flags(workload_name: &str, cfg: &CampaignConfig) -> Vec<String> {
+    let scale = match cfg.scale {
+        Scale::Test => "test",
+        Scale::Paper => "paper",
+    };
+    [
+        ("--workload", workload_name.to_string()),
+        ("--seed", cfg.seed.to_string()),
+        ("--scale", scale.to_string()),
+        ("--hang-factor", cfg.hang_factor.to_string()),
+        ("--wrap-oob", cfg.wrap_oob.to_string()),
+        ("--mode-bits", cfg.mode_bits.to_string()),
+    ]
+    .into_iter()
+    .flat_map(|(k, v)| [k.to_string(), v])
+    .collect()
+}
+
 // ---------------------------------------------------------------------------
 // Worker side
 // ---------------------------------------------------------------------------
 
-fn drill(var: &str) -> Option<u64> {
+pub(crate) fn drill(var: &str) -> Option<u64> {
     std::env::var(var).ok()?.parse().ok()
 }
 
 /// Deliver SIGKILL to this process — the kill drill simulates an external
 /// killer (OOM, operator), which no in-process handler can observe.
-fn sigkill_self() -> ! {
+pub(crate) fn sigkill_self() -> ! {
     let pid = std::process::id().to_string();
     let _ = Command::new("kill").args(["-9", &pid]).status();
     // No `kill` binary on PATH: abort still exercises the death path.
     std::process::abort();
 }
 
-fn flag<'a>(args: &'a [String], name: &str) -> Result<&'a str, String> {
+pub(crate) fn flag<'a>(args: &'a [String], name: &str) -> Result<&'a str, String> {
     args.windows(2)
         .find(|w| w[0] == name)
         .map(|w| w[1].as_str())
         .ok_or_else(|| format!("missing worker flag {name}"))
+}
+
+/// The worker-side trial engine: golden run, sampler, and arena built once,
+/// then reused for every trial of every shard. The `__worker` subprocess
+/// builds one per invocation; the `__serve` daemon builds one per
+/// connection and amortizes it across leases.
+pub(crate) struct ShardExecutor {
+    cfg: CampaignConfig,
+    golden: GoldenShape,
+    sampler: SiteSampler,
+    arena: mbavf_sim::TrialArena,
+}
+
+impl ShardExecutor {
+    /// Run the golden reference and prepare the trial arena.
+    pub(crate) fn new(workload: &Workload, cfg: CampaignConfig) -> Result<ShardExecutor, String> {
+        let golden = golden_shape(workload, &cfg).map_err(|d| format!("golden run failed: {d}"))?;
+        let sampler = SiteSampler::new(&golden.per_wg_retired, golden.num_vregs)
+            .map_err(|e| e.to_string())?;
+        let inst = workload.build(cfg.scale);
+        let arena =
+            mbavf_sim::TrialArena::new(inst.program, inst.mem, inst.workgroups, cfg.wrap_oob);
+        Ok(ShardExecutor { cfg, golden, sampler, arena })
+    }
+
+    /// Execute one trial, returning its record and wall-clock microseconds.
+    pub(crate) fn run_trial(&mut self, trial: u64) -> (SingleBitRecord, u64) {
+        let site = self.sampler.sample(self.cfg.seed, trial);
+        let t0 = Instant::now();
+        let (outcome, read) =
+            run_one_arena(&mut self.arena, &self.golden, site, self.cfg.mode_bits.max(1));
+        let us = t0.elapsed().as_micros() as u64;
+        (SingleBitRecord { trial, site, outcome, read_before_overwrite: read }, us)
+    }
 }
 
 fn worker_run(args: &[String]) -> Result<(), String> {
@@ -511,13 +635,7 @@ fn worker_run(args: &[String]) -> Result<(), String> {
         .map_err(io)?;
     out.flush().map_err(io)?;
 
-    let golden = golden_shape(&workload, &cfg).map_err(|d| format!("golden run failed: {d}"))?;
-    let sampler =
-        SiteSampler::new(&golden.per_wg_retired, golden.num_vregs).map_err(|e| e.to_string())?;
-    let inst = workload.build(cfg.scale);
-    let mut arena =
-        mbavf_sim::TrialArena::new(inst.program, inst.mem, inst.workgroups, cfg.wrap_oob);
-
+    let mut exec = ShardExecutor::new(&workload, cfg)?;
     for &trial in &trials {
         // Fault drills, used by torture tests and the CI smoke job. Checked
         // only here, in the worker: the supervisor never drills itself.
@@ -533,11 +651,7 @@ fn worker_run(args: &[String]) -> Result<(), String> {
             let _ = out.flush();
             return Ok(());
         }
-        let site = sampler.sample(cfg.seed, trial);
-        let t0 = Instant::now();
-        let (outcome, read) = run_one_arena(&mut arena, &golden, site, cfg.mode_bits.max(1));
-        let us = t0.elapsed().as_micros() as u64;
-        let record = SingleBitRecord { trial, site, outcome, read_before_overwrite: read };
+        let (record, us) = exec.run_trial(trial);
         writeln!(out, "{}", render_record_line(&record, us)).map_err(io)?;
         out.flush().map_err(io)?;
     }
@@ -572,15 +686,51 @@ pub fn worker_main(args: &[String]) -> i32 {
 // Supervisor side
 // ---------------------------------------------------------------------------
 
+/// Deterministic jittered exponential backoff: the delay doubles per
+/// consecutive failure (capped), then loses up to half to a jitter keyed by
+/// `(seed, handler, consecutive_failures)` — so retries are reproducible,
+/// but handlers whose workers died together (one machine rebooting, one
+/// poison trial killing a whole fleet tier) do not retry in lockstep.
+fn jittered_backoff(
+    base: Duration,
+    cap: Duration,
+    seed: u64,
+    handler: usize,
+    consecutive_failures: u32,
+) -> Duration {
+    let shift = consecutive_failures.saturating_sub(1).min(16);
+    let full = base.saturating_mul(1u32 << shift).min(cap);
+    let span = full.as_micros() as u64 / 2;
+    let mut rng = SplitMix64::stream(
+        seed ^ 0xB0FF_0FF5,
+        ((handler as u64) << 32) | u64::from(consecutive_failures),
+    );
+    full - Duration::from_micros(rng.below(span + 1))
+}
+
 enum ShardRun {
     /// Worker finished every remaining trial.
     Done,
-    /// Worker died (signal, abort, truncated stdout, watchdog kill).
-    Died { progress: bool, detail: String },
+    /// Worker died or lost its lease (signal, abort, truncated stream,
+    /// watchdog, lease expiry, connection loss). `handshaken` records
+    /// whether the worker ever answered the lease: a death before the
+    /// handshake is the channel failing, not the trial.
+    Died { progress: bool, handshaken: bool, detail: String },
     /// Non-retryable worker failure.
     Fatal(SupervisorError),
     /// First line was not a valid handshake for this campaign.
     Mismatch(String),
+}
+
+/// Why a handler stopped driving a shard.
+enum ShardEnd {
+    /// The shard is fully committed (or its stragglers poisoned).
+    Finished,
+    /// The campaign is stopping (fatal error, degradation, shutdown).
+    Stop,
+    /// The remote endpoint stayed unreachable through the retry budget; the
+    /// (partially completed) shard should be re-offered to other handlers.
+    EndpointDead { detail: String },
 }
 
 struct SupCtx<'a> {
@@ -592,12 +742,14 @@ struct SupCtx<'a> {
     sampler: Option<&'a SiteSampler>,
     shared: &'a Shared,
     prior_poison: usize,
-    queue: Mutex<VecDeque<VecDeque<u64>>>,
+    queue: LeaseQueue,
     poison: Mutex<Vec<PoisonEntry>>,
     fatal: Mutex<Option<SupervisorError>>,
     degrade: AtomicBool,
     stop: AtomicBool,
     live_children: AtomicUsize,
+    handlers: usize,
+    retired: AtomicUsize,
 }
 
 impl SupCtx<'_> {
@@ -623,104 +775,89 @@ impl SupCtx<'_> {
         untouched
     }
 
-    fn backoff(&self, consecutive_failures: u32) -> Duration {
-        let shift = consecutive_failures.saturating_sub(1).min(16);
-        self.sup.backoff_base.saturating_mul(1u32 << shift).min(self.sup.backoff_cap)
+    fn backoff(&self, handler: usize, consecutive_failures: u32) -> Duration {
+        jittered_backoff(
+            self.sup.backoff_base,
+            self.sup.backoff_cap,
+            self.cfg.seed,
+            handler,
+            consecutive_failures,
+        )
     }
 
-    fn worker_argv(&self, trials: &[u64], attempt: u32) -> Result<Vec<String>, String> {
-        let mut argv = match &self.sup.worker_cmd {
-            Some(base) => base.clone(),
-            None => {
-                let exe =
-                    std::env::current_exe().map_err(|e| format!("current_exe unavailable: {e}"))?;
-                vec![exe.to_string_lossy().into_owned(), "__worker".to_string()]
-            }
-        };
-        let scale = match self.cfg.scale {
-            Scale::Test => "test",
-            Scale::Paper => "paper",
-        };
-        argv.extend(
-            [
-                ("--workload", self.workload_name.to_string()),
-                ("--seed", self.cfg.seed.to_string()),
-                ("--scale", scale.to_string()),
-                ("--hang-factor", self.cfg.hang_factor.to_string()),
-                ("--wrap-oob", self.cfg.wrap_oob.to_string()),
-                ("--mode-bits", self.cfg.mode_bits.to_string()),
-                ("--trials", format_trials(trials)),
-                ("--attempt", attempt.to_string()),
-            ]
-            .into_iter()
-            .flat_map(|(k, v)| [k.to_string(), v]),
-        );
-        Ok(argv)
-    }
-
-    fn spawn_worker(&self, trials: &[u64], attempt: u32) -> Result<Child, String> {
-        let argv = self.worker_argv(trials, attempt)?;
-        let mut cmd = Command::new(&argv[0]);
-        cmd.args(&argv[1..]).stdin(Stdio::null()).stdout(Stdio::piped());
-        for (k, v) in &self.sup.worker_env {
-            cmd.env(k, v);
+    /// Build handler `id`'s channel to its worker.
+    fn make_transport(&self, id: usize) -> Box<dyn Transport> {
+        match &self.sup.transport {
+            TransportKind::Pipe => Box::new(PipeTransport::new(
+                self.sup.worker_cmd.clone(),
+                self.sup.worker_env.clone(),
+                campaign_flags(self.workload_name, self.cfg),
+                self.sup.shard_timeout,
+            )),
+            TransportKind::Tcp { endpoints } => Box::new(TcpTransport::new(
+                endpoints[id % endpoints.len()].clone(),
+                self.sup.lease_timeout,
+                render_hello(self.workload_name, self.cfg, self.sup.lease_timeout),
+            )),
         }
-        cmd.spawn().map_err(|e| format!("spawning {:?}: {e}", argv[0]))
     }
 
-    /// Stream one worker's stdout, committing records as they arrive.
-    /// Committed trials are removed from `remaining`, so a retry respawns
+    /// Stream one lease's messages, committing records as they arrive.
+    /// Committed trials are removed from `remaining`, so a retry re-leases
     /// only what is still missing — and the head of `remaining` is always
     /// the trial the last death is attributable to.
-    fn stream_child(&self, child: &mut Child, remaining: &mut VecDeque<u64>) -> ShardRun {
-        let stdout = child.stdout.take().expect("worker stdout is piped");
-        let (tx, rx) = mpsc::channel::<String>();
-        std::thread::spawn(move || {
-            for line in BufReader::new(stdout).lines() {
-                match line {
-                    Ok(l) => {
-                        if tx.send(l).is_err() {
-                            return;
-                        }
-                    }
-                    Err(_) => return,
-                }
-            }
-        });
-
-        let kill_and_reap = |child: &mut Child| {
-            let _ = child.kill();
-            let _ = child.wait();
-        };
-        let deadline = Instant::now() + self.sup.shard_timeout;
+    fn stream_shard(
+        &self,
+        transport: &mut dyn Transport,
+        remaining: &mut VecDeque<u64>,
+    ) -> ShardRun {
+        let mut lease = Lease::new(transport.policy());
         let mut progress = false;
         let mut handshaken = false;
+        // Progress gate for TCP heartbeats: renew only when the daemon's
+        // completion count *changes*, so a frozen executor with a beating
+        // heart still loses its lease.
+        let mut last_hb: Option<u64> = None;
         loop {
             if self.should_stop() {
-                kill_and_reap(child);
-                return ShardRun::Died { progress, detail: "supervisor shutdown".into() };
+                transport.revoke();
+                return ShardRun::Died {
+                    progress,
+                    handshaken,
+                    detail: "supervisor shutdown".into(),
+                };
             }
-            let wait =
-                deadline.saturating_duration_since(Instant::now()).min(Duration::from_millis(50));
-            match rx.recv_timeout(wait) {
-                Ok(line) => {
+            match transport.recv(lease.wait()) {
+                ChannelEvent::Msg(line) => {
                     if line.trim().is_empty() {
                         continue;
                     }
                     if !handshaken {
-                        let ok = json::parse(&line).ok().is_some_and(|v| {
+                        let parsed = json::parse(&line).ok();
+                        // An error can precede the handshake: the daemon
+                        // rejected our hello, or the worker rejected its
+                        // flags. A fatal configuration error either way.
+                        if let Some(detail) =
+                            parsed.as_ref().and_then(|v| v.get("error")).and_then(Value::as_str)
+                        {
+                            let detail = detail.to_string();
+                            transport.revoke();
+                            return ShardRun::Fatal(SupervisorError::WorkerFatal { detail });
+                        }
+                        let ok = parsed.is_some_and(|v| {
                             v.get("mbavf_worker").and_then(Value::as_u64) == Some(PROTOCOL_VERSION)
                                 && v.get("fingerprint").and_then(Value::as_u64)
                                     == Some(self.fingerprint)
                         });
                         if !ok {
-                            kill_and_reap(child);
+                            transport.revoke();
                             let head: String = line.chars().take(120).collect();
                             return ShardRun::Mismatch(format!(
                                 "expected worker handshake, got {head:?}"
                             ));
                         }
                         handshaken = true;
+                        lease.renew();
                         continue;
                     }
                     let Ok(v) = json::parse(&line) else {
@@ -728,14 +865,20 @@ impl SupCtx<'_> {
                         // that follows drives the retry; nothing to commit.
                         continue;
                     };
+                    if let Some(n) = v.get("hb").and_then(Value::as_u64) {
+                        if last_hb != Some(n) {
+                            last_hb = Some(n);
+                            lease.renew();
+                        }
+                        continue;
+                    }
                     if let Some(detail) = v.get("error").and_then(Value::as_str) {
-                        kill_and_reap(child);
-                        return ShardRun::Fatal(SupervisorError::WorkerFatal {
-                            detail: detail.to_string(),
-                        });
+                        let detail = detail.to_string();
+                        transport.revoke();
+                        return ShardRun::Fatal(SupervisorError::WorkerFatal { detail });
                     }
                     if v.get("done").is_some() {
-                        let _ = child.wait();
+                        transport.finish();
                         return if remaining.is_empty() {
                             ShardRun::Done
                         } else {
@@ -750,60 +893,70 @@ impl SupCtx<'_> {
                     let (record, us) = match parse_record_line(&v) {
                         Ok(r) => r,
                         Err(detail) => {
-                            kill_and_reap(child);
+                            transport.revoke();
                             return ShardRun::Fatal(SupervisorError::Protocol {
                                 detail: format!("bad record line: {detail}"),
                             });
                         }
                     };
-                    let Some(pos) = remaining.iter().position(|&t| t == record.trial) else {
-                        kill_and_reap(child);
-                        return ShardRun::Fatal(SupervisorError::Protocol {
-                            detail: format!(
-                                "worker emitted trial {} outside its shard",
-                                record.trial
-                            ),
-                        });
-                    };
-                    remaining.remove(pos);
-                    progress = true;
-                    let done = self.shared.commit(record, us);
-                    if let Some(path) = &self.runner.checkpoint {
-                        if done.is_multiple_of(self.runner.checkpoint_every) {
-                            self.shared.snapshot(
-                                self.workload_name,
-                                self.fingerprint,
-                                self.cfg.mode_bits,
-                                path,
-                            );
+                    let trial = record.trial;
+                    let leased = remaining.iter().position(|&t| t == trial);
+                    match self.shared.commit_remote(record, us, leased.is_some()) {
+                        RemoteCommit::Fresh(done) => {
+                            let pos = leased.expect("fresh commits are leased");
+                            remaining.remove(pos);
+                            progress = true;
+                            lease.renew();
+                            if let Some(path) = &self.runner.checkpoint {
+                                if done.is_multiple_of(self.runner.checkpoint_every) {
+                                    self.shared.snapshot(
+                                        self.workload_name,
+                                        self.fingerprint,
+                                        self.cfg.mode_bits,
+                                        path,
+                                    );
+                                }
+                            }
+                        }
+                        RemoteCommit::Duplicate => {
+                            // A replay of a record committed by an earlier
+                            // lease (reconnect, duplicated frames): dropped
+                            // by the merge, never recounted.
+                            if let Some(pos) = leased {
+                                remaining.remove(pos);
+                                progress = true;
+                            }
+                            lease.renew();
+                        }
+                        RemoteCommit::Conflict { detail } => {
+                            transport.revoke();
+                            return ShardRun::Fatal(SupervisorError::Protocol { detail });
+                        }
+                        RemoteCommit::Foreign => {
+                            transport.revoke();
+                            return ShardRun::Fatal(SupervisorError::Protocol {
+                                detail: format!("worker emitted trial {trial} outside its shard"),
+                            });
                         }
                     }
                 }
-                Err(mpsc::RecvTimeoutError::Timeout) => {
-                    if Instant::now() >= deadline {
-                        kill_and_reap(child);
-                        return ShardRun::Died {
-                            progress,
-                            detail: format!(
-                                "shard watchdog fired after {:?} with {} trials outstanding",
-                                self.sup.shard_timeout,
-                                remaining.len()
-                            ),
-                        };
+                ChannelEvent::Idle => {
+                    if lease.expired() {
+                        let detail = lease.describe(remaining.len());
+                        transport.revoke();
+                        return ShardRun::Died { progress, handshaken, detail };
                     }
                 }
-                Err(mpsc::RecvTimeoutError::Disconnected) => {
-                    let status = child
-                        .wait()
-                        .map(|s| s.to_string())
-                        .unwrap_or_else(|e| format!("unwaitable: {e}"));
+                ChannelEvent::Eof { status } => {
                     // A worker that drained its shard but lost the sentinel
                     // did all the work; don't retry an empty shard.
                     return if remaining.is_empty() {
+                        transport.finish();
                         ShardRun::Done
                     } else {
                         ShardRun::Died {
                             progress,
+                            handshaken,
                             detail: format!(
                                 "worker died ({status}) with {} trials left",
                                 remaining.len()
@@ -815,19 +968,24 @@ impl SupCtx<'_> {
         }
     }
 
-    /// Drive one shard to completion: spawn/respawn with backoff, poison
-    /// the head trial after repeated no-progress death.
-    fn run_shard(&self, mut remaining: VecDeque<u64>) {
-        let mut attempts: u32 = 0; // consecutive no-progress worker deaths
-        let mut spawn_fails: u32 = 0;
-        let mut last_fail = String::from("never ran");
-        while !remaining.is_empty() {
+    /// Drive one shard to completion: lease/re-lease with jittered backoff,
+    /// poison the head trial after repeated no-progress failure, declare
+    /// the endpoint dead when it stays unreachable.
+    fn run_shard(
+        &self,
+        transport: &mut dyn Transport,
+        handler: usize,
+        shard: &mut Shard,
+    ) -> ShardEnd {
+        let mut lease_fails: u32 = 0;
+        while !shard.remaining.is_empty() {
             if self.should_stop() {
-                return;
+                return ShardEnd::Stop;
             }
-            if attempts > self.sup.max_retries {
-                let trial = remaining.pop_front().expect("remaining is non-empty");
+            if shard.attempts > self.sup.max_retries {
+                let trial = shard.remaining.pop_front().expect("remaining is non-empty");
                 let sampler = self.sampler.expect("pending trials imply a sampler");
+                let (attempts, last_fail) = (shard.attempts, shard.last_fail.clone());
                 let entry = PoisonEntry {
                     trial,
                     site: sampler.sample(self.cfg.seed, trial),
@@ -847,89 +1005,154 @@ impl SupCtx<'_> {
                         poisoned: total,
                         cap: self.sup.max_poison,
                     });
-                    return;
+                    return ShardEnd::Stop;
                 }
-                attempts = 0;
-                last_fail = String::from("never ran");
+                shard.attempts = 0;
+                shard.last_fail = String::from("never ran");
                 continue;
             }
-            let failures = attempts.max(spawn_fails);
+            let failures = shard.attempts.max(lease_fails);
             if failures > 0 {
-                std::thread::sleep(self.backoff(failures));
+                std::thread::sleep(self.backoff(handler, failures));
             }
-            let trials: Vec<u64> = remaining.iter().copied().collect();
-            let mut child = match self.spawn_worker(&trials, attempts + spawn_fails) {
-                Ok(c) => c,
-                Err(detail) => {
-                    if self.try_degrade() {
-                        return;
-                    }
-                    spawn_fails += 1;
-                    if spawn_fails > self.sup.max_retries {
-                        self.raise_fatal(SupervisorError::Spawn { detail });
-                        return;
-                    }
-                    continue;
+            let trials: Vec<u64> = shard.remaining.iter().copied().collect();
+            if let Err(detail) = transport.lease(&trials, shard.attempts + lease_fails) {
+                if !transport.is_remote() && self.try_degrade() {
+                    return ShardEnd::Stop;
                 }
-            };
+                lease_fails += 1;
+                if lease_fails > self.sup.max_retries {
+                    if transport.is_remote() {
+                        return ShardEnd::EndpointDead { detail };
+                    }
+                    self.raise_fatal(SupervisorError::Spawn { detail });
+                    return ShardEnd::Stop;
+                }
+                continue;
+            }
             self.live_children.fetch_add(1, Ordering::SeqCst);
-            let run = self.stream_child(&mut child, &mut remaining);
+            let run = self.stream_shard(transport, &mut shard.remaining);
             self.live_children.fetch_sub(1, Ordering::SeqCst);
-            spawn_fails = 0;
             match run {
-                ShardRun::Done => return,
-                ShardRun::Died { progress, detail } => {
-                    attempts = if progress { 1 } else { attempts + 1 };
-                    last_fail = detail;
+                ShardRun::Done => return ShardEnd::Finished,
+                ShardRun::Died { progress, handshaken, detail } => {
+                    if !handshaken && transport.is_remote() {
+                        // The connection died before the daemon answered the
+                        // lease — e.g. a dial that landed in a dying
+                        // listener's backlog. The trial never ran, so charge
+                        // the endpoint's retry budget, not the trial's.
+                        lease_fails += 1;
+                        if lease_fails > self.sup.max_retries {
+                            return ShardEnd::EndpointDead { detail };
+                        }
+                        continue;
+                    }
+                    lease_fails = 0;
+                    shard.attempts = if progress { 1 } else { shard.attempts + 1 };
+                    shard.last_fail = detail;
                 }
                 ShardRun::Fatal(e) => {
                     self.raise_fatal(e);
-                    return;
+                    return ShardEnd::Stop;
                 }
                 ShardRun::Mismatch(detail) => {
                     if self.try_degrade() {
-                        eprintln!(
-                            "warning: worker handshake failed ({detail}); is this binary missing the __worker dispatch?"
-                        );
-                        return;
+                        if transport.is_remote() {
+                            eprintln!(
+                                "warning: worker endpoint {} is not serving this campaign ({detail})",
+                                transport.endpoint()
+                            );
+                        } else {
+                            eprintln!(
+                                "warning: worker handshake failed ({detail}); is this binary missing the __worker dispatch?"
+                            );
+                        }
+                        return ShardEnd::Stop;
                     }
                     self.raise_fatal(SupervisorError::Protocol { detail });
-                    return;
+                    return ShardEnd::Stop;
                 }
             }
         }
+        ShardEnd::Finished
     }
 
-    fn handler(&self) {
-        let _slot = WorkerGuard::retire_on_drop(self.shared);
+    /// Handler `id`'s main loop: lease shards off the queue until it is
+    /// drained or the campaign stops. A dead endpoint hands its shard back
+    /// for the surviving handlers and retires.
+    fn drive(&self, id: usize) {
+        let mut transport = self.make_transport(id);
         loop {
             if self.should_stop() {
                 return;
             }
-            let Some(shard) = self.queue.lock().expect("queue lock").pop_front() else {
-                return;
-            };
-            self.run_shard(shard);
+            match self.queue.take() {
+                Some(mut shard) => match self.run_shard(transport.as_mut(), id, &mut shard) {
+                    ShardEnd::Finished => {}
+                    ShardEnd::Stop => return,
+                    ShardEnd::EndpointDead { detail } => {
+                        eprintln!(
+                            "warning: worker endpoint {} lost ({detail}); re-offering its shard",
+                            transport.endpoint()
+                        );
+                        self.queue.give_back(shard);
+                        return;
+                    }
+                },
+                None => {
+                    // Another handler may yet give its shard back if its
+                    // endpoint dies mid-stream; stay alive while anyone is
+                    // still streaming.
+                    if self.live_children.load(Ordering::SeqCst) > 0 {
+                        std::thread::sleep(Duration::from_millis(25));
+                        continue;
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    fn handler(&self, id: usize) {
+        let _slot = WorkerGuard::retire_on_drop(self.shared);
+        self.drive(id);
+        // Backstop: the last handler out must not strand re-offered shards.
+        // With work still queued and no stop in flight, every endpoint died
+        // after work was committed — degrade if still possible, else fail
+        // loudly rather than report a silent partial campaign.
+        if self.retired.fetch_add(1, Ordering::SeqCst) + 1 == self.handlers {
+            let pending = self.queue.outstanding();
+            if pending > 0
+                && !self.should_stop()
+                && self.fatal.lock().expect("fatal lock").is_none()
+                && !self.try_degrade()
+            {
+                self.raise_fatal(TransportError::AllEndpointsLost { pending }.into());
+            }
         }
     }
 }
 
-/// Run (or resume) a campaign with worker subprocesses.
+/// Run (or resume) a campaign with worker subprocesses or remote worker
+/// daemons.
 ///
 /// Identical record semantics to [`crate::runner::run_campaign`] — the same
 /// checkpoint format, the same fingerprint, bit-identical non-poison
-/// records at any worker count — plus the failure policy described at the
-/// module level. Trials that repeatedly kill their worker are poisoned
-/// rather than failing the campaign; if workers cannot be spawned at all
-/// the supervisor degrades to the thread-mode engine with a warning.
+/// records at any worker count over any transport — plus the failure policy
+/// described at the module level. Trials that repeatedly kill their worker
+/// are poisoned rather than failing the campaign; if no worker ever
+/// produces a record the supervisor degrades one isolation level (TCP →
+/// process → thread) with a warning.
 ///
 /// # Errors
 ///
 /// Everything [`crate::runner::run_campaign`] can raise, plus
-/// [`InjectError::Supervisor`] for a fatal worker error (exit 10), a
-/// protocol violation after trials have completed, a poison sidecar from a
-/// different campaign, or more than [`SupervisorConfig::max_poison`]
-/// poisoned trials.
+/// [`InjectError::Supervisor`] for a fatal worker error (exit 10 or an
+/// `error` frame), a protocol violation after trials have completed, a
+/// poison sidecar from a different campaign, more than
+/// [`SupervisorConfig::max_poison`] poisoned trials, a TCP transport with
+/// no endpoints ([`TransportError::NoEndpoints`]), or every endpoint lost
+/// after work was committed ([`TransportError::AllEndpointsLost`]).
 pub fn run_supervised(
     workload: &Workload,
     cfg: &CampaignConfig,
@@ -943,6 +1166,11 @@ pub fn run_supervised(
     }
     if sup.shard_size == 0 {
         return Err(InjectError::BadConfig { detail: "shard_size must be at least 1".into() });
+    }
+    if let TransportKind::Tcp { endpoints } = &sup.transport {
+        if endpoints.is_empty() {
+            return Err(SupervisorError::from(TransportError::NoEndpoints).into());
+        }
     }
 
     let golden = golden_shape(workload, cfg).map_err(|detail| InjectError::GoldenRunFailed {
@@ -983,22 +1211,36 @@ pub fn run_supervised(
 
     // Contiguous shards with boundaries fixed by trial index, so the shard
     // layout is invariant under the worker count.
-    let mut shards: VecDeque<VecDeque<u64>> = VecDeque::new();
+    let mut shards: VecDeque<Shard> = VecDeque::new();
     for &t in &pending {
         let shard_id = t / sup.shard_size as u64;
         match shards.back_mut() {
-            Some(last) if last.back().is_some_and(|&p| p / sup.shard_size as u64 == shard_id) => {
-                last.push_back(t)
+            Some(last)
+                if last
+                    .remaining
+                    .back()
+                    .is_some_and(|&p| p / sup.shard_size as u64 == shard_id) =>
+            {
+                last.remaining.push_back(t)
             }
-            _ => shards.push_back(VecDeque::from([t])),
+            _ => shards.push_back(Shard::new(VecDeque::from([t]))),
         }
     }
-    let workers = if sup.workers == 0 {
-        std::thread::available_parallelism().map(usize::from).unwrap_or(1)
-    } else {
-        sup.workers
+    let workers = match &sup.transport {
+        TransportKind::Tcp { endpoints } => endpoints.len(),
+        TransportKind::Pipe => {
+            if sup.workers == 0 {
+                std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+            } else {
+                sup.workers
+            }
+        }
     }
     .clamp(1, shards.len().max(1));
+    let label = match &sup.transport {
+        TransportKind::Pipe => "process",
+        TransportKind::Tcp { .. } => "tcp",
+    };
 
     let shared = Shared::new(slots, pending.len());
     shared.active_workers.store(workers, Ordering::SeqCst);
@@ -1011,12 +1253,14 @@ pub fn run_supervised(
         sampler: sampler.as_ref(),
         shared: &shared,
         prior_poison: prior_poison.len(),
-        queue: Mutex::new(shards),
+        queue: LeaseQueue::new(shards),
         poison: Mutex::new(Vec::new()),
         fatal: Mutex::new(None),
         degrade: AtomicBool::new(false),
         stop: AtomicBool::new(false),
         live_children: AtomicUsize::new(0),
+        handlers: workers,
+        retired: AtomicUsize::new(0),
     };
 
     std::thread::scope(|scope| {
@@ -1028,7 +1272,7 @@ pub fn run_supervised(
                         interval,
                         resumed,
                         cfg.injections,
-                        "process",
+                        label,
                         &|| ctx.live_children.load(Ordering::SeqCst),
                         &|| {
                             let n =
@@ -1043,17 +1287,28 @@ pub fn run_supervised(
                 });
             }
         }
-        for _ in 0..workers {
+        for id in 0..workers {
             let ctx = &ctx;
-            scope.spawn(move || ctx.handler());
+            scope.spawn(move || ctx.handler(id));
         }
     });
 
     if ctx.degrade.load(Ordering::SeqCst) {
-        eprintln!(
-            "warning: process isolation unavailable; degrading to thread isolation for this campaign"
-        );
-        return run_campaign_with(workload, cfg, runner, &golden);
+        return match &sup.transport {
+            TransportKind::Tcp { .. } => {
+                eprintln!(
+                    "warning: no tcp worker produced a record; degrading to local process isolation for this campaign"
+                );
+                let local = SupervisorConfig { transport: TransportKind::Pipe, ..sup.clone() };
+                run_supervised(workload, cfg, runner, &local)
+            }
+            TransportKind::Pipe => {
+                eprintln!(
+                    "warning: process isolation unavailable; degrading to thread isolation for this campaign"
+                );
+                run_campaign_with(workload, cfg, runner, &golden)
+            }
+        };
     }
 
     let mut new_poison = ctx.poison.into_inner().expect("poison lock");
@@ -1226,6 +1481,29 @@ mod tests {
     }
 
     #[test]
+    fn respawn_backoff_is_jittered_deterministic_and_bounded() {
+        let base = Duration::from_millis(50);
+        let cap = Duration::from_secs(2);
+        let d0 = jittered_backoff(base, cap, 0x5EED, 0, 1);
+        assert_eq!(d0, jittered_backoff(base, cap, 0x5EED, 0, 1), "jitter must be deterministic");
+        let distinct: std::collections::HashSet<Duration> =
+            (0..8).map(|h| jittered_backoff(base, cap, 0x5EED, h, 1)).collect();
+        assert!(distinct.len() > 1, "handlers must not retry in lockstep");
+        for handler in 0..8 {
+            for failures in 1..=20u32 {
+                let full = base.saturating_mul(1u32 << failures.saturating_sub(1).min(16)).min(cap);
+                let d = jittered_backoff(base, cap, 0x5EED, handler, failures);
+                assert!(
+                    d <= full && d >= full / 2,
+                    "handler {handler} failure {failures}: {d:?} outside [{:?}, {full:?}]",
+                    full / 2
+                );
+                assert!(d <= cap);
+            }
+        }
+    }
+
+    #[test]
     fn spawn_failure_degrades_to_thread_mode() {
         let w = by_name("transpose").expect("registered");
         let cfg = cfg(8);
@@ -1254,6 +1532,24 @@ mod tests {
         let thread = run_campaign(&w, &cfg, &RunnerConfig::serial()).unwrap();
         assert_eq!(report.summary, thread.summary);
         assert!(report.poisoned.is_empty());
+    }
+
+    #[test]
+    fn tcp_with_no_endpoints_is_rejected() {
+        let w = by_name("transpose").expect("registered");
+        let cfg = cfg(4);
+        let sup = SupervisorConfig {
+            transport: TransportKind::Tcp { endpoints: Vec::new() },
+            ..SupervisorConfig::default()
+        };
+        let err = run_supervised(&w, &cfg, &RunnerConfig::serial(), &sup).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                InjectError::Supervisor(SupervisorError::Transport(TransportError::NoEndpoints))
+            ),
+            "{err}"
+        );
     }
 
     #[test]
@@ -1322,6 +1618,27 @@ mod tests {
         match err {
             InjectError::Supervisor(SupervisorError::WorkerFatal { detail }) => {
                 assert_eq!(detail, "unknown workload");
+            }
+            other => panic!("expected WorkerFatal, got {other}"),
+        }
+    }
+
+    #[test]
+    fn pre_handshake_error_line_is_fatal_not_mismatch() {
+        // A worker that rejects its flags emits the error line *before* any
+        // handshake; the supervisor must surface the configuration error
+        // rather than degrade on a handshake mismatch.
+        let w = by_name("transpose").expect("registered");
+        let cfg = cfg(4);
+        let sup = SupervisorConfig {
+            workers: 1,
+            worker_cmd: sh("echo '{\"error\": \"bad integer for --seed\"}'; exit 10"),
+            ..SupervisorConfig::default()
+        };
+        let err = run_supervised(&w, &cfg, &RunnerConfig::serial(), &sup).unwrap_err();
+        match err {
+            InjectError::Supervisor(SupervisorError::WorkerFatal { detail }) => {
+                assert_eq!(detail, "bad integer for --seed");
             }
             other => panic!("expected WorkerFatal, got {other}"),
         }

@@ -1,0 +1,257 @@
+//! The `__serve` worker daemon: a socket front-end for the shard executor.
+//!
+//! `campaign --listen host:port` runs one of these per worker machine. The
+//! daemon binds the socket, announces the bound address on stdout as a
+//! single JSON line (`{"mbavf_serve": 1, "listen": "ip:port"}` — port 0
+//! requests an ephemeral port, so callers parse this line), and then serves
+//! supervisor connections forever, one thread per connection.
+//!
+//! Per connection: the supervisor sends a *hello* frame carrying the
+//! protocol version, the lease budget, and the full campaign config; the
+//! daemon builds a [`ShardExecutor`] from it (golden run, sampler, arena —
+//! paid once per connection, reused across leases). Each subsequent *lease*
+//! frame names a trial range; the daemon answers with the fingerprint
+//! handshake, one record frame per trial in order, and a `done` sentinel,
+//! while a side thread emits `{"hb": N}` heartbeat frames (N = trials
+//! completed in this lease) so the supervisor's progress-gated lease can
+//! distinguish a slow-but-alive worker from a dead or livelocked one.
+//!
+//! The daemon holds no shard state between leases — after any disconnect
+//! the supervisor simply reconnects and leases whatever its merge is still
+//! missing, and the idempotent merge makes re-delivered records harmless.
+
+use super::transport::{read_frame, write_frame};
+use super::{
+    drill, flag, parse_trials, render_record_line, sigkill_self, ShardExecutor, PROTOCOL_VERSION,
+};
+use crate::campaign::CampaignConfig;
+use crate::checkpoint;
+use crate::json::{self, Value};
+use mbavf_workloads::{by_name, Scale};
+use std::io::{BufReader, Write as _};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+/// Version of the `__serve` stdout announcement line.
+pub const SERVE_VERSION: u64 = 1;
+
+/// Entry point for the hidden `__serve` argv (`campaign __serve --listen
+/// host:port`, also reachable as `campaign --listen host:port`). Hosting
+/// binaries must dispatch it before normal flag parsing, exactly like
+/// `__worker`. Serves forever; returns non-zero only if the socket cannot
+/// be bound.
+pub fn serve_main(args: &[String]) -> i32 {
+    match serve_run(args) {
+        Ok(()) => 0,
+        Err(detail) => {
+            eprintln!("serve: {detail}");
+            1
+        }
+    }
+}
+
+fn serve_run(args: &[String]) -> Result<(), String> {
+    let addr = flag(args, "--listen")?;
+    let listener = TcpListener::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
+    let local = listener.local_addr().map_err(|e| format!("local_addr: {e}"))?;
+    // The announcement line is the daemon's only stdout output; callers
+    // (tests, CI, orchestration) parse it to learn the ephemeral port.
+    println!("{{\"mbavf_serve\": {SERVE_VERSION}, \"listen\": \"{local}\"}}");
+    std::io::stdout().flush().map_err(|e| format!("stdout: {e}"))?;
+    for stream in listener.incoming() {
+        match stream {
+            Ok(stream) => {
+                std::thread::spawn(move || {
+                    if let Err(detail) = handle_conn(stream) {
+                        eprintln!("serve: connection failed: {detail}");
+                    }
+                });
+            }
+            Err(e) => eprintln!("serve: accept failed: {e}"),
+        }
+    }
+    Ok(())
+}
+
+/// Parse the supervisor's hello frame into (workload name, campaign
+/// config, lease budget in ms).
+fn parse_hello(v: &Value) -> Result<(String, CampaignConfig, u64), String> {
+    let version = v
+        .get("mbavf_hello")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| "hello frame missing \"mbavf_hello\"".to_string())?;
+    if version != PROTOCOL_VERSION {
+        return Err(format!(
+            "unsupported protocol version {version} (this daemon speaks {PROTOCOL_VERSION})"
+        ));
+    }
+    let lease_ms = v
+        .get("lease_ms")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| "hello frame missing \"lease_ms\"".to_string())?;
+    let field = |k: &str| {
+        v.get(k).and_then(Value::as_u64).ok_or_else(|| format!("hello frame missing \"{k}\""))
+    };
+    let workload = v
+        .get("workload")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "hello frame missing \"workload\"".to_string())?
+        .to_string();
+    let scale = match v.get("scale").and_then(Value::as_str) {
+        Some("test") => Scale::Test,
+        Some("paper") => Scale::Paper,
+        other => return Err(format!("hello frame has bad \"scale\" {other:?}")),
+    };
+    let cfg = CampaignConfig {
+        seed: field("seed")?,
+        // The budget is excluded from the fingerprint; the trials to run
+        // arrive per lease.
+        injections: 1,
+        scale,
+        hang_factor: field("hang_factor")?,
+        wrap_oob: v
+            .get("wrap_oob")
+            .and_then(Value::as_bool)
+            .ok_or_else(|| "hello frame missing \"wrap_oob\"".to_string())?,
+        mode_bits: u8::try_from(field("mode_bits")?)
+            .map_err(|_| "hello frame \"mode_bits\" out of range".to_string())?,
+    };
+    Ok((workload, cfg, lease_ms))
+}
+
+/// Send one frame through the shared writer (record stream and heartbeat
+/// thread interleave whole frames, never bytes).
+fn send(writer: &Mutex<TcpStream>, payload: &str) -> Result<(), String> {
+    let stream = writer.lock().expect("writer lock");
+    write_frame(&mut &*stream, payload).map_err(|e| format!("writing frame: {e}"))
+}
+
+fn error_frame(detail: &str) -> String {
+    let mut line = String::from("{\"error\": ");
+    json::write_str(&mut line, detail);
+    line.push('}');
+    line
+}
+
+fn handle_conn(stream: TcpStream) -> Result<(), String> {
+    let _ = stream.set_nodelay(true);
+    let mut reader =
+        BufReader::new(stream.try_clone().map_err(|e| format!("cloning stream: {e}"))?);
+    let writer = Arc::new(Mutex::new(stream));
+
+    let hello = match read_frame(&mut reader) {
+        Ok(Some(frame)) => frame,
+        Ok(None) => return Ok(()), // probe connection; nothing to serve
+        Err(e) => return Err(format!("reading hello: {e}")),
+    };
+    let v = json::parse(&hello).map_err(|d| format!("bad hello frame: {d}"))?;
+    let fatal = |writer: &Mutex<TcpStream>, detail: String| -> String {
+        let _ = send(writer, &error_frame(&detail));
+        detail
+    };
+    let (workload_name, cfg, lease_ms) = match parse_hello(&v) {
+        Ok(h) => h,
+        Err(detail) => return Err(fatal(&writer, detail)),
+    };
+    let Some(workload) = by_name(&workload_name) else {
+        return Err(fatal(&writer, format!("unknown workload {workload_name:?}")));
+    };
+    let mut exec = match ShardExecutor::new(&workload, cfg) {
+        Ok(exec) => exec,
+        Err(detail) => return Err(fatal(&writer, detail)),
+    };
+    let fingerprint = checkpoint::config_fingerprint(workload.name, &cfg);
+    let handshake =
+        format!("{{\"mbavf_worker\": {PROTOCOL_VERSION}, \"fingerprint\": {fingerprint}}}");
+    let hb_every = Duration::from_millis((lease_ms / 3).max(10));
+
+    loop {
+        let lease = match read_frame(&mut reader) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return Ok(()), // supervisor closed: campaign over
+            Err(e) => return Err(format!("reading lease: {e}")),
+        };
+        let v = json::parse(&lease).map_err(|d| format!("bad lease frame: {d}"))?;
+        let trials = parse_trials(
+            v.get("trials")
+                .and_then(Value::as_str)
+                .ok_or_else(|| "lease frame missing \"trials\"".to_string())?,
+        )?;
+        let attempt = v.get("attempt").and_then(Value::as_u64).unwrap_or(0) as u32;
+        send(&writer, &handshake)?;
+        run_lease(&writer, &mut exec, &trials, attempt, hb_every)?;
+    }
+}
+
+/// Execute one lease: stream record frames (with the heartbeat thread
+/// running alongside) and the `done` sentinel.
+fn run_lease(
+    writer: &Arc<Mutex<TcpStream>>,
+    exec: &mut ShardExecutor,
+    trials: &[u64],
+    attempt: u32,
+    hb_every: Duration,
+) -> Result<(), String> {
+    let progress = Arc::new(AtomicU64::new(0));
+    let (stop_tx, stop_rx) = mpsc::channel::<()>();
+    let hb = {
+        let writer = Arc::clone(writer);
+        let progress = Arc::clone(&progress);
+        std::thread::spawn(move || loop {
+            match stop_rx.recv_timeout(hb_every) {
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    let frame = format!("{{\"hb\": {}}}", progress.load(Ordering::SeqCst));
+                    if send(&writer, &frame).is_err() {
+                        return; // lease revoked: the supervisor severed us
+                    }
+                }
+                _ => return,
+            }
+        })
+    };
+
+    let result = (|| -> Result<(), String> {
+        let mut sent: Vec<String> = Vec::new();
+        for (i, &trial) in trials.iter().enumerate() {
+            // Network fault drills, used by torture tests and the CI smoke
+            // job. Checked only here, in the daemon: the supervisor never
+            // drills itself.
+            if drill("MBAVF_NET_KILL_DRILL") == Some(trial) {
+                sigkill_self();
+            }
+            if drill("MBAVF_NET_STALL_DRILL") == Some(trial) {
+                // Freeze the executor with the heartbeat still beating: the
+                // supervisor's progress-gated lease must expire and revoke
+                // even though frames keep arriving.
+                std::thread::sleep(Duration::from_secs(3600));
+            }
+            let (record, us) = exec.run_trial(trial);
+            let line = render_record_line(&record, us);
+            send(writer, &line)?;
+            sent.push(line);
+            progress.store(i as u64 + 1, Ordering::SeqCst);
+            if attempt == 0 && drill("MBAVF_NET_DRILL") == Some(trial) {
+                // Hostile-network drill: replay every record already sent
+                // in this lease (duplicates the merge must drop without
+                // recounting), then sever the connection mid-frame — a torn
+                // length-prefixed write promising bytes that never come.
+                for line in &sent {
+                    send(writer, line)?;
+                }
+                let stream = writer.lock().expect("writer lock");
+                let _ = (&*stream).write_all(&64u32.to_be_bytes());
+                let _ = (&*stream).write_all(b"{\"trial\": ");
+                let _ = (&*stream).flush();
+                let _ = stream.shutdown(Shutdown::Both);
+                return Err("net drill severed the connection".into());
+            }
+        }
+        send(writer, &format!("{{\"done\": {}}}", trials.len()))
+    })();
+
+    let _ = stop_tx.send(());
+    let _ = hb.join();
+    result
+}

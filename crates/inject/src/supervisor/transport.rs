@@ -1,0 +1,452 @@
+//! The supervisor↔worker channel, abstracted over how bytes move.
+//!
+//! Both transports carry the same protocol — handshake, record lines, a
+//! `done` sentinel — so the supervisor's stream loop is transport-blind:
+//!
+//! * [`PipeTransport`]: the PR-5 path. Each lease spawns a disposable
+//!   `__worker` subprocess and reads line-delimited JSON from its stdout;
+//!   revocation kills the child. Deadlines are the fixed whole-shard
+//!   watchdog.
+//! * [`TcpTransport`]: one persistent connection to a `campaign --listen`
+//!   worker daemon. Each lease is a frame naming the trials; the daemon
+//!   answers with the handshake, record frames interleaved with heartbeat
+//!   frames, and `done`. Connection loss is retried by redialing (the
+//!   daemon is stateless between leases, so a reconnect simply re-leases
+//!   whatever is still missing); revocation severs the socket. Deadlines
+//!   slide on progress.
+//!
+//! Frames are a `u32` big-endian length prefix followed by that many bytes
+//! of UTF-8 JSON. A frame cut short by a dying peer surfaces as an I/O
+//! error on the reader thread, which the stream loop observes as EOF — the
+//! same shape a torn pipe line has, and handled by the same retry path.
+
+use super::format_trials;
+use super::lease::DeadlinePolicy;
+use crate::campaign::CampaignConfig;
+use crate::json;
+use mbavf_workloads::Scale;
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc::{self, Receiver};
+use std::time::Duration;
+
+/// Hard cap on a single frame's payload. A record line is ~200 bytes; a
+/// length prefix beyond this is garbage (or an attack), not a record.
+pub(crate) const MAX_FRAME: usize = 1 << 20;
+
+/// Write one length-delimited frame and flush it.
+pub(crate) fn write_frame<W: Write>(w: &mut W, payload: &str) -> std::io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame payload of {} bytes exceeds cap {MAX_FRAME}", payload.len()),
+        ));
+    }
+    let len = payload.len() as u32;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload.as_bytes())?;
+    w.flush()
+}
+
+/// Read one length-delimited frame. `Ok(None)` is a clean EOF at a frame
+/// boundary; EOF anywhere inside a frame (a torn write from a dying peer)
+/// is an error, as are oversized lengths and non-UTF-8 payloads.
+pub(crate) fn read_frame<R: Read>(r: &mut R) -> std::io::Result<Option<String>> {
+    let mut len_buf = [0u8; 4];
+    let mut got = 0;
+    while got < len_buf.len() {
+        let n = r.read(&mut len_buf[got..])?;
+        if n == 0 {
+            if got == 0 {
+                return Ok(None);
+            }
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "torn frame: EOF inside the length prefix",
+            ));
+        }
+        got += n;
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap {MAX_FRAME}"),
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map(Some).map_err(|_| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "frame payload is not UTF-8")
+    })
+}
+
+/// What [`Transport::recv`] observed.
+pub(crate) enum ChannelEvent {
+    /// One protocol message (a line / frame payload).
+    Msg(String),
+    /// Nothing arrived within the wait budget.
+    Idle,
+    /// The channel ended: the subprocess exited or the connection closed.
+    Eof {
+        /// Exit status or connection-loss description, for failure reports.
+        status: String,
+    },
+}
+
+/// One handler's channel to one worker. A lease hands the worker a set of
+/// trials; `recv` then streams its messages until `done`, EOF, or
+/// revocation. Lease errors are returned as retryable detail strings — the
+/// caller owns the retry budget and decides when the endpoint is dead.
+pub(crate) trait Transport {
+    /// Lease `trials` to the worker: spawn a subprocess (pipe) or send a
+    /// lease frame over the — possibly redialed — connection (TCP).
+    fn lease(&mut self, trials: &[u64], attempt: u32) -> Result<(), String>;
+
+    /// Wait up to `wait` for the next message.
+    fn recv(&mut self, wait: Duration) -> ChannelEvent;
+
+    /// Revoke the current lease: kill the subprocess / sever the socket.
+    fn revoke(&mut self);
+
+    /// The lease completed cleanly: reap the subprocess / keep the
+    /// connection for the next lease.
+    fn finish(&mut self);
+
+    /// How revocation deadlines behave for this transport.
+    fn policy(&self) -> DeadlinePolicy;
+
+    /// Whether the worker lives on another host: remote endpoints die
+    /// without failing the campaign (their shards are re-offered), local
+    /// spawn failure degrades or is fatal.
+    fn is_remote(&self) -> bool;
+
+    /// Where the worker is, for failure messages.
+    fn endpoint(&self) -> String;
+}
+
+// ---------------------------------------------------------------------------
+// Pipe transport (local subprocesses)
+// ---------------------------------------------------------------------------
+
+/// The PR-5 channel: one disposable `__worker` subprocess per lease,
+/// line-delimited JSON over its piped stdout.
+pub(crate) struct PipeTransport {
+    worker_cmd: Option<Vec<String>>,
+    worker_env: Vec<(String, String)>,
+    /// Campaign config flags (everything but `--trials` / `--attempt`).
+    flags: Vec<String>,
+    shard_timeout: Duration,
+    child: Option<Child>,
+    rx: Option<Receiver<String>>,
+}
+
+impl PipeTransport {
+    pub(crate) fn new(
+        worker_cmd: Option<Vec<String>>,
+        worker_env: Vec<(String, String)>,
+        flags: Vec<String>,
+        shard_timeout: Duration,
+    ) -> Self {
+        PipeTransport { worker_cmd, worker_env, flags, shard_timeout, child: None, rx: None }
+    }
+
+    /// Reap the current child (if any), returning its exit status text.
+    fn reap(&mut self) -> String {
+        self.rx = None;
+        match self.child.take() {
+            Some(mut child) => {
+                child.wait().map(|s| s.to_string()).unwrap_or_else(|e| format!("unwaitable: {e}"))
+            }
+            None => "worker not running".into(),
+        }
+    }
+}
+
+impl Transport for PipeTransport {
+    fn lease(&mut self, trials: &[u64], attempt: u32) -> Result<(), String> {
+        let mut argv = match &self.worker_cmd {
+            Some(base) => base.clone(),
+            None => {
+                let exe =
+                    std::env::current_exe().map_err(|e| format!("current_exe unavailable: {e}"))?;
+                vec![exe.to_string_lossy().into_owned(), "__worker".to_string()]
+            }
+        };
+        argv.extend(self.flags.iter().cloned());
+        argv.extend([
+            "--trials".to_string(),
+            format_trials(trials),
+            "--attempt".to_string(),
+            attempt.to_string(),
+        ]);
+        let mut cmd = Command::new(&argv[0]);
+        cmd.args(&argv[1..]).stdin(Stdio::null()).stdout(Stdio::piped());
+        for (k, v) in &self.worker_env {
+            cmd.env(k, v);
+        }
+        let mut child = cmd.spawn().map_err(|e| format!("spawning {:?}: {e}", argv[0]))?;
+        let stdout = child.stdout.take().expect("worker stdout is piped");
+        let (tx, rx) = mpsc::channel::<String>();
+        std::thread::spawn(move || {
+            for line in BufReader::new(stdout).lines() {
+                match line {
+                    Ok(l) => {
+                        if tx.send(l).is_err() {
+                            return;
+                        }
+                    }
+                    Err(_) => return,
+                }
+            }
+        });
+        self.child = Some(child);
+        self.rx = Some(rx);
+        Ok(())
+    }
+
+    fn recv(&mut self, wait: Duration) -> ChannelEvent {
+        let Some(rx) = &self.rx else {
+            return ChannelEvent::Eof { status: self.reap() };
+        };
+        match rx.recv_timeout(wait) {
+            Ok(line) => ChannelEvent::Msg(line),
+            Err(mpsc::RecvTimeoutError::Timeout) => ChannelEvent::Idle,
+            Err(mpsc::RecvTimeoutError::Disconnected) => ChannelEvent::Eof { status: self.reap() },
+        }
+    }
+
+    fn revoke(&mut self) {
+        if let Some(child) = &mut self.child {
+            let _ = child.kill();
+        }
+        self.reap();
+    }
+
+    fn finish(&mut self) {
+        self.reap();
+    }
+
+    fn policy(&self) -> DeadlinePolicy {
+        DeadlinePolicy::Fixed(self.shard_timeout)
+    }
+
+    fn is_remote(&self) -> bool {
+        false
+    }
+
+    fn endpoint(&self) -> String {
+        match &self.worker_cmd {
+            Some(base) => base.join(" "),
+            None => "local __worker subprocess".into(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TCP transport (remote worker daemons)
+// ---------------------------------------------------------------------------
+
+/// Serialize the per-connection hello the supervisor sends a worker daemon:
+/// protocol version, lease budget, and the full campaign configuration the
+/// daemon must build its executor from.
+pub(crate) fn render_hello(
+    workload: &str,
+    cfg: &CampaignConfig,
+    lease_timeout: Duration,
+) -> String {
+    let scale = match cfg.scale {
+        Scale::Test => "test",
+        Scale::Paper => "paper",
+    };
+    let mut out = String::with_capacity(192);
+    let _ = write!(
+        out,
+        "{{\"mbavf_hello\": {}, \"lease_ms\": {}, \"workload\": ",
+        super::PROTOCOL_VERSION,
+        lease_timeout.as_millis(),
+    );
+    json::write_str(&mut out, workload);
+    let _ = write!(
+        out,
+        ", \"seed\": {}, \"scale\": \"{scale}\", \"hang_factor\": {}, \"wrap_oob\": {}, \"mode_bits\": {}}}",
+        cfg.seed, cfg.hang_factor, cfg.wrap_oob, cfg.mode_bits,
+    );
+    out
+}
+
+struct TcpConn {
+    stream: TcpStream,
+    rx: Receiver<String>,
+}
+
+impl Drop for TcpConn {
+    fn drop(&mut self) {
+        // The reader thread blocks on its own clone of this socket; only a
+        // shutdown (not a drop of this handle) unblocks it.
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+}
+
+/// One persistent connection to a `campaign --listen` worker daemon,
+/// redialed on loss. The daemon holds no shard state between leases, so
+/// "reconnect with resume" is simply a fresh lease naming whatever trials
+/// the supervisor has not merged yet.
+pub(crate) struct TcpTransport {
+    addr: String,
+    lease_timeout: Duration,
+    hello: String,
+    conn: Option<TcpConn>,
+}
+
+impl TcpTransport {
+    pub(crate) fn new(addr: String, lease_timeout: Duration, hello: String) -> Self {
+        TcpTransport { addr, lease_timeout, hello, conn: None }
+    }
+
+    fn dial(&mut self) -> Result<(), String> {
+        let timeout = self.lease_timeout.min(Duration::from_secs(5));
+        let addrs =
+            self.addr.to_socket_addrs().map_err(|e| format!("resolving {}: {e}", self.addr))?;
+        let mut last_err = format!("{} resolves to no addresses", self.addr);
+        for addr in addrs {
+            match TcpStream::connect_timeout(&addr, timeout) {
+                Ok(stream) => {
+                    let _ = stream.set_nodelay(true);
+                    write_frame(&mut &stream, &self.hello)
+                        .map_err(|e| format!("sending hello to {}: {e}", self.addr))?;
+                    let reader = stream
+                        .try_clone()
+                        .map_err(|e| format!("cloning stream to {}: {e}", self.addr))?;
+                    let (tx, rx) = mpsc::channel::<String>();
+                    std::thread::spawn(move || {
+                        let mut reader = BufReader::new(reader);
+                        loop {
+                            match read_frame(&mut reader) {
+                                Ok(Some(payload)) => {
+                                    if tx.send(payload).is_err() {
+                                        return;
+                                    }
+                                }
+                                Ok(None) | Err(_) => return,
+                            }
+                        }
+                    });
+                    self.conn = Some(TcpConn { stream, rx });
+                    return Ok(());
+                }
+                Err(e) => last_err = format!("connecting {addr}: {e}"),
+            }
+        }
+        Err(last_err)
+    }
+}
+
+impl Transport for TcpTransport {
+    fn lease(&mut self, trials: &[u64], attempt: u32) -> Result<(), String> {
+        if self.conn.is_none() {
+            self.dial()?;
+        }
+        let frame =
+            format!("{{\"trials\": \"{}\", \"attempt\": {attempt}}}", format_trials(trials));
+        let conn = self.conn.as_ref().expect("dialed above");
+        if let Err(e) = write_frame(&mut &conn.stream, &frame) {
+            self.conn = None;
+            return Err(format!("sending lease to {}: {e}", self.addr));
+        }
+        Ok(())
+    }
+
+    fn recv(&mut self, wait: Duration) -> ChannelEvent {
+        let Some(conn) = &self.conn else {
+            return ChannelEvent::Eof { status: format!("no connection to {}", self.addr) };
+        };
+        match conn.rx.recv_timeout(wait) {
+            Ok(payload) => ChannelEvent::Msg(payload),
+            Err(mpsc::RecvTimeoutError::Timeout) => ChannelEvent::Idle,
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                self.conn = None;
+                ChannelEvent::Eof { status: format!("connection to {} lost", self.addr) }
+            }
+        }
+    }
+
+    fn revoke(&mut self) {
+        // Dropping the connection shuts the socket down, which both
+        // unblocks our reader thread and tells the daemon the lease is
+        // revoked (its next write fails).
+        self.conn = None;
+    }
+
+    fn finish(&mut self) {
+        // Keep the connection: the next lease reuses it.
+    }
+
+    fn policy(&self) -> DeadlinePolicy {
+        DeadlinePolicy::Sliding(self.lease_timeout)
+    }
+
+    fn is_remote(&self) -> bool {
+        true
+    }
+
+    fn endpoint(&self) -> String {
+        self.addr.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut buf: Vec<u8> = Vec::new();
+        write_frame(&mut buf, "{\"trial\": 7}").unwrap();
+        write_frame(&mut buf, "").unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap(), Some("{\"trial\": 7}".to_string()));
+        assert_eq!(read_frame(&mut r).unwrap(), Some(String::new()));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF at a frame boundary");
+    }
+
+    #[test]
+    fn torn_frames_and_oversized_lengths_are_errors() {
+        // EOF inside the length prefix.
+        let mut r: &[u8] = &[0u8, 0];
+        assert!(read_frame(&mut r).is_err());
+        // EOF inside the payload: a peer that died mid-write.
+        let mut torn: Vec<u8> = Vec::new();
+        torn.extend_from_slice(&64u32.to_be_bytes());
+        torn.extend_from_slice(b"{\"trial\": ");
+        let mut r = torn.as_slice();
+        assert!(read_frame(&mut r).is_err());
+        // A length prefix beyond the cap is rejected before allocation.
+        let mut huge: Vec<u8> = Vec::new();
+        huge.extend_from_slice(&(u32::MAX).to_be_bytes());
+        let mut r = huge.as_slice();
+        assert!(read_frame(&mut r).is_err());
+        // Non-UTF-8 payloads are rejected.
+        let mut bad: Vec<u8> = Vec::new();
+        bad.extend_from_slice(&2u32.to_be_bytes());
+        bad.extend_from_slice(&[0xFF, 0xFE]);
+        let mut r = bad.as_slice();
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn hello_carries_the_campaign_config() {
+        let cfg = CampaignConfig { seed: 0xACE5, ..CampaignConfig::default() };
+        let hello = render_hello("transpose", &cfg, Duration::from_secs(30));
+        let v = crate::json::parse(&hello).unwrap();
+        assert_eq!(
+            v.get("mbavf_hello").and_then(crate::json::Value::as_u64),
+            Some(super::super::PROTOCOL_VERSION)
+        );
+        assert_eq!(v.get("lease_ms").and_then(crate::json::Value::as_u64), Some(30_000));
+        assert_eq!(v.get("workload").and_then(crate::json::Value::as_str), Some("transpose"));
+        assert_eq!(v.get("seed").and_then(crate::json::Value::as_u64), Some(0xACE5));
+    }
+}

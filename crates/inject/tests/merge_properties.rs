@@ -1,0 +1,107 @@
+//! Property test for the idempotent record merge: delivering a campaign's
+//! record stream in ANY order, with ANY duplicated prefixes mixed in, must
+//! merge to exactly the records — and therefore the checkpoint — of the
+//! in-order stream. This is the invariant the TCP transport's
+//! reconnect-with-resume leans on: a retried lease replays already-committed
+//! records, a reordering network shuffles frames, and neither may change a
+//! single byte of the result.
+
+use mbavf_core::rng::SplitMix64;
+use mbavf_inject::campaign::{CampaignConfig, SingleBitRecord};
+use mbavf_inject::{checkpoint, run_campaign, MergeVerdict, RecordMerge, RunnerConfig};
+use mbavf_workloads::by_name;
+use std::path::PathBuf;
+
+/// Real records from a real (small) campaign, so the merged payloads carry
+/// everything the wire format carries — including crash reasons.
+fn campaign_records() -> Vec<SingleBitRecord> {
+    let w = by_name("histogram").expect("registered");
+    let cfg = CampaignConfig {
+        seed: 0xC0FFEE,
+        injections: 48,
+        wrap_oob: false,
+        ..CampaignConfig::default()
+    };
+    run_campaign(&w, &cfg, &RunnerConfig::serial()).unwrap().summary.records
+}
+
+fn shuffle(stream: &mut [SingleBitRecord], rng: &mut SplitMix64) {
+    for i in (1..stream.len()).rev() {
+        let j = rng.below(i as u64 + 1) as usize;
+        stream.swap(i, j);
+    }
+}
+
+#[test]
+fn any_permutation_with_duplicated_prefixes_merges_to_the_in_order_result() {
+    let records = campaign_records();
+    let budget = records.len();
+
+    let mut in_order = RecordMerge::new(budget);
+    for r in &records {
+        assert_eq!(in_order.offer(r.clone()), MergeVerdict::Fresh);
+    }
+    let expected = in_order.records();
+    assert_eq!(expected, records, "in-order merge must reproduce the stream");
+
+    for round in 0..32u64 {
+        let mut rng = SplitMix64::stream(0xD15C0, round);
+        // The delivery schedule a hostile network might produce: the full
+        // stream, plus a few re-sent prefixes (what a retried lease replays
+        // after a mid-shard death), all shuffled together.
+        let mut stream = records.clone();
+        for _ in 0..rng.below(4) {
+            let cut = rng.below(budget as u64 + 1) as usize;
+            stream.extend(records[..cut].iter().cloned());
+        }
+        shuffle(&mut stream, &mut rng);
+
+        let mut merge = RecordMerge::new(budget);
+        let mut fresh = 0usize;
+        for r in stream {
+            match merge.offer(r) {
+                MergeVerdict::Fresh => fresh += 1,
+                MergeVerdict::Duplicate => {}
+                other => panic!("round {round}: unexpected verdict {other:?}"),
+            }
+        }
+        assert_eq!(fresh, budget, "round {round}: every trial exactly once");
+        assert_eq!(merge.merged(), budget);
+        assert_eq!(merge.records(), expected, "round {round}: merged result diverged");
+    }
+}
+
+#[test]
+fn merged_records_checkpoint_identically_to_the_in_order_stream() {
+    let records = campaign_records();
+    let budget = records.len();
+    let dir = std::env::temp_dir().join("mbavf-merge-props");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let write = |name: &str, recs: &[SingleBitRecord]| -> PathBuf {
+        let path = dir.join(name);
+        checkpoint::save(&path, "histogram", 0xFEED, 1, recs).unwrap();
+        path
+    };
+    let baseline = write("in-order.json", &records);
+
+    let mut rng = SplitMix64::stream(0xD15C0, 99);
+    let mut stream = records.clone();
+    stream.extend(records[..budget / 2].iter().cloned());
+    shuffle(&mut stream, &mut rng);
+    let mut merge = RecordMerge::new(budget);
+    for r in stream {
+        assert!(!matches!(
+            merge.offer(r),
+            MergeVerdict::Conflict { .. } | MergeVerdict::Foreign { .. }
+        ));
+    }
+    let merged = write("merged.json", &merge.records());
+
+    assert_eq!(
+        std::fs::read(&merged).unwrap(),
+        std::fs::read(&baseline).unwrap(),
+        "checkpoint of the merged stream must be byte-identical"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

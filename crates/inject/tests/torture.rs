@@ -9,17 +9,21 @@
 //! supervisor re-executes the current binary with a hidden `__worker` argv,
 //! which libtest's own main would swallow (recursively running the test
 //! suite inside every worker). Our main dispatches `__worker` to
-//! [`mbavf_inject::worker_main`] before anything else, making re-execution
-//! safe.
+//! [`mbavf_inject::worker_main`] and `__serve` to
+//! [`mbavf_inject::serve_main`] before anything else, making re-execution
+//! safe. The TCP tests spawn real `__serve` daemons on loopback ephemeral
+//! ports and drive them through the networked supervisor.
 
 use mbavf_core::error::{BundleError, CheckpointError};
 use mbavf_inject::campaign::{CampaignConfig, Outcome, OutcomeKind};
 use mbavf_inject::runner::{quarantine_corrupt, quarantine_path};
 use mbavf_inject::supervisor::{default_poison_path, load_poison};
 use mbavf_inject::{
-    bundle, checkpoint, run_campaign, run_supervised, worker_main, RunnerConfig, SupervisorConfig,
+    bundle, checkpoint, run_campaign, run_supervised, serve_main, worker_main, RunnerConfig,
+    SupervisorConfig, TransportKind,
 };
 use mbavf_workloads::by_name;
+use std::io::BufRead as _;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
@@ -27,6 +31,9 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.get(1).map(String::as_str) == Some("__worker") {
         std::process::exit(worker_main(&args[2..]));
+    }
+    if args.get(1).map(String::as_str) == Some("__serve") {
+        std::process::exit(serve_main(&args[2..]));
     }
     let tests: &[(&str, fn())] = &[
         ("checkpoint_load_never_panics_under_damage", checkpoint_load_never_panics_under_damage),
@@ -47,6 +54,11 @@ fn main() {
         ("sigkill_mid_shard_recovers_bit_exact", sigkill_mid_shard_recovers_bit_exact),
         ("stdout_truncation_recovers_bit_exact", stdout_truncation_recovers_bit_exact),
         ("process_kill_resume_converges_cross_mode", process_kill_resume_converges_cross_mode),
+        ("tcp_loopback_matches_thread_mode_bit_exact", tcp_loopback_matches_thread_mode_bit_exact),
+        ("tcp_endpoint_sigkill_fails_over_bit_exact", tcp_endpoint_sigkill_fails_over_bit_exact),
+        ("tcp_net_drill_replays_without_double_count", tcp_net_drill_replays_without_double_count),
+        ("tcp_lease_expiry_poisons_stalled_trial", tcp_lease_expiry_poisons_stalled_trial),
+        ("tcp_unreachable_degrades_to_process_mode", tcp_unreachable_degrades_to_process_mode),
     ];
     let filter = args.iter().skip(1).find(|a| !a.starts_with('-')).cloned();
     let mut ran = 0usize;
@@ -404,4 +416,183 @@ fn process_kill_resume_converges_cross_mode() {
     let reloaded = checkpoint::load(&ckpt).unwrap();
     assert_eq!(reloaded.records, clean.summary.records);
     std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------------
+// TCP transport torture
+// ---------------------------------------------------------------------------
+
+/// A real `__serve` worker daemon on a loopback ephemeral port, killed on
+/// drop. The bound address is parsed from the daemon's single stdout
+/// announcement line.
+struct Daemon {
+    child: std::process::Child,
+    addr: String,
+}
+
+impl Daemon {
+    fn spawn(env: &[(&str, &str)]) -> Daemon {
+        let exe = std::env::current_exe().expect("current exe");
+        let mut cmd = std::process::Command::new(exe);
+        cmd.args(["__serve", "--listen", "127.0.0.1:0"])
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::null());
+        for (k, v) in env {
+            cmd.env(k, v);
+        }
+        let mut child = cmd.spawn().expect("spawn __serve daemon");
+        let stdout = child.stdout.take().expect("daemon stdout piped");
+        let mut line = String::new();
+        std::io::BufReader::new(stdout).read_line(&mut line).expect("daemon announcement");
+        // {"mbavf_serve": 1, "listen": "127.0.0.1:PORT"}
+        let addr = line
+            .split("\"listen\": \"")
+            .nth(1)
+            .and_then(|rest| rest.split('"').next())
+            .unwrap_or_else(|| panic!("unparseable daemon announcement: {line:?}"))
+            .to_string();
+        Daemon { child, addr }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// A TCP supervisor config tuned for tests: short lease, fast backoff.
+fn tcp_supervisor(endpoints: Vec<String>, shard_size: usize) -> SupervisorConfig {
+    SupervisorConfig {
+        shard_size,
+        max_retries: 1,
+        backoff_base: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(20),
+        transport: TransportKind::Tcp { endpoints },
+        lease_timeout: Duration::from_secs(30),
+        ..SupervisorConfig::default()
+    }
+}
+
+/// A campaign leased to two loopback daemons must land the exact thread-mode
+/// summary AND write a byte-identical checkpoint — the tentpole invariant:
+/// transport is an execution property, never a record property.
+fn tcp_loopback_matches_thread_mode_bit_exact() {
+    let w = by_name("histogram").expect("registered");
+    let cfg = CampaignConfig {
+        seed: 0xC0FFEE,
+        injections: 40,
+        wrap_oob: false,
+        ..CampaignConfig::default()
+    };
+    let dir = tmpdir("tcp-loopback");
+    let thread_ckpt = dir.join("thread.json");
+    let tcp_ckpt = dir.join("tcp.json");
+    let runner = |ckpt: &Path| RunnerConfig {
+        checkpoint: Some(ckpt.to_path_buf()),
+        checkpoint_every: 8,
+        ..RunnerConfig::serial()
+    };
+    let thread = run_campaign(&w, &cfg, &runner(&thread_ckpt)).unwrap();
+    assert!(
+        thread.summary.count(OutcomeKind::Crash) > 0,
+        "campaign must include crash outcomes to exercise reason framing"
+    );
+
+    let (a, b) = (Daemon::spawn(&[]), Daemon::spawn(&[]));
+    let sup = tcp_supervisor(vec![a.addr.clone(), b.addr.clone()], 8);
+    let report = run_supervised(&w, &cfg, &runner(&tcp_ckpt), &sup).unwrap();
+    assert!(report.complete);
+    assert!(report.poisoned.is_empty(), "{:?}", report.poisoned);
+    assert_eq!(report.summary, thread.summary);
+    assert!(report.trial_latency.is_some(), "remote latencies must reach the report");
+    assert_eq!(
+        std::fs::read(&tcp_ckpt).unwrap(),
+        std::fs::read(&thread_ckpt).unwrap(),
+        "tcp checkpoint must be byte-identical to thread mode"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// SIGKILL an entire worker daemon mid-shard (the net kill drill fires on
+/// every attempt, so the killed endpoint can never serve the marker). The
+/// supervisor must re-offer the dead endpoint's shard — failure history
+/// intact — to the surviving daemon and converge bit-exact with no poison.
+fn tcp_endpoint_sigkill_fails_over_bit_exact() {
+    let w = by_name("fast_walsh").expect("registered");
+    let cfg = CampaignConfig { seed: 7, injections: 24, ..CampaignConfig::default() };
+    let thread = run_campaign(&w, &cfg, &RunnerConfig::serial()).unwrap();
+
+    let doomed = Daemon::spawn(&[("MBAVF_NET_KILL_DRILL", "2")]);
+    let survivor = Daemon::spawn(&[]);
+    let sup = tcp_supervisor(vec![doomed.addr.clone(), survivor.addr.clone()], 8);
+    let report = run_supervised(&w, &cfg, &RunnerConfig::serial(), &sup).unwrap();
+    assert!(report.complete);
+    assert!(report.poisoned.is_empty(), "failover must recover, not poison: {:?}", report.poisoned);
+    assert_eq!(report.summary, thread.summary);
+}
+
+/// The hostile-network drill: the daemon replays every record of the lease
+/// as duplicates, then severs the connection inside a frame's length
+/// prefix. The idempotent merge must drop the replays without recounting,
+/// the torn frame must not panic the supervisor, and the reconnect must
+/// resume from the first missing trial — honest completion, bit-exact.
+fn tcp_net_drill_replays_without_double_count() {
+    let w = by_name("fast_walsh").expect("registered");
+    let cfg = CampaignConfig { seed: 7, injections: 24, ..CampaignConfig::default() };
+    let thread = run_campaign(&w, &cfg, &RunnerConfig::serial()).unwrap();
+
+    let daemon = Daemon::spawn(&[("MBAVF_NET_DRILL", "5")]);
+    let sup = tcp_supervisor(vec![daemon.addr.clone()], 8);
+    let report = run_supervised(&w, &cfg, &RunnerConfig::serial(), &sup).unwrap();
+    assert!(report.complete);
+    assert!(report.poisoned.is_empty(), "replays must recover, not poison: {:?}", report.poisoned);
+    assert_eq!(report.summary, thread.summary);
+    assert_eq!(report.newly_run, 24, "duplicated records must not inflate the count");
+}
+
+/// A daemon whose executor freezes on the marker trial while its heartbeat
+/// keeps beating: the progress-gated lease must expire anyway, and since
+/// the stall recurs on every attempt, the marker is eventually poisoned —
+/// with the lease named as the reason — while every other trial completes.
+fn tcp_lease_expiry_poisons_stalled_trial() {
+    let w = by_name("fast_walsh").expect("registered");
+    let cfg = CampaignConfig { seed: 7, injections: 12, ..CampaignConfig::default() };
+    let marker = 5u64;
+    let daemon = Daemon::spawn(&[("MBAVF_NET_STALL_DRILL", &marker.to_string())]);
+    let mut sup = tcp_supervisor(vec![daemon.addr.clone()], 4);
+    sup.lease_timeout = Duration::from_millis(400);
+    let report = run_supervised(&w, &cfg, &RunnerConfig::serial(), &sup).unwrap();
+    assert!(report.complete);
+    assert_eq!(report.newly_run, 11);
+    assert_eq!(report.poisoned.len(), 1, "poisoned: {:?}", report.poisoned);
+    assert_eq!(report.poisoned[0].trial, marker);
+    assert!(
+        report.poisoned[0].reason.contains("lease expired"),
+        "reason must name the lease: {}",
+        report.poisoned[0].reason
+    );
+    assert!(report.summary.records.iter().all(|r| r.trial != marker));
+}
+
+/// No endpoint ever connects (nothing listens on the address): before any
+/// record lands, the campaign must degrade to local process isolation and
+/// still finish bit-exact — same contract as process→thread degradation.
+fn tcp_unreachable_degrades_to_process_mode() {
+    let w = by_name("fast_walsh").expect("registered");
+    let cfg = CampaignConfig { seed: 7, injections: 12, ..CampaignConfig::default() };
+    let thread = run_campaign(&w, &cfg, &RunnerConfig::serial()).unwrap();
+
+    // Reserve a loopback port and close it, so the dial is refused fast.
+    let dead_addr = {
+        let sock = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        sock.local_addr().unwrap().to_string()
+    };
+    let mut sup = tcp_supervisor(vec![dead_addr], 4);
+    sup.lease_timeout = Duration::from_secs(2);
+    let report = run_supervised(&w, &cfg, &RunnerConfig::serial(), &sup).unwrap();
+    assert!(report.complete);
+    assert!(report.poisoned.is_empty());
+    assert_eq!(report.summary, thread.summary);
 }
