@@ -14,6 +14,7 @@
 //!          [--connect HOST:PORT,HOST:PORT,...] [--lease-timeout SECS]
 //!          [--confidence 0.95] [--fail-on sdc,hang,crash]
 //!          [--repro-dir DIR] [--repro-cap N]
+//!          [--chaos SEED:RATE]
 //!          [--target-ci-halfwidth H [--batch N] [--max-injections N]]
 //! campaign --listen HOST:PORT        # worker daemon for --isolation tcp
 //! ```
@@ -69,6 +70,17 @@
 //! self-contained repro bundle that the `replay` binary re-executes
 //! bit-exactly — see `replay --help` for the triage workflow.
 //!
+//! `--chaos SEED:RATE` turns the harness's own I/O against itself: every
+//! durable write (checkpoint, trial journal, repro bundle, poison sidecar)
+//! and every transport frame draws from a deterministic, seeded fault
+//! schedule injecting ENOSPC, EIO, torn writes, failed renames, failed
+//! fsyncs, and stalls at the given per-operation rate. Transient faults are
+//! retried with backoff; persistent failure degrades to checkpointing-
+//! disabled mode (counted as `snapshot failures`) instead of killing the
+//! campaign, and committed trial records are never lost. The trial records
+//! themselves are untouched — a chaos run's final checkpoint is
+//! byte-identical to a fault-free run's.
+//!
 //! Exit codes:
 //!
 //! | code | meaning |
@@ -85,8 +97,8 @@
 use mbavf_core::stats::RateEstimate;
 use mbavf_inject::{
     run_adaptive, run_campaign, run_supervised, serve_main, worker_main, AdaptiveConfig,
-    CampaignConfig, CampaignReport, IsolationMode, OutcomeKind, RunnerConfig, SupervisorConfig,
-    TransportKind,
+    CampaignConfig, CampaignReport, ChaosSpec, IsolationMode, OutcomeKind, RunnerConfig,
+    SupervisorConfig, TransportKind,
 };
 use mbavf_workloads::{by_name, suite, Scale};
 use std::path::PathBuf;
@@ -105,6 +117,7 @@ struct Args {
     adaptive: Option<AdaptiveConfig>,
     batch: usize,
     max_injections: usize,
+    chaos: Option<ChaosSpec>,
 }
 
 fn usage() -> String {
@@ -120,6 +133,7 @@ fn usage() -> String {
          \u{20}                [--connect HOST:PORT,...] [--lease-timeout SECS]\n\
          \u{20}                [--confidence C] [--fail-on sdc,hang,crash]\n\
          \u{20}                [--repro-dir DIR] [--repro-cap N]\n\
+         \u{20}                [--chaos SEED:RATE (inject faults into the harness's own I/O)]\n\
          \u{20}                [--target-ci-halfwidth H [--batch N] [--max-injections N]]\n\
          \u{20}      campaign --listen HOST:PORT   (worker daemon for --isolation tcp)\n\
          exit codes: 0 = done, 1 = error, 2 = --fail-on outcome seen,\n\
@@ -171,6 +185,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         adaptive: None,
         batch: 100,
         max_injections: 5000,
+        chaos: None,
     };
     let mut target_halfwidth = None;
     let mut endpoints: Vec<String> = Vec::new();
@@ -280,6 +295,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 }
                 target_halfwidth = Some(h);
             }
+            "--chaos" => args.chaos = Some(ChaosSpec::parse(value()?)?),
             "--batch" => args.batch = parse_u64(value()?)? as usize,
             "--max-injections" => args.max_injections = parse_u64(value()?)? as usize,
             "--help" | "-h" => return Err(usage()),
@@ -351,6 +367,13 @@ fn print_report(report: &CampaignReport, confidence: f64) {
             l.n, l.p50_us, l.p99_us, l.max_us
         );
     }
+    if s.snapshot_failures > 0 {
+        println!(
+            "  {} durable-write failure(s) survived (checkpoint durability was degraded; \
+             records are unaffected)",
+            s.snapshot_failures
+        );
+    }
     if !report.poisoned.is_empty() {
         println!(
             "  {} poisoned trial(s) quarantined (excluded from the rates above):",
@@ -405,6 +428,16 @@ fn main() -> ExitCode {
         eprintln!("unknown workload {}\n{}", args.workload, usage());
         return ExitCode::FAILURE;
     };
+    // Chaos is installed in this (supervisor) process only: worker
+    // subprocesses and daemons run fault-free, so injected damage exercises
+    // the harness's durable-state paths, not the trials themselves.
+    let chaos_engine = args.chaos.map(|spec| {
+        eprintln!(
+            "chaos: injecting I/O faults at rate {} (seed {:#x}) into the harness's own writes",
+            spec.rate, spec.seed
+        );
+        mbavf_inject::chaos::install(spec)
+    });
 
     let mut target_missed = false;
     let report = if let Some(adaptive) = &args.adaptive {
@@ -441,6 +474,13 @@ fn main() -> ExitCode {
     };
 
     print_report(&report, args.confidence);
+    if let Some(engine) = &chaos_engine {
+        println!(
+            "  chaos: {} of {} I/O operations faulted",
+            engine.injected(),
+            engine.operations()
+        );
+    }
     if let Some(dir) = &args.runner.repro_dir {
         println!(
             "  {} repro bundle(s) in {} (replay with: replay {}/*.repro.json)",
@@ -646,6 +686,22 @@ mod tests {
         // Default: heartbeat on, every 5s.
         let dflt = parse_args(&argv(&["--workload", "dct"])).unwrap();
         assert_eq!(dflt.runner.heartbeat, Some(Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn chaos_flag_parses_and_validates() {
+        let args = parse_args(&argv(&["--workload", "dct", "--chaos", "0xC4A05:0.05"])).unwrap();
+        let spec = args.chaos.expect("chaos spec");
+        assert_eq!(spec.seed, 0xC4A05);
+        assert_eq!(spec.rate, 0.05);
+        for bad in ["7", "7:", ":0.1", "7:1.5", "7:-0.1", "x:0.1", "7:nan"] {
+            assert!(
+                parse_args(&argv(&["--workload", "dct", "--chaos", bad])).is_err(),
+                "--chaos {bad} must be rejected"
+            );
+        }
+        // Default: no chaos.
+        assert!(parse_args(&argv(&["--workload", "dct"])).unwrap().chaos.is_none());
     }
 
     #[test]

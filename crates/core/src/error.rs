@@ -140,6 +140,20 @@ pub enum CheckpointError {
         /// OS error text.
         detail: String,
     },
+    /// The campaign's *final* checkpoint save failed even after bounded
+    /// retries. Mid-campaign snapshot failures degrade the run to a
+    /// checkpointing-disabled mode and are only counted, but the final save
+    /// failing means completed trials were never made durable — that must
+    /// be a hard, nonzero-exit error, not a warning.
+    FinalSaveFailed {
+        /// Checkpoint path involved.
+        path: String,
+        /// OS error text of the last attempt.
+        detail: String,
+        /// Snapshot failures accumulated earlier in the run (the degraded
+        /// checkpointing-disabled counter), for the post-mortem.
+        snapshot_failures: u64,
+    },
 }
 
 impl fmt::Display for CheckpointError {
@@ -161,6 +175,10 @@ impl fmt::Display for CheckpointError {
             CheckpointError::Io { path, detail } => {
                 write!(f, "checkpoint I/O on {path}: {detail}")
             }
+            CheckpointError::FinalSaveFailed { path, detail, snapshot_failures } => write!(
+                f,
+                "final checkpoint save to {path} failed ({detail}) after {snapshot_failures} earlier snapshot failure(s): completed trials are not durable"
+            ),
         }
     }
 }
@@ -681,9 +699,21 @@ mod tests {
             CheckpointError::VersionMismatch { found: 9, expected: 1 },
             CheckpointError::TrialOutOfRange { trial: 10, budget: 5 },
             CheckpointError::Io { path: "/p".into(), detail: "gone".into() },
+            CheckpointError::FinalSaveFailed {
+                path: "/p".into(),
+                detail: "No space left on device".into(),
+                snapshot_failures: 3,
+            },
         ] {
             assert!(!e.to_string().is_empty());
         }
+        let fin = CheckpointError::FinalSaveFailed {
+            path: "/p".into(),
+            detail: "No space left on device".into(),
+            snapshot_failures: 3,
+        };
+        let text = fin.to_string();
+        assert!(text.contains("/p") && text.contains("3") && text.contains("not durable"));
     }
 
     #[test]

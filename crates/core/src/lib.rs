@@ -60,6 +60,7 @@
 
 pub mod analysis;
 pub mod avf;
+pub mod crc;
 pub mod ecc;
 pub mod error;
 pub mod geometry;
@@ -75,6 +76,7 @@ pub mod timeline;
 pub use analysis::{
     ace_locality, mb_avf, mb_avf_modes, windowed_mb_avf, AnalysisConfig, MbAvfResult,
 };
+pub use crc::{crc32, Crc32};
 pub use error::{
     BundleError, CheckpointError, CoreError, InjectError, PipelineError, SupervisorError,
     TransportError,

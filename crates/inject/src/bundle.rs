@@ -189,15 +189,11 @@ pub fn render(b: &ReproBundle) -> String {
     out
 }
 
-/// Atomically write `bundle` to `path` (temp file + rename).
+/// Durably and atomically write `bundle` to `path` (temp file, `sync_all`,
+/// rename, parent-directory fsync, via [`crate::durable`]).
 pub fn save(path: &Path, bundle: &ReproBundle) -> Result<(), BundleError> {
-    let io = |e: std::io::Error| BundleError::Io {
-        path: path.display().to_string(),
-        detail: e.to_string(),
-    };
-    let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, render(bundle)).map_err(io)?;
-    std::fs::rename(&tmp, path).map_err(io)
+    crate::durable::atomic_write_durable(path, render(bundle).as_bytes())
+        .map_err(|e| BundleError::Io { path: path.display().to_string(), detail: e.to_string() })
 }
 
 fn field_u64(doc: &Value, key: &str) -> Result<u64, BundleError> {

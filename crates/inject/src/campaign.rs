@@ -313,6 +313,11 @@ pub struct CampaignSummary {
     pub workload: &'static str,
     /// Every injection performed, in trial order.
     pub records: Vec<SingleBitRecord>,
+    /// Durable-write failures the run survived (failed snapshot
+    /// compactions, journal appends/resets). Nonzero means checkpoint
+    /// durability was degraded for part of the run; the records themselves
+    /// are unaffected.
+    pub snapshot_failures: u64,
 }
 
 impl CampaignSummary {
@@ -642,7 +647,7 @@ mod tests {
     fn empty_campaign_yields_zeros_not_nan() {
         // A zero-injection campaign (or a summary built before any trial
         // lands) must report explicit zeros and vacuous intervals.
-        let summary = CampaignSummary { workload: "none", records: vec![] };
+        let summary = CampaignSummary { workload: "none", records: vec![], snapshot_failures: 0 };
         let f = summary.fractions();
         for v in [f.masked, f.sdc, f.hang, f.crash, summary.read_fraction()] {
             assert_eq!(v, 0.0);

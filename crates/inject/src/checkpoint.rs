@@ -1,11 +1,13 @@
 //! Campaign checkpoint files: periodic JSON snapshots of completed trials,
-//! validated and replayed on resume.
+//! validated and replayed on resume, plus the append-only write-ahead trial
+//! journal ([`wal`]) that makes every committed trial durable between
+//! snapshots.
 //!
-//! ## File format (version 3)
+//! ## File format (version 4)
 //!
 //! ```json
 //! {
-//!   "version": 3,
+//!   "version": 4,
 //!   "workload": "dct",
 //!   "config_hash": 1234567890123456789,
 //!   "mode_bits": 1,
@@ -28,8 +30,10 @@
 //! sparse in `trial` — under a parallel runner trials complete out of order —
 //! and the resume path simply runs whichever indices are missing.
 //!
-//! Writes are atomic (temp file + rename), so a campaign killed mid-write
-//! leaves the previous checkpoint intact.
+//! Writes are atomic *and durable*: temp file + `sync_all` + rename +
+//! fsync of the parent directory (see [`crate::durable`]), so a campaign
+//! killed mid-write — or a machine losing power just after a write — leaves
+//! the previous checkpoint intact.
 
 use crate::campaign::{CampaignConfig, FaultSite, Outcome, OutcomeKind, SingleBitRecord};
 use crate::json::{self, Value};
@@ -38,17 +42,30 @@ use mbavf_core::rng::fnv1a;
 use std::fmt::Write as _;
 use std::path::Path;
 
+pub mod wal;
+
 /// The checkpoint format version this build reads and writes.
 ///
 /// Version 2 added the `mode_bits` field and removed the injection budget
 /// from the config fingerprint (budgets may grow under adaptive sizing).
 /// Version 3 marks the switch to the residency-weighted v2 fault-site
-/// sampler ([`crate::campaign::SAMPLER_ID`]): the same `(seed, trial)` pair
-/// now maps to a different site, so trial records written under earlier
-/// versions mean different faults and must not be resumed. The version is
-/// folded into the config fingerprint, so older checkpoints are refused by
-/// both the version check and the fingerprint check.
-pub const VERSION: u64 = 3;
+/// sampler ([`crate::campaign::SAMPLER_ID`]). Version 4 introduces the
+/// durable-write discipline and the `<checkpoint>.wal` write-ahead trial
+/// journal ([`wal`]): snapshot contents are unchanged, but a v4 resume
+/// also consults the journal, which older builds would silently ignore —
+/// losing the exact records the journal exists to preserve — so older
+/// builds must refuse v4 state and this build refuses theirs.
+pub const VERSION: u64 = 4;
+
+/// The trial-semantics epoch folded into [`config_fingerprint`].
+///
+/// This is deliberately decoupled from [`VERSION`]: the fingerprint answers
+/// "does trial `i` mean the same fault?", which last changed at version 3
+/// (the residency-weighted sampler). Version 4 changed only the durability
+/// format, not trial semantics, so fingerprints — which are also pinned
+/// inside every repro bundle — stay stable across the 3→4 migration. Bump
+/// this only when `(seed, trial)` maps to a different fault site.
+pub const FINGERPRINT_EPOCH: u64 = 3;
 
 /// A loaded checkpoint.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,10 +92,80 @@ pub struct Checkpoint {
 /// without invalidating it — the contract adaptive trial sizing relies on.
 pub fn config_fingerprint(workload: &str, cfg: &CampaignConfig) -> u64 {
     let canon = format!(
-        "v{VERSION};workload={workload};seed={};scale={:?};hang={};wrap_oob={};mode_bits={}",
+        "v{FINGERPRINT_EPOCH};workload={workload};seed={};scale={:?};hang={};wrap_oob={};mode_bits={}",
         cfg.seed, cfg.scale, cfg.hang_factor, cfg.wrap_oob, cfg.mode_bits
     );
     fnv1a(canon.as_bytes())
+}
+
+/// Append one record's JSON object (no surrounding whitespace) to `out` —
+/// the exact serialization used both inline in [`render`] and as the
+/// payload of a write-ahead journal frame, so a journal replay and a
+/// snapshot agree byte-for-byte on what a record is.
+pub(crate) fn write_record(out: &mut String, r: &SingleBitRecord) {
+    let _ = write!(
+        out,
+        "{{\"trial\": {}, \"wg\": {}, \"after\": {}, \"reg\": {}, \"lane\": {}, \"bit\": {}, \"outcome\": \"{}\", ",
+        r.trial,
+        r.site.wg,
+        r.site.after_retired,
+        r.site.reg,
+        r.site.lane,
+        r.site.bit,
+        r.outcome.kind().as_str(),
+    );
+    if let Outcome::Crash { reason } = &r.outcome {
+        out.push_str("\"reason\": ");
+        json::write_str(out, reason);
+        out.push_str(", ");
+    }
+    let _ = write!(out, "\"read\": {}}}", r.read_before_overwrite);
+}
+
+/// Parse one record object (as produced by [`write_record`]); `i` labels
+/// the record in error messages.
+pub(crate) fn parse_record(rec: &Value, i: usize) -> Result<SingleBitRecord, CheckpointError> {
+    let kind = rec.get("outcome").and_then(Value::as_str).and_then(OutcomeKind::parse).ok_or_else(
+        || CheckpointError::Malformed {
+            detail: format!("record {i}: missing or unknown \"outcome\""),
+        },
+    )?;
+    let outcome = match kind {
+        OutcomeKind::Masked => Outcome::Masked,
+        OutcomeKind::Sdc => Outcome::Sdc,
+        OutcomeKind::Hang => Outcome::Hang,
+        OutcomeKind::Crash => Outcome::Crash {
+            reason: rec
+                .get("reason")
+                .and_then(Value::as_str)
+                .unwrap_or("unrecorded crash reason")
+                .to_string(),
+        },
+    };
+    let read = rec.get("read").and_then(Value::as_bool).ok_or_else(|| {
+        CheckpointError::Malformed { detail: format!("record {i}: missing \"read\"") }
+    })?;
+    let narrow = |v: u64, key: &str, max: u64| -> Result<u64, CheckpointError> {
+        if v > max {
+            Err(CheckpointError::Malformed {
+                detail: format!("record {i}: \"{key}\" = {v} out of range"),
+            })
+        } else {
+            Ok(v)
+        }
+    };
+    Ok(SingleBitRecord {
+        trial: field_u64(rec, "trial", i)?,
+        site: FaultSite {
+            wg: narrow(field_u64(rec, "wg", i)?, "wg", u64::from(u32::MAX))? as u32,
+            after_retired: field_u64(rec, "after", i)?,
+            reg: narrow(field_u64(rec, "reg", i)?, "reg", 255)? as u8,
+            lane: narrow(field_u64(rec, "lane", i)?, "lane", 63)? as u8,
+            bit: narrow(field_u64(rec, "bit", i)?, "bit", 31)? as u8,
+        },
+        outcome,
+        read_before_overwrite: read,
+    })
 }
 
 /// Serialize a checkpoint document.
@@ -96,34 +183,20 @@ pub fn render(
         ",\n  \"config_hash\": {config_hash},\n  \"mode_bits\": {mode_bits},\n  \"records\": ["
     );
     for (i, r) in records.iter().enumerate() {
-        let sep = if i == 0 { "\n" } else { ",\n" };
-        let _ = write!(
-            out,
-            "{sep}    {{\"trial\": {}, \"wg\": {}, \"after\": {}, \"reg\": {}, \"lane\": {}, \"bit\": {}, \"outcome\": \"{}\", ",
-            r.trial,
-            r.site.wg,
-            r.site.after_retired,
-            r.site.reg,
-            r.site.lane,
-            r.site.bit,
-            r.outcome.kind().as_str(),
-        );
-        if let Outcome::Crash { reason } = &r.outcome {
-            out.push_str("\"reason\": ");
-            json::write_str(&mut out, reason);
-            out.push_str(", ");
-        }
-        let _ = write!(out, "\"read\": {}}}", r.read_before_overwrite);
+        out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+        write_record(&mut out, r);
     }
     out.push_str("\n  ]\n}\n");
     out
 }
 
-/// Atomically write `records` as the checkpoint at `path`.
+/// Atomically and durably write `records` as the checkpoint at `path`:
+/// temp file, `sync_all`, rename, fsync of the parent directory, with
+/// bounded retry against transient failures (see [`crate::durable`]).
 ///
 /// # Errors
 ///
-/// [`CheckpointError::Io`] if the temp file cannot be written or renamed.
+/// [`CheckpointError::Io`] if every write attempt failed.
 pub fn save(
     path: &Path,
     workload: &str,
@@ -131,14 +204,11 @@ pub fn save(
     mode_bits: u8,
     records: &[SingleBitRecord],
 ) -> Result<(), CheckpointError> {
-    let io = |e: std::io::Error| CheckpointError::Io {
+    let doc = render(workload, config_hash, mode_bits, records);
+    crate::durable::atomic_write_durable(path, doc.as_bytes()).map_err(|e| CheckpointError::Io {
         path: path.display().to_string(),
         detail: e.to_string(),
-    };
-    let doc = render(workload, config_hash, mode_bits, records);
-    let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, doc).map_err(io)?;
-    std::fs::rename(&tmp, path).map_err(io)
+    })
 }
 
 fn field_u64(rec: &Value, key: &str, i: usize) -> Result<u64, CheckpointError> {
@@ -192,48 +262,7 @@ pub fn load(path: &Path) -> Result<Checkpoint, CheckpointError> {
 
     let mut records = Vec::with_capacity(raw_records.len());
     for (i, rec) in raw_records.iter().enumerate() {
-        let kind =
-            rec.get("outcome").and_then(Value::as_str).and_then(OutcomeKind::parse).ok_or_else(
-                || CheckpointError::Malformed {
-                    detail: format!("record {i}: missing or unknown \"outcome\""),
-                },
-            )?;
-        let outcome = match kind {
-            OutcomeKind::Masked => Outcome::Masked,
-            OutcomeKind::Sdc => Outcome::Sdc,
-            OutcomeKind::Hang => Outcome::Hang,
-            OutcomeKind::Crash => Outcome::Crash {
-                reason: rec
-                    .get("reason")
-                    .and_then(Value::as_str)
-                    .unwrap_or("unrecorded crash reason")
-                    .to_string(),
-            },
-        };
-        let read = rec.get("read").and_then(Value::as_bool).ok_or_else(|| {
-            CheckpointError::Malformed { detail: format!("record {i}: missing \"read\"") }
-        })?;
-        let narrow = |v: u64, key: &str, max: u64| -> Result<u64, CheckpointError> {
-            if v > max {
-                Err(CheckpointError::Malformed {
-                    detail: format!("record {i}: \"{key}\" = {v} out of range"),
-                })
-            } else {
-                Ok(v)
-            }
-        };
-        records.push(SingleBitRecord {
-            trial: field_u64(rec, "trial", i)?,
-            site: FaultSite {
-                wg: narrow(field_u64(rec, "wg", i)?, "wg", u64::from(u32::MAX))? as u32,
-                after_retired: field_u64(rec, "after", i)?,
-                reg: narrow(field_u64(rec, "reg", i)?, "reg", 255)? as u8,
-                lane: narrow(field_u64(rec, "lane", i)?, "lane", 63)? as u8,
-                bit: narrow(field_u64(rec, "bit", i)?, "bit", 31)? as u8,
-            },
-            outcome,
-            read_before_overwrite: read,
-        });
+        records.push(parse_record(rec, i)?);
     }
     records.sort_by_key(|r| r.trial);
     records.dedup_by_key(|r| r.trial);
@@ -349,6 +378,39 @@ mod tests {
         ));
 
         assert!(matches!(load(&dir.join("absent.json")), Err(CheckpointError::Io { .. })));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fingerprint_epoch_is_decoupled_from_format_version() {
+        // Version 4 changed the durability format, not trial semantics:
+        // fingerprints (pinned inside every repro bundle) must not move.
+        assert_eq!(FINGERPRINT_EPOCH, 3);
+        assert_eq!(VERSION, 4);
+        let canon_prefix = format!("v{FINGERPRINT_EPOCH};");
+        assert_eq!(canon_prefix, "v3;");
+    }
+
+    #[test]
+    fn version_3_document_is_refused_with_both_versions_named() {
+        // The v3 → v4 migration: a version-3 checkpoint (pre-WAL, no
+        // durable-write discipline) is structurally identical but its
+        // resume contract is not — a v4 build consults the journal, a v3
+        // build would ignore it. Migration policy is refusal, and the error
+        // text must name both the version found and the version expected.
+        let dir = std::env::temp_dir().join("mbavf-ckpt-migration-v3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("v3.json");
+        std::fs::write(
+            &path,
+            "{\n  \"version\": 3,\n  \"workload\": \"dct\",\n  \"config_hash\": 42,\n  \"mode_bits\": 1,\n  \"records\": [\n    {\"trial\": 0, \"wg\": 1, \"after\": 17, \"reg\": 3, \"lane\": 9, \"bit\": 30, \"outcome\": \"sdc\", \"read\": true}\n  ]\n}\n",
+        )
+        .unwrap();
+        let err = load(&path).unwrap_err();
+        assert_eq!(err, CheckpointError::VersionMismatch { found: 3, expected: VERSION });
+        let text = err.to_string();
+        assert!(text.contains("version 3"), "must name the found version: {text}");
+        assert!(text.contains("expects 4"), "must name the expected version: {text}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

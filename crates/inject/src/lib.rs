@@ -19,13 +19,22 @@
 //! re-executes a single bundled trial against a fingerprint-verified golden
 //! reference, and the shrinker minimizes multi-bit faults to the smallest
 //! window that still reproduces.
+//!
+//! The **durability layer** ([`checkpoint::wal`], [`durable`], [`chaos`])
+//! holds the harness to the standard it measures: every committed trial is
+//! journaled with CRC framing and fsync discipline before the next starts,
+//! and a deterministic chaos engine (`campaign --chaos <seed>:<rate>`)
+//! continuously injects disk-full, torn-write, and fsync failures into the
+//! harness's *own* I/O paths to prove committed records survive them.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bundle;
 pub mod campaign;
+pub mod chaos;
 pub mod checkpoint;
+pub mod durable;
 pub mod interference;
 pub mod json;
 pub mod replay;
@@ -38,6 +47,7 @@ pub use campaign::{
     single_bit_campaign, CampaignConfig, CampaignStats, CampaignSummary, FaultSite, Fractions,
     Outcome, OutcomeKind, SingleBitRecord, SiteSampler, SAMPLER_ID,
 };
+pub use chaos::{ChaosEngine, ChaosSpec};
 pub use interference::{interference_study, try_interference_study, InterferenceRow};
 pub use mbavf_core::error::{
     BundleError, CheckpointError, InjectError, SupervisorError, TransportError,

@@ -14,16 +14,26 @@
 //! ## Checkpointing
 //!
 //! With [`RunnerConfig::checkpoint`] set, the runner loads any existing
-//! checkpoint (validating its config fingerprint), runs only the missing
-//! trials, snapshots atomically every [`RunnerConfig::checkpoint_every`]
-//! completions, and writes a final checkpoint when done. A campaign killed at
-//! any point loses at most one snapshot interval of work.
+//! checkpoint (validating its config fingerprint), replays the write-ahead
+//! trial journal over it ([`checkpoint::wal`]), and runs only the missing
+//! trials. Every committed trial appends one CRC-framed, fsynced frame to
+//! `<checkpoint>.wal` — O(1) durability per trial — and every
+//! [`RunnerConfig::checkpoint_every`] completions the snapshot is compacted
+//! atomically and the journal reset. A campaign killed at any point loses
+//! at most the single in-flight trial, never a committed one.
+//!
+//! Durable-write failures degrade instead of killing the run: a failed
+//! journal append falls back to snapshot-only checkpointing, repeated
+//! snapshot failures disable checkpointing entirely (counted and reported
+//! as `snapshot_failures`), and only a failing *final* save is a hard,
+//! typed error — silently losing a finished campaign is the one thing this
+//! layer must never do.
 
 use crate::campaign::{
     golden_shape, CampaignConfig, CampaignSummary, FaultSite, GoldenShape, OutcomeKind,
     SingleBitRecord, SiteSampler,
 };
-use crate::checkpoint;
+use crate::checkpoint::{self, wal};
 use crate::supervisor::merge::{merge_slot, MergeVerdict};
 use crate::supervisor::PoisonEntry;
 use mbavf_core::error::{CheckpointError, InjectError};
@@ -32,6 +42,8 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+pub use crate::durable::{quarantine_corrupt, quarantine_path};
 
 /// How to execute a campaign (as opposed to *what* to run, which is
 /// [`CampaignConfig`]). Execution knobs never affect the records produced —
@@ -189,16 +201,31 @@ pub(crate) struct Shared {
     /// Per-trial wall-clock, microseconds, for trials run by this call.
     /// Pre-reserved to the pending count so the hot path never allocates.
     pub(crate) latencies_us: Mutex<Vec<u64>>,
-    /// Set when a checkpoint write fails; workers drain and stop.
-    pub(crate) failed: AtomicBool,
-    /// First checkpoint error, if any.
-    error: Mutex<Option<CheckpointError>>,
+    /// Write-ahead trial journal. `None` when no checkpoint is configured
+    /// or after an append failure degraded the run to snapshot-only mode.
+    pub(crate) journal: Mutex<Option<wal::WalWriter>>,
+    /// Durable-write failures observed so far: failed journal appends and
+    /// resets, failed snapshot compactions. Surfaced in the summary and the
+    /// heartbeat so degraded durability is never silent.
+    pub(crate) snapshot_failures: AtomicUsize,
+    /// Set once [`MAX_SNAPSHOT_FAILURES`] durable-write failures accumulate:
+    /// the campaign keeps running, but stops attempting periodic snapshots
+    /// (only the final save is still tried — and is a hard error if it
+    /// fails).
+    pub(crate) checkpointing_disabled: AtomicBool,
     /// Serializes snapshot writes: concurrent workers crossing the
     /// checkpoint cadence at once would otherwise race on the shared
     /// temp-file-then-rename, and the loser's rename finds the temp file
     /// already consumed.
     snapshotting: Mutex<()>,
 }
+
+/// Durable-write failures tolerated before periodic checkpointing is
+/// disabled for the rest of the run. Each failure has already survived
+/// bounded retry inside [`crate::durable`], so three strikes means the disk
+/// is persistently refusing writes (full, read-only, gone) — keep the
+/// science running, report honestly, stop hammering the filesystem.
+pub(crate) const MAX_SNAPSHOT_FAILURES: usize = 3;
 
 impl Shared {
     pub(crate) fn new(slots: Vec<Option<SingleBitRecord>>, pending: usize) -> Self {
@@ -209,9 +236,40 @@ impl Shared {
             kind_counts: Default::default(),
             active_workers: AtomicUsize::new(0),
             latencies_us: Mutex::new(Vec::with_capacity(pending)),
-            failed: AtomicBool::new(false),
-            error: Mutex::new(None),
+            journal: Mutex::new(None),
+            snapshot_failures: AtomicUsize::new(0),
+            checkpointing_disabled: AtomicBool::new(false),
             snapshotting: Mutex::new(()),
+        }
+    }
+
+    /// Install the durable state recovered by [`restore_durable`]: the live
+    /// journal writer (if any) and failures already counted during
+    /// recovery.
+    pub(crate) fn adopt_durable(&self, journal: Option<wal::WalWriter>, failures: usize) {
+        *self.journal.lock().expect("journal lock") = journal;
+        self.snapshot_failures.store(failures, Ordering::SeqCst);
+        if failures >= MAX_SNAPSHOT_FAILURES {
+            self.checkpointing_disabled.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Append one committed trial to the write-ahead journal — the O(1)
+    /// durability step taken *before* the record enters the in-memory
+    /// slots. A failed append (already retried with backoff inside the
+    /// writer) degrades the run to snapshot-only mode rather than killing
+    /// it; the failure is counted and reported.
+    pub(crate) fn journal_append(&self, record: &SingleBitRecord) {
+        let mut journal = self.journal.lock().expect("journal lock");
+        if let Some(writer) = journal.as_mut() {
+            if let Err(e) = writer.append(record) {
+                self.snapshot_failures.fetch_add(1, Ordering::SeqCst);
+                eprintln!(
+                    "warning: trial journal append failed ({e}); journaling disabled, \
+                     falling back to periodic snapshots only"
+                );
+                *journal = None;
+            }
         }
     }
 
@@ -246,12 +304,17 @@ impl Shared {
         leased: bool,
     ) -> RemoteCommit {
         let kind = record.outcome.kind();
+        let journal_copy = record.clone();
         let verdict = {
             let mut slots = self.slots.lock().expect("slots lock");
             merge_slot(&mut slots, record, leased)
         };
         match verdict {
             MergeVerdict::Fresh => {
+                // Journal only what the merge accepted: writing Foreign or
+                // out-of-budget records ahead of the merge would poison the
+                // journal for every future recovery.
+                self.journal_append(&journal_copy);
                 self.kind_counts[kind.index()].fetch_add(1, Ordering::Relaxed);
                 {
                     let mut lat = self.latencies_us.lock().expect("latency lock");
@@ -265,6 +328,14 @@ impl Shared {
         }
     }
 
+    /// Compact the current slots into the checkpoint snapshot and, on
+    /// success, reset the write-ahead journal (whose frames the snapshot
+    /// now subsumes). Failures degrade instead of aborting: each one is
+    /// counted, and after [`MAX_SNAPSHOT_FAILURES`] periodic checkpointing
+    /// is disabled for the rest of the run.
+    ///
+    /// Lock order: `snapshotting` → `journal` (never the reverse), with the
+    /// `slots` lock released before either is taken.
     pub(crate) fn snapshot(
         &self,
         workload: &str,
@@ -272,20 +343,48 @@ impl Shared {
         mode_bits: u8,
         path: &std::path::Path,
     ) {
+        if self.checkpointing_disabled.load(Ordering::SeqCst) {
+            return;
+        }
         let records: Vec<SingleBitRecord> = {
             let slots = self.slots.lock().expect("slots lock");
             slots.iter().flatten().cloned().collect()
         };
         let _write_guard = self.snapshotting.lock().expect("snapshot lock");
-        if let Err(e) = checkpoint::save(path, workload, fingerprint, mode_bits, &records) {
-            let mut err = self.error.lock().expect("error lock");
-            err.get_or_insert(e);
-            self.failed.store(true, Ordering::SeqCst);
+        match checkpoint::save(path, workload, fingerprint, mode_bits, &records) {
+            Ok(()) => {
+                let mut journal = self.journal.lock().expect("journal lock");
+                if let Some(writer) = journal.as_mut() {
+                    if let Err(e) = writer.reset(workload, fingerprint, mode_bits) {
+                        self.snapshot_failures.fetch_add(1, Ordering::SeqCst);
+                        eprintln!(
+                            "warning: trial journal reset failed ({e}); journaling \
+                             disabled, falling back to periodic snapshots only"
+                        );
+                        *journal = None;
+                    }
+                }
+            }
+            Err(e) => {
+                let failures = self.snapshot_failures.fetch_add(1, Ordering::SeqCst) + 1;
+                if failures >= MAX_SNAPSHOT_FAILURES {
+                    self.checkpointing_disabled.store(true, Ordering::SeqCst);
+                    *self.journal.lock().expect("journal lock") = None;
+                    eprintln!(
+                        "warning: checkpoint snapshot to {} failed ({e}); {failures} \
+                         durable-write failures, checkpointing disabled — progress since \
+                         the last good snapshot will not survive a crash",
+                        path.display()
+                    );
+                } else {
+                    eprintln!(
+                        "warning: checkpoint snapshot to {} failed ({e}); will retry at \
+                         the next cadence",
+                        path.display()
+                    );
+                }
+            }
         }
-    }
-
-    pub(crate) fn take_error(&self) -> Option<CheckpointError> {
-        self.error.lock().expect("error lock").take()
     }
 
     /// Heartbeat monitor loop: print a progress line to stderr every
@@ -342,8 +441,18 @@ impl Shared {
                     )
                 })
                 .collect();
+            // Degraded durability is reported on every beat, not buried in
+            // a one-time warning that scrolled away hours ago.
+            let failures = self.snapshot_failures.load(Ordering::SeqCst);
+            let durability = if self.checkpointing_disabled.load(Ordering::SeqCst) {
+                format!(", snapshot failures {failures} (checkpointing disabled)")
+            } else if failures > 0 {
+                format!(", snapshot failures {failures}")
+            } else {
+                String::new()
+            };
             eprintln!(
-                "heartbeat[{label}]: {done}/{total} trials, {rate} trials/s, eta {eta}, workers {}, {}{}",
+                "heartbeat[{label}]: {done}/{total} trials, {rate} trials/s, eta {eta}, workers {}, {}{}{durability}",
                 live(),
                 kinds.join(" "),
                 extra()
@@ -403,35 +512,6 @@ pub(crate) fn load_or_quarantine(
     }
 }
 
-/// Where a corrupt checkpoint is moved aside: `<path>.corrupt`.
-pub fn quarantine_path(path: &std::path::Path) -> PathBuf {
-    let mut name = path.as_os_str().to_os_string();
-    name.push(".corrupt");
-    PathBuf::from(name)
-}
-
-/// Move the corrupt file at `path` aside to the first free quarantine slot
-/// (`<path>.corrupt`, `<path>.corrupt.1`, `<path>.corrupt.2`, …), so an
-/// earlier quarantined file — evidence of a previous corruption — is never
-/// clobbered by a later one.
-///
-/// Returns the destination on success, `None` if the rename failed (the
-/// caller degrades to a warning).
-pub fn quarantine_corrupt(path: &std::path::Path) -> Option<PathBuf> {
-    let base = quarantine_path(path);
-    let mut dest = base.clone();
-    let mut n = 0u32;
-    // Bounded probe: a directory with 10k quarantined checkpoints is a
-    // deeper problem than one more clobbered file.
-    while dest.exists() && n < 10_000 {
-        n += 1;
-        let mut name = base.as_os_str().to_os_string();
-        name.push(format!(".{n}"));
-        dest = PathBuf::from(name);
-    }
-    std::fs::rename(path, &dest).ok().map(|()| dest)
-}
-
 /// Restore completed trials from `runner.checkpoint` (when set and present)
 /// into a fresh slot vector of `budget` entries, validating the config
 /// fingerprint. Returns the slots plus how many trials were restored.
@@ -468,6 +548,134 @@ pub(crate) fn restore_slots(
         }
     }
     Ok((slots, resumed))
+}
+
+/// Everything [`restore_durable`] recovered: the slot vector with both the
+/// snapshot's and the journal's surviving records merged in, the live
+/// journal writer for the rest of the run (or `None` when degraded), and
+/// how many durable-write failures recovery itself already hit.
+pub(crate) struct DurableState {
+    pub(crate) slots: Vec<Option<SingleBitRecord>>,
+    pub(crate) resumed: usize,
+    pub(crate) journal: Option<wal::WalWriter>,
+    pub(crate) snapshot_failures: usize,
+}
+
+/// Full durable-state recovery, shared by the thread-mode runner and the
+/// process-isolation supervisor: restore the snapshot ([`restore_slots`]),
+/// replay the write-ahead journal's surviving frames through the idempotent
+/// trial-index merge, compact any journal-only records back into the
+/// snapshot, and open a fresh journal for the run ahead.
+///
+/// Degradation, not death: if the compaction or the journal open fails, the
+/// old journal is left untouched on disk (it is still the only durable copy
+/// of its records) and the campaign proceeds with journaling disabled.
+///
+/// # Errors
+///
+/// Checkpoint errors from [`restore_slots`]; [`CheckpointError::TrialOutOfRange`]
+/// for a journaled trial outside the budget; [`CheckpointError::Malformed`]
+/// when a journal frame *conflicts* with the snapshot — same trial, different
+/// record — which a deterministic campaign can only produce from mixed-up
+/// artifacts.
+pub(crate) fn restore_durable(
+    runner: &RunnerConfig,
+    workload: &str,
+    fingerprint: u64,
+    mode_bits: u8,
+    budget: usize,
+) -> Result<DurableState, InjectError> {
+    let (mut slots, mut resumed) = restore_slots(runner, fingerprint, budget)?;
+    let Some(path) = &runner.checkpoint else {
+        return Ok(DurableState { slots, resumed, journal: None, snapshot_failures: 0 });
+    };
+    let mut failures = 0usize;
+
+    let recovery = wal::recover(path, workload, fingerprint)?;
+    let mut journaled = 0usize;
+    for rec in recovery.records {
+        let trial = rec.trial;
+        match merge_slot(&mut slots, rec, true) {
+            MergeVerdict::Fresh => {
+                resumed += 1;
+                journaled += 1;
+            }
+            // A crash between snapshot compaction and journal reset leaves
+            // the compacted frames in the journal; they replay as no-ops.
+            MergeVerdict::Duplicate => {}
+            MergeVerdict::Conflict { detail } => {
+                return Err(CheckpointError::Malformed {
+                    detail: format!(
+                        "journal record for trial {trial} conflicts with the checkpoint \
+                         ({detail}); artifacts are from different campaigns"
+                    ),
+                }
+                .into())
+            }
+            MergeVerdict::Foreign { trial } => {
+                return Err(CheckpointError::TrialOutOfRange { trial, budget: budget as u64 }.into())
+            }
+        }
+    }
+
+    if journaled > 0 {
+        // Fold the journal-only records into the snapshot now, so the
+        // journal can be reset without any record existing only in memory.
+        let records: Vec<SingleBitRecord> = slots.iter().flatten().cloned().collect();
+        if let Err(e) = checkpoint::save(path, workload, fingerprint, mode_bits, &records) {
+            failures += 1;
+            eprintln!(
+                "warning: could not compact {journaled} journaled trial(s) into {} ({e}); \
+                 keeping the journal on disk and running with periodic snapshots only",
+                path.display()
+            );
+            return Ok(DurableState { slots, resumed, journal: None, snapshot_failures: failures });
+        }
+        eprintln!(
+            "note: recovered {journaled} trial(s) from the write-ahead journal at {}",
+            wal::wal_path(path).display()
+        );
+    }
+
+    let journal = match wal::WalWriter::create(path, workload, fingerprint, mode_bits) {
+        Ok(writer) => Some(writer),
+        Err(e) => {
+            failures += 1;
+            eprintln!(
+                "warning: could not open the trial journal at {} ({e}); running with \
+                 periodic snapshots only",
+                wal::wal_path(path).display()
+            );
+            None
+        }
+    };
+    Ok(DurableState { slots, resumed, journal, snapshot_failures: failures })
+}
+
+/// Write the final checkpoint and, on success, remove the trial journal —
+/// a finished campaign leaves exactly one durable artifact. This is the one
+/// durable write that cannot be degraded away: its failure is the typed
+/// [`CheckpointError::FinalSaveFailed`], carrying the run's accumulated
+/// failure count, and the campaign exits nonzero rather than pretending
+/// completed trials are safe.
+pub(crate) fn final_save(
+    path: &std::path::Path,
+    workload: &str,
+    fingerprint: u64,
+    mode_bits: u8,
+    records: &[SingleBitRecord],
+    snapshot_failures: u64,
+) -> Result<(), CheckpointError> {
+    match checkpoint::save(path, workload, fingerprint, mode_bits, records) {
+        Ok(()) => {
+            let _ = std::fs::remove_file(wal::wal_path(path));
+            Ok(())
+        }
+        Err(CheckpointError::Io { path, detail }) => {
+            Err(CheckpointError::FinalSaveFailed { path, detail, snapshot_failures })
+        }
+        Err(e) => Err(e),
+    }
 }
 
 /// Run (or resume) a single-bit campaign under the given execution config.
@@ -531,8 +739,11 @@ pub(crate) fn run_campaign_with(
     };
     let fingerprint = checkpoint::config_fingerprint(workload.name, cfg);
 
-    // Restore completed trials from the checkpoint, if one exists.
-    let (slots, resumed) = restore_slots(runner, fingerprint, cfg.injections)?;
+    // Restore completed trials from the checkpoint and its write-ahead
+    // journal, if they exist.
+    let durable =
+        restore_durable(runner, workload.name, fingerprint, cfg.mode_bits, cfg.injections)?;
+    let (slots, resumed) = (durable.slots, durable.resumed);
 
     // The work list: every trial not already restored, oldest first, cut to
     // the graceful-stop budget.
@@ -545,6 +756,7 @@ pub(crate) fn run_campaign_with(
 
     let threads = runner.resolved_threads(pending.len());
     let shared = Shared::new(slots, pending.len());
+    shared.adopt_durable(durable.journal, durable.snapshot_failures);
     shared.active_workers.store(threads, Ordering::SeqCst);
 
     std::thread::scope(|scope| {
@@ -572,9 +784,6 @@ pub(crate) fn run_campaign_with(
                 let mut arena: Option<mbavf_sim::TrialArena> = None;
                 let mut sites: Vec<(u64, FaultSite)> = Vec::with_capacity(SITE_CHUNK);
                 loop {
-                    if shared.failed.load(Ordering::SeqCst) {
-                        return;
-                    }
                     let start = shared.next.fetch_add(SITE_CHUNK, Ordering::SeqCst);
                     let end = pending.len().min(start.saturating_add(SITE_CHUNK));
                     if start >= end {
@@ -595,9 +804,6 @@ pub(crate) fn run_campaign_with(
                         )
                     });
                     for &(trial, site) in &sites {
-                        if shared.failed.load(Ordering::SeqCst) {
-                            return;
-                        }
                         let t0 = Instant::now();
                         let (outcome, read) = crate::campaign::run_one_arena(
                             arena,
@@ -606,10 +812,13 @@ pub(crate) fn run_campaign_with(
                             cfg.mode_bits.max(1),
                         );
                         let elapsed_us = t0.elapsed().as_micros() as u64;
-                        let done = shared.commit(
-                            SingleBitRecord { trial, site, outcome, read_before_overwrite: read },
-                            elapsed_us,
-                        );
+                        let record =
+                            SingleBitRecord { trial, site, outcome, read_before_overwrite: read };
+                        // Write-ahead: the trial reaches the durable journal
+                        // before it reaches the in-memory slots, so a crash
+                        // can lose at most the single in-flight trial.
+                        shared.journal_append(&record);
+                        let done = shared.commit(record, elapsed_us);
                         if let Some(path) = &runner.checkpoint {
                             if done.is_multiple_of(runner.checkpoint_every) {
                                 shared.snapshot(workload.name, fingerprint, cfg.mode_bits, path);
@@ -621,14 +830,11 @@ pub(crate) fn run_campaign_with(
         }
     });
 
-    if let Some(e) = shared.take_error() {
-        return Err(e.into());
-    }
-
+    let snapshot_failures = shared.snapshot_failures.load(Ordering::SeqCst) as u64;
     let slots = shared.slots.into_inner().expect("slots lock");
     let records: Vec<SingleBitRecord> = slots.into_iter().flatten().collect();
     if let Some(path) = &runner.checkpoint {
-        checkpoint::save(path, workload.name, fingerprint, cfg.mode_bits, &records)?;
+        final_save(path, workload.name, fingerprint, cfg.mode_bits, &records, snapshot_failures)?;
     }
 
     // Emit repro bundles for every visible error, in trial order. Records
@@ -652,7 +858,7 @@ pub(crate) fn run_campaign_with(
     let trial_latency =
         LatencyStats::from_micros(shared.latencies_us.into_inner().expect("latency lock"));
     Ok(CampaignReport {
-        summary: CampaignSummary { workload: workload.name, records },
+        summary: CampaignSummary { workload: workload.name, records, snapshot_failures },
         resumed,
         newly_run,
         complete: newly_run == total_missing,

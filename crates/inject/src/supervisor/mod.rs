@@ -78,13 +78,13 @@ use crate::campaign::{
     OutcomeKind, SingleBitRecord, SiteSampler,
 };
 use crate::checkpoint;
+use crate::durable::{atomic_write_durable, jittered_backoff};
 use crate::json::{self, Value};
 use crate::runner::{
-    quarantine_corrupt, restore_slots, run_campaign_with, CampaignReport, LatencyStats,
-    RemoteCommit, RunnerConfig, Shared, WorkerGuard,
+    final_save, quarantine_corrupt, restore_durable, run_campaign_with, CampaignReport,
+    LatencyStats, RemoteCommit, RunnerConfig, Shared, WorkerGuard,
 };
 use mbavf_core::error::{InjectError, SupervisorError, TransportError};
-use mbavf_core::rng::SplitMix64;
 use mbavf_workloads::{by_name, Scale, Workload};
 use std::collections::VecDeque;
 use std::fmt::Write as _;
@@ -321,24 +321,23 @@ pub fn render_poison(workload: &str, config_hash: u64, entries: &[PoisonEntry]) 
     out
 }
 
-/// Atomically write the poison sidecar at `path`.
+/// Durably and atomically write the poison sidecar at `path` (temp file,
+/// `sync_all`, rename, parent-directory fsync — the same discipline as
+/// checkpoints, through the same failpoint-aware layer).
 ///
 /// # Errors
 ///
-/// [`SupervisorError::Io`] if the temp file cannot be written or renamed.
+/// [`SupervisorError::Io`] if the write cannot be made durable after
+/// bounded retry.
 pub fn save_poison(
     path: &Path,
     workload: &str,
     config_hash: u64,
     entries: &[PoisonEntry],
 ) -> Result<(), SupervisorError> {
-    let io = |e: std::io::Error| SupervisorError::Io {
-        path: path.display().to_string(),
-        detail: e.to_string(),
-    };
-    let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, render_poison(workload, config_hash, entries)).map_err(io)?;
-    std::fs::rename(&tmp, path).map_err(io)
+    atomic_write_durable(path, render_poison(workload, config_hash, entries).as_bytes()).map_err(
+        |e| SupervisorError::Io { path: path.display().to_string(), detail: e.to_string() },
+    )
 }
 
 /// A loaded poison sidecar.
@@ -686,28 +685,6 @@ pub fn worker_main(args: &[String]) -> i32 {
 // Supervisor side
 // ---------------------------------------------------------------------------
 
-/// Deterministic jittered exponential backoff: the delay doubles per
-/// consecutive failure (capped), then loses up to half to a jitter keyed by
-/// `(seed, handler, consecutive_failures)` — so retries are reproducible,
-/// but handlers whose workers died together (one machine rebooting, one
-/// poison trial killing a whole fleet tier) do not retry in lockstep.
-fn jittered_backoff(
-    base: Duration,
-    cap: Duration,
-    seed: u64,
-    handler: usize,
-    consecutive_failures: u32,
-) -> Duration {
-    let shift = consecutive_failures.saturating_sub(1).min(16);
-    let full = base.saturating_mul(1u32 << shift).min(cap);
-    let span = full.as_micros() as u64 / 2;
-    let mut rng = SplitMix64::stream(
-        seed ^ 0xB0FF_0FF5,
-        ((handler as u64) << 32) | u64::from(consecutive_failures),
-    );
-    full - Duration::from_micros(rng.below(span + 1))
-}
-
 enum ShardRun {
     /// Worker finished every remaining trial.
     Done,
@@ -754,9 +731,7 @@ struct SupCtx<'a> {
 
 impl SupCtx<'_> {
     fn should_stop(&self) -> bool {
-        self.stop.load(Ordering::SeqCst)
-            || self.degrade.load(Ordering::SeqCst)
-            || self.shared.failed.load(Ordering::SeqCst)
+        self.stop.load(Ordering::SeqCst) || self.degrade.load(Ordering::SeqCst)
     }
 
     fn raise_fatal(&self, e: SupervisorError) {
@@ -1189,7 +1164,9 @@ pub fn run_supervised(
     };
     let fingerprint = checkpoint::config_fingerprint(workload.name, cfg);
 
-    let (slots, resumed) = restore_slots(runner, fingerprint, cfg.injections)?;
+    let durable =
+        restore_durable(runner, workload.name, fingerprint, cfg.mode_bits, cfg.injections)?;
+    let (slots, resumed) = (durable.slots, durable.resumed);
     let poison_path = sup
         .poison_path
         .clone()
@@ -1243,6 +1220,7 @@ pub fn run_supervised(
     };
 
     let shared = Shared::new(slots, pending.len());
+    shared.adopt_durable(durable.journal, durable.snapshot_failures);
     shared.active_workers.store(workers, Ordering::SeqCst);
     let ctx = SupCtx {
         cfg,
@@ -1324,8 +1302,9 @@ pub fn run_supervised(
         let slots = shared.slots.lock().expect("slots lock");
         slots.iter().flatten().cloned().collect()
     };
+    let snapshot_failures = shared.snapshot_failures.load(Ordering::SeqCst) as u64;
     if let Some(path) = &runner.checkpoint {
-        checkpoint::save(path, workload.name, fingerprint, cfg.mode_bits, &records)?;
+        final_save(path, workload.name, fingerprint, cfg.mode_bits, &records, snapshot_failures)?;
     }
     if let Some(path) = &poison_path {
         if !all_poison.is_empty() {
@@ -1334,9 +1313,6 @@ pub fn run_supervised(
         }
     }
 
-    if let Some(e) = shared.take_error() {
-        return Err(e.into());
-    }
     if let Some(e) = ctx.fatal.into_inner().expect("fatal lock") {
         return Err(e.into());
     }
@@ -1371,7 +1347,7 @@ pub fn run_supervised(
         &mut *shared.latencies_us.lock().expect("latency lock"),
     ));
     Ok(CampaignReport {
-        summary: CampaignSummary { workload: workload.name, records },
+        summary: CampaignSummary { workload: workload.name, records, snapshot_failures },
         resumed,
         newly_run,
         complete: newly_run + newly_poisoned == total_missing,

@@ -37,6 +37,11 @@ use std::time::Duration;
 pub(crate) const MAX_FRAME: usize = 1 << 20;
 
 /// Write one length-delimited frame and flush it.
+///
+/// The write is subject to a [`crate::chaos`] verdict: an injected fault
+/// tears or fails the frame exactly as a dying peer would, and the stream
+/// loop's existing reconnect/redial machinery is what recovers — chaos
+/// proves that machinery, it does not get special handling.
 pub(crate) fn write_frame<W: Write>(w: &mut W, payload: &str) -> std::io::Result<()> {
     if payload.len() > MAX_FRAME {
         return Err(std::io::Error::new(
@@ -45,8 +50,26 @@ pub(crate) fn write_frame<W: Write>(w: &mut W, payload: &str) -> std::io::Result
         ));
     }
     let len = payload.len() as u32;
-    w.write_all(&len.to_be_bytes())?;
-    w.write_all(payload.as_bytes())?;
+    let mut bytes = Vec::with_capacity(4 + payload.len());
+    bytes.extend_from_slice(&len.to_be_bytes());
+    bytes.extend_from_slice(payload.as_bytes());
+    match crate::chaos::draw(crate::chaos::OpClass::Frame) {
+        crate::chaos::Fault::None => {}
+        crate::chaos::Fault::Stall { millis } => {
+            std::thread::sleep(Duration::from_millis(u64::from(millis)));
+        }
+        crate::chaos::Fault::Torn { keep_64ths } => {
+            let keep = bytes.len() * usize::from(keep_64ths) / 64;
+            w.write_all(&bytes[..keep])?;
+            let _ = w.flush();
+            return Err(std::io::Error::other(format!(
+                "chaos: injected torn frame ({keep} of {} bytes sent)",
+                bytes.len()
+            )));
+        }
+        _ => return Err(std::io::Error::other("chaos: injected frame write error")),
+    }
+    w.write_all(&bytes)?;
     w.flush()
 }
 

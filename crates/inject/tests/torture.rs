@@ -47,6 +47,14 @@ fn main() {
             kill_resume_with_mid_run_corruption_converges,
         ),
         (
+            "wal_crash_at_every_boundary_resumes_byte_identical",
+            wal_crash_at_every_boundary_resumes_byte_identical,
+        ),
+        (
+            "chaos_campaign_checkpoint_matches_fault_free",
+            chaos_campaign_checkpoint_matches_fault_free,
+        ),
+        (
             "process_isolation_matches_thread_mode_bit_exact",
             process_isolation_matches_thread_mode_bit_exact,
         ),
@@ -271,6 +279,172 @@ fn kill_resume_with_mid_run_corruption_converges() {
     assert_eq!(finished.bundles.len(), clean.bundles.len());
     for (a, b) in finished.bundles.iter().zip(&clean.bundles) {
         assert_eq!(a.file_name(), b.file_name());
+        assert_eq!(std::fs::read(a).unwrap(), std::fs::read(b).unwrap(), "{}", a.display());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&clean_dir).ok();
+}
+
+/// Crash-at-every-write-boundary drill for the write-ahead trial journal.
+/// The durable cycle is append → compact (temp write, rename) → journal
+/// reset; a crash can land between any two of those steps. Each iteration
+/// fabricates the exact on-disk state such a crash leaves behind — snapshot
+/// holding the first `m` records, journal holding the next `j` frames,
+/// plus torn-tail, stale-temp-file, and compacted-but-not-reset
+/// (duplicate-frame) variants — and the resumed campaign must always end
+/// with a checkpoint byte-identical to an uninterrupted run's.
+fn wal_crash_at_every_boundary_resumes_byte_identical() {
+    use mbavf_inject::checkpoint::wal;
+
+    let w = by_name("fast_walsh").expect("registered");
+    let cfg = CampaignConfig { seed: 7, injections: 24, ..CampaignConfig::default() };
+    let fingerprint = checkpoint::config_fingerprint(w.name, &cfg);
+
+    let ref_dir = tmpdir("walb-ref");
+    let ref_ckpt = ref_dir.join("camp.json");
+    run_campaign(
+        &w,
+        &cfg,
+        &RunnerConfig { checkpoint: Some(ref_ckpt.clone()), ..RunnerConfig::serial() },
+    )
+    .unwrap();
+    let reference = std::fs::read(&ref_ckpt).unwrap();
+    let all = checkpoint::load(&ref_ckpt).unwrap().records;
+
+    let dir = tmpdir("walb");
+    let ckpt = dir.join("camp.json");
+    let wal_file = wal::wal_path(&ckpt);
+    let resume = RunnerConfig {
+        checkpoint: Some(ckpt.clone()),
+        checkpoint_every: 4,
+        ..RunnerConfig::serial()
+    };
+
+    // Snapshot of the first `m` records + journal frames for the next `j`.
+    let fabricate = |m: usize, j: usize| {
+        std::fs::remove_file(&ckpt).ok();
+        std::fs::remove_file(&wal_file).ok();
+        if m > 0 {
+            checkpoint::save(&ckpt, w.name, fingerprint, cfg.mode_bits, &all[..m]).unwrap();
+        }
+        let mut writer = wal::WalWriter::create(&ckpt, w.name, fingerprint, cfg.mode_bits)
+            .expect("journal create");
+        for r in &all[m..m + j] {
+            writer.append(r).expect("journal append");
+        }
+    };
+    let check = |label: &str| {
+        let report = run_campaign(&w, &cfg, &resume).unwrap();
+        assert!(report.complete, "{label}");
+        assert_eq!(
+            std::fs::read(&ckpt).unwrap(),
+            reference,
+            "{label}: resumed checkpoint must be byte-identical to the uninterrupted run"
+        );
+        assert!(!wal_file.exists(), "{label}: a finished campaign must remove its journal");
+    };
+
+    // Crash between trial appends, for every journal length — including
+    // j = 0 (crash right after a reset) and m = 0 (crash before the first
+    // compaction ever succeeded, the journal alone carrying the records).
+    for j in 0..=6 {
+        fabricate(6, j);
+        check(&format!("append boundary m=6 j={j}"));
+    }
+    fabricate(0, 5);
+    check("journal-only state (crash before first snapshot)");
+
+    // Crash mid-append: a torn partial frame past the committed tail.
+    fabricate(6, 3);
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new().append(true).open(&wal_file).unwrap();
+        f.write_all(&[0, 0, 0, 96, 0xde, 0xad, 0xbe]).unwrap();
+    }
+    check("torn frame past the committed tail");
+
+    // Crash mid-compaction: the snapshot's temp file written but not yet
+    // renamed. Resume must ignore the temp and replace it.
+    fabricate(6, 3);
+    std::fs::write(ckpt.with_extension("tmp"), b"{ half a snapsh").unwrap();
+    check("stale snapshot temp file");
+
+    // Crash between compaction's rename and the journal reset: the
+    // snapshot already holds the journaled records, so every frame must
+    // replay as an idempotent-merge duplicate, not a double-count.
+    std::fs::remove_file(&ckpt).ok();
+    std::fs::remove_file(&wal_file).ok();
+    checkpoint::save(&ckpt, w.name, fingerprint, cfg.mode_bits, &all[..9]).unwrap();
+    {
+        let mut writer = wal::WalWriter::create(&ckpt, w.name, fingerprint, cfg.mode_bits)
+            .expect("journal create");
+        for r in &all[6..9] {
+            writer.append(r).expect("journal append");
+        }
+    }
+    check("compacted but journal not yet reset (duplicate frames)");
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&ref_dir).ok();
+}
+
+/// End-to-end chaos: with the deterministic fault engine injecting into
+/// every durable write the harness makes, a campaign still completes, no
+/// committed record is lost, and the final checkpoint is byte-identical to
+/// a fault-free run's. Runs in this sequential binary because the chaos
+/// engine is process-global — installing it under libtest's parallel
+/// harness would inject faults into unrelated tests.
+fn chaos_campaign_checkpoint_matches_fault_free() {
+    /// Uninstall on every exit path, including panics, so a failure here
+    /// cannot leak faults into the rest of the suite.
+    struct ClearChaos;
+    impl Drop for ClearChaos {
+        fn drop(&mut self) {
+            mbavf_inject::chaos::clear();
+        }
+    }
+
+    let w = by_name("fast_walsh").expect("registered");
+    let cfg = CampaignConfig { seed: 7, injections: 60, ..CampaignConfig::default() };
+
+    let clean_dir = tmpdir("chaos-clean");
+    let clean_ckpt = clean_dir.join("camp.json");
+    let clean = run_campaign(
+        &w,
+        &cfg,
+        &RunnerConfig {
+            checkpoint: Some(clean_ckpt.clone()),
+            repro_dir: Some(clean_dir.join("repro")),
+            ..RunnerConfig::serial()
+        },
+    )
+    .unwrap();
+    let reference = std::fs::read(&clean_ckpt).unwrap();
+
+    let dir = tmpdir("chaos");
+    let ckpt = dir.join("camp.json");
+    let runner = RunnerConfig {
+        checkpoint: Some(ckpt.clone()),
+        checkpoint_every: 4,
+        repro_dir: Some(dir.join("repro")),
+        ..RunnerConfig::serial()
+    };
+    let _guard = ClearChaos;
+    let engine =
+        mbavf_inject::chaos::install(mbavf_inject::ChaosSpec { seed: 0xC4A0_5EED, rate: 0.1 });
+    let report = run_campaign(&w, &cfg, &runner).unwrap();
+    mbavf_inject::chaos::clear();
+
+    assert!(report.complete);
+    assert!(engine.injected() > 0, "a 10% chaos rate must actually inject faults");
+    assert_eq!(
+        std::fs::read(&ckpt).unwrap(),
+        reference,
+        "chaos run's final checkpoint must be byte-identical to the fault-free run's"
+    );
+    assert_eq!(report.summary.records, clean.summary.records, "no committed record may be lost");
+    assert_eq!(report.bundles.len(), clean.bundles.len());
+    for (a, b) in report.bundles.iter().zip(&clean.bundles) {
         assert_eq!(std::fs::read(a).unwrap(), std::fs::read(b).unwrap(), "{}", a.display());
     }
     std::fs::remove_dir_all(&dir).ok();
