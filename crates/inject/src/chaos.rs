@@ -142,6 +142,12 @@ impl ChaosEngine {
     /// Draw the verdict for the next operation of `class`.
     pub fn draw(&self, class: OpClass) -> Fault {
         let op = self.ops.fetch_add(1, Ordering::Relaxed);
+        if self.threshold == 0 {
+            // Rates that quantize to a zero threshold (including rate 0.0
+            // exactly) mean "never fault" — without this gate a draw of
+            // exactly 0 (probability 2^-32 per op) would still inject.
+            return Fault::None;
+        }
         let mut rng = SplitMix64::stream(self.seed ^ CHAOS_TAG, op);
         if rng.next_u32() > self.threshold {
             return Fault::None;

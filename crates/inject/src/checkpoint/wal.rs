@@ -131,12 +131,28 @@ impl WalWriter {
     ///
     /// # Errors
     ///
-    /// [`CheckpointError::Io`] once bounded retry is exhausted; the journal
-    /// is left at its previous committed length (the failed frame is rolled
-    /// back), so the writer stays usable if the caller wants to continue.
+    /// [`CheckpointError::Io`] once bounded retry is exhausted, or
+    /// [`CheckpointError::Malformed`] for a record serializing past
+    /// [`MAX_FRAME`]; either way the journal is left at its previous
+    /// committed length (the failed frame is rolled back or never written),
+    /// so the writer stays usable if the caller wants to continue.
     pub fn append(&mut self, record: &SingleBitRecord) -> Result<(), CheckpointError> {
         let mut payload = String::with_capacity(96);
         write_record(&mut payload, record);
+        if payload.len() > MAX_FRAME {
+            // Mirror the transport's write_frame cap: recover() treats any
+            // length prefix past MAX_FRAME as corruption, so writing such a
+            // frame now would quarantine the whole journal — and discard
+            // every frame after this one — at the next resume.
+            return Err(CheckpointError::Malformed {
+                detail: format!(
+                    "trial {} record serializes to {} bytes, over the {MAX_FRAME}-byte \
+                     journal frame cap",
+                    record.trial,
+                    payload.len()
+                ),
+            });
+        }
         self.append_frame(payload.as_bytes())
     }
 
@@ -508,6 +524,26 @@ mod tests {
         // The first quarantined journal was not clobbered.
         assert!(q.exists());
         assert_ne!(got.quarantined.unwrap(), q);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn oversized_record_is_rejected_at_append_and_never_poisons_the_journal() {
+        let dir = tmpdir("oversize");
+        let ckpt = dir.join("c.json");
+        let mut w = WalWriter::create(&ckpt, "dct", 0xFEED, 1).unwrap();
+        w.append(&rec(0)).unwrap();
+        let mut big = rec(1);
+        big.outcome = Outcome::Crash { reason: "x".repeat(MAX_FRAME + 1) };
+        assert!(matches!(w.append(&big), Err(CheckpointError::Malformed { .. })));
+        // The writer stays usable at its committed boundary, and recovery
+        // sees a clean journal — no quarantine, no lost later frames.
+        w.append(&rec(2)).unwrap();
+        drop(w);
+        let got = recover(&ckpt, "dct", 0xFEED).unwrap();
+        assert_eq!(got.records, vec![rec(0), rec(2)]);
+        assert_eq!(got.torn_tail, 0);
+        assert!(got.quarantined.is_none());
         std::fs::remove_dir_all(&dir).ok();
     }
 

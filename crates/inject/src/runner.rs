@@ -254,13 +254,11 @@ impl Shared {
         }
     }
 
-    /// Append one committed trial to the write-ahead journal — the O(1)
-    /// durability step taken *before* the record enters the in-memory
-    /// slots. A failed append (already retried with backoff inside the
-    /// writer) degrades the run to snapshot-only mode rather than killing
-    /// it; the failure is counted and reported.
-    pub(crate) fn journal_append(&self, record: &SingleBitRecord) {
-        let mut journal = self.journal.lock().expect("journal lock");
+    /// Append one committed trial through an already-held journal guard —
+    /// the O(1) durability step. A failed append (already retried with
+    /// backoff inside the writer) degrades the run to snapshot-only mode
+    /// rather than killing it; the failure is counted and reported.
+    fn append_locked(&self, journal: &mut Option<wal::WalWriter>, record: &SingleBitRecord) {
         if let Some(writer) = journal.as_mut() {
             if let Err(e) = writer.append(record) {
                 self.snapshot_failures.fetch_add(1, Ordering::SeqCst);
@@ -271,6 +269,20 @@ impl Shared {
                 *journal = None;
             }
         }
+    }
+
+    /// Durably commit one locally-run trial: the journal frame first, then
+    /// the in-memory slot, *both under the journal lock*. Holding the lock
+    /// across the pair is what makes [`Shared::snapshot`] safe — it also
+    /// holds the journal lock while it collects slots and resets the
+    /// journal, so it can never observe a record's frame without its slot.
+    /// Splitting the two (append, release, insert) reopens the race where a
+    /// concurrent snapshot collects slots missing the record, saves, and
+    /// then resets the journal over the only durable copy of it.
+    pub(crate) fn commit_journaled(&self, record: SingleBitRecord, elapsed_us: u64) -> usize {
+        let mut journal = self.journal.lock().expect("journal lock");
+        self.append_locked(&mut journal, &record);
+        self.commit(record, elapsed_us)
     }
 
     /// Record one completed trial into its slot and the heartbeat counters,
@@ -305,6 +317,11 @@ impl Shared {
     ) -> RemoteCommit {
         let kind = record.outcome.kind();
         let journal_copy = record.clone();
+        // Journal lock before the merge (lock order: journal → slots), held
+        // until the accepted record's frame is appended — so a concurrent
+        // snapshot, which collects slots and resets the journal under the
+        // same lock, sees the slot and the frame move together.
+        let mut journal = self.journal.lock().expect("journal lock");
         let verdict = {
             let mut slots = self.slots.lock().expect("slots lock");
             merge_slot(&mut slots, record, leased)
@@ -314,7 +331,7 @@ impl Shared {
                 // Journal only what the merge accepted: writing Foreign or
                 // out-of-budget records ahead of the merge would poison the
                 // journal for every future recovery.
-                self.journal_append(&journal_copy);
+                self.append_locked(&mut journal, &journal_copy);
                 self.kind_counts[kind.index()].fetch_add(1, Ordering::Relaxed);
                 {
                     let mut lat = self.latencies_us.lock().expect("latency lock");
@@ -334,8 +351,15 @@ impl Shared {
     /// counted, and after [`MAX_SNAPSHOT_FAILURES`] periodic checkpointing
     /// is disabled for the rest of the run.
     ///
-    /// Lock order: `snapshotting` → `journal` (never the reverse), with the
-    /// `slots` lock released before either is taken.
+    /// Lock order: `snapshotting` → `journal` → `slots` (never any
+    /// reverse). The journal lock is held for the whole collect→save→reset
+    /// window: commits also pair their journal append with the slot insert
+    /// under it, so every frame the reset discards is guaranteed to be in
+    /// the record set this snapshot just made durable. Collecting the slots
+    /// outside that window would let a commit land between collection and
+    /// reset — its frame truncated, its record absent from the snapshot —
+    /// and would also let two racing snapshotters overwrite a newer
+    /// checkpoint with a stale record set before resetting the journal.
     pub(crate) fn snapshot(
         &self,
         workload: &str,
@@ -346,14 +370,14 @@ impl Shared {
         if self.checkpointing_disabled.load(Ordering::SeqCst) {
             return;
         }
+        let _write_guard = self.snapshotting.lock().expect("snapshot lock");
+        let mut journal = self.journal.lock().expect("journal lock");
         let records: Vec<SingleBitRecord> = {
             let slots = self.slots.lock().expect("slots lock");
             slots.iter().flatten().cloned().collect()
         };
-        let _write_guard = self.snapshotting.lock().expect("snapshot lock");
         match checkpoint::save(path, workload, fingerprint, mode_bits, &records) {
             Ok(()) => {
-                let mut journal = self.journal.lock().expect("journal lock");
                 if let Some(writer) = journal.as_mut() {
                     if let Err(e) = writer.reset(workload, fingerprint, mode_bits) {
                         self.snapshot_failures.fetch_add(1, Ordering::SeqCst);
@@ -369,7 +393,7 @@ impl Shared {
                 let failures = self.snapshot_failures.fetch_add(1, Ordering::SeqCst) + 1;
                 if failures >= MAX_SNAPSHOT_FAILURES {
                     self.checkpointing_disabled.store(true, Ordering::SeqCst);
-                    *self.journal.lock().expect("journal lock") = None;
+                    *journal = None;
                     eprintln!(
                         "warning: checkpoint snapshot to {} failed ({e}); {failures} \
                          durable-write failures, checkpointing disabled — progress since \
@@ -815,10 +839,10 @@ pub(crate) fn run_campaign_with(
                         let record =
                             SingleBitRecord { trial, site, outcome, read_before_overwrite: read };
                         // Write-ahead: the trial reaches the durable journal
-                        // before it reaches the in-memory slots, so a crash
-                        // can lose at most the single in-flight trial.
-                        shared.journal_append(&record);
-                        let done = shared.commit(record, elapsed_us);
+                        // before it reaches the in-memory slots (atomically
+                        // with respect to snapshot resets), so a crash can
+                        // lose at most the single in-flight trial.
+                        let done = shared.commit_journaled(record, elapsed_us);
                         if let Some(path) = &runner.checkpoint {
                             if done.is_multiple_of(runner.checkpoint_every) {
                                 shared.snapshot(workload.name, fingerprint, cfg.mode_bits, path);
@@ -1046,6 +1070,66 @@ mod tests {
         assert!(serial.complete);
         assert_eq!(serial.newly_run, 24);
         assert_eq!(serial.resumed, 0);
+    }
+
+    /// Regression test for the commit/snapshot race: a worker whose journal
+    /// frame landed but whose slot insert had not yet been observed by a
+    /// concurrent snapshot would get its frame truncated by the journal
+    /// reset while absent from the snapshot — durable nowhere. With commits
+    /// and the snapshot's collect→save→reset window serialized on the
+    /// journal lock, the on-disk union (checkpoint + journal) must contain
+    /// every committed record at every instant; we check the end state
+    /// through the real recovery path.
+    #[test]
+    fn concurrent_commits_and_snapshots_never_lose_a_committed_record() {
+        use crate::campaign::Outcome;
+
+        const TRIALS: usize = 240;
+        const WORKERS: usize = 4;
+        let dir = tmpdir("snapshot-race");
+        let path = dir.join("race.ckpt.json");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(wal::wal_path(&path)).ok();
+
+        let shared = Shared::new(vec![None; TRIALS], TRIALS);
+        let journal = wal::WalWriter::create(&path, "dct", 0xFEED, 1).unwrap();
+        shared.adopt_durable(Some(journal), 0);
+
+        std::thread::scope(|scope| {
+            for worker in 0..WORKERS {
+                let shared = &shared;
+                let path = &path;
+                scope.spawn(move || {
+                    for trial in (worker..TRIALS).step_by(WORKERS) {
+                        let record = SingleBitRecord {
+                            trial: trial as u64,
+                            site: FaultSite {
+                                wg: trial as u32,
+                                after_retired: trial as u64 * 3,
+                                reg: 1,
+                                lane: 2,
+                                bit: 3,
+                            },
+                            outcome: Outcome::Sdc,
+                            read_before_overwrite: false,
+                        };
+                        let done = shared.commit_journaled(record, 1);
+                        // A tight cadence from every worker maximizes
+                        // snapshot/commit interleavings.
+                        if done.is_multiple_of(8) {
+                            shared.snapshot("dct", 0xFEED, 1, path);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(shared.snapshot_failures.load(Ordering::SeqCst), 0);
+
+        // "Crash" here: resume from disk alone and demand every record back.
+        let runner = RunnerConfig { checkpoint: Some(path.clone()), ..RunnerConfig::default() };
+        let durable = restore_durable(&runner, "dct", 0xFEED, 1, TRIALS).unwrap();
+        assert_eq!(durable.slots.iter().flatten().count(), TRIALS);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
