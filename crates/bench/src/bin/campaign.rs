@@ -15,6 +15,7 @@
 //!          [--confidence 0.95] [--fail-on sdc,hang,crash]
 //!          [--repro-dir DIR] [--repro-cap N]
 //!          [--chaos SEED:RATE]
+//!          [--audit RATE [--max-audit-failures N]]
 //!          [--target-ci-halfwidth H [--batch N] [--max-injections N]]
 //! campaign --listen HOST:PORT        # worker daemon for --isolation tcp
 //! ```
@@ -81,6 +82,20 @@
 //! themselves are untouched — a chaos run's final checkpoint is
 //! byte-identical to a fault-free run's.
 //!
+//! `--audit RATE` (process/tcp isolation only) treats workers as untrusted:
+//! a deterministic sample of incoming records — chosen by `(seed, trial)`
+//! alone, so the same trials are audited regardless of worker count or
+//! endpoint layout — is re-executed locally through the supervisor's own
+//! arena *before* commit and must match bit-for-bit. A divergent record is
+//! discarded, the local re-execution is committed in its place, and the
+//! endpoint is charged in a trust ledger; past `--max-audit-failures`
+//! (default 0: one strike) the endpoint is quarantined for the rest of the
+//! campaign and its shards hand over to trusted endpoints. Merge conflicts
+//! (two endpoints disagreeing about a committed trial) charge the same
+//! ledger even without `--audit`. The summary names every quarantined
+//! endpoint, and an audited run's checkpoint stays byte-identical to thread
+//! mode — lies are caught and corrected, never recorded.
+//!
 //! Exit codes:
 //!
 //! | code | meaning |
@@ -97,8 +112,8 @@
 use mbavf_core::stats::RateEstimate;
 use mbavf_inject::{
     run_adaptive, run_campaign, run_supervised, serve_main, worker_main, AdaptiveConfig,
-    CampaignConfig, CampaignReport, ChaosSpec, IsolationMode, OutcomeKind, RunnerConfig,
-    SupervisorConfig, TransportKind,
+    AuditPolicy, CampaignConfig, CampaignReport, ChaosSpec, IsolationMode, OutcomeKind,
+    RunnerConfig, SupervisorConfig, TransportKind,
 };
 use mbavf_workloads::{by_name, suite, Scale};
 use std::path::PathBuf;
@@ -134,6 +149,9 @@ fn usage() -> String {
          \u{20}                [--confidence C] [--fail-on sdc,hang,crash]\n\
          \u{20}                [--repro-dir DIR] [--repro-cap N]\n\
          \u{20}                [--chaos SEED:RATE (inject faults into the harness's own I/O)]\n\
+         \u{20}                [--audit RATE (re-execute a deterministic sample of worker\n\
+         \u{20}                 records locally; divergent endpoints are quarantined past\n\
+         \u{20}                 --max-audit-failures N, default 0)]\n\
          \u{20}                [--target-ci-halfwidth H [--batch N] [--max-injections N]]\n\
          \u{20}      campaign --listen HOST:PORT   (worker daemon for --isolation tcp)\n\
          exit codes: 0 = done, 1 = error, 2 = --fail-on outcome seen,\n\
@@ -189,6 +207,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     };
     let mut target_halfwidth = None;
     let mut endpoints: Vec<String> = Vec::new();
+    let mut audit_rate: Option<f64> = None;
+    let mut max_audit_failures: Option<u32> = None;
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
         let mut value = || -> Result<&String, String> {
@@ -296,6 +316,16 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 target_halfwidth = Some(h);
             }
             "--chaos" => args.chaos = Some(ChaosSpec::parse(value()?)?),
+            "--audit" => {
+                let r: f64 = value()?.parse().map_err(|_| "bad --audit rate".to_string())?;
+                if r.is_nan() || !(0.0..=1.0).contains(&r) {
+                    return Err(format!("audit rate {r} out of range [0, 1]"));
+                }
+                audit_rate = Some(r);
+            }
+            "--max-audit-failures" => {
+                max_audit_failures = Some(parse_u64(value()?)? as u32);
+            }
             "--batch" => args.batch = parse_u64(value()?)? as usize,
             "--max-injections" => args.max_injections = parse_u64(value()?)? as usize,
             "--help" | "-h" => return Err(usage()),
@@ -322,6 +352,24 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         }
         (_, false) => return Err("--connect requires --isolation tcp".into()),
         (_, true) => {}
+    }
+    if max_audit_failures.is_some() && audit_rate.is_none() {
+        return Err("--max-audit-failures requires --audit".into());
+    }
+    match audit_rate {
+        Some(r) if r > 0.0 => {
+            if args.isolation == IsolationMode::Thread {
+                return Err(
+                    "--audit requires --isolation process or tcp (thread-mode trials already \
+                     run in this process; there is nothing to distrust)"
+                        .into(),
+                );
+            }
+            args.sup.audit = Some(AuditPolicy::new(r, max_audit_failures.unwrap_or(0)));
+        }
+        // --audit 0 is an explicit "off": identical to not passing the flag,
+        // so scripts can parameterize the rate without special-casing zero.
+        _ => {}
     }
     if target_halfwidth.is_some() && args.isolation != IsolationMode::Thread {
         return Err(
@@ -373,6 +421,23 @@ fn print_report(report: &CampaignReport, confidence: f64) {
              records are unaffected)",
             s.snapshot_failures
         );
+    }
+    if s.audited > 0 || s.merge_conflicts > 0 {
+        println!(
+            "  {} record(s) audited against local re-execution ({} divergent, \
+             {} merge conflict(s))",
+            s.audited, s.audit_divergences, s.merge_conflicts
+        );
+    }
+    if !s.quarantined_endpoints.is_empty() {
+        println!(
+            "  {} endpoint(s) quarantined by the trust ledger (their divergent records \
+             were discarded and re-executed locally):",
+            s.quarantined_endpoints.len()
+        );
+        for ep in &s.quarantined_endpoints {
+            println!("    quarantined endpoint: {ep}");
+        }
     }
     if !report.poisoned.is_empty() {
         println!(
@@ -702,6 +767,56 @@ mod tests {
         }
         // Default: no chaos.
         assert!(parse_args(&argv(&["--workload", "dct"])).unwrap().chaos.is_none());
+    }
+
+    #[test]
+    fn audit_flags_parse_and_validate() {
+        let args = parse_args(&argv(&[
+            "--workload",
+            "dct",
+            "--isolation",
+            "tcp",
+            "--connect",
+            "h:1",
+            "--audit",
+            "0.25",
+            "--max-audit-failures",
+            "3",
+        ]))
+        .unwrap();
+        assert_eq!(args.sup.audit, Some(AuditPolicy::new(0.25, 3)));
+
+        // Works under process isolation too, with the one-strike default.
+        let args =
+            parse_args(&argv(&["--workload", "dct", "--isolation", "process", "--audit", "1.0"]))
+                .unwrap();
+        assert_eq!(args.sup.audit, Some(AuditPolicy::new(1.0, 0)));
+
+        // --audit 0 is an explicit off switch, not an error.
+        let args =
+            parse_args(&argv(&["--workload", "dct", "--isolation", "process", "--audit", "0"]))
+                .unwrap();
+        assert_eq!(args.sup.audit, None);
+
+        // Default: no auditing.
+        assert_eq!(parse_args(&argv(&["--workload", "dct"])).unwrap().sup.audit, None);
+
+        let Err(err) = parse_args(&argv(&["--workload", "dct", "--audit", "0.5"])) else {
+            panic!("--audit under thread isolation must be rejected");
+        };
+        assert!(err.contains("--isolation process or tcp"), "{err}");
+        let Err(err) = parse_args(&argv(&["--workload", "dct", "--max-audit-failures", "2"]))
+        else {
+            panic!("--max-audit-failures without --audit must be rejected");
+        };
+        assert!(err.contains("requires --audit"), "{err}");
+        for bad in ["1.5", "-0.1", "nan", "x"] {
+            assert!(
+                parse_args(&argv(&["--workload", "dct", "--isolation", "process", "--audit", bad]))
+                    .is_err(),
+                "--audit {bad} must be rejected"
+            );
+        }
     }
 
     #[test]

@@ -318,6 +318,15 @@ pub enum TransportError {
         /// What the framing layer objected to.
         detail: String,
     },
+    /// A frame's length prefix (or outbound payload) exceeded the hard
+    /// cap, so a corrupt or hostile peer cannot make the supervisor
+    /// allocate an attacker-chosen buffer. Mirrors the WAL's record cap.
+    FrameTooLarge {
+        /// The claimed (or attempted) frame length in bytes.
+        len: u64,
+        /// The enforced cap in bytes.
+        cap: u64,
+    },
     /// The worker daemon rejected the campaign hello (protocol version or
     /// configuration it cannot serve).
     Handshake {
@@ -348,6 +357,9 @@ impl fmt::Display for TransportError {
             }
             TransportError::Frame { detail } => {
                 write!(f, "malformed transport frame: {detail}")
+            }
+            TransportError::FrameTooLarge { len, cap } => {
+                write!(f, "transport frame of {len} bytes exceeds the {cap}-byte cap")
             }
             TransportError::Handshake { addr, detail } => {
                 write!(f, "worker endpoint {addr} rejected the campaign: {detail}")
@@ -761,6 +773,27 @@ mod tests {
         let inj: InjectError = SupervisorError::Spawn { detail: "ENOENT".into() }.into();
         assert!(inj.to_string().contains("ENOENT"));
         assert!(std::error::Error::source(&inj).is_some());
+    }
+
+    #[test]
+    fn transport_errors_display_and_chain() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TransportError>();
+        for e in [
+            TransportError::Dial { addr: "h:1".into(), detail: "refused".into() },
+            TransportError::Io { addr: "h:1".into(), detail: "reset".into() },
+            TransportError::Frame { detail: "not UTF-8".into() },
+            TransportError::FrameTooLarge { len: 1 << 30, cap: 1 << 20 },
+            TransportError::NoEndpoints,
+            TransportError::AllEndpointsLost { pending: 3 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+        let big = TransportError::FrameTooLarge { len: 1 << 30, cap: 1 << 20 };
+        let text = big.to_string();
+        assert!(
+            text.contains(&(1u64 << 30).to_string()) && text.contains(&(1u64 << 20).to_string())
+        );
     }
 
     #[test]

@@ -318,6 +318,22 @@ pub struct CampaignSummary {
     /// durability was degraded for part of the run; the records themselves
     /// are unaffected.
     pub snapshot_failures: u64,
+    /// Records re-executed locally by the trust audit (`--audit RATE`).
+    /// The audited set is a pure function of `(seed, trial)`, so this count
+    /// is worker-count- and endpoint-invariant. Zero when auditing is off
+    /// (including all thread-mode runs).
+    pub audited: u64,
+    /// Audited records whose local re-execution disagreed with the worker.
+    /// Each divergence was resolved in the local record's favor, so the
+    /// [`records`](Self::records) themselves are unaffected by the lies.
+    pub audit_divergences: u64,
+    /// Worker records the merge rejected for contradicting already
+    /// committed state — each charged to its endpoint's trust ledger.
+    pub merge_conflicts: u64,
+    /// Endpoints quarantined by the trust ledger (audit divergences or
+    /// merge conflicts past `--max-audit-failures`), sorted. Their shards
+    /// were re-leased to surviving endpoints.
+    pub quarantined_endpoints: Vec<String>,
 }
 
 impl CampaignSummary {
@@ -647,7 +663,15 @@ mod tests {
     fn empty_campaign_yields_zeros_not_nan() {
         // A zero-injection campaign (or a summary built before any trial
         // lands) must report explicit zeros and vacuous intervals.
-        let summary = CampaignSummary { workload: "none", records: vec![], snapshot_failures: 0 };
+        let summary = CampaignSummary {
+            workload: "none",
+            records: vec![],
+            snapshot_failures: 0,
+            audited: 0,
+            audit_divergences: 0,
+            merge_conflicts: 0,
+            quarantined_endpoints: vec![],
+        };
         let f = summary.fractions();
         for v in [f.masked, f.sdc, f.hang, f.crash, summary.read_fraction()] {
             assert_eq!(v, 0.0);

@@ -83,6 +83,10 @@ pub enum OpClass {
     Fsync,
     /// Sending a length-prefixed transport frame.
     Frame,
+    /// Classifying one trial's outcome in a worker daemon — the Byzantine
+    /// lie drill (`MBAVF_LIE_DRILL`), where the fault is a flipped verdict
+    /// rather than a failed operation.
+    Verdict,
 }
 
 /// The verdict for one I/O operation.
@@ -109,6 +113,9 @@ pub enum Fault {
         /// Injected delay in milliseconds.
         millis: u8,
     },
+    /// The trial's reported outcome is silently replaced with a wrong one —
+    /// a mercurial core returning a confident lie instead of an error.
+    VerdictFlip,
 }
 
 /// The deterministic fault engine. One global operation counter indexes the
@@ -172,6 +179,8 @@ impl ChaosEngine {
                 1 => Fault::Torn { keep_64ths: rng.below(64) as u8 },
                 _ => Fault::Stall { millis: 1 + rng.below(4) as u8 },
             },
+            // A verdict cannot tear or stall: the only lie is a wrong answer.
+            OpClass::Verdict => Fault::VerdictFlip,
         };
         self.injected.fetch_add(1, Ordering::Relaxed);
         fault
@@ -249,7 +258,9 @@ mod tests {
     fn rate_zero_never_faults_and_rate_one_always_faults() {
         let never = ChaosEngine::new(ChaosSpec { seed: 1, rate: 0.0 });
         let always = ChaosEngine::new(ChaosSpec { seed: 1, rate: 1.0 });
-        for class in [OpClass::Write, OpClass::Rename, OpClass::Fsync, OpClass::Frame] {
+        for class in
+            [OpClass::Write, OpClass::Rename, OpClass::Fsync, OpClass::Frame, OpClass::Verdict]
+        {
             for _ in 0..64 {
                 assert_eq!(never.draw(class), Fault::None);
                 assert_ne!(always.draw(class), Fault::None);
@@ -278,6 +289,10 @@ mod tests {
             match engine.draw(OpClass::Frame) {
                 Fault::Io | Fault::Torn { .. } | Fault::Stall { .. } => {}
                 other => panic!("frame drew {other:?}"),
+            }
+            match engine.draw(OpClass::Verdict) {
+                Fault::VerdictFlip => {}
+                other => panic!("verdict drew {other:?}"),
             }
         }
     }

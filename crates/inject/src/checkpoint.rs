@@ -34,6 +34,14 @@
 //! fsync of the parent directory (see [`crate::durable`]), so a campaign
 //! killed mid-write — or a machine losing power just after a write — leaves
 //! the previous checkpoint intact.
+//!
+//! The snapshot carries committed records and nothing else — no summary
+//! counters, no transport or trust bookkeeping. That is what lets the
+//! record-auditing supervisor ([`crate::supervisor::audit`]) promise that
+//! a campaign run over untrusted endpoints with `--audit` produces a
+//! checkpoint *byte-identical* to a fault-free thread-mode run: audits,
+//! divergences, and quarantines all happen before commit, so only the
+//! (deterministic, locally verified) records ever reach this file.
 
 use crate::campaign::{CampaignConfig, FaultSite, Outcome, OutcomeKind, SingleBitRecord};
 use crate::json::{self, Value};

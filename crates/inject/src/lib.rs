@@ -60,6 +60,6 @@ pub use runner::{
 pub use shrink::{shrink_and_update, shrink_bundle, ShrinkOutcome};
 pub use supervisor::merge::{MergeVerdict, RecordMerge};
 pub use supervisor::{
-    run_supervised, serve_main, worker_main, IsolationMode, PoisonEntry, SupervisorConfig,
-    TransportKind,
+    run_supervised, serve_main, worker_main, AuditPolicy, IsolationMode, PoisonEntry,
+    SupervisorConfig, TransportKind,
 };

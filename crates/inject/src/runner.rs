@@ -882,7 +882,17 @@ pub(crate) fn run_campaign_with(
     let trial_latency =
         LatencyStats::from_micros(shared.latencies_us.into_inner().expect("latency lock"));
     Ok(CampaignReport {
-        summary: CampaignSummary { workload: workload.name, records, snapshot_failures },
+        summary: CampaignSummary {
+            workload: workload.name,
+            records,
+            snapshot_failures,
+            // Thread-mode trials run in this very process; there is nothing
+            // to audit and no endpoint to distrust.
+            audited: 0,
+            audit_divergences: 0,
+            merge_conflicts: 0,
+            quarantined_endpoints: Vec::new(),
+        },
         resumed,
         newly_run,
         complete: newly_run == total_missing,

@@ -157,4 +157,46 @@ mod tests {
         assert_eq!(back.last_fail, "connection lost");
         assert_eq!(back.remaining, VecDeque::from([1, 2]));
     }
+
+    #[test]
+    fn multi_shard_give_backs_release_in_fifo_order_with_history_intact() {
+        // Three shards, three handlers: when two endpoints die (e.g. both
+        // get quarantined by the trust ledger), their shards must be
+        // re-offered to the survivor in the order they were given back,
+        // each carrying its own distinct failure history — the shards must
+        // never swap or merge their retry accounting.
+        let q = LeaseQueue::new(VecDeque::from([
+            Shard::new(VecDeque::from([0, 1])),
+            Shard::new(VecDeque::from([2, 3])),
+            Shard::new(VecDeque::from([4, 5])),
+        ]));
+        let a = q.take().expect("shard a");
+        let mut b = q.take().expect("shard b");
+        let mut c = q.take().expect("shard c");
+        assert_eq!(q.outstanding(), 0, "all three leased out");
+        drop(a); // handler A commits its whole shard: nothing to give back
+
+        // Handler C's endpoint dies first, then handler B's, each having
+        // made different partial progress with different failure counts.
+        c.attempts = 1;
+        c.last_fail = "endpoint is quarantined by the trust ledger".into();
+        c.remaining.pop_front();
+        q.give_back(c);
+        b.attempts = 3;
+        b.last_fail = "connection lost".into();
+        q.give_back(b);
+        assert_eq!(q.outstanding(), 2);
+
+        // The survivor re-leases in give-back (FIFO) order: C then B, each
+        // with exactly the history its own failures earned.
+        let first = q.take().expect("first re-offer");
+        assert_eq!(first.remaining, VecDeque::from([5]));
+        assert_eq!(first.attempts, 1);
+        assert_eq!(first.last_fail, "endpoint is quarantined by the trust ledger");
+        let second = q.take().expect("second re-offer");
+        assert_eq!(second.remaining, VecDeque::from([2, 3]));
+        assert_eq!(second.attempts, 3);
+        assert_eq!(second.last_fail, "connection lost");
+        assert!(q.take().is_none(), "queue drained");
+    }
 }

@@ -15,6 +15,14 @@
 //! yields the same slot vector — and therefore the same checkpoint — as the
 //! in-order stream. The `merge_properties` integration test proves this
 //! invariant; the TCP transport relies on it.
+//!
+//! A [`MergeVerdict::Conflict`] is no longer fatal on a remote transport:
+//! the supervisor charges it to the offending endpoint's trust ledger (see
+//! [`super::audit`]) and retries the shard elsewhere, quarantining the
+//! endpoint once it exhausts its failure budget. On the local pipe
+//! transport a conflict still aborts the campaign — a subprocess of this
+//! very binary disagreeing with itself is a determinism bug, not a trust
+//! problem.
 
 use crate::campaign::SingleBitRecord;
 

@@ -95,13 +95,16 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+pub mod audit;
 pub(crate) mod lease;
 pub mod merge;
 mod serve;
 pub(crate) mod transport;
 
+pub use self::audit::AuditPolicy;
 pub use self::serve::serve_main;
 
+use self::audit::TrustLedger;
 use self::lease::{Lease, LeaseQueue, Shard};
 use self::transport::{render_hello, ChannelEvent, PipeTransport, TcpTransport, Transport};
 
@@ -206,6 +209,11 @@ pub struct SupervisorConfig {
     /// by records and by heartbeat frames whose completion count advanced —
     /// never by heartbeats alone.
     pub lease_timeout: Duration,
+    /// Trust-but-verify: deterministically sample worker records for local
+    /// re-execution before commit, and quarantine endpoints whose records
+    /// diverge or conflict (see [`AuditPolicy`]). `None` trusts workers
+    /// unconditionally — the pre-audit behavior.
+    pub audit: Option<AuditPolicy>,
 }
 
 impl Default for SupervisorConfig {
@@ -223,6 +231,7 @@ impl Default for SupervisorConfig {
             worker_env: Vec::new(),
             transport: TransportKind::Pipe,
             lease_timeout: Duration::from_secs(30),
+            audit: None,
         }
     }
 }
@@ -697,6 +706,24 @@ enum ShardRun {
     Fatal(SupervisorError),
     /// First line was not a valid handshake for this campaign.
     Mismatch(String),
+    /// The worker sent a record conflicting with committed state — a trust
+    /// failure charged to the endpoint (`quarantined` reports whether it
+    /// crossed the ledger's budget), not a campaign-fatal protocol error.
+    Hostile { quarantined: bool, detail: String },
+    /// An audit divergence pushed the endpoint past the trust ledger's
+    /// failure budget; it is quarantined for the rest of the campaign.
+    Quarantined { detail: String },
+}
+
+/// What the pre-commit audit concluded about one record.
+enum AuditOutcome {
+    /// Not in the audit sample (or auditing is off).
+    Skipped,
+    /// Re-executed locally; bit-identical.
+    Passed,
+    /// Re-executed locally; the records disagree. The local record is
+    /// committed in the remote one's place.
+    Diverged,
 }
 
 /// Why a handler stopped driving a shard.
@@ -719,6 +746,11 @@ struct SupCtx<'a> {
     sampler: Option<&'a SiteSampler>,
     shared: &'a Shared,
     prior_poison: usize,
+    /// Local re-executor for audited records; built once when auditing is
+    /// on and trials are pending. Serializes audits across handlers.
+    auditor: Option<Mutex<ShardExecutor>>,
+    /// Per-endpoint trust state plus the campaign-wide audit counters.
+    ledger: TrustLedger,
     queue: LeaseQueue,
     poison: Mutex<Vec<PoisonEntry>>,
     fatal: Mutex<Option<SupervisorError>>,
@@ -876,6 +908,31 @@ impl SupCtx<'_> {
                     };
                     let trial = record.trial;
                     let leased = remaining.iter().position(|&t| t == trial);
+                    // Trust-but-verify: re-execute sampled records through
+                    // the local arena path *before* they reach the WAL. The
+                    // sample is a pure function of (seed, trial), so it is
+                    // invariant under the worker count and endpoint layout;
+                    // only leased (first-delivery) records are audited, so
+                    // each selected trial is audited exactly once. On
+                    // divergence the local re-execution wins the tie: the
+                    // local record is committed, the remote one discarded.
+                    let (mut record, mut us) = (record, us);
+                    let mut audit = AuditOutcome::Skipped;
+                    if leased.is_some() {
+                        if let (Some(policy), Some(auditor)) = (self.sup.audit, &self.auditor) {
+                            if policy.selects(self.cfg.seed, trial) {
+                                let (local, local_us) =
+                                    auditor.lock().expect("auditor lock").run_trial(trial);
+                                if local == record {
+                                    audit = AuditOutcome::Passed;
+                                } else {
+                                    audit = AuditOutcome::Diverged;
+                                    record = local;
+                                    us = local_us;
+                                }
+                            }
+                        }
+                    }
                     match self.shared.commit_remote(record, us, leased.is_some()) {
                         RemoteCommit::Fresh(done) => {
                             let pos = leased.expect("fresh commits are leased");
@@ -892,6 +949,24 @@ impl SupCtx<'_> {
                                     );
                                 }
                             }
+                            match audit {
+                                AuditOutcome::Skipped => {}
+                                AuditOutcome::Passed => self.ledger.record_pass(),
+                                AuditOutcome::Diverged => {
+                                    let endpoint = transport.endpoint();
+                                    eprintln!(
+                                        "warning: audit divergence on trial {trial}: endpoint {endpoint} disagrees with local re-execution; the local record was committed"
+                                    );
+                                    if self.ledger.record_divergence(&endpoint) {
+                                        transport.revoke();
+                                        return ShardRun::Quarantined {
+                                            detail: format!(
+                                                "quarantined by the trust ledger after an audit divergence on trial {trial}"
+                                            ),
+                                        };
+                                    }
+                                }
+                            }
                         }
                         RemoteCommit::Duplicate => {
                             // A replay of a record committed by an earlier
@@ -904,8 +979,13 @@ impl SupCtx<'_> {
                             lease.renew();
                         }
                         RemoteCommit::Conflict { detail } => {
+                            // A record contradicting committed state is a
+                            // trust failure, charged to the endpoint's
+                            // retry budget and trust ledger — not silently
+                            // formatted into a fatal error.
+                            let quarantined = self.ledger.record_conflict(&transport.endpoint());
                             transport.revoke();
-                            return ShardRun::Fatal(SupervisorError::Protocol { detail });
+                            return ShardRun::Hostile { quarantined, detail };
                         }
                         RemoteCommit::Foreign => {
                             transport.revoke();
@@ -956,6 +1036,13 @@ impl SupCtx<'_> {
         while !shard.remaining.is_empty() {
             if self.should_stop() {
                 return ShardEnd::Stop;
+            }
+            // A quarantined endpoint never leases again this campaign; its
+            // shard goes back to the queue for surviving endpoints.
+            if transport.is_remote() && self.ledger.is_quarantined(&transport.endpoint()) {
+                return ShardEnd::EndpointDead {
+                    detail: "endpoint is quarantined by the trust ledger".into(),
+                };
             }
             if shard.attempts > self.sup.max_retries {
                 let trial = shard.remaining.pop_front().expect("remaining is non-empty");
@@ -1028,6 +1115,30 @@ impl SupCtx<'_> {
                 }
                 ShardRun::Fatal(e) => {
                     self.raise_fatal(e);
+                    return ShardEnd::Stop;
+                }
+                ShardRun::Hostile { quarantined, detail } => {
+                    if !transport.is_remote() {
+                        // A local subprocess contradicting committed state
+                        // is a determinism bug, not a trust problem — fail
+                        // loudly, exactly as before auditing existed.
+                        self.raise_fatal(SupervisorError::Protocol { detail });
+                        return ShardEnd::Stop;
+                    }
+                    // Charged like a pre-handshake death: the endpoint's
+                    // budget, not the head trial's.
+                    lease_fails += 1;
+                    if quarantined || lease_fails > self.sup.max_retries {
+                        return ShardEnd::EndpointDead { detail };
+                    }
+                }
+                ShardRun::Quarantined { detail } => {
+                    if transport.is_remote() {
+                        return ShardEnd::EndpointDead { detail };
+                    }
+                    // A local worker diverging from local re-execution is
+                    // nondeterminism in this very process — campaign-fatal.
+                    self.raise_fatal(SupervisorError::Protocol { detail });
                     return ShardEnd::Stop;
                 }
                 ShardRun::Mismatch(detail) => {
@@ -1219,6 +1330,17 @@ pub fn run_supervised(
         TransportKind::Tcp { .. } => "tcp",
     };
 
+    // The audit re-executor walks the same arena path the workers do:
+    // golden run, sampler, and arena built once, reused for every audited
+    // trial. Built only when something can actually be audited.
+    let auditor = if sup.audit.is_some() && !pending.is_empty() {
+        Some(Mutex::new(ShardExecutor::new(workload, *cfg).map_err(|detail| {
+            InjectError::GoldenRunFailed { workload: workload.name.to_string(), detail }
+        })?))
+    } else {
+        None
+    };
+
     let shared = Shared::new(slots, pending.len());
     shared.adopt_durable(durable.journal, durable.snapshot_failures);
     shared.active_workers.store(workers, Ordering::SeqCst);
@@ -1231,6 +1353,8 @@ pub fn run_supervised(
         sampler: sampler.as_ref(),
         shared: &shared,
         prior_poison: prior_poison.len(),
+        auditor,
+        ledger: TrustLedger::new(sup.audit.map_or(0, |a| a.max_failures())),
         queue: LeaseQueue::new(shards),
         poison: Mutex::new(Vec::new()),
         fatal: Mutex::new(None),
@@ -1253,13 +1377,25 @@ pub fn run_supervised(
                         label,
                         &|| ctx.live_children.load(Ordering::SeqCst),
                         &|| {
+                            let mut extra = String::new();
                             let n =
                                 ctx.prior_poison + ctx.poison.lock().expect("poison lock").len();
-                            if n == 0 {
-                                String::new()
-                            } else {
-                                format!(", poisoned {n}")
+                            if n > 0 {
+                                let _ = write!(extra, ", poisoned {n}");
                             }
+                            let audited = ctx.ledger.audited();
+                            if audited > 0 {
+                                let _ = write!(
+                                    extra,
+                                    ", audited {audited} ({} divergent)",
+                                    ctx.ledger.divergences()
+                                );
+                            }
+                            let q = ctx.ledger.quarantined_count();
+                            if q > 0 {
+                                let _ = write!(extra, ", quarantined {q}");
+                            }
+                            extra
                         },
                     );
                 });
@@ -1347,7 +1483,15 @@ pub fn run_supervised(
         &mut *shared.latencies_us.lock().expect("latency lock"),
     ));
     Ok(CampaignReport {
-        summary: CampaignSummary { workload: workload.name, records, snapshot_failures },
+        summary: CampaignSummary {
+            workload: workload.name,
+            records,
+            snapshot_failures,
+            audited: ctx.ledger.audited(),
+            audit_divergences: ctx.ledger.divergences(),
+            merge_conflicts: ctx.ledger.conflicts(),
+            quarantined_endpoints: ctx.ledger.quarantined(),
+        },
         resumed,
         newly_run,
         complete: newly_run + newly_poisoned == total_missing,

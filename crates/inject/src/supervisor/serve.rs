@@ -24,7 +24,8 @@ use super::transport::{read_frame, write_frame};
 use super::{
     drill, flag, parse_trials, render_record_line, sigkill_self, ShardExecutor, PROTOCOL_VERSION,
 };
-use crate::campaign::CampaignConfig;
+use crate::campaign::{CampaignConfig, Outcome};
+use crate::chaos::{ChaosEngine, ChaosSpec, Fault, OpClass};
 use crate::checkpoint;
 use crate::json::{self, Value};
 use mbavf_workloads::{by_name, Scale};
@@ -167,6 +168,20 @@ fn handle_conn(stream: TcpStream) -> Result<(), String> {
         format!("{{\"mbavf_worker\": {PROTOCOL_VERSION}, \"fingerprint\": {fingerprint}}}");
     let hb_every = Duration::from_millis((lease_ms / 3).max(10));
 
+    // Byzantine drill: MBAVF_LIE_DRILL="<seed>:<rate>" makes this daemon a
+    // mercurial core — it computes every trial correctly, then flips the
+    // verdict on a deterministic chaos schedule before reporting it. The
+    // engine is connection-local and NEVER installed globally: a global
+    // install would fault the daemon's own frame writes, and this drill is
+    // about lies, not losses. Checked only here, in the daemon: the
+    // supervisor never drills itself.
+    let liar = match std::env::var("MBAVF_LIE_DRILL") {
+        Ok(spec) => Some(
+            ChaosSpec::parse(&spec).map(ChaosEngine::new).map_err(|d| format!("lie drill: {d}"))?,
+        ),
+        Err(_) => None,
+    };
+
     loop {
         let lease = match read_frame(&mut reader) {
             Ok(Some(frame)) => frame,
@@ -181,7 +196,18 @@ fn handle_conn(stream: TcpStream) -> Result<(), String> {
         )?;
         let attempt = v.get("attempt").and_then(Value::as_u64).unwrap_or(0) as u32;
         send(&writer, &handshake)?;
-        run_lease(&writer, &mut exec, &trials, attempt, hb_every)?;
+        run_lease(&writer, &mut exec, &trials, attempt, hb_every, liar.as_ref())?;
+    }
+}
+
+/// The lie a verdict-flip fault tells: always a *plausible* wrong answer —
+/// an error laundered into Masked, or a clean run smeared as SDC — never a
+/// malformed record the protocol layer would catch for free.
+fn flip_outcome(outcome: Outcome) -> Outcome {
+    match outcome {
+        Outcome::Masked => Outcome::Sdc,
+        Outcome::Sdc | Outcome::Hang => Outcome::Masked,
+        Outcome::Crash { .. } => Outcome::Masked,
     }
 }
 
@@ -193,6 +219,7 @@ fn run_lease(
     trials: &[u64],
     attempt: u32,
     hb_every: Duration,
+    liar: Option<&ChaosEngine>,
 ) -> Result<(), String> {
     let progress = Arc::new(AtomicU64::new(0));
     let (stop_tx, stop_rx) = mpsc::channel::<()>();
@@ -227,7 +254,14 @@ fn run_lease(
                 // even though frames keep arriving.
                 std::thread::sleep(Duration::from_secs(3600));
             }
-            let (record, us) = exec.run_trial(trial);
+            let (mut record, us) = exec.run_trial(trial);
+            if let Some(engine) = liar {
+                if engine.draw(OpClass::Verdict) == Fault::VerdictFlip {
+                    // The Byzantine lie: a correct computation, reported
+                    // wrong — the failure mode only an audit can catch.
+                    record.outcome = flip_outcome(record.outcome);
+                }
+            }
             let line = render_record_line(&record, us);
             send(writer, &line)?;
             sent.push(line);

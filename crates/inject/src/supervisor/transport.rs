@@ -24,6 +24,7 @@ use super::format_trials;
 use super::lease::DeadlinePolicy;
 use crate::campaign::CampaignConfig;
 use crate::json;
+use mbavf_core::error::TransportError;
 use mbavf_workloads::Scale;
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -46,7 +47,7 @@ pub(crate) fn write_frame<W: Write>(w: &mut W, payload: &str) -> std::io::Result
     if payload.len() > MAX_FRAME {
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidData,
-            format!("frame payload of {} bytes exceeds cap {MAX_FRAME}", payload.len()),
+            TransportError::FrameTooLarge { len: payload.len() as u64, cap: MAX_FRAME as u64 },
         ));
     }
     let len = payload.len() as u32;
@@ -94,9 +95,11 @@ pub(crate) fn read_frame<R: Read>(r: &mut R) -> std::io::Result<Option<String>> 
     }
     let len = u32::from_be_bytes(len_buf) as usize;
     if len > MAX_FRAME {
+        // Reject before allocating: the prefix is attacker-controlled input,
+        // and honoring it would size a buffer to a hostile peer's choosing.
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidData,
-            format!("frame length {len} exceeds cap {MAX_FRAME}"),
+            TransportError::FrameTooLarge { len: len as u64, cap: MAX_FRAME as u64 },
         ));
     }
     let mut buf = vec![0u8; len];
@@ -446,11 +449,27 @@ mod tests {
         torn.extend_from_slice(b"{\"trial\": ");
         let mut r = torn.as_slice();
         assert!(read_frame(&mut r).is_err());
-        // A length prefix beyond the cap is rejected before allocation.
+        // A length prefix beyond the cap is rejected before allocation,
+        // with a typed error naming both the claim and the cap.
         let mut huge: Vec<u8> = Vec::new();
         huge.extend_from_slice(&(u32::MAX).to_be_bytes());
         let mut r = huge.as_slice();
-        assert!(read_frame(&mut r).is_err());
+        let err = read_frame(&mut r).unwrap_err();
+        let typed = err
+            .get_ref()
+            .and_then(|e| e.downcast_ref::<TransportError>())
+            .expect("oversized length yields a typed TransportError");
+        assert_eq!(
+            *typed,
+            TransportError::FrameTooLarge { len: u64::from(u32::MAX), cap: MAX_FRAME as u64 }
+        );
+        // The outbound payload cap is the same typed error.
+        let mut sink: Vec<u8> = Vec::new();
+        let err = write_frame(&mut sink, &"x".repeat(MAX_FRAME + 1)).unwrap_err();
+        assert!(matches!(
+            err.get_ref().and_then(|e| e.downcast_ref::<TransportError>()),
+            Some(TransportError::FrameTooLarge { .. })
+        ));
         // Non-UTF-8 payloads are rejected.
         let mut bad: Vec<u8> = Vec::new();
         bad.extend_from_slice(&2u32.to_be_bytes());

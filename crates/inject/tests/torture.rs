@@ -19,8 +19,8 @@ use mbavf_inject::campaign::{CampaignConfig, Outcome, OutcomeKind};
 use mbavf_inject::runner::{quarantine_corrupt, quarantine_path};
 use mbavf_inject::supervisor::{default_poison_path, load_poison};
 use mbavf_inject::{
-    bundle, checkpoint, run_campaign, run_supervised, serve_main, worker_main, RunnerConfig,
-    SupervisorConfig, TransportKind,
+    bundle, checkpoint, run_campaign, run_supervised, serve_main, worker_main, AuditPolicy,
+    RunnerConfig, SupervisorConfig, TransportKind,
 };
 use mbavf_workloads::by_name;
 use std::io::BufRead as _;
@@ -67,6 +67,10 @@ fn main() {
         ("tcp_net_drill_replays_without_double_count", tcp_net_drill_replays_without_double_count),
         ("tcp_lease_expiry_poisons_stalled_trial", tcp_lease_expiry_poisons_stalled_trial),
         ("tcp_unreachable_degrades_to_process_mode", tcp_unreachable_degrades_to_process_mode),
+        (
+            "tcp_byzantine_liar_is_quarantined_and_bit_exact",
+            tcp_byzantine_liar_is_quarantined_and_bit_exact,
+        ),
     ];
     let filter = args.iter().skip(1).find(|a| !a.starts_with('-')).cloned();
     let mut ran = 0usize;
@@ -769,4 +773,60 @@ fn tcp_unreachable_degrades_to_process_mode() {
     assert!(report.complete);
     assert!(report.poisoned.is_empty());
     assert_eq!(report.summary, thread.summary);
+}
+
+/// The Byzantine drill: one honest daemon, one daemon that computes every
+/// trial correctly and then lies about the verdict (`MBAVF_LIE_DRILL` at
+/// rate 1.0 flips every outcome it reports). With `--audit 1.0` every
+/// incoming record is re-executed locally before commit, so the liar's
+/// first record diverges, the trust ledger quarantines the endpoint
+/// (one-strike default), the local truth is committed in the lie's place,
+/// and the liar's shards hand over to the honest daemon. The campaign must
+/// finish with records — and a checkpoint — byte-identical to fault-free
+/// thread mode, and must name exactly the lying endpoint.
+fn tcp_byzantine_liar_is_quarantined_and_bit_exact() {
+    let w = by_name("fast_walsh").expect("registered");
+    let cfg = CampaignConfig { seed: 7, injections: 24, ..CampaignConfig::default() };
+    let dir = tmpdir("tcp-byzantine");
+    let thread_ckpt = dir.join("thread.json");
+    let tcp_ckpt = dir.join("tcp.json");
+    let runner = |ckpt: &Path| RunnerConfig {
+        checkpoint: Some(ckpt.to_path_buf()),
+        checkpoint_every: 8,
+        ..RunnerConfig::serial()
+    };
+    let thread = run_campaign(&w, &cfg, &runner(&thread_ckpt)).unwrap();
+
+    let honest = Daemon::spawn(&[]);
+    let liar = Daemon::spawn(&[("MBAVF_LIE_DRILL", "9:1")]);
+    let mut sup = tcp_supervisor(vec![honest.addr.clone(), liar.addr.clone()], 8);
+    sup.audit = Some(AuditPolicy::new(1.0, 0));
+    let report = run_supervised(&w, &cfg, &runner(&tcp_ckpt), &sup).unwrap();
+
+    assert!(report.complete);
+    assert!(
+        report.poisoned.is_empty(),
+        "lies must be corrected, not poisoned: {:?}",
+        report.poisoned
+    );
+    // The liar was caught on its first committed record and named; the
+    // honest endpoint kept its good name.
+    assert_eq!(
+        report.summary.quarantined_endpoints,
+        vec![liar.addr.clone()],
+        "exactly the lying endpoint must be quarantined"
+    );
+    assert!(report.summary.audit_divergences >= 1, "the audit must have caught at least one lie");
+    // With --audit 1.0 every newly committed record was audited, and the
+    // audit sample is chosen by (seed, trial) alone — worker-count-invariant.
+    assert_eq!(report.summary.audited, 24);
+    // Every lie was replaced by the local truth before commit: the records
+    // and the checkpoint are exactly thread mode's.
+    assert_eq!(report.summary.records, thread.summary.records);
+    assert_eq!(
+        std::fs::read(&tcp_ckpt).unwrap(),
+        std::fs::read(&thread_ckpt).unwrap(),
+        "audited checkpoint must be byte-identical to thread mode"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
