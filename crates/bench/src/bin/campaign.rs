@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! campaign --workload dct [--injections 5000] [--seed 0xACE5]
-//!          [--mode-bits M] [--threads 8] [--checkpoint dct.ckpt.json]
+//!          [--mode-bits M] [--threads 8] [--batch-width W]
+//!          [--checkpoint dct.ckpt.json]
 //!          [--checkpoint-every 64] [--stop-after N]
 //!          [--scale test|paper] [--no-wrap-oob]
 //!          [--hang-multiplier K] [--heartbeat SECS]
@@ -25,6 +26,13 @@
 //! `--no-wrap-oob` makes wild memory accesses fault instead of wrapping, so
 //! corrupted address registers surface as `crash` outcomes. `--mode-bits M`
 //! flips `M` contiguous bits per trial (the paper's Mx1 spatial modes).
+//!
+//! `--batch-width W` runs each thread's trials in lockstep batches of `W`:
+//! one decoded golden stream drives every trial that has not yet diverged,
+//! and a trial whose state splits from the golden stream is retired onto the
+//! sequential single-trial path. Like `--threads`, it is a pure execution
+//! knob — records, checkpoints, and repro bundles are bit-identical to
+//! `--batch-width 1` — and it currently requires `--isolation thread`.
 //!
 //! `--hang-multiplier K` (alias: `--hang-factor`) declares a trial hung
 //! after `K × golden-instructions` retire in one wavefront. The multiplier
@@ -139,7 +147,8 @@ fn usage() -> String {
     let names: Vec<&str> = suite().iter().map(|w| w.name).collect();
     format!(
         "usage: campaign --workload NAME [--injections N] [--seed S] [--mode-bits M]\n\
-         \u{20}                [--threads N] [--checkpoint FILE] [--checkpoint-every N]\n\
+         \u{20}                [--threads N] [--batch-width W (lockstep trials per batch)]\n\
+         \u{20}                [--checkpoint FILE] [--checkpoint-every N]\n\
          \u{20}                [--stop-after N] [--scale test|paper] [--no-wrap-oob]\n\
          \u{20}                [--hang-multiplier K] [--heartbeat SECS (0 = off)]\n\
          \u{20}                [--isolation thread|process|tcp] [--workers N] [--shard-size N]\n\
@@ -233,6 +242,16 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 }
             }
             "--threads" => args.runner.threads = parse_u64(value()?)? as usize,
+            "--batch-width" => {
+                args.runner.batch_width = match parse_u64(value()?)? as usize {
+                    0 => {
+                        return Err(
+                            "--batch-width must be at least 1 (1 = sequential execution)".into()
+                        )
+                    }
+                    n => n,
+                }
+            }
             "--checkpoint" => args.runner.checkpoint = Some(PathBuf::from(value()?)),
             "--checkpoint-every" => args.runner.checkpoint_every = parse_u64(value()?)? as usize,
             "--stop-after" => args.runner.stop_after = Some(parse_u64(value()?)? as usize),
@@ -370,6 +389,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         // --audit 0 is an explicit "off": identical to not passing the flag,
         // so scripts can parameterize the rate without special-casing zero.
         _ => {}
+    }
+    if args.runner.batch_width > 1 && args.isolation != IsolationMode::Thread {
+        return Err("--batch-width currently requires --isolation thread (subprocess and tcp \
+             workers run the sequential arena path)"
+            .into());
     }
     if target_halfwidth.is_some() && args.isolation != IsolationMode::Thread {
         return Err(
@@ -731,6 +755,43 @@ mod tests {
             panic!("adaptive + process isolation must be rejected");
         };
         assert!(err.contains("--isolation thread"), "{err}");
+    }
+
+    #[test]
+    fn batch_width_parses_and_validates() {
+        let args = parse_args(&argv(&["--workload", "dct", "--batch-width", "8"])).unwrap();
+        assert_eq!(args.runner.batch_width, 8);
+        // Default: width 1, the sequential path.
+        assert_eq!(parse_args(&argv(&["--workload", "dct"])).unwrap().runner.batch_width, 1);
+
+        let Err(err) = parse_args(&argv(&["--workload", "dct", "--batch-width", "0"])) else {
+            panic!("--batch-width 0 must be rejected");
+        };
+        assert!(err.contains("at least 1"), "{err}");
+
+        // Batched lockstep execution lives in the in-process runner; the
+        // supervisor's shard executors run the sequential arena path.
+        let Err(err) = parse_args(&argv(&[
+            "--workload",
+            "dct",
+            "--isolation",
+            "process",
+            "--batch-width",
+            "8",
+        ])) else {
+            panic!("--batch-width + process isolation must be rejected");
+        };
+        assert!(err.contains("--isolation thread"), "{err}");
+        // Width 1 is the sequential path, so any isolation mode accepts it.
+        assert!(parse_args(&argv(&[
+            "--workload",
+            "dct",
+            "--isolation",
+            "process",
+            "--batch-width",
+            "1",
+        ]))
+        .is_ok());
     }
 
     #[test]

@@ -1,10 +1,13 @@
-//! Campaign hot-path microbenchmark: clone-per-trial vs. reusable arena.
+//! Campaign hot-path microbenchmark: clone-per-trial vs. reusable arena
+//! vs. lockstep trial batching.
 //!
-//! Measures the same pre-sampled fault sites through both trial paths —
+//! Measures the same pre-sampled fault sites through three trial paths —
 //! the historical [`run_one`] (fresh `Workload::build` per trial, a full
-//! memory image allocated and dropped every time) and the arena path
-//! (one [`TrialArena`] reset between trials via dirty-page tracking) —
-//! and emits a machine-readable `BENCH_campaign.json`:
+//! memory image allocated and dropped every time), the arena path (one
+//! [`TrialArena`] reset between trials via dirty-page tracking), and the
+//! batched path (a [`TrialBatch`] decoding each golden instruction once
+//! for a whole lockstep group) — and emits a machine-readable
+//! `BENCH_campaign.json`:
 //!
 //! ```json
 //! {
@@ -12,22 +15,27 @@
 //!   "trials": 300,
 //!   "baseline": {"trials_per_sec": ..., "allocs_per_trial": ...},
 //!   "arena":    {"trials_per_sec": ..., "allocs_per_trial": ...},
-//!   "speedup": ...
+//!   "speedup": ...,
+//!   "batch": {"width": 8, "trials_per_sec": ..., "allocs_per_trial": ...,
+//!             "lockstep_completed": ..., "retired_to_sequential": ...},
+//!   "batch_speedup": ...
 //! }
 //! ```
 //!
-//! Every trial's verdict is cross-checked between the two paths; any
-//! disagreement is a hard failure (the arena must be an optimization, not
-//! a reinterpretation). `--min-speedup X` turns the speedup into a gate
-//! for CI.
+//! Every trial's verdict is cross-checked between the paths; any
+//! disagreement is a hard failure (the arena and batch must be
+//! optimizations, not reinterpretations). `--min-speedup X` gates the
+//! arena-vs-baseline speedup and `--min-batch-speedup X` gates the
+//! batch-vs-arena speedup for CI.
 //!
 //! ```text
-//! campaign_bench [--workload NAME] [--trials N] [--out FILE] [--min-speedup X]
+//! campaign_bench [--workload NAME] [--trials N] [--out FILE]
+//!                [--batch-width W] [--min-speedup X] [--min-batch-speedup X]
 //! ```
 
 use mbavf_inject::campaign::{run_one, CampaignConfig, OutcomeKind, SiteSampler};
 use mbavf_sim::interp::{run_golden, InterpError, Termination};
-use mbavf_sim::TrialArena;
+use mbavf_sim::{TrialArena, TrialBatch, TrialResult};
 use mbavf_workloads::by_name;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::process::ExitCode;
@@ -60,12 +68,32 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
-const USAGE: &str =
-    "usage: campaign_bench [--workload NAME] [--trials N] [--out FILE] [--min-speedup X]";
+const USAGE: &str = "usage: campaign_bench [--workload NAME] [--trials N] [--out FILE]\n\
+                       [--batch-width W] [--min-speedup X] [--min-batch-speedup X]";
 
 struct PathStats {
     trials_per_sec: f64,
     allocs_per_trial: f64,
+}
+
+/// One verdict classification shared by every measured path, so a
+/// cross-check failure always means the execution diverged, never the
+/// bookkeeping.
+fn classify(result: Result<TrialResult, InterpError>) -> (OutcomeKind, bool) {
+    match result {
+        Ok(run) => {
+            let kind = if run.termination == Termination::Hang {
+                OutcomeKind::Hang
+            } else if run.output_matches {
+                OutcomeKind::Masked
+            } else {
+                OutcomeKind::Sdc
+            };
+            (kind, run.injected_value_read)
+        }
+        Err(InterpError::Crash { .. }) => (OutcomeKind::Crash, false),
+        Err(e) => panic!("trial path refused a sampled site: {e}"),
+    }
 }
 
 fn measure(trials: usize, mut trial: impl FnMut(usize)) -> PathStats {
@@ -87,7 +115,9 @@ fn main() -> ExitCode {
     let mut workload = "fast_walsh".to_string();
     let mut trials = 300usize;
     let mut out = "BENCH_campaign.json".to_string();
+    let mut batch_width = 8usize;
     let mut min_speedup: Option<f64> = None;
+    let mut min_batch_speedup: Option<f64> = None;
 
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -102,8 +132,22 @@ fn main() -> ExitCode {
             "--trials" => value()
                 .and_then(|v| v.parse().map(|n| trials = n).map_err(|e| format!("--trials: {e}"))),
             "--out" => value().map(|v| out = v),
+            "--batch-width" => value().and_then(|v| {
+                v.parse().map_err(|e| format!("--batch-width: {e}")).and_then(|n: usize| match n {
+                    0 => Err("--batch-width must be at least 1".to_string()),
+                    n => {
+                        batch_width = n;
+                        Ok(())
+                    }
+                })
+            }),
             "--min-speedup" => value().and_then(|v| {
                 v.parse().map(|x| min_speedup = Some(x)).map_err(|e| format!("--min-speedup: {e}"))
+            }),
+            "--min-batch-speedup" => value().and_then(|v| {
+                v.parse()
+                    .map(|x| min_batch_speedup = Some(x))
+                    .map_err(|e| format!("--min-batch-speedup: {e}"))
             }),
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -154,22 +198,40 @@ fn main() -> ExitCode {
     let mut arena = TrialArena::new(fresh.program, fresh.mem, fresh.workgroups, cfg.wrap_oob);
     let mut arena_verdicts: Vec<(OutcomeKind, bool)> = Vec::with_capacity(trials + 1);
     let arena_stats = measure(trials, |t| {
-        let verdict = match arena.run_trial(sites[t].injection(1), max_steps, &golden.output) {
-            Ok(run) => {
-                let kind = if run.termination == Termination::Hang {
-                    OutcomeKind::Hang
-                } else if run.output_matches {
-                    OutcomeKind::Masked
-                } else {
-                    OutcomeKind::Sdc
-                };
-                (kind, run.injected_value_read)
-            }
-            Err(InterpError::Crash { .. }) => (OutcomeKind::Crash, false),
-            Err(e) => panic!("arena refused a sampled site: {e}"),
-        };
-        arena_verdicts.push(verdict);
+        arena_verdicts.push(classify(arena.run_trial(
+            sites[t].injection(1),
+            max_steps,
+            &golden.output,
+        )));
     });
+
+    // Batched lockstep path: the identical site list in groups of
+    // `batch_width`, one decoded golden stream per group.
+    let fresh = w.build(cfg.scale);
+    let mut batch =
+        TrialBatch::new(fresh.program, fresh.mem, fresh.workgroups, cfg.wrap_oob, batch_width);
+    let mut injections = Vec::with_capacity(batch_width);
+    let mut batch_verdicts: Vec<(OutcomeKind, bool)> = Vec::with_capacity(trials);
+
+    // Warm-up group, mirroring measure()'s warm-up trial: fault the lazy
+    // setup (lane forks, dirty-page growth) out of the measured region.
+    injections.extend(sites[..trials.min(batch_width)].iter().map(|s| s.injection(1)));
+    batch.run_batch(&injections, max_steps, &golden.output);
+
+    let alloc0 = ALLOCS.load(Ordering::Relaxed);
+    let t0 = Instant::now();
+    for group in sites.chunks(batch_width) {
+        injections.clear();
+        injections.extend(group.iter().map(|s| s.injection(1)));
+        for result in batch.run_batch(&injections, max_steps, &golden.output) {
+            batch_verdicts.push(classify(result));
+        }
+    }
+    let batch_secs = t0.elapsed().as_secs_f64().max(1e-9);
+    let batch_stats = PathStats {
+        trials_per_sec: trials as f64 / batch_secs,
+        allocs_per_trial: (ALLOCS.load(Ordering::Relaxed) - alloc0) as f64 / trials as f64,
+    };
 
     // Drop the warm-up entries, then insist on bit-identical verdicts.
     for (t, (b, a)) in base_verdicts[1..].iter().zip(&arena_verdicts[1..]).enumerate() {
@@ -178,17 +240,32 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    for (t, (a, b)) in arena_verdicts[1..].iter().zip(&batch_verdicts).enumerate() {
+        if a != b {
+            eprintln!("trial {t}: arena {a:?} but batch {b:?} — the paths diverged");
+            return ExitCode::FAILURE;
+        }
+    }
 
     let speedup = arena_stats.trials_per_sec / base.trials_per_sec.max(1e-9);
+    let batch_speedup = batch_stats.trials_per_sec / arena_stats.trials_per_sec.max(1e-9);
     let doc = format!(
         "{{\n  \"workload\": \"{workload}\",\n  \"trials\": {trials},\n  \
          \"baseline\": {{\"trials_per_sec\": {:.1}, \"allocs_per_trial\": {:.2}}},\n  \
          \"arena\": {{\"trials_per_sec\": {:.1}, \"allocs_per_trial\": {:.2}}},\n  \
-         \"speedup\": {speedup:.2}\n}}\n",
+         \"speedup\": {speedup:.2},\n  \
+         \"batch\": {{\"width\": {batch_width}, \"trials_per_sec\": {:.1}, \
+         \"allocs_per_trial\": {:.2}, \"lockstep_completed\": {}, \
+         \"retired_to_sequential\": {}}},\n  \
+         \"batch_speedup\": {batch_speedup:.2}\n}}\n",
         base.trials_per_sec,
         base.allocs_per_trial,
         arena_stats.trials_per_sec,
         arena_stats.allocs_per_trial,
+        batch_stats.trials_per_sec,
+        batch_stats.allocs_per_trial,
+        batch.lockstep_completed(),
+        batch.retired_to_sequential(),
     );
     print!("{doc}");
     if let Err(e) = std::fs::write(&out, &doc) {
@@ -200,6 +277,14 @@ fn main() -> ExitCode {
     if let Some(min) = min_speedup {
         if speedup < min {
             eprintln!("speedup {speedup:.2}x below required {min:.2}x");
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(min) = min_batch_speedup {
+        if batch_speedup < min {
+            eprintln!(
+                "batch speedup {batch_speedup:.2}x (width {batch_width}) below required {min:.2}x"
+            );
             return ExitCode::from(2);
         }
     }

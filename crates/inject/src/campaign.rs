@@ -446,7 +446,18 @@ pub(crate) fn run_one_arena(
     site: FaultSite,
     m: u8,
 ) -> (Outcome, bool) {
-    match arena.run_trial(site.injection(m), golden.max_steps, &golden.output) {
+    classify_trial(arena.run_trial(site.injection(m), golden.max_steps, &golden.output))
+}
+
+/// Classify one arena- or batch-executed trial result with the campaign's
+/// decision order: hang first, then output comparison; crashes become data;
+/// out-of-range sites are a sampler bug and panic. Shared by the sequential
+/// and the lockstep-batched execution paths so both produce byte-identical
+/// outcomes for the same trial result.
+pub(crate) fn classify_trial(
+    result: Result<mbavf_sim::TrialResult, InterpError>,
+) -> (Outcome, bool) {
+    match result {
         Ok(run) => {
             let outcome = if run.termination == Termination::Hang {
                 Outcome::Hang

@@ -71,6 +71,13 @@ pub struct RunnerConfig {
     /// keeps the runner silent until the end. Heartbeats are an observation
     /// channel only — they never change the records produced.
     pub heartbeat: Option<Duration>,
+    /// Trials each worker thread executes in lockstep per batch
+    /// ([`mbavf_sim::TrialBatch`]): the golden instruction stream is decoded
+    /// once per batch instead of once per trial. Width 1 (the default) is
+    /// the sequential [`mbavf_sim::TrialArena`] path. An execution knob like
+    /// `threads` — records are bit-identical at every width, and the width
+    /// is never part of the config fingerprint.
+    pub batch_width: usize,
 }
 
 impl Default for RunnerConfig {
@@ -83,6 +90,7 @@ impl Default for RunnerConfig {
             repro_dir: None,
             repro_cap: crate::bundle::DEFAULT_BUNDLE_CAP,
             heartbeat: None,
+            batch_width: 1,
         }
     }
 }
@@ -734,6 +742,51 @@ pub fn run_campaign(
 /// summaries stay bit-identical at any chunk size or thread count.
 const SITE_CHUNK: usize = 32;
 
+/// Per-thread trial executor: the sequential arena at width 1, the
+/// trial-lockstep batch above it. Both produce bit-identical verdicts; the
+/// split exists so width 1 keeps today's path byte for byte.
+enum TrialExec {
+    Sequential(Box<mbavf_sim::TrialArena>),
+    Batched { batch: Box<mbavf_sim::TrialBatch>, injections: Vec<mbavf_sim::Injection> },
+}
+
+impl TrialExec {
+    fn build(workload: &Workload, cfg: &CampaignConfig, width: usize) -> Self {
+        let inst = workload.build(cfg.scale);
+        if width > 1 {
+            TrialExec::Batched {
+                batch: Box::new(mbavf_sim::TrialBatch::new(
+                    inst.program,
+                    inst.mem,
+                    inst.workgroups,
+                    cfg.wrap_oob,
+                    width,
+                )),
+                injections: Vec::with_capacity(width),
+            }
+        } else {
+            TrialExec::Sequential(Box::new(mbavf_sim::TrialArena::new(
+                inst.program,
+                inst.mem,
+                inst.workgroups,
+                cfg.wrap_oob,
+            )))
+        }
+    }
+}
+
+/// Attribute one batch's wall-clock span to its `n` trials: trial `k` gets
+/// `span / n` microseconds, with the first `span % n` trials carrying one
+/// extra so the attributed latencies sum exactly to the span. Without this,
+/// a width-W batch would book its whole span W times — inflating
+/// [`LatencyStats`] percentiles by ~W and corrupting the heartbeat's
+/// trials/sec-derived ETA.
+fn per_trial_latency_us(span_us: u64, n: usize, k: usize) -> u64 {
+    debug_assert!(k < n, "trial index {k} outside batch of {n}");
+    let n = n as u64;
+    span_us / n + u64::from((k as u64) < span_us % n)
+}
+
 /// [`run_campaign`] against an already-computed golden shape, so callers
 /// scheduling several budgets over the same campaign config (adaptive
 /// sizing) pay for the double golden integrity run once, not per stage.
@@ -746,6 +799,11 @@ pub(crate) fn run_campaign_with(
     if runner.checkpoint.is_some() && runner.checkpoint_every == 0 {
         return Err(InjectError::BadConfig {
             detail: "checkpoint_every must be at least 1 when checkpointing".into(),
+        });
+    }
+    if runner.batch_width == 0 {
+        return Err(InjectError::BadConfig {
+            detail: "batch_width must be at least 1 (1 = sequential execution)".into(),
         });
     }
 
@@ -802,10 +860,11 @@ pub(crate) fn run_campaign_with(
         for _ in 0..threads {
             scope.spawn(|| {
                 let _slot = WorkerGuard::retire_on_drop(&shared);
-                // Per-thread reusable simulation arena, built lazily on the
-                // first claimed chunk: one instance build per worker per
-                // campaign, zero steady-state allocation per trial.
-                let mut arena: Option<mbavf_sim::TrialArena> = None;
+                // Per-thread reusable executor (sequential arena or lockstep
+                // batch), built lazily on the first claimed chunk: one
+                // instance build per worker per campaign, zero steady-state
+                // allocation per trial.
+                let mut exec: Option<TrialExec> = None;
                 let mut sites: Vec<(u64, FaultSite)> = Vec::with_capacity(SITE_CHUNK);
                 loop {
                     let start = shared.next.fetch_add(SITE_CHUNK, Ordering::SeqCst);
@@ -818,26 +877,9 @@ pub(crate) fn run_campaign_with(
                     for &trial in &pending[start..end] {
                         sites.push((trial, sampler.sample(cfg.seed, trial)));
                     }
-                    let arena = arena.get_or_insert_with(|| {
-                        let inst = workload.build(cfg.scale);
-                        mbavf_sim::TrialArena::new(
-                            inst.program,
-                            inst.mem,
-                            inst.workgroups,
-                            cfg.wrap_oob,
-                        )
-                    });
-                    for &(trial, site) in &sites {
-                        let t0 = Instant::now();
-                        let (outcome, read) = crate::campaign::run_one_arena(
-                            arena,
-                            golden,
-                            site,
-                            cfg.mode_bits.max(1),
-                        );
-                        let elapsed_us = t0.elapsed().as_micros() as u64;
-                        let record =
-                            SingleBitRecord { trial, site, outcome, read_before_overwrite: read };
+                    let exec = exec
+                        .get_or_insert_with(|| TrialExec::build(workload, cfg, runner.batch_width));
+                    let commit = |record: SingleBitRecord, elapsed_us: u64| {
                         // Write-ahead: the trial reaches the durable journal
                         // before it reaches the in-memory slots (atomically
                         // with respect to snapshot resets), so a crash can
@@ -846,6 +888,60 @@ pub(crate) fn run_campaign_with(
                         if let Some(path) = &runner.checkpoint {
                             if done.is_multiple_of(runner.checkpoint_every) {
                                 shared.snapshot(workload.name, fingerprint, cfg.mode_bits, path);
+                            }
+                        }
+                    };
+                    match exec {
+                        TrialExec::Sequential(arena) => {
+                            for &(trial, site) in &sites {
+                                let t0 = Instant::now();
+                                let (outcome, read) = crate::campaign::run_one_arena(
+                                    arena,
+                                    golden,
+                                    site,
+                                    cfg.mode_bits.max(1),
+                                );
+                                let elapsed_us = t0.elapsed().as_micros() as u64;
+                                commit(
+                                    SingleBitRecord {
+                                        trial,
+                                        site,
+                                        outcome,
+                                        read_before_overwrite: read,
+                                    },
+                                    elapsed_us,
+                                );
+                            }
+                        }
+                        TrialExec::Batched { batch, injections } => {
+                            // Sub-chunk the claimed sites by batch width;
+                            // records still commit per trial index in order,
+                            // so checkpoint/WAL semantics are unchanged.
+                            for group in sites.chunks(batch.width()) {
+                                injections.clear();
+                                injections.extend(
+                                    group
+                                        .iter()
+                                        .map(|&(_, site)| site.injection(cfg.mode_bits.max(1))),
+                                );
+                                let t0 = Instant::now();
+                                let results =
+                                    batch.run_batch(injections, golden.max_steps, &golden.output);
+                                let span_us = t0.elapsed().as_micros() as u64;
+                                for (k, (&(trial, site), result)) in
+                                    group.iter().zip(results).enumerate()
+                                {
+                                    let (outcome, read) = crate::campaign::classify_trial(result);
+                                    commit(
+                                        SingleBitRecord {
+                                            trial,
+                                            site,
+                                            outcome,
+                                            read_before_overwrite: read,
+                                        },
+                                        per_trial_latency_us(span_us, group.len(), k),
+                                    );
+                                }
                             }
                         }
                     }
@@ -1264,6 +1360,64 @@ mod tests {
         // Crash fraction participates in the taxonomy.
         let f = report.summary.fractions();
         assert!((f.masked + f.sdc + f.hang + f.crash - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_percentiles_have_nearest_rank_semantics_at_tiny_n() {
+        // n = 1: every percentile is the one sample.
+        let s = LatencyStats::from_micros(vec![42]).unwrap();
+        assert_eq!((s.n, s.p50_us, s.p99_us, s.max_us), (1, 42, 42, 42));
+        // n = 2: nearest-rank p50 is the *lower* sample (ceil(0.5·2) = 1),
+        // p99 and max are the upper.
+        let s = LatencyStats::from_micros(vec![20, 10]).unwrap();
+        assert_eq!((s.p50_us, s.p99_us, s.max_us), (10, 20, 20));
+        // n = 3: p50 is the middle sample (ceil(1.5) = 2), p99 the last.
+        let s = LatencyStats::from_micros(vec![30, 10, 20]).unwrap();
+        assert_eq!((s.p50_us, s.p99_us, s.max_us), (20, 30, 30));
+        // q = 1.0 ranks to the last sample without overflowing the clamp.
+        let rank_full = LatencyStats::from_micros(vec![5, 7, 6]).unwrap().max_us;
+        assert_eq!(rank_full, 7);
+        // Empty sample: no stats, not a panic.
+        assert!(LatencyStats::from_micros(Vec::new()).is_none());
+    }
+
+    #[test]
+    fn per_trial_latency_sums_to_the_batch_span() {
+        for (span, n) in [(0u64, 1usize), (7, 1), (7, 3), (8, 8), (100, 7), (3, 8)] {
+            let parts: Vec<u64> = (0..n).map(|k| per_trial_latency_us(span, n, k)).collect();
+            assert_eq!(parts.iter().sum::<u64>(), span, "span={span} n={n}");
+            // Fair split: no trial differs from another by more than 1µs,
+            // so percentiles over batched trials cannot spike by ~W.
+            let (min, max) = (parts.iter().min().unwrap(), parts.iter().max().unwrap());
+            assert!(max - min <= 1, "span={span} n={n}: {parts:?}");
+        }
+        // Width 1 is the exact sequential accounting.
+        assert_eq!(per_trial_latency_us(1234, 1, 0), 1234);
+    }
+
+    #[test]
+    fn batched_widths_produce_identical_summaries_and_sane_latency() {
+        let w = by_name("dct").expect("registered");
+        let cfg = cfg(40);
+        let base = run_campaign(&w, &cfg, &RunnerConfig::serial()).unwrap();
+        for (threads, width) in [(1, 2), (1, 8), (3, 8), (2, 40)] {
+            let batched = run_campaign(
+                &w,
+                &cfg,
+                &RunnerConfig { threads, batch_width: width, ..RunnerConfig::default() },
+            )
+            .unwrap();
+            assert_eq!(batched.summary, base.summary, "threads={threads} width={width}");
+            // One latency sample per trial, not per batch.
+            assert_eq!(batched.trial_latency.unwrap().n, 40);
+        }
+    }
+
+    #[test]
+    fn zero_batch_width_is_rejected() {
+        let w = by_name("transpose").expect("registered");
+        let bad = RunnerConfig { batch_width: 0, ..RunnerConfig::default() };
+        assert!(matches!(run_campaign(&w, &cfg(2), &bad), Err(InjectError::BadConfig { .. })));
     }
 
     #[test]

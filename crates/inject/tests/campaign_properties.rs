@@ -34,7 +34,105 @@ fn summaries_are_thread_count_invariant_across_seeds() {
                 .unwrap();
             assert_eq!(par.summary, serial.summary, "case {case}, threads {threads}");
         }
+        // Batch width is an execution knob exactly like the thread count.
+        for batch_width in [2, 3, 8] {
+            let batched = run_campaign(
+                &w,
+                &cfg,
+                &RunnerConfig { threads: 3, batch_width, ..RunnerConfig::default() },
+            )
+            .unwrap();
+            assert_eq!(batched.summary, serial.summary, "case {case}, width {batch_width}");
+        }
     }
+}
+
+/// A batched campaign's *artifacts* — not just the in-memory summary — are
+/// bit-identical to the width-1 sequential path: final checkpoint bytes and
+/// every repro bundle, at every batch width.
+#[test]
+fn batched_artifacts_match_width_one_byte_for_byte() {
+    let w = by_name("scan_large").expect("registered");
+    let cfg = CampaignConfig { seed: 0xBA7C4, injections: 30, ..CampaignConfig::default() };
+    let dir = tmpdir("batch-artifacts");
+
+    let run_with = |width: usize| {
+        let ckpt = dir.join(format!("w{width}.ckpt.json"));
+        let bundles = dir.join(format!("w{width}-bundles"));
+        std::fs::remove_file(&ckpt).ok();
+        std::fs::remove_dir_all(&bundles).ok();
+        let report = run_campaign(
+            &w,
+            &cfg,
+            &RunnerConfig {
+                threads: 2,
+                batch_width: width,
+                checkpoint: Some(ckpt.clone()),
+                checkpoint_every: 4,
+                repro_dir: Some(bundles.clone()),
+                ..RunnerConfig::default()
+            },
+        )
+        .unwrap();
+        let bundle_files: Vec<(String, Vec<u8>)> = report
+            .bundles
+            .iter()
+            .map(|p| {
+                (p.file_name().unwrap().to_string_lossy().into_owned(), std::fs::read(p).unwrap())
+            })
+            .collect();
+        (report.summary, std::fs::read(&ckpt).unwrap(), bundle_files)
+    };
+
+    let (base_summary, base_ckpt, base_bundles) = run_with(1);
+    for width in [2usize, 3, 8] {
+        let (summary, ckpt, bundles) = run_with(width);
+        assert_eq!(summary, base_summary, "width {width}: records diverged");
+        assert_eq!(ckpt, base_ckpt, "width {width}: checkpoint bytes diverged");
+        assert_eq!(bundles, base_bundles, "width {width}: repro bundles diverged");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Interrupting a batched campaign and resuming it at a *different* batch
+/// width converges on the width-1 uninterrupted summary: the checkpoint
+/// carries no trace of how trials were grouped.
+#[test]
+fn resume_across_batch_width_change_matches_uninterrupted() {
+    let w = by_name("fast_walsh").expect("registered");
+    let cfg = CampaignConfig { seed: 0x51DE, injections: 20, ..CampaignConfig::default() };
+    let uninterrupted = run_campaign(&w, &cfg, &RunnerConfig::serial()).unwrap();
+    let dir = tmpdir("width-change");
+
+    for stop in [1usize, 5, 13] {
+        let path = dir.join(format!("wc{stop}.json"));
+        std::fs::remove_file(&path).ok();
+        let interrupted = run_campaign(
+            &w,
+            &cfg,
+            &RunnerConfig {
+                threads: 2,
+                batch_width: 3,
+                checkpoint: Some(path.clone()),
+                checkpoint_every: 2,
+                stop_after: Some(stop),
+                ..RunnerConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(interrupted.newly_run, stop, "stop {stop}");
+
+        let resumed = run_campaign(
+            &w,
+            &cfg,
+            &RunnerConfig { batch_width: 8, checkpoint: Some(path), ..RunnerConfig::default() },
+        )
+        .unwrap();
+        assert!(resumed.complete, "stop {stop}");
+        assert_eq!(resumed.resumed, stop, "stop {stop}");
+        assert_eq!(resumed.summary, uninterrupted.summary, "stop {stop}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// Interrupting a campaign at *any* point and resuming from its checkpoint
@@ -285,6 +383,16 @@ fn crash_records_are_data_and_deterministic() {
     let par =
         run_campaign(&w, &cfg, &RunnerConfig { threads: 4, ..RunnerConfig::default() }).unwrap();
     assert_eq!(par.summary, serial.summary);
+
+    // Batched execution retires crashy trials onto the sequential path, so
+    // even the captured panic text matches byte for byte at any width.
+    let batched = run_campaign(
+        &w,
+        &cfg,
+        &RunnerConfig { threads: 4, batch_width: 8, ..RunnerConfig::default() },
+    )
+    .unwrap();
+    assert_eq!(batched.summary, serial.summary);
 
     // The same seed with paper semantics (wrapping) records no crashes.
     let wrapped =

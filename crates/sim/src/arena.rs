@@ -37,9 +37,9 @@ pub struct TrialResult {
 /// Watch-port state mirroring the interpreter's per-workgroup fault
 /// observer, over a borrowed armed-lane buffer so the buffer outlives the
 /// trial.
-struct ArenaWatch<'a> {
-    armed: &'a mut [u64],
-    observed: bool,
+pub(crate) struct ArenaWatch<'a> {
+    pub(crate) armed: &'a mut [u64],
+    pub(crate) observed: bool,
 }
 
 impl Ports for ArenaWatch<'_> {
@@ -73,10 +73,10 @@ impl Ports for ArenaWatch<'_> {
 /// restore it — the arena is self-healing across crash outcomes.
 #[derive(Debug)]
 pub struct TrialArena {
-    program: Program,
-    workgroups: u32,
+    pub(crate) program: Program,
+    pub(crate) workgroups: u32,
     /// Pristine post-build memory image (inputs written, outputs marked).
-    template: Memory,
+    pub(crate) template: Memory,
     /// Working image, restored from `template` before every trial.
     mem: Memory,
     /// The one resident wavefront, relaunched per workgroup per trial.

@@ -176,6 +176,28 @@ impl Wavefront {
     pub fn flip_bits(&mut self, reg: u8, lane: usize, bit_mask: u32) {
         self.vregs[reg as usize][lane] ^= bit_mask;
     }
+
+    /// Make this wavefront bit-identical to `src` without reallocating its
+    /// register files (both must come from the same program, so the files
+    /// have equal sizes). The fork step of trial-lockstep batching: a
+    /// trial's private state is split off the shared golden wavefront at
+    /// its fault site.
+    pub fn copy_state_from(&mut self, src: &Wavefront) {
+        self.wf_id = src.wf_id;
+        self.slot = src.slot;
+        self.pc = src.pc;
+        self.vregs.clone_from(&src.vregs);
+        self.sregs.clone_from(&src.sregs);
+        self.scc = src.scc;
+        self.vcc = src.vcc;
+        self.exec = src.exec;
+        self.done = src.done;
+        self.retired = src.retired;
+        self.vreg_writer.clone_from(&src.vreg_writer);
+        self.sreg_writer.clone_from(&src.sreg_writer);
+        self.vcc_writer = src.vcc_writer;
+        self.scc_writer = src.scc_writer;
+    }
 }
 
 /// Evaluate a vector ALU op on one lane.
@@ -315,7 +337,7 @@ impl OperandEnv {
     }
 }
 
-fn vop_values(wf: &Wavefront, op: VOp) -> Lanes {
+pub(crate) fn vop_values(wf: &Wavefront, op: VOp) -> Lanes {
     match op {
         VOp::Reg(r) => wf.vregs[r.0 as usize],
         VOp::Sreg(s) => [wf.sregs[s.0 as usize]; WAVE_LANES],
@@ -722,6 +744,50 @@ mod tests {
         assert_eq!(wf.sreg_writer, fresh.sreg_writer);
         assert_eq!(wf.vcc_writer, fresh.vcc_writer);
         assert_eq!(wf.scc_writer, fresh.scc_writer);
+    }
+
+    #[test]
+    fn copy_state_from_is_bit_identical_mid_kernel() {
+        // Stop a wavefront mid-kernel with divergence, provenance, and
+        // condition codes all live, copy it into a wavefront that ran a
+        // different trajectory, and compare every field: a missed field
+        // would desynchronize a forked batch trial from its sequential
+        // replay.
+        let mut mem = Memory::new(1 << 16);
+        let out = mem.alloc_zeroed(64);
+        let mut a = Assembler::new();
+        a.s_mov(SReg(2), 5u32);
+        a.v_cmp(CmpOp::LtU, VReg(0), 3u32);
+        a.s_set_exec(crate::isa::ExecOp::Vcc);
+        a.v_mul_u(VReg(2), VReg(1), 4u32);
+        a.v_store(VReg(2), VReg(2), out);
+        a.s_cmp(CmpOp::LtU, SReg(2), 10u32);
+        a.end();
+        let p = a.finish().unwrap();
+        let mut src = Wavefront::launch(&p, 2, 1, 4);
+        let mut dst = Wavefront::launch(&p, 0, 0, 4);
+        let mut ports = NullPorts;
+        for _ in 0..4 {
+            let mut ctx = StepCtx { mem: &mut mem, trace: None, ports: &mut ports, now: 0 };
+            step(&mut src, &p, &mut ctx);
+        }
+        let mut ctx = StepCtx { mem: &mut mem, trace: None, ports: &mut ports, now: 0 };
+        step(&mut dst, &p, &mut ctx); // different position, stale state
+        dst.copy_state_from(&src);
+        assert_eq!(dst.wf_id, src.wf_id);
+        assert_eq!(dst.slot, src.slot);
+        assert_eq!(dst.pc, src.pc);
+        assert_eq!(dst.vregs, src.vregs);
+        assert_eq!(dst.sregs, src.sregs);
+        assert_eq!(dst.scc, src.scc);
+        assert_eq!(dst.vcc, src.vcc);
+        assert_eq!(dst.exec, src.exec);
+        assert_eq!(dst.done, src.done);
+        assert_eq!(dst.retired, src.retired);
+        assert_eq!(dst.vreg_writer, src.vreg_writer);
+        assert_eq!(dst.sreg_writer, src.sreg_writer);
+        assert_eq!(dst.vcc_writer, src.vcc_writer);
+        assert_eq!(dst.scc_writer, src.scc_writer);
     }
 
     #[test]

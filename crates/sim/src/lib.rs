@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod arena;
+pub mod batch;
 pub mod cache;
 pub mod exec;
 pub mod extract;
@@ -36,6 +37,7 @@ pub mod program;
 pub mod trace;
 
 pub use arena::{TrialArena, TrialResult};
+pub use batch::TrialBatch;
 pub use exec::Wavefront;
 pub use gpu::{run_timed, GpuConfig, RunResult};
 pub use interp::{run_functional, run_functional_isolated, run_golden, Injection};

@@ -122,15 +122,43 @@ impl Memory {
         }
     }
 
-    /// Mark byte index `i` dirty. Out-of-range indices are ignored: the
-    /// write that follows panics before mutating anything, so the page needs
-    /// no restore, and marking *before* writing keeps a panic-interrupted
-    /// multi-byte store fully covered by the dirty map.
+    /// Mark byte index `i` dirty. Callers must bounds-check before marking:
+    /// a write that slipped past the bitmap would survive the next
+    /// [`Memory::reset_from`] and leak into the following trial. Marking
+    /// *before* writing keeps a panic-interrupted multi-byte store fully
+    /// covered by the dirty map.
     #[inline]
     fn mark_dirty(&mut self, i: usize) {
+        debug_assert!(
+            i < self.data.len(),
+            "mark_dirty({i}) out of range for {}-byte memory",
+            self.data.len()
+        );
         let page = i >> PAGE_SHIFT;
         if let Some(word) = self.dirty.get_mut(page >> 6) {
             *word |= 1 << (page & 63);
+        }
+    }
+
+    /// Mark every page overlapping `[start, start + len)` dirty — not just
+    /// the endpoints. Endpoint-only marking happens to work for today's
+    /// 4-byte stores against 1 KiB pages, but any write wider than a page
+    /// would leave interior pages unmarked and leak stale bytes through the
+    /// next [`Memory::reset_from`].
+    #[inline]
+    fn mark_dirty_range(&mut self, start: usize, len: usize) {
+        debug_assert!(
+            start.checked_add(len).is_some_and(|end| end <= self.data.len()),
+            "mark_dirty_range({start}, {len}) out of range for {}-byte memory",
+            self.data.len()
+        );
+        if len == 0 {
+            return;
+        }
+        for page in (start >> PAGE_SHIFT)..=((start + len - 1) >> PAGE_SHIFT) {
+            if let Some(word) = self.dirty.get_mut(page >> 6) {
+                *word |= 1 << (page & 63);
+            }
         }
     }
 
@@ -247,16 +275,21 @@ impl Memory {
 
     // --- host access (no provenance) ---------------------------------------
 
-    /// Host write of a u32 (marks the byte as host-initialized).
+    /// Host write of a u32 (marks the bytes as host-initialized).
     pub fn write_u32_host(&mut self, addr: u32, value: u32) {
+        self.write_bytes_host(addr, &value.to_le_bytes());
+    }
+
+    /// Host write of a raw byte span (marks the bytes as host-initialized);
+    /// the bulk counterpart of [`Memory::write_u32_host`].
+    pub fn write_bytes_host(&mut self, addr: u32, bytes: &[u8]) {
         let a = addr as usize;
-        self.mark_dirty(a);
-        self.mark_dirty(a + 3);
-        self.data[a..a + 4].copy_from_slice(&value.to_le_bytes());
+        self.mark_dirty_range(a, bytes.len());
+        self.data[a..a + bytes.len()].copy_from_slice(bytes);
         if self.track {
-            for k in 0..4 {
+            for k in 0..bytes.len() {
                 self.writer[a + k] = HOST_WRITER;
-                self.writer_byte[a + k] = k as u8;
+                self.writer_byte[a + k] = (k % 4) as u8;
             }
         }
     }
@@ -323,6 +356,16 @@ impl Memory {
     ///
     /// Panics on out-of-bounds access (a kernel bug).
     pub fn store(&mut self, addr: u32, len: u32, value: u32, dyn_id: u32) {
+        // Validate every byte before mutating anything: a store that panics
+        // must leave the image untouched, so the dirty map covers exactly
+        // the bytes that changed (a partial write with unmarked tail bytes
+        // would leak through the next reset_from).
+        if !self.device_range_in_bounds(addr, len) {
+            panic!(
+                "device store out of bounds: {len} bytes at {addr:#x} in {}-byte memory",
+                self.data.len()
+            );
+        }
         for k in 0..len as usize {
             let i = self.index(addr, k);
             self.mark_dirty(i);
@@ -332,6 +375,15 @@ impl Memory {
                 self.writer_byte[i] = k as u8;
             }
         }
+    }
+
+    /// Whether a device access of `len` bytes at `addr` stays in bounds
+    /// under this memory's `wrap_oob` policy — exactly the condition under
+    /// which [`Memory::load`] / [`Memory::store`] will not panic. Lets the
+    /// batched executor pre-flight a faulty trial's wild address and retire
+    /// it instead of panicking mid-batch.
+    pub(crate) fn device_range_in_bounds(&self, addr: u32, len: u32) -> bool {
+        self.wrap_oob || addr as usize + len as usize <= self.data.len()
     }
 
     /// Restore this memory to the state of `template`, copying only the
@@ -373,6 +425,66 @@ impl Memory {
         }
         self.next_alloc = template.next_alloc;
         self.outputs.clone_from(&template.outputs);
+    }
+
+    /// Make this image byte-identical to `leader`, copying only the pages
+    /// where either image differs from their common ancestor.
+    ///
+    /// Precondition (a harness invariant, not checked byte-for-byte): both
+    /// images were last reset from the *same* template, so each differs
+    /// from it only on its own dirty pages. Copying the union of the two
+    /// dirty sets from `leader` therefore reproduces `leader` exactly:
+    /// pages dirty in neither are already equal, pages dirty only in `self`
+    /// are rolled back to template bytes via `leader`'s clean copy.
+    ///
+    /// This is the fork step of trial-lockstep batching — splitting a
+    /// trial's private image off the shared golden image at its fault site
+    /// without a full-size copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leader` differs in size or tracking mode.
+    pub(crate) fn fork_from(&mut self, leader: &Memory) {
+        assert_eq!(self.data.len(), leader.data.len(), "fork_from: size mismatch");
+        assert_eq!(self.track, leader.track, "fork_from: tracking mismatch");
+        for wi in 0..self.dirty.len() {
+            let mut word = self.dirty[wi] | leader.dirty[wi];
+            while word != 0 {
+                let page = wi * 64 + word.trailing_zeros() as usize;
+                word &= word - 1;
+                let start = page << PAGE_SHIFT;
+                let end = ((page + 1) << PAGE_SHIFT).min(self.data.len());
+                self.data[start..end].copy_from_slice(&leader.data[start..end]);
+                if self.track {
+                    self.writer[start..end].copy_from_slice(&leader.writer[start..end]);
+                    self.writer_byte[start..end].copy_from_slice(&leader.writer_byte[start..end]);
+                }
+            }
+            self.dirty[wi] = leader.dirty[wi];
+        }
+        self.next_alloc = leader.next_alloc;
+        self.outputs.clone_from(&leader.outputs);
+    }
+
+    /// Whether this image's bytes equal `other`'s, comparing only the pages
+    /// dirty in either — sound under the same shared-template precondition
+    /// as [`Memory::fork_from`]. Used to detect a faulty trial whose image
+    /// has reconverged with the golden image at a workgroup boundary.
+    pub(crate) fn same_device_bytes(&self, other: &Memory) -> bool {
+        debug_assert_eq!(self.data.len(), other.data.len(), "same_device_bytes: size mismatch");
+        for wi in 0..self.dirty.len() {
+            let mut word = self.dirty[wi] | other.dirty[wi];
+            while word != 0 {
+                let page = wi * 64 + word.trailing_zeros() as usize;
+                word &= word - 1;
+                let start = page << PAGE_SHIFT;
+                let end = ((page + 1) << PAGE_SHIFT).min(self.data.len());
+                if self.data[start..end] != other.data[start..end] {
+                    return false;
+                }
+            }
+        }
+        true
     }
 
     /// Whether the concatenated output ranges equal `golden`, byte for byte
@@ -546,6 +658,104 @@ mod tests {
         let template = Memory::new(1024);
         let mut other = Memory::new(2048);
         other.reset_from(&template);
+    }
+
+    #[test]
+    fn bulk_host_writes_mark_every_touched_page() {
+        let template = Memory::with_tracking(16 << 10, false);
+        let mut work = template.clone();
+        // 3 KiB spanning four 1 KiB pages: endpoint-only marking would skip
+        // the two interior pages and leave their bytes stale after reset.
+        work.write_bytes_host(512, &vec![0xAB; 3 << 10]);
+        work.reset_from(&template);
+        assert_eq!(work.bytes(), template.bytes());
+        assert_eq!(template.bytes(), vec![0u8; 16 << 10]);
+    }
+
+    #[test]
+    fn page_boundary_store_and_reset_torture() {
+        let mut template = Memory::new(8192);
+        let a = template.alloc(4096);
+        template.mark_output(a, 4096);
+        let mut work = template.clone();
+        for round in 0..3u32 {
+            // Stores straddling every page boundary in the allocation, plus
+            // host writes at the same spots, then an exact rollback.
+            for page in 1..4u32 {
+                let boundary = page * 1024;
+                work.store(boundary - 2, 4, 0xA1B2C3D4 ^ round, 7);
+                work.write_u32_host(boundary - 1, 0x55AA55AA);
+            }
+            assert_ne!(work.bytes(), template.bytes());
+            work.reset_from(&template);
+            assert_eq!(work.bytes(), template.bytes());
+            assert_eq!(work.provenance(1022), template.provenance(1022));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn device_store_oob_panics() {
+        let mut m = Memory::with_tracking(1024, false);
+        m.store(1022, 4, 0xFFFF_FFFF, 1);
+    }
+
+    #[test]
+    fn oob_store_panics_before_mutating() {
+        let template = Memory::with_tracking(1024, false);
+        let mut work = template.clone();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            work.store(1022, 4, 0xFFFF_FFFF, 1);
+        }));
+        assert!(r.is_err(), "straddling store must panic with wrap_oob off");
+        // No partial write: the first two bytes are untouched, and a reset
+        // still restores a byte-identical image.
+        assert_eq!(work.bytes(), template.bytes());
+        work.reset_from(&template);
+        assert_eq!(work.bytes(), template.bytes());
+    }
+
+    #[test]
+    fn fork_from_reproduces_leader_exactly() {
+        let mut template = Memory::new(8192);
+        let a = template.alloc_u32(&[1, 2, 3, 4]);
+        template.mark_output(a, 16);
+        let mut leader = template.clone();
+        let mut lane = template.clone();
+        // Diverge both images from the template on different pages.
+        leader.store(a, 4, 0xDEAD_BEEF, 3);
+        leader.store(4096, 4, 0x0BAD_CAFE, 4);
+        let _ = leader.alloc(64);
+        leader.mark_output(4096, 4);
+        lane.store(2048, 4, 0x1111_2222, 5);
+        lane.fork_from(&leader);
+        assert_eq!(lane.bytes(), leader.bytes());
+        assert_eq!(lane.outputs(), leader.outputs());
+        assert!(lane.same_device_bytes(&leader));
+        // The lane's own divergence (page 2) was rolled back via the leader.
+        assert_eq!(lane.load(2048, 4), 0);
+        // A later reset still restores the template exactly, so no page
+        // escaped the dirty map during the fork.
+        lane.reset_from(&template);
+        assert_eq!(lane.bytes(), template.bytes());
+        assert_eq!(lane.outputs(), template.outputs());
+    }
+
+    #[test]
+    fn same_device_bytes_detects_divergence_and_reconvergence() {
+        let template = Memory::with_tracking(4096, false);
+        let mut a = template.clone();
+        let mut b = template.clone();
+        assert!(a.same_device_bytes(&b));
+        a.store(100, 4, 0xFF, 1);
+        assert!(!a.same_device_bytes(&b));
+        b.store(100, 4, 0xFF, 2);
+        assert!(a.same_device_bytes(&b), "same bytes, different writers");
+        a.store(3000, 1, 9, 3);
+        assert!(!a.same_device_bytes(&b));
+        a.reset_from(&template);
+        b.reset_from(&template);
+        assert!(a.same_device_bytes(&b));
     }
 
     #[test]
