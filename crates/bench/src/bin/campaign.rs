@@ -6,7 +6,8 @@
 //! campaign --workload dct [--injections 5000] [--seed 0xACE5]
 //!          [--mode-bits M] [--threads 8] [--batch-width W]
 //!          [--checkpoint dct.ckpt.json]
-//!          [--checkpoint-every 64] [--stop-after N]
+//!          [--checkpoint-every 64] [--max-wall DUR]
+//!          [--max-trials-this-run N]
 //!          [--scale test|paper] [--no-wrap-oob]
 //!          [--hang-multiplier K] [--heartbeat SECS]
 //!          [--isolation thread|process|tcp] [--workers N] [--shard-size N]
@@ -104,6 +105,20 @@
 //! endpoint, and an audited run's checkpoint stays byte-identical to thread
 //! mode — lies are caught and corrected, never recorded.
 //!
+//! **Graceful preemption** — a campaign can stop on purpose without losing
+//! anything. SIGINT/SIGTERM (Ctrl-C, a preempting scheduler), `--max-wall
+//! DUR`, and `--max-trials-this-run N` all trip one shared cancel token
+//! that every execution mode polls at trial boundaries: thread workers
+//! stop claiming trials, the supervisor drains in-flight shards instead of
+//! leasing new ones, and TCP daemons get a `drain` frame so they finish
+//! the trial in flight and part cleanly. The run then exits through the
+//! ordinary final-checkpoint path — WAL fsync'd, checkpoint written,
+//! summary printed with `partial: <reason>` and honest intervals at the
+//! achieved N — and exits 4. Resuming the checkpoint converges
+//! bit-identically to a never-interrupted run. A second signal skips the
+//! drain and aborts immediately (exit `128+signo`); the WAL still protects
+//! every committed trial.
+//!
 //! Exit codes:
 //!
 //! | code | meaning |
@@ -112,6 +127,7 @@
 //! | 1 | usage error or campaign failure |
 //! | 2 | an outcome named by `--fail-on` was observed |
 //! | 3 | adaptive target not reached within `--max-injections` |
+//! | 4 | stopped early (signal, `--max-wall`, or `--max-trials-this-run`); partial results are checkpointed and resumable |
 //!
 //! Worker subprocesses themselves exit 0 on success, 10 on a fatal
 //! configuration error, or die by signal — the supervisor translates all
@@ -119,9 +135,9 @@
 
 use mbavf_core::stats::RateEstimate;
 use mbavf_inject::{
-    run_adaptive, run_campaign, run_supervised, serve_main, worker_main, AdaptiveConfig,
-    AuditPolicy, CampaignConfig, CampaignReport, ChaosSpec, IsolationMode, OutcomeKind,
-    RunnerConfig, SupervisorConfig, TransportKind,
+    install_terminate_handlers, reset_sigpipe, run_adaptive, run_campaign, run_supervised,
+    serve_main, worker_main, AdaptiveConfig, AuditPolicy, CampaignConfig, CampaignReport,
+    ChaosSpec, IsolationMode, OutcomeKind, RunnerConfig, SupervisorConfig, TransportKind,
 };
 use mbavf_workloads::{by_name, suite, Scale};
 use std::path::PathBuf;
@@ -149,7 +165,9 @@ fn usage() -> String {
         "usage: campaign --workload NAME [--injections N] [--seed S] [--mode-bits M]\n\
          \u{20}                [--threads N] [--batch-width W (lockstep trials per batch)]\n\
          \u{20}                [--checkpoint FILE] [--checkpoint-every N]\n\
-         \u{20}                [--stop-after N] [--scale test|paper] [--no-wrap-oob]\n\
+         \u{20}                [--max-wall DUR (30s|15m|2h; bare numbers are seconds)]\n\
+         \u{20}                [--max-trials-this-run N (alias: --stop-after)]\n\
+         \u{20}                [--scale test|paper] [--no-wrap-oob]\n\
          \u{20}                [--hang-multiplier K] [--heartbeat SECS (0 = off)]\n\
          \u{20}                [--isolation thread|process|tcp] [--workers N] [--shard-size N]\n\
          \u{20}                [--shard-timeout SECS] [--max-retries N] [--backoff-ms MS]\n\
@@ -164,7 +182,9 @@ fn usage() -> String {
          \u{20}                [--target-ci-halfwidth H [--batch N] [--max-injections N]]\n\
          \u{20}      campaign --listen HOST:PORT   (worker daemon for --isolation tcp)\n\
          exit codes: 0 = done, 1 = error, 2 = --fail-on outcome seen,\n\
-         \u{20}           3 = adaptive target not reached\n\
+         \u{20}           3 = adaptive target not reached,\n\
+         \u{20}           4 = stopped early (signal, --max-wall, or --max-trials-this-run);\n\
+         \u{20}               partial results are checkpointed and resumable\n\
          workloads: {}",
         names.join(", ")
     )
@@ -176,6 +196,25 @@ fn parse_u64(v: &str) -> Result<u64, String> {
         None => v.parse(),
     };
     parsed.map_err(|_| format!("not an unsigned integer: {v}"))
+}
+
+/// Wall-clock budget spelling: `500ms`, `30s`, `15m`, `2h`, or a bare
+/// number of seconds.
+fn parse_duration(v: &str) -> Result<Duration, String> {
+    let (num, unit_ms) = if let Some(n) = v.strip_suffix("ms") {
+        (n, 1u64)
+    } else if let Some(n) = v.strip_suffix('s') {
+        (n, 1_000)
+    } else if let Some(n) = v.strip_suffix('m') {
+        (n, 60_000)
+    } else if let Some(n) = v.strip_suffix('h') {
+        (n, 3_600_000)
+    } else {
+        (v, 1_000)
+    };
+    let n = num.parse::<u64>().map_err(|_| format!("bad duration: {v} (want 30s, 15m, 2h)"))?;
+    let ms = n.checked_mul(unit_ms).ok_or_else(|| format!("duration overflows: {v}"))?;
+    Ok(Duration::from_millis(ms))
 }
 
 fn parse_fail_on(v: &str) -> Result<Vec<OutcomeKind>, String> {
@@ -254,7 +293,14 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--checkpoint" => args.runner.checkpoint = Some(PathBuf::from(value()?)),
             "--checkpoint-every" => args.runner.checkpoint_every = parse_u64(value()?)? as usize,
-            "--stop-after" => args.runner.stop_after = Some(parse_u64(value()?)? as usize),
+            // Trial budget for *this invocation* (the resume runs the rest).
+            // `--stop-after` is the original spelling, kept as an alias.
+            "--max-trials-this-run" | "--stop-after" => {
+                args.runner.cancel.set_trial_budget(parse_u64(value()?)? as usize)
+            }
+            // The deadline is armed here at parse time; the first trial
+            // boundary polled past it trips the token.
+            "--max-wall" => args.runner.cancel.set_max_wall(parse_duration(value()?)?),
             "--scale" => {
                 args.cfg.scale = match value()?.as_str() {
                     "test" => Scale::Test,
@@ -423,7 +469,10 @@ fn print_report(report: &CampaignReport, confidence: f64) {
         s.records.len(),
         report.resumed,
         report.newly_run,
-        if report.complete { "" } else { "  [INCOMPLETE: stopped early]" }
+        match &report.interrupted {
+            Some(reason) => format!("  [partial: {reason}]"),
+            None => String::new(),
+        }
     );
     let stats = s.stats(confidence);
     println!("  {:.0}% confidence intervals (Wilson):", confidence * 100.0);
@@ -490,6 +539,11 @@ fn print_report(report: &CampaignReport, confidence: f64) {
 }
 
 fn main() -> ExitCode {
+    // Piping the summary into `head` must end the process quietly, not
+    // panic on a broken pipe: restore SIGPIPE's default disposition before
+    // any output. Applies to workers and daemons too — a severed channel
+    // kills them by signal, which the supervisor already translates.
+    reset_sigpipe();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     // Hidden supervisor re-exec entrypoint: `campaign __worker <flags>` runs
     // one shard of trials and streams records over stdout. Must be dispatched
@@ -517,6 +571,12 @@ fn main() -> ExitCode {
         eprintln!("unknown workload {}\n{}", args.workload, usage());
         return ExitCode::FAILURE;
     };
+    // Graceful preemption: the first SIGINT/SIGTERM trips the runner's
+    // cancel token (drain, checkpoint, exit 4); the second aborts. Only the
+    // campaign proper installs handlers — `__worker` subprocesses and
+    // `--listen` daemons are driven by their supervisor and die by default
+    // disposition when signalled directly.
+    install_terminate_handlers(&args.runner.cancel);
     // Chaos is installed in this (supervisor) process only: worker
     // subprocesses and daemons run fault-free, so injected damage exercises
     // the harness's durable-state paths, not the trials themselves.
@@ -579,6 +639,17 @@ fn main() -> ExitCode {
         );
     }
 
+    // A partial run exits with its own documented code, *before* the gating
+    // checks below: a `--fail-on` or adaptive-target verdict rendered over a
+    // deliberately truncated sample would be premature either way. The
+    // checkpoint holds everything; resume and let the full run be judged.
+    if let Some(reason) = report.interrupted {
+        eprintln!(
+            "partial: campaign stopped early ({reason}); resume from the checkpoint to finish"
+        );
+        return ExitCode::from(4);
+    }
+
     for kind in &args.fail_on {
         // Poisoned trials killed their worker outright, so they count as
         // crash-class outcomes for gating purposes.
@@ -604,6 +675,42 @@ mod tests {
 
     fn argv(args: &[&str]) -> Vec<String> {
         args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn preemption_flags_arm_the_cancel_token() {
+        let args =
+            parse_args(&argv(&["--workload", "dct", "--max-trials-this-run", "250"])).unwrap();
+        assert_eq!(args.runner.cancel.trial_budget(), Some(250));
+        assert_eq!(args.runner.cancel.cancelled(), None, "a budget is not a trip");
+
+        // The original test-hook spelling still works, as an alias.
+        let args = parse_args(&argv(&["--workload", "dct", "--stop-after", "7"])).unwrap();
+        assert_eq!(args.runner.cancel.trial_budget(), Some(7));
+
+        // A generous wall budget arms without tripping; an already-expired
+        // one trips on the first poll with the wall-clock reason.
+        let args = parse_args(&argv(&["--workload", "dct", "--max-wall", "2h"])).unwrap();
+        assert_eq!(args.runner.cancel.cancelled(), None);
+        let args = parse_args(&argv(&["--workload", "dct", "--max-wall", "0"])).unwrap();
+        assert_eq!(args.runner.cancel.cancelled(), Some(mbavf_inject::CancelReason::WallClock));
+
+        // No flags: a live token with nothing armed.
+        let args = parse_args(&argv(&["--workload", "dct"])).unwrap();
+        assert_eq!(args.runner.cancel.trial_budget(), None);
+        assert_eq!(args.runner.cancel.cancelled(), None);
+    }
+
+    #[test]
+    fn durations_parse_with_units_and_default_to_seconds() {
+        assert_eq!(parse_duration("30").unwrap(), Duration::from_secs(30));
+        assert_eq!(parse_duration("30s").unwrap(), Duration::from_secs(30));
+        assert_eq!(parse_duration("500ms").unwrap(), Duration::from_millis(500));
+        assert_eq!(parse_duration("15m").unwrap(), Duration::from_secs(900));
+        assert_eq!(parse_duration("2h").unwrap(), Duration::from_secs(7200));
+        for bad in ["", "s", "h", "ten", "1.5h", "-4s"] {
+            assert!(parse_duration(bad).is_err(), "{bad:?} must be rejected");
+        }
     }
 
     #[test]

@@ -129,6 +129,8 @@ fn replay_one(path: &Path, trace: bool, shrink: bool) -> Status {
 }
 
 fn main() -> ExitCode {
+    // `replay ... | head` must end quietly, not panic on a broken pipe.
+    mbavf_inject::reset_sigpipe();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut trace = false;
     let mut shrink = false;

@@ -115,6 +115,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
 }
 
 fn main() -> ExitCode {
+    // `validate ... | head` must end quietly, not panic on a broken pipe.
+    mbavf_inject::reset_sigpipe();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match parse_args(&argv) {
         Ok(a) => a,

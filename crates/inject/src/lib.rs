@@ -26,12 +26,22 @@
 //! and a deterministic chaos engine (`campaign --chaos <seed>:<rate>`)
 //! continuously injects disk-full, torn-write, and fsync failures into the
 //! harness's *own* I/O paths to prove committed records survive them.
+//!
+//! The **preemption layer** ([`cancel`], [`signals`]) makes deliberate
+//! early exit as safe as the crashes above: a shared [`CancelToken`]
+//! (signal / wall-clock / trial-budget) is checked at every trial
+//! boundary, the supervisor drains in-flight shards instead of leasing
+//! new ones, and a cancelled run still ends with an fsync'd WAL, a final
+//! checkpoint, and honest intervals at the achieved N.
 
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide and allowed in exactly one place: the two
+// hand-declared libc calls in `signals::ffi` (no external crates allowed).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bundle;
 pub mod campaign;
+pub mod cancel;
 pub mod chaos;
 pub mod checkpoint;
 pub mod durable;
@@ -40,6 +50,7 @@ pub mod json;
 pub mod replay;
 pub mod runner;
 pub mod shrink;
+pub mod signals;
 pub mod supervisor;
 
 pub use bundle::{Minimized, ReproBundle, BUNDLE_VERSION, DEFAULT_BUNDLE_CAP};
@@ -47,6 +58,7 @@ pub use campaign::{
     single_bit_campaign, CampaignConfig, CampaignStats, CampaignSummary, FaultSite, Fractions,
     Outcome, OutcomeKind, SingleBitRecord, SiteSampler, SAMPLER_ID,
 };
+pub use cancel::{CancelReason, CancelToken};
 pub use chaos::{ChaosEngine, ChaosSpec};
 pub use interference::{interference_study, try_interference_study, InterferenceRow};
 pub use mbavf_core::error::{
@@ -58,6 +70,7 @@ pub use runner::{
     RunnerConfig,
 };
 pub use shrink::{shrink_and_update, shrink_bundle, ShrinkOutcome};
+pub use signals::{install_terminate_handlers, reset_sigpipe};
 pub use supervisor::merge::{MergeVerdict, RecordMerge};
 pub use supervisor::{
     run_supervised, serve_main, worker_main, AuditPolicy, IsolationMode, PoisonEntry,

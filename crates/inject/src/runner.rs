@@ -56,10 +56,12 @@ pub struct RunnerConfig {
     pub checkpoint: Option<PathBuf>,
     /// Snapshot after this many newly completed trials (when checkpointing).
     pub checkpoint_every: usize,
-    /// Stop (gracefully, with a final checkpoint) after completing at most
-    /// this many *new* trials. `None` runs to completion. This is how tests
-    /// and long campaigns simulate/schedule interruption without `kill -9`.
-    pub stop_after: Option<usize>,
+    /// Shared cancellation token, polled at every trial boundary. Arms all
+    /// three graceful early-exit paths: signal handlers trip it, `--max-wall`
+    /// arms a deadline on it, and a trial budget (`--max-trials-this-run`,
+    /// née `stop_after`) deterministically truncates the pending list. A
+    /// cancelled run still exits through the normal final-checkpoint path.
+    pub cancel: crate::cancel::CancelToken,
     /// Directory to write repro bundles into (one self-contained JSON file
     /// per interesting trial, capped per outcome kind). `None` disables
     /// bundle emission.
@@ -86,7 +88,7 @@ impl Default for RunnerConfig {
             threads: 0,
             checkpoint: None,
             checkpoint_every: 64,
-            stop_after: None,
+            cancel: crate::cancel::CancelToken::new(),
             repro_dir: None,
             repro_cap: crate::bundle::DEFAULT_BUNDLE_CAP,
             heartbeat: None,
@@ -158,8 +160,13 @@ pub struct CampaignReport {
     /// Trials executed by this call.
     pub newly_run: usize,
     /// Whether every trial in the budget is now complete. `false` only when
-    /// [`RunnerConfig::stop_after`] cut the run short.
+    /// the [`RunnerConfig::cancel`] token cut the run short.
     pub complete: bool,
+    /// Why the run stopped early, when it did (`None` on a complete run):
+    /// a signal, the wall-clock budget, or the trial budget. The summary and
+    /// its Wilson intervals are still honest at the achieved N — a partial
+    /// run is a smaller campaign, not a broken one.
+    pub interrupted: Option<crate::cancel::CancelReason>,
     /// Repro bundles this campaign's records select (written or already on
     /// disk), in trial order. Empty unless [`RunnerConfig::repro_dir`] is
     /// set.
@@ -832,7 +839,7 @@ pub(crate) fn run_campaign_with(
     let mut pending: Vec<u64> =
         (0..cfg.injections as u64).filter(|&t| slots[t as usize].is_none()).collect();
     let total_missing = pending.len();
-    if let Some(cap) = runner.stop_after {
+    if let Some(cap) = runner.cancel.trial_budget() {
         pending.truncate(cap);
     }
 
@@ -852,7 +859,10 @@ pub(crate) fn run_campaign_with(
                         cfg.injections,
                         "thread",
                         &|| shared.active_workers.load(Ordering::SeqCst),
-                        &String::new,
+                        &|| match runner.cancel.cancelled() {
+                            Some(reason) => format!(", draining ({reason})"),
+                            None => String::new(),
+                        },
                     );
                 });
             }
@@ -867,6 +877,12 @@ pub(crate) fn run_campaign_with(
                 let mut exec: Option<TrialExec> = None;
                 let mut sites: Vec<(u64, FaultSite)> = Vec::with_capacity(SITE_CHUNK);
                 loop {
+                    // Graceful preemption: stop claiming work once the token
+                    // trips. Unclaimed and unstarted trials simply stay
+                    // pending; every committed trial is already durable.
+                    if runner.cancel.cancelled().is_some() {
+                        return;
+                    }
                     let start = shared.next.fetch_add(SITE_CHUNK, Ordering::SeqCst);
                     let end = pending.len().min(start.saturating_add(SITE_CHUNK));
                     if start >= end {
@@ -890,10 +906,14 @@ pub(crate) fn run_campaign_with(
                                 shared.snapshot(workload.name, fingerprint, cfg.mode_bits, path);
                             }
                         }
+                        crate::signals::preempt_drill(done);
                     };
                     match exec {
                         TrialExec::Sequential(arena) => {
                             for &(trial, site) in &sites {
+                                if runner.cancel.cancelled().is_some() {
+                                    return;
+                                }
                                 let t0 = Instant::now();
                                 let (outcome, read) = crate::campaign::run_one_arena(
                                     arena,
@@ -918,6 +938,12 @@ pub(crate) fn run_campaign_with(
                             // records still commit per trial index in order,
                             // so checkpoint/WAL semantics are unchanged.
                             for group in sites.chunks(batch.width()) {
+                                // Lockstep groups are the batched trial
+                                // boundary: a group in flight finishes and
+                                // commits whole before the token is honored.
+                                if runner.cancel.cancelled().is_some() {
+                                    return;
+                                }
                                 injections.clear();
                                 injections.extend(
                                     group
@@ -975,6 +1001,7 @@ pub(crate) fn run_campaign_with(
     }
 
     let newly_run = shared.completed.into_inner();
+    let complete = newly_run == total_missing;
     let trial_latency =
         LatencyStats::from_micros(shared.latencies_us.into_inner().expect("latency lock"));
     Ok(CampaignReport {
@@ -991,7 +1018,12 @@ pub(crate) fn run_campaign_with(
         },
         resumed,
         newly_run,
-        complete: newly_run == total_missing,
+        complete,
+        // An incomplete run with no tripped token can only be the armed
+        // trial budget: the pending list was truncated before any worker
+        // spawned, so there is no reason atomic to consult.
+        interrupted: (!complete)
+            .then(|| runner.cancel.cancelled().unwrap_or(crate::cancel::CancelReason::TrialBudget)),
         bundles,
         poisoned: Vec::new(),
         trial_latency,
@@ -1053,7 +1085,7 @@ pub struct AdaptiveReport {
     /// evaluated over the final records.
     pub sdc: mbavf_core::stats::RateEstimate,
     /// Whether the halfwidth target was reached (as opposed to hitting the
-    /// trial cap, or being interrupted by `stop_after`).
+    /// trial cap, or being cancelled through the runner's token).
     pub target_met: bool,
     /// Stage budgets actually evaluated, in order.
     pub stages: Vec<usize>,
@@ -1135,7 +1167,7 @@ pub fn run_adaptive(
         stages.push(budget);
         let sdc = report.summary.stats(adaptive.confidence).sdc;
         if !report.complete {
-            // stop_after interrupted the stage; report partial state. The
+            // Cancellation interrupted the stage; report partial state. The
             // checkpoint (if any) lets a later call resume this exact stage.
             return Ok(AdaptiveReport { report, sdc, target_met: false, stages });
         }
@@ -1253,14 +1285,20 @@ mod tests {
             threads: 2,
             checkpoint: Some(path.clone()),
             checkpoint_every: 3,
-            stop_after: Some(7),
+            cancel: crate::cancel::CancelToken::limited(7),
             ..RunnerConfig::default()
         };
         let first = run_campaign(&w, &cfg, &stop).unwrap();
         assert!(!first.complete);
+        assert_eq!(first.interrupted, Some(crate::cancel::CancelReason::TrialBudget));
         assert_eq!(first.newly_run, 7);
 
-        let second = run_campaign(&w, &cfg, &stop).unwrap();
+        let second = run_campaign(
+            &w,
+            &cfg,
+            &RunnerConfig { cancel: crate::cancel::CancelToken::limited(7), ..stop.clone() },
+        )
+        .unwrap();
         assert!(!second.complete);
         assert_eq!(second.resumed, 7);
         assert_eq!(second.newly_run, 7);
@@ -1287,6 +1325,29 @@ mod tests {
         assert_eq!(again.newly_run, 0);
         assert_eq!(again.summary, uninterrupted.summary);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tripped_token_stops_before_any_trial_and_names_the_reason() {
+        let w = by_name("scan_large").expect("registered");
+        let cfg = cfg(12);
+
+        let signalled = RunnerConfig { threads: 2, ..RunnerConfig::default() };
+        signalled.cancel.cancel(crate::cancel::CancelReason::Signal);
+        let report = run_campaign(&w, &cfg, &signalled).unwrap();
+        assert_eq!(report.newly_run, 0);
+        assert!(!report.complete);
+        assert_eq!(report.interrupted, Some(crate::cancel::CancelReason::Signal));
+
+        // An already-expired wall-clock budget behaves identically (the
+        // token trips lazily on the first poll), with its own reason. The
+        // batched path honors the token at its group boundary too.
+        let walled = RunnerConfig { threads: 2, batch_width: 4, ..RunnerConfig::default() };
+        walled.cancel.set_max_wall(Duration::ZERO);
+        let report = run_campaign(&w, &cfg, &walled).unwrap();
+        assert_eq!(report.newly_run, 0);
+        assert!(!report.complete);
+        assert_eq!(report.interrupted, Some(crate::cancel::CancelReason::WallClock));
     }
 
     #[test]

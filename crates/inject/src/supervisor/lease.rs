@@ -98,8 +98,11 @@ impl Lease {
     }
 
     /// How long the stream loop may block waiting for the next message:
-    /// until the deadline, capped so shutdown signals are noticed promptly.
-    pub(crate) fn wait(&self) -> Duration {
+    /// until the deadline, capped at 50 ms so shutdown and cancellation are
+    /// noticed promptly — a pending drain must never sit behind a long
+    /// lease timeout. (Named for what it is: a poll interval, not a wait
+    /// for the deadline itself.)
+    pub(crate) fn poll_wait(&self) -> Duration {
         self.deadline.saturating_duration_since(Instant::now()).min(Duration::from_millis(50))
     }
 
@@ -140,6 +143,30 @@ mod tests {
         assert_eq!(fixed.describe(3), "shard watchdog fired after 60s with 3 trials outstanding");
         let sliding = Lease::new(DeadlinePolicy::Sliding(Duration::from_secs(30)));
         assert_eq!(sliding.describe(1), "shard lease expired after 30s with 1 trials outstanding");
+    }
+
+    #[test]
+    fn poll_wait_caps_the_block_interval_at_50ms_under_long_leases() {
+        // The stream loop blocks in `recv(lease.poll_wait())` and re-checks
+        // stop/cancel between blocks. The cap is what makes a pending
+        // shutdown observable within ~50 ms even when the lease itself has
+        // a 60-second deadline — without it a drain request would wait out
+        // the full lease timeout before anyone looked at the token.
+        let lease = Lease::new(DeadlinePolicy::Sliding(Duration::from_secs(60)));
+        assert!(lease.poll_wait() <= Duration::from_millis(50), "got {:?}", lease.poll_wait());
+        let lease = Lease::new(DeadlinePolicy::Fixed(Duration::from_secs(3600)));
+        assert!(lease.poll_wait() <= Duration::from_millis(50), "got {:?}", lease.poll_wait());
+    }
+
+    #[test]
+    fn poll_wait_shrinks_to_the_deadline_when_it_is_nearer_than_the_cap() {
+        // Near expiry the poll interval tightens to the remaining budget
+        // (never negative), so expiry itself is also observed on time.
+        let lease = Lease::new(DeadlinePolicy::Sliding(Duration::from_millis(10)));
+        assert!(lease.poll_wait() <= Duration::from_millis(10));
+        std::thread::sleep(Duration::from_millis(15));
+        assert_eq!(lease.poll_wait(), Duration::ZERO, "expired lease must not block");
+        assert!(lease.expired());
     }
 
     #[test]

@@ -763,7 +763,13 @@ struct SupCtx<'a> {
 
 impl SupCtx<'_> {
     fn should_stop(&self) -> bool {
-        self.stop.load(Ordering::SeqCst) || self.degrade.load(Ordering::SeqCst)
+        // A tripped cancel token stops new leases exactly like an internal
+        // stop: handlers drain what is in flight and retire. It also
+        // suppresses the AllEndpointsLost backstop — pending trials after a
+        // cancellation are deliberate, not stranded.
+        self.stop.load(Ordering::SeqCst)
+            || self.degrade.load(Ordering::SeqCst)
+            || self.runner.cancel.cancelled().is_some()
     }
 
     fn raise_fatal(&self, e: SupervisorError) {
@@ -821,12 +827,13 @@ impl SupCtx<'_> {
         let mut lease = Lease::new(transport.policy());
         let mut progress = false;
         let mut handshaken = false;
+        let mut drain_sent = false;
         // Progress gate for TCP heartbeats: renew only when the daemon's
         // completion count *changes*, so a frozen executor with a beating
         // heart still loses its lease.
         let mut last_hb: Option<u64> = None;
         loop {
-            if self.should_stop() {
+            if self.stop.load(Ordering::SeqCst) || self.degrade.load(Ordering::SeqCst) {
                 transport.revoke();
                 return ShardRun::Died {
                     progress,
@@ -834,7 +841,37 @@ impl SupCtx<'_> {
                     detail: "supervisor shutdown".into(),
                 };
             }
-            match transport.recv(lease.wait()) {
+            if let Some(reason) = self.runner.cancel.cancelled() {
+                if transport.is_remote() && handshaken {
+                    // Graceful preemption of a live daemon: ask it to finish
+                    // the trial in flight and part cleanly, then keep
+                    // streaming (and committing) until its `drained` ack.
+                    // A daemon that never acks still loses its lease on the
+                    // ordinary expiry path below — drain adds no new way to
+                    // hang the supervisor.
+                    if !drain_sent {
+                        if let Err(detail) = transport.drain() {
+                            transport.revoke();
+                            return ShardRun::Died {
+                                progress,
+                                handshaken,
+                                detail: format!("cancelled ({reason}); drain failed: {detail}"),
+                            };
+                        }
+                        drain_sent = true;
+                    }
+                } else {
+                    // Subprocess workers (and daemons that have not yet
+                    // handshaken) hold no unflushed committed work: revoke.
+                    transport.revoke();
+                    return ShardRun::Died {
+                        progress,
+                        handshaken,
+                        detail: format!("cancelled ({reason})"),
+                    };
+                }
+            }
+            match transport.recv(lease.poll_wait()) {
                 ChannelEvent::Msg(line) => {
                     if line.trim().is_empty() {
                         continue;
@@ -878,6 +915,18 @@ impl SupCtx<'_> {
                             lease.renew();
                         }
                         continue;
+                    }
+                    if v.get("drained").is_some() {
+                        // The daemon honored our drain frame: its in-flight
+                        // trial is committed (we streamed it above), its
+                        // lease is flushed back, and it parted cleanly. The
+                        // shard's leftovers stay pending for the resume.
+                        transport.finish();
+                        return ShardRun::Died {
+                            progress,
+                            handshaken,
+                            detail: "endpoint drained after cancellation".into(),
+                        };
                     }
                     if let Some(detail) = v.get("error").and_then(Value::as_str) {
                         let detail = detail.to_string();
@@ -949,6 +998,7 @@ impl SupCtx<'_> {
                                     );
                                 }
                             }
+                            crate::signals::preempt_drill(done);
                             match audit {
                                 AuditOutcome::Skipped => {}
                                 AuditOutcome::Passed => self.ledger.record_pass(),
@@ -1293,7 +1343,7 @@ pub fn run_supervised(
         .filter(|&t| slots[t as usize].is_none() && !prior_poison.iter().any(|e| e.trial == t))
         .collect();
     let total_missing = pending.len();
-    if let Some(cap) = runner.stop_after {
+    if let Some(cap) = runner.cancel.trial_budget() {
         pending.truncate(cap);
     }
 
@@ -1378,6 +1428,9 @@ pub fn run_supervised(
                         &|| ctx.live_children.load(Ordering::SeqCst),
                         &|| {
                             let mut extra = String::new();
+                            if let Some(reason) = ctx.runner.cancel.cancelled() {
+                                let _ = write!(extra, ", draining ({reason})");
+                            }
                             let n =
                                 ctx.prior_poison + ctx.poison.lock().expect("poison lock").len();
                             if n > 0 {
@@ -1479,6 +1532,7 @@ pub fn run_supervised(
     }
 
     let newly_run = shared.completed.load(Ordering::SeqCst);
+    let complete = newly_run + newly_poisoned == total_missing;
     let trial_latency = LatencyStats::from_micros(std::mem::take(
         &mut *shared.latencies_us.lock().expect("latency lock"),
     ));
@@ -1494,7 +1548,9 @@ pub fn run_supervised(
         },
         resumed,
         newly_run,
-        complete: newly_run + newly_poisoned == total_missing,
+        complete,
+        interrupted: (!complete)
+            .then(|| runner.cancel.cancelled().unwrap_or(crate::cancel::CancelReason::TrialBudget)),
         bundles,
         poisoned: all_poison,
         trial_latency,

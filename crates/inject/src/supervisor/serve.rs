@@ -19,6 +19,14 @@
 //! The daemon holds no shard state between leases — after any disconnect
 //! the supervisor simply reconnects and leases whatever its merge is still
 //! missing, and the idempotent merge makes re-delivered records harmless.
+//!
+//! **Drain:** a cancelled supervisor sends a `{"drain": true}` frame
+//! instead of severing the socket. The daemon finishes the trial in
+//! flight, stops taking new ones, and answers `{"drained": N}` (N = trials
+//! completed in the interrupted lease) — the record stream up to that
+//! point has already been delivered, so the supervisor's merge holds
+//! everything the daemon did. The connection then parts cleanly and the
+//! daemon keeps serving other (or future) campaigns.
 
 use super::transport::{read_frame, write_frame};
 use super::{
@@ -182,13 +190,39 @@ fn handle_conn(stream: TcpStream) -> Result<(), String> {
         Err(_) => None,
     };
 
+    // Incoming frames flow through a reader thread so the lease executor
+    // can poll for a mid-lease `drain` frame between trials without
+    // blocking on the socket. Reader exit without an error means the
+    // supervisor closed cleanly (the channel disconnects).
+    let (frame_tx, frames) = mpsc::channel::<Result<String, String>>();
+    std::thread::spawn(move || loop {
+        match read_frame(&mut reader) {
+            Ok(Some(frame)) => {
+                if frame_tx.send(Ok(frame)).is_err() {
+                    return;
+                }
+            }
+            Ok(None) => return,
+            Err(e) => {
+                let _ = frame_tx.send(Err(e.to_string()));
+                return;
+            }
+        }
+    });
+
     loop {
-        let lease = match read_frame(&mut reader) {
-            Ok(Some(frame)) => frame,
-            Ok(None) => return Ok(()), // supervisor closed: campaign over
-            Err(e) => return Err(format!("reading lease: {e}")),
+        let lease = match frames.recv() {
+            Ok(Ok(frame)) => frame,
+            Ok(Err(detail)) => return Err(format!("reading lease: {detail}")),
+            Err(mpsc::RecvError) => return Ok(()), // supervisor closed: campaign over
         };
         let v = json::parse(&lease).map_err(|d| format!("bad lease frame: {d}"))?;
+        if v.get("drain").is_some() {
+            // Drained between leases: nothing in flight, nothing unsent.
+            // Ack and keep the connection; the supervisor parts by closing.
+            send(&writer, "{\"drained\": 0}")?;
+            continue;
+        }
         let trials = parse_trials(
             v.get("trials")
                 .and_then(Value::as_str)
@@ -196,7 +230,7 @@ fn handle_conn(stream: TcpStream) -> Result<(), String> {
         )?;
         let attempt = v.get("attempt").and_then(Value::as_u64).unwrap_or(0) as u32;
         send(&writer, &handshake)?;
-        run_lease(&writer, &mut exec, &trials, attempt, hb_every, liar.as_ref())?;
+        run_lease(&writer, &frames, &mut exec, &trials, attempt, hb_every, liar.as_ref())?;
     }
 }
 
@@ -212,9 +246,13 @@ fn flip_outcome(outcome: Outcome) -> Outcome {
 }
 
 /// Execute one lease: stream record frames (with the heartbeat thread
-/// running alongside) and the `done` sentinel.
+/// running alongside) and the `done` sentinel. A `drain` frame arriving
+/// mid-lease stops the executor at the next trial boundary: the daemon
+/// acks `{"drained": N}` instead of `done` and returns cleanly, leaving
+/// the lease's leftover trials for the resume.
 fn run_lease(
     writer: &Arc<Mutex<TcpStream>>,
+    frames: &mpsc::Receiver<Result<String, String>>,
     exec: &mut ShardExecutor,
     trials: &[u64],
     attempt: u32,
@@ -242,6 +280,30 @@ fn run_lease(
     let result = (|| -> Result<(), String> {
         let mut sent: Vec<String> = Vec::new();
         for (i, &trial) in trials.iter().enumerate() {
+            // Trial boundary: honor a drain request before starting the
+            // next trial. Every record through trial `i-1` is already on
+            // the wire, so `drained: i` tells the supervisor exactly what
+            // this lease accomplished.
+            match frames.try_recv() {
+                Ok(Ok(frame)) => {
+                    let v = json::parse(&frame).map_err(|d| format!("bad mid-lease frame: {d}"))?;
+                    if v.get("drain").is_none() {
+                        return Err(format!(
+                            "unexpected frame mid-lease: {:?}",
+                            frame.chars().take(120).collect::<String>()
+                        ));
+                    }
+                    return send(writer, &format!("{{\"drained\": {i}}}"));
+                }
+                Ok(Err(detail)) => return Err(format!("reading mid-lease: {detail}")),
+                Err(mpsc::TryRecvError::Empty) => {}
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    // The supervisor severed us: the lease is revoked. The
+                    // write side would discover this too; stop running
+                    // trials nobody will merge.
+                    return Err("connection closed mid-lease".into());
+                }
+            }
             // Network fault drills, used by torture tests and the CI smoke
             // job. Checked only here, in the daemon: the supervisor never
             // drills itself.

@@ -137,6 +137,12 @@ pub(crate) trait Transport {
     /// Revoke the current lease: kill the subprocess / sever the socket.
     fn revoke(&mut self);
 
+    /// Ask the worker to stop gracefully: finish the trial in flight, send
+    /// a `drained` ack, and part cleanly — the cancellation counterpart of
+    /// `revoke`. Only remote daemons hold cross-lease state worth draining;
+    /// callers gate on [`Transport::is_remote`].
+    fn drain(&mut self) -> Result<(), String>;
+
     /// The lease completed cleanly: reap the subprocess / keep the
     /// connection for the next lease.
     fn finish(&mut self);
@@ -249,6 +255,13 @@ impl Transport for PipeTransport {
             let _ = child.kill();
         }
         self.reap();
+    }
+
+    fn drain(&mut self) -> Result<(), String> {
+        // A `__worker` subprocess is disposable per lease and its stdin is
+        // null — there is no channel to ask nicely on, and nothing to
+        // drain: every record it produced has already been streamed.
+        Err("pipe workers are revoked, not drained".into())
     }
 
     fn finish(&mut self) {
@@ -404,6 +417,17 @@ impl Transport for TcpTransport {
         // unblocks our reader thread and tells the daemon the lease is
         // revoked (its next write fails).
         self.conn = None;
+    }
+
+    fn drain(&mut self) -> Result<(), String> {
+        // Keep the connection open: the daemon finishes its in-flight
+        // trial, streams any remaining records, and answers with a
+        // `drained` ack that the stream loop treats as a clean parting.
+        let Some(conn) = &self.conn else {
+            return Err(format!("no connection to {}", self.addr));
+        };
+        write_frame(&mut &conn.stream, "{\"drain\": true}")
+            .map_err(|e| format!("sending drain to {}: {e}", self.addr))
     }
 
     fn finish(&mut self) {

@@ -9,7 +9,7 @@ use mbavf_core::rng::SplitMix64;
 use mbavf_inject::campaign::{CampaignConfig, FaultSite, Outcome, SingleBitRecord};
 use mbavf_inject::checkpoint;
 use mbavf_inject::runner::quarantine_path;
-use mbavf_inject::{run_adaptive, run_campaign, AdaptiveConfig, RunnerConfig};
+use mbavf_inject::{run_adaptive, run_campaign, AdaptiveConfig, CancelToken, RunnerConfig};
 use mbavf_workloads::{by_name, nondet_drill};
 use std::path::PathBuf;
 
@@ -115,7 +115,7 @@ fn resume_across_batch_width_change_matches_uninterrupted() {
                 batch_width: 3,
                 checkpoint: Some(path.clone()),
                 checkpoint_every: 2,
-                stop_after: Some(stop),
+                cancel: CancelToken::limited(stop),
                 ..RunnerConfig::default()
             },
         )
@@ -154,7 +154,7 @@ fn resume_matches_uninterrupted_at_every_stop_point() {
                 threads: 1,
                 checkpoint: Some(path.clone()),
                 checkpoint_every: 2,
-                stop_after: Some(stop),
+                cancel: CancelToken::limited(stop),
                 ..RunnerConfig::default()
             },
         )
@@ -278,7 +278,7 @@ fn adaptive_resume_matches_uninterrupted() {
                     threads: 2,
                     checkpoint: Some(path.clone()),
                     checkpoint_every: 4,
-                    stop_after: Some(stop),
+                    cancel: CancelToken::limited(stop),
                     ..RunnerConfig::default()
                 },
                 &adaptive,

@@ -10,7 +10,7 @@
 //! of the campaign engine (by single-stepping each workgroup's wavefront).
 
 use mbavf_inject::campaign::CampaignConfig;
-use mbavf_inject::{run_campaign, RunnerConfig};
+use mbavf_inject::{run_campaign, CancelToken, RunnerConfig};
 use mbavf_sim::exec::{step, NullPorts, StepCtx, Wavefront};
 use mbavf_workloads::{lopsided_drill, Scale, Workload};
 
@@ -99,7 +99,7 @@ fn lopsided_campaigns_are_thread_and_interrupt_invariant() {
         &RunnerConfig {
             checkpoint: Some(ckpt.clone()),
             checkpoint_every: 5,
-            stop_after: Some(23),
+            cancel: CancelToken::limited(23),
             ..RunnerConfig::serial()
         },
     )

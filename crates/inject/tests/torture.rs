@@ -20,7 +20,7 @@ use mbavf_inject::runner::{quarantine_corrupt, quarantine_path};
 use mbavf_inject::supervisor::{default_poison_path, load_poison};
 use mbavf_inject::{
     bundle, checkpoint, run_campaign, run_supervised, serve_main, worker_main, AuditPolicy,
-    RunnerConfig, SupervisorConfig, TransportKind,
+    CancelToken, RunnerConfig, SupervisorConfig, TransportKind,
 };
 use mbavf_workloads::by_name;
 use std::io::BufRead as _;
@@ -257,10 +257,10 @@ fn kill_resume_with_mid_run_corruption_converges() {
 
     let dir = tmpdir("kr");
     let ckpt = dir.join("camp.json");
-    let runner = |stop| RunnerConfig {
+    let runner = |stop: Option<usize>| RunnerConfig {
         checkpoint: Some(ckpt.clone()),
         checkpoint_every: 2,
-        stop_after: stop,
+        cancel: stop.map_or_else(CancelToken::new, CancelToken::limited),
         repro_dir: Some(dir.join("repro")),
         ..RunnerConfig::serial()
     };
@@ -567,7 +567,7 @@ fn stdout_truncation_recovers_bit_exact() {
     assert_eq!(report.summary, thread.summary);
 }
 
-/// A process-isolated campaign interrupted by `stop_after` must resume —
+/// A process-isolated campaign interrupted by a trial budget must resume —
 /// in *thread* mode — into the identical final checkpoint and summary:
 /// isolation is an execution property, never a record property.
 fn process_kill_resume_converges_cross_mode() {
@@ -577,10 +577,10 @@ fn process_kill_resume_converges_cross_mode() {
 
     let dir = tmpdir("proc-resume");
     let ckpt = dir.join("camp.json");
-    let runner = |stop| RunnerConfig {
+    let runner = |stop: Option<usize>| RunnerConfig {
         checkpoint: Some(ckpt.clone()),
         checkpoint_every: 2,
-        stop_after: stop,
+        cancel: stop.map_or_else(CancelToken::new, CancelToken::limited),
         ..RunnerConfig::serial()
     };
     let first = run_supervised(&w, &cfg, &runner(Some(6)), &test_supervisor(2, 4)).unwrap();

@@ -6,7 +6,8 @@
 use mbavf_inject::campaign::CampaignConfig;
 use mbavf_inject::replay::replay_site;
 use mbavf_inject::{
-    load_bundle, replay_bundle, run_campaign, shrink_and_update, shrink_bundle, RunnerConfig,
+    load_bundle, replay_bundle, run_campaign, shrink_and_update, shrink_bundle, CancelToken,
+    RunnerConfig,
 };
 use mbavf_workloads::by_name;
 use std::path::{Path, PathBuf};
@@ -64,11 +65,11 @@ fn bundle_dirs_are_identical_across_threads_and_resume() {
     // Kill after 13 trials, resume to completion on 2 threads.
     let kr_dir = tmpdir("kr");
     let ckpt = kr_dir.join("camp.json");
-    let runner = |threads, stop| RunnerConfig {
+    let runner = |threads, stop: Option<usize>| RunnerConfig {
         threads,
         checkpoint: Some(ckpt.clone()),
         checkpoint_every: 4,
-        stop_after: stop,
+        cancel: stop.map_or_else(CancelToken::new, CancelToken::limited),
         repro_dir: Some(kr_dir.join("repro")),
         ..RunnerConfig::default()
     };
